@@ -1,0 +1,142 @@
+"""Ablation — HPWL vs greedy-assignment ``estWL`` inside EFA (Section 3).
+
+The paper implemented an exact-but-slow ``estWL`` (run the greedy signal
+assignment, score Eq. 1) and rejected it for the enumeration loop in
+favour of per-signal HPWL, reporting "only a slight quality loss".  This
+bench quantifies both sides on small cases:
+
+* correlation: across a sample of legal floorplans, how well does the
+  HPWL estimate rank floorplans relative to the greedy-assignment score?
+* end quality: take EFA's HPWL-chosen floorplan and the best floorplan
+  under the greedy estimator among the sampled set; compare their final
+  (MCMF_fast) TWLs.
+* speed: measured per-call cost of each estimator.
+"""
+
+import time
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget
+from repro.assign import MCMFAssigner
+from repro.eval import hpwl_estimate, total_wirelength
+from repro.floorplan import (
+    EFAConfig,
+    greedy_assignment_est_wl,
+    run_efa,
+    run_sa,
+    SAConfig,
+)
+
+
+def _sample_floorplans(design, count):
+    """Legal floorplans of varied quality from seeded SA snapshots."""
+    floorplans = []
+    for seed in range(count):
+        result = run_sa(
+            design,
+            SAConfig(seed=seed, moves_per_temperature=15, cooling=0.85),
+        )
+        if result.found:
+            floorplans.append(result.floorplan)
+    return floorplans
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rank correlation without scipy (tiny n)."""
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        r = [0] * len(vals)
+        for rank, idx in enumerate(order):
+            r[idx] = rank
+        return r
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+def _run_case(name):
+    design = cached_case(name)
+    floorplans = _sample_floorplans(design, 8)
+    hpwl_scores, greedy_scores = [], []
+    hpwl_time = greedy_time = 0.0
+    for fp in floorplans:
+        t0 = time.perf_counter()
+        hpwl_scores.append(hpwl_estimate(design, fp))
+        hpwl_time += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        greedy_scores.append(greedy_assignment_est_wl(design, fp))
+        greedy_time += time.perf_counter() - t0
+
+    corr = _rank_correlation(hpwl_scores, greedy_scores)
+
+    # End quality: EFA's HPWL pick vs the greedy estimator's pick.
+    efa = run_efa(
+        design,
+        EFAConfig(
+            illegal_cut=True, inferior_cut=True, time_budget_s=t2_budget()
+        ),
+    )
+    best_greedy_fp = min(
+        zip(greedy_scores, range(len(floorplans))), key=lambda t: t[0]
+    )[1]
+    assigner = MCMFAssigner()
+    twl_hpwl_pick = total_wirelength(
+        design, efa.floorplan, assigner.assign(design, efa.floorplan)
+    ).total
+    fp_g = floorplans[best_greedy_fp]
+    twl_greedy_pick = total_wirelength(
+        design, fp_g, assigner.assign(design, fp_g)
+    ).total
+
+    n = max(len(floorplans), 1)
+    return {
+        "corr": corr,
+        "hpwl_ms": 1000 * hpwl_time / n,
+        "greedy_ms": 1000 * greedy_time / n,
+        "twl_hpwl_pick": twl_hpwl_pick,
+        "twl_greedy_pick": twl_greedy_pick,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-estimator")
+def test_ablation_estimator_accuracy_vs_speed(benchmark):
+    names = bench_cases(["t4s", "t6s"])
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in names:
+        r = results[name]
+        rows.append(
+            [
+                name,
+                r["corr"],
+                r["hpwl_ms"],
+                r["greedy_ms"],
+                r["greedy_ms"] / max(r["hpwl_ms"], 1e-9),
+                r["twl_hpwl_pick"],
+                r["twl_greedy_pick"],
+            ]
+        )
+    emit_table(
+        "ablation_estimator.txt",
+        "Ablation: HPWL estWL vs greedy-assignment estWL",
+        ["Testcase", "rank corr", "HPWL ms/call", "greedy ms/call",
+         "slowdown x", "TWL (EFA w/ HPWL)", "TWL (greedy pick)"],
+        rows,
+    )
+
+    for name in names:
+        r = results[name]
+        # The paper's premise: HPWL ranks floorplans usefully...
+        assert r["corr"] > 0.5, f"{name}: HPWL should correlate with estWL"
+        # ...and the exact estimator is far too slow for n!^2*4^n calls.
+        assert r["greedy_ms"] > 10 * r["hpwl_ms"]

@@ -1,0 +1,95 @@
+"""Ablation — SA neighborhoods: sequence-pair SA vs B*-tree SA vs EFA.
+
+Section 3 motivates EFA by its advantage over "an SA-based floorplanning
+algorithm".  To make sure that advantage is not an artifact of one SA
+neighborhood, this bench anneals over both classic representations
+(sequence pair and B*-tree) under the same budget, on cases where the
+exhaustive search completes, and compares estimated and realized
+wirelength.
+
+Expected shape: EFA(c3) <= both SA variants on estWL (it is exhaustive);
+the two SA flavors land in the same quality band.
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget
+from repro.assign import MCMFAssigner
+from repro.eval import total_wirelength
+from repro.floorplan import (
+    BTreeSAConfig,
+    EFAConfig,
+    SAConfig,
+    run_btree_sa,
+    run_efa,
+    run_sa,
+)
+
+
+def _run_case(name):
+    design = cached_case(name)
+    budget = t2_budget()
+    rows = {}
+    # EFA_ori, not c3: the inferior branch cut's Eq. 2 bound is heuristic
+    # (the paper: "cannot guarantee that the best floorplan still can be
+    # obtained") and does occasionally prune the optimum on our cases, so
+    # only the truly exhaustive variant is a valid "cannot lose" anchor.
+    rows["EFA_ori"] = run_efa(design, EFAConfig(time_budget_s=budget))
+    rows["SP-SA"] = run_sa(design, SAConfig(seed=5, time_budget_s=budget))
+    rows["B*-SA"] = run_btree_sa(
+        design, BTreeSAConfig(seed=5, time_budget_s=budget)
+    )
+    out = {}
+    assigner = MCMFAssigner()
+    for label, result in rows.items():
+        twl = None
+        if result.found:
+            twl = total_wirelength(
+                design,
+                result.floorplan,
+                assigner.assign(design, result.floorplan),
+            ).total
+        out[label] = (result, twl)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-sa-representation")
+def test_sa_representation_ablation(benchmark):
+    names = bench_cases(["t4s", "t4m", "t4b"])
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = []
+    for name in names:
+        for label in ("EFA_ori", "SP-SA", "B*-SA"):
+            result, twl = results[name][label]
+            table.append(
+                [
+                    name,
+                    label,
+                    result.est_wl if result.found else None,
+                    twl,
+                    result.stats.runtime_s,
+                    result.stats.floorplans_evaluated,
+                ]
+            )
+    emit_table(
+        "ablation_sa_representation.txt",
+        "Ablation: SA neighborhoods vs exhaustive EFA (4-die cases)",
+        ["Testcase", "floorplanner", "estWL", "TWL", "FT (s)",
+         "floorplans"],
+        table,
+    )
+
+    for name in names:
+        efa, _ = results[name]["EFA_ori"]
+        if efa.stats.timed_out:
+            continue
+        for label in ("SP-SA", "B*-SA"):
+            sa, _ = results[name][label]
+            if sa.found:
+                # Exhaustive search cannot lose on its own objective.
+                assert sa.est_wl >= efa.est_wl - 1e-6

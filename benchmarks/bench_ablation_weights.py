@@ -1,0 +1,81 @@
+"""Ablation — the Eq. 1 weight knobs (Section 2.1).
+
+The paper sets alpha = beta = gamma = 1 "by default, but the proposed
+algorithms can work well with different settings".  This bench checks
+that claim behaviorally: sweeping gamma (the external-net weight) must
+make the flow trade internal/intra wirelength for shorter external nets,
+monotonically in the weight, and likewise for alpha.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from common import bench_cases, emit_table, t2_budget
+from repro.benchgen import generate_design, suite_config
+from repro.flow import FlowConfig, run_flow
+from repro.model import Weights
+
+
+def _run_with_weights(base_config, weights):
+    config = replace(base_config, weights=weights)
+    design = generate_design(config)
+    result = run_flow(design, FlowConfig(floorplan_budget_s=t2_budget()))
+    return result.wirelength
+
+
+def _run_case(name):
+    base = suite_config(name)
+    rows = []
+    for gamma in (0.25, 1.0, 4.0):
+        wl = _run_with_weights(base, Weights(gamma=gamma))
+        rows.append(("gamma", gamma, wl))
+    for alpha in (0.25, 4.0):
+        wl = _run_with_weights(base, Weights(alpha=alpha))
+        rows.append(("alpha", alpha, wl))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-weights")
+def test_ablation_objective_weights(benchmark):
+    names = bench_cases(["t4s"])
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = []
+    for name in names:
+        for knob, value, wl in results[name]:
+            table.append(
+                [
+                    name,
+                    f"{knob}={value}",
+                    wl.wl_intra_die,
+                    wl.wl_internal,
+                    wl.wl_external,
+                    wl.total,
+                ]
+            )
+    emit_table(
+        "ablation_weights.txt",
+        "Ablation: Eq. 1 weight sensitivity (flow re-run per setting)",
+        ["Testcase", "weights", "WL_D", "WL_I", "WL_E", "TWL"],
+        table,
+        float_digits=3,
+    )
+
+    for name in names:
+        rows = {f"{k}={v}": wl for k, v, wl in results[name]}
+        # Raising gamma must not lengthen the external nets the optimizer
+        # produces (monotone response to the knob).
+        assert (
+            rows["gamma=4.0"].wl_external
+            <= rows["gamma=0.25"].wl_external + 1e-9
+        )
+        # Raising alpha must not lengthen the intra-die nets.
+        assert (
+            rows["alpha=4.0"].wl_intra_die
+            <= rows["alpha=0.25"].wl_intra_die + 1e-9
+        )

@@ -1,0 +1,76 @@
+"""Ablation — the window matching parameters (Section 4.2).
+
+Sweeps the slack ``lambda`` (the paper fixes it to 0) and the initial
+window growth, measuring the TWL / runtime / edge-count trade-off of
+MCMF_fast against the MCMF_ori reference on a mid-size case.  Expected
+shape: larger windows monotonically increase edges and runtime while
+closing the (already small) TWL gap to MCMF_ori.
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget
+from repro.assign import MCMFAssigner, MCMFAssignerConfig
+from repro.eval import total_wirelength
+from repro.floorplan import run_efa_mix
+
+SLACKS = [0, 2, 8, 32]
+
+
+def _run_case(name):
+    design = cached_case(name)
+    fp = run_efa_mix(design, time_budget_s=t2_budget()).floorplan
+    rows = []
+    for slack in SLACKS:
+        result = MCMFAssigner(
+            MCMFAssignerConfig(window_slack=slack)
+        ).assign_with_stats(design, fp)
+        twl = total_wirelength(design, fp, result.assignment).total
+        rows.append((slack, twl, result.runtime_s, result.total_edges))
+    ori = MCMFAssigner(
+        MCMFAssignerConfig(window_matching=False, time_budget_s=300)
+    ).assign_with_stats(design, fp)
+    twl_ori = (
+        total_wirelength(design, fp, ori.assignment).total
+        if ori.complete
+        else None
+    )
+    return rows, (twl_ori, ori.runtime_s, ori.total_edges)
+
+
+@pytest.mark.benchmark(group="ablation-window")
+def test_ablation_window_slack(benchmark):
+    names = bench_cases(["t4m"])
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = []
+    for name in names:
+        rows, (twl_ori, at_ori, edges_ori) = results[name]
+        for slack, twl, at, edges in rows:
+            over = None if twl_ori is None else 100 * (twl / twl_ori - 1)
+            table.append([name, f"lambda={slack}", twl, over, at, edges])
+        table.append(
+            [name, "MCMF_ori", twl_ori, 0.0, at_ori, edges_ori]
+        )
+    emit_table(
+        "ablation_window.txt",
+        "Ablation: window matching slack (lambda) sweep",
+        ["Testcase", "variant", "TWL", "overhead %", "AT (s)", "edges"],
+        table,
+    )
+
+    for name in names:
+        rows, (twl_ori, _, edges_ori) = results[name]
+        edges = [r[3] for r in rows]
+        # More slack -> monotonically more edges, never exceeding ori.
+        assert edges == sorted(edges)
+        assert edges[-1] <= edges_ori
+        if twl_ori is not None:
+            # Window quality gap shrinks (weakly) as slack grows.
+            first_gap = rows[0][1] / twl_ori
+            last_gap = rows[-1][1] / twl_ori
+            assert last_gap <= first_gap + 0.01

@@ -1,0 +1,83 @@
+"""Section 2.1 validation — MST length vs actually-routed wirelength.
+
+The paper measures every net by MST length "because the MST length of a
+net has high correlation to its routed wirelength as indicated in [8]".
+This bench *checks* that premise on our own solutions: every internal net
+of the solved suite cases is globally routed on the RDL gcell grid
+(:mod:`repro.route`), and per-net routed length is correlated against the
+MST estimate.
+
+Expected shape: Pearson correlation >= 0.95 and mean detour ratio close to
+1.0 on uncongested grids — i.e. the paper's evaluation proxy is sound for
+this substrate too.
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget
+from repro.assign import MCMFAssigner
+from repro.floorplan import run_efa_mix
+from repro.route import GridConfig, route_design
+
+
+def _run_case(name):
+    design = cached_case(name)
+    fp = run_efa_mix(design, time_budget_s=t2_budget()).floorplan
+    assignment = MCMFAssigner().assign(design, fp)
+    result = route_design(
+        design, fp, assignment,
+        GridConfig(cells_x=24, cells_y=24, wire_pitch=0.004, rdl_layers=4),
+    )
+    ratios = [n.detour_ratio for n in result.nets if n.mst_length > 0]
+    mean_detour = sum(ratios) / len(ratios) if ratios else 1.0
+    maze_nets = sum(1 for n in result.nets if n.used_maze)
+    return {
+        "nets": len(result.nets),
+        "corr": result.correlation(),
+        "mean_detour": mean_detour,
+        "overflow": result.overflow,
+        "max_util": result.max_utilization,
+        "maze_nets": maze_nets,
+        "rerouted": result.rerouted_nets,
+    }
+
+
+@pytest.mark.benchmark(group="routing-correlation")
+def test_mst_vs_routed_correlation(benchmark):
+    names = bench_cases(["t4s", "t4m", "t6m", "t8m"])
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in names:
+        r = results[name]
+        rows.append(
+            [
+                name,
+                r["nets"],
+                r["corr"],
+                r["mean_detour"],
+                r["max_util"],
+                r["overflow"],
+                r["maze_nets"],
+            ]
+        )
+    emit_table(
+        "routing_correlation.txt",
+        "Section 2.1 check: per-net MST length vs routed wirelength",
+        ["Testcase", "nets", "Pearson r", "mean routed/MST",
+         "max util", "overflow", "maze-routed nets"],
+        rows,
+        float_digits=3,
+    )
+
+    for name in names:
+        r = results[name]
+        assert r["corr"] >= 0.95, (
+            f"{name}: MST-vs-routed correlation {r['corr']:.3f} too weak — "
+            "the paper's evaluation proxy would be unsound here"
+        )
+        assert r["mean_detour"] < 1.6

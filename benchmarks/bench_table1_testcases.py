@@ -1,0 +1,61 @@
+"""Table 1 — testcase statistics.
+
+Regenerates the paper's Table 1 for the scaled suite: the |D|, |S|, |B|,
+|E|, |T|, |M| columns of all nine cases.  Absolute counts are ~20-60x
+smaller than the ISPD08-derived originals (see EXPERIMENTS.md); the
+structure — die counts, s<m<b ordering, escape shares — matches.
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table
+
+# The paper's original Table 1, for the side-by-side shape check.
+PAPER_TABLE1 = {
+    "t4s": (4, 1019, 2104, 789, 2025, 61752),
+    "t4m": (4, 4152, 8392, 1174, 8649, 261630),
+    "t4b": (4, 11232, 22701, 1033, 10201, 308024),
+    "t6s": (6, 1081, 2192, 639, 3481, 105950),
+    "t6m": (6, 5945, 12848, 1162, 2025, 61752),
+    "t6b": (6, 13072, 26314, 1192, 7140, 216688),
+    "t8s": (8, 1036, 2114, 882, 8649, 260604),
+    "t8m": (8, 7000, 14162, 1391, 5550, 168917),
+    "t8b": (8, 11544, 23242, 1049, 13806, 416021),
+}
+
+
+def _generate_all(names):
+    return {name: cached_case(name).stats() for name in names}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_testcase_statistics(benchmark):
+    names = bench_cases()
+    stats = benchmark.pedantic(
+        _generate_all, args=(names,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in names:
+        s = stats[name]
+        rows.append(
+            [name, s["D"], s["S"], s["B"], s["E"], s["T"], s["M"]]
+        )
+    emit_table(
+        "table1.txt",
+        "Table 1: testcase statistics (scaled suite)",
+        ["Testcase", "|D|", "|S|", "|B|", "|E|", "|T|", "|M|"],
+        rows,
+        float_digits=0,
+    )
+
+    for name in names:
+        s = stats[name]
+        paper = PAPER_TABLE1.get(name.rstrip("'"))
+        if paper is None:
+            continue
+        # Structural checks against the paper's table.
+        assert s["D"] == paper[0], "die counts must match the paper"
+        assert s["B"] >= 2 * s["S"], "every signal has >= 2 buffer terminals"
+        assert s["M"] > s["B"], "bump sites must outnumber buffers"
+        assert s["T"] >= s["E"], "TSV sites must cover escaping signals"

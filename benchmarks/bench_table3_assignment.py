@@ -1,0 +1,134 @@
+"""Table 3 — signal assignment algorithms.
+
+All nine cases, floorplans from EFA_mix (as in the paper): MCMF_ori (full
+bipartite flow networks), MCMF_fast (window matching) and the greedy
+baseline, reporting TWL and assignment time AT.
+
+Expected shape (Section 5.2):
+* MCMF_fast completes everywhere; MCMF_ori blows past the (scaled) budget
+  or the edge-count guard on the big cases — the paper's ">12hr" and
+  "Crash" rows;
+* where both complete, MCMF_fast is several times faster than MCMF_ori at
+  a sub-percent TWL increase;
+* greedy is the fastest and has the worst TWL on most cases (the paper
+  reports +20.8% on its ISPD08-scale instances; on these scaled synthetic
+  cases the contention is milder, so the gap is percent-level — see
+  EXPERIMENTS.md for the analysis).
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget, t3_ori_budget
+from repro.assign import GreedyAssigner, MCMFAssigner, MCMFAssignerConfig
+from repro.eval import geometric_mean, total_wirelength
+from repro.floorplan import run_efa_mix
+
+# Rough stand-in for the paper's LEDA memory ceiling: sub-SAPs needing more
+# arcs than this "crash" instead of being solved.
+ORI_EDGE_GUARD = 400_000
+
+FLOORPLANS = {}
+
+
+def _floorplan(name):
+    if name not in FLOORPLANS:
+        design = cached_case(name)
+        result = run_efa_mix(design, time_budget_s=t2_budget())
+        assert result.found, f"no floorplan for {name}"
+        FLOORPLANS[name] = result.floorplan
+    return FLOORPLANS[name]
+
+
+def _run_case(name):
+    design = cached_case(name)
+    floorplan = _floorplan(name)
+    rows = {}
+    ori = MCMFAssigner(
+        MCMFAssignerConfig(
+            window_matching=False,
+            time_budget_s=t3_ori_budget(),
+            max_edges_per_sub_sap=ORI_EDGE_GUARD,
+        )
+    ).assign_with_stats(design, floorplan)
+    fast = MCMFAssigner().assign_with_stats(design, floorplan)
+    greedy = GreedyAssigner().assign_with_stats(design, floorplan)
+    for key, result in (("ori", ori), ("fast", fast), ("greedy", greedy)):
+        twl = None
+        if result.complete:
+            twl = total_wirelength(
+                design, floorplan, result.assignment
+            ).total
+        rows[key] = (twl, result)
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_assignment_algorithms(benchmark):
+    names = bench_cases()
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    all_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    headers = [
+        "Testcase",
+        "TWL ori", "AT ori (s)",
+        "TWL fast", "AT fast (s)",
+        "TWL greedy", "AT greedy (s)",
+    ]
+    table = []
+    ratios_ori, ratios_greedy, speedups = [], [], []
+    for name in names:
+        rows = all_rows[name]
+
+        def fmt(key):
+            twl, result = rows[key]
+            if result.complete:
+                return twl, result.runtime_s
+            note = "Crash" if "arcs" in result.note else f">{t3_ori_budget():.0f}s"
+            return None, note
+
+        twl_ori, at_ori = fmt("ori")
+        twl_fast, at_fast = fmt("fast")
+        twl_greedy, at_greedy = fmt("greedy")
+        table.append(
+            [name, twl_ori, at_ori, twl_fast, at_fast, twl_greedy, at_greedy]
+        )
+        if twl_ori and twl_fast:
+            ratios_ori.append(twl_ori / twl_fast)
+            speedups.append(rows["ori"][1].runtime_s / rows["fast"][1].runtime_s)
+        if twl_greedy and twl_fast:
+            ratios_greedy.append(twl_greedy / twl_fast)
+
+    notes = (
+        f"geo-mean TWL(ori)/TWL(fast) = {geometric_mean(ratios_ori):.4f} "
+        f"(paper: 0.999) | geo-mean AT(ori)/AT(fast) = "
+        f"{geometric_mean(speedups):.2f}x (paper: 8.79x) | "
+        f"geo-mean TWL(greedy)/TWL(fast) = "
+        f"{geometric_mean(ratios_greedy):.4f} (paper: 1.208)"
+    )
+    emit_table(
+        "table3.txt",
+        "Table 3: signal assignment algorithms (floorplans from EFA_mix)",
+        headers,
+        table,
+        notes=notes,
+    )
+
+    # Shape assertions.
+    for name in names:
+        rows = all_rows[name]
+        twl_fast, fast = rows["fast"]
+        assert fast.complete, f"{name}: MCMF_fast must always complete"
+        twl_greedy, greedy = rows["greedy"]
+        assert greedy.complete
+        twl_ori, ori = rows["ori"]
+        if ori.complete:
+            # Window matching must be faster and within ~5% TWL.
+            assert fast.runtime_s < ori.runtime_s
+            assert twl_fast <= twl_ori * 1.05
+        # Greedy is the fastest algorithm.
+        assert greedy.runtime_s <= fast.runtime_s + 0.5
+    # Aggregate quality ordering: greedy no better than MCMF_fast overall.
+    assert geometric_mean(ratios_greedy) >= 0.999

@@ -1,0 +1,120 @@
+"""Table 4 — comparison against the chip-interposer codesign matcher [5].
+
+The paper's [5] (Ho & Chang, DAC'13) assigns signals to micro-bumps by
+per-die bipartite matching but supports neither TSVs nor multi-terminal
+signals, so the comparison runs on the *primed* testcases (every signal
+exactly two die terminals, nothing escapes).  Three columns: MCMF_fast,
+[5] (full matching graphs) and [5] + window matching.
+
+Expected shape (Section 5.2): MCMF_fast achieves the shortest TWL (the
+paper reports [5] at +5% and [5]+window at +7%), the full-graph [5] is
+far slower / infeasible on big cases, and window matching makes [5]
+tractable everywhere.
+"""
+
+import pytest
+
+from common import bench_cases, cached_case, emit_table, t2_budget, t3_ori_budget
+from repro.assign import (
+    BipartiteAssigner,
+    BipartiteAssignerConfig,
+    MCMFAssigner,
+)
+from repro.eval import geometric_mean, total_wirelength
+from repro.floorplan import run_efa_mix
+
+EDGE_GUARD = 400_000
+
+
+def _run_case(name):
+    design = cached_case(name)
+    fp_result = run_efa_mix(design, time_budget_s=t2_budget())
+    assert fp_result.found
+    floorplan = fp_result.floorplan
+
+    ours = MCMFAssigner().assign_with_stats(design, floorplan)
+    theirs = BipartiteAssigner(
+        BipartiteAssignerConfig(
+            time_budget_s=t3_ori_budget(), max_edges_per_die=EDGE_GUARD
+        )
+    ).assign_with_stats(design, floorplan)
+    theirs_windowed = BipartiteAssigner(
+        BipartiteAssignerConfig(window_matching=True)
+    ).assign_with_stats(design, floorplan)
+
+    out = {}
+    for key, result in (
+        ("ours", ours), ("[5]", theirs), ("[5]+w", theirs_windowed),
+    ):
+        twl = None
+        if result.complete:
+            twl = total_wirelength(design, floorplan, result.assignment).total
+        out[key] = (twl, result)
+    return out
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_vs_bipartite_baseline(benchmark):
+    names = [n + "'" for n in bench_cases()]
+
+    def run_all():
+        return {name: _run_case(name) for name in names}
+
+    all_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    headers = [
+        "Testcase",
+        "TWL MCMF_fast", "AT (s)",
+        "TWL [5]", "AT [5] (s)",
+        "TWL [5]+win", "AT [5]+win (s)",
+    ]
+    table = []
+    ratio_5, ratio_5w = [], []
+    for name in names:
+        rows = all_rows[name]
+
+        def fmt(key):
+            twl, result = rows[key]
+            if result.complete:
+                return twl, result.runtime_s
+            note = "Crash" if "edges" in result.note else f">{t3_ori_budget():.0f}s"
+            return None, note
+
+        twl_ours, at_ours = fmt("ours")
+        twl_5, at_5 = fmt("[5]")
+        twl_5w, at_5w = fmt("[5]+w")
+        table.append([name, twl_ours, at_ours, twl_5, at_5, twl_5w, at_5w])
+        if twl_5 and twl_ours:
+            ratio_5.append(twl_5 / twl_ours)
+        if twl_5w and twl_ours:
+            ratio_5w.append(twl_5w / twl_ours)
+
+    notes = (
+        f"geo-mean TWL([5])/TWL(ours) = {geometric_mean(ratio_5):.4f} "
+        f"(paper: 1.05) | geo-mean TWL([5]+win)/TWL(ours) = "
+        f"{geometric_mean(ratio_5w):.4f} (paper: 1.07)"
+    )
+    emit_table(
+        "table4.txt",
+        "Table 4: MCMF_fast vs [5] on primed testcases",
+        headers,
+        table,
+        notes=notes,
+    )
+
+    # Shape assertions.
+    for name in names:
+        rows = all_rows[name]
+        twl_ours, ours = rows[name] if False else rows["ours"]
+        assert ours.complete
+        twl_5w, theirs_w = rows["[5]+w"]
+        assert theirs_w.complete, "[5]+window must be tractable everywhere"
+        twl_5, theirs = rows["[5]"]
+        if theirs.complete:
+            # Full [5] must be slower than its windowed variant.
+            assert theirs.runtime_s >= theirs_w.runtime_s
+    # Aggregate: ours no worse than [5] variants overall.
+    if ratio_5:
+        assert geometric_mean(ratio_5) >= 0.999
+    if ratio_5w:
+        assert geometric_mean(ratio_5w) >= 0.995

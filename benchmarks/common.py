@@ -1,0 +1,71 @@
+"""Shared plumbing for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Budgets are
+scaled-down versions of the paper's 12-hour cut-offs and are adjustable via
+environment variables so CI and laptops can trade time for fidelity:
+
+* ``REPRO_T2_BUDGET``   — per-variant floorplanning budget in seconds
+  (default 10; the paper used 12 h on the unaccelerated variants).
+* ``REPRO_T3_ORI_BUDGET`` — MCMF_ori assignment budget in seconds
+  (default 60; the paper used 12 h).
+* ``REPRO_BENCH_CASES`` — comma-separated subset of testcases to run
+  (default: all nine).
+
+Each benchmark writes its rendered table to ``benchmarks/out/`` so the
+numbers recorded in EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchgen import load_case, suite_names
+from repro.eval import format_table
+from repro.model import Design
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def t2_budget() -> float:
+    return float(os.environ.get("REPRO_T2_BUDGET", "10"))
+
+
+def t3_ori_budget() -> float:
+    return float(os.environ.get("REPRO_T3_ORI_BUDGET", "60"))
+
+
+def bench_cases(default: Optional[Sequence[str]] = None) -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_CASES")
+    if raw:
+        return [c.strip() for c in raw.split(",") if c.strip()]
+    return list(default) if default is not None else suite_names()
+
+
+_DESIGN_CACHE: Dict[str, Design] = {}
+
+
+def cached_case(name: str) -> Design:
+    """Generate (once per process) a suite case."""
+    if name not in _DESIGN_CACHE:
+        _DESIGN_CACHE[name] = load_case(name)
+    return _DESIGN_CACHE[name]
+
+
+def emit_table(
+    filename: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_digits: int = 2,
+    notes: str = "",
+) -> str:
+    """Render, print and persist one paper-style table."""
+    text = format_table(headers, rows, float_digits=float_digits, title=title)
+    if notes:
+        text += "\n" + notes
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUT_DIR / filename).write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Acceleration study: how the three EFA speedup techniques behave.
+
+Runs EFA without acceleration, with illegal branch cutting, with inferior
+branch cutting, with both, and with die orientation pre-determination on a
+generated 4-die and a 5-die case, printing the explored/pruned counters
+and runtimes — a miniature of the paper's Table 2.
+
+Run with::
+
+    python examples/acceleration_study.py
+"""
+
+from repro import EFAConfig, GeneratorConfig, generate_design, run_efa, run_efa_dop
+from repro.eval import format_table
+from repro.seqpair import floorplan_count
+
+
+def study(design, budget=60.0):
+    print(
+        f"\n=== {design.name}: {len(design.dies)} dies, full search space "
+        f"{floorplan_count(len(design.dies)):,} floorplans ==="
+    )
+    variants = [
+        ("EFA_ori", EFAConfig(time_budget_s=budget)),
+        ("EFA_c1", EFAConfig(illegal_cut=True, time_budget_s=budget)),
+        ("EFA_c2", EFAConfig(inferior_cut=True, time_budget_s=budget)),
+        (
+            "EFA_c3",
+            EFAConfig(
+                illegal_cut=True, inferior_cut=True, time_budget_s=budget
+            ),
+        ),
+    ]
+    rows = []
+    baseline = None
+    for name, config in variants:
+        result = run_efa(design, config)
+        stats = result.stats
+        if name == "EFA_ori":
+            baseline = stats.runtime_s
+        rows.append(
+            [
+                name,
+                result.est_wl,
+                stats.sequence_pairs_explored,
+                stats.pruned_illegal,
+                stats.pruned_inferior,
+                stats.floorplans_evaluated,
+                stats.runtime_s,
+                baseline / stats.runtime_s if stats.runtime_s else None,
+            ]
+        )
+    dop = run_efa_dop(design, time_budget_s=budget)
+    rows.append(
+        [
+            "EFA_dop",
+            dop.est_wl,
+            dop.stats.sequence_pairs_explored,
+            dop.stats.pruned_illegal,
+            dop.stats.pruned_inferior,
+            dop.stats.floorplans_evaluated,
+            dop.stats.runtime_s,
+            baseline / dop.stats.runtime_s if dop.stats.runtime_s else None,
+        ]
+    )
+    print(
+        format_table(
+            ["variant", "estWL", "SPs explored", "pruned illegal",
+             "pruned inferior", "floorplans", "FT (s)", "speedup"],
+            rows,
+            float_digits=3,
+        )
+    )
+
+
+def main() -> None:
+    for die_count, signal_count, chip in (
+        (4, 40, (2.0, 1.8)),
+        (5, 50, (2.4, 2.0)),
+    ):
+        design = generate_design(
+            GeneratorConfig(
+                name=f"study{die_count}",
+                die_count=die_count,
+                signal_count=signal_count,
+                chip_width=chip[0],
+                chip_height=chip[1],
+                seed=5,
+                escape_fraction=0.4,
+                multi_terminal_fraction=0.2,
+            )
+        )
+        study(design)
+
+
+if __name__ == "__main__":
+    main()

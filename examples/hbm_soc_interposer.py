@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""A hand-built SoC + 2x HBM interposer design (the paper's motivating
+use case: Xilinx-style stacked silicon interconnect / HBM integration).
+
+Unlike the quickstart, nothing is generated here: the dies, their I/O
+buffer banks, the micro-bump grids, the TSV field and the package ball-out
+are all constructed explicitly with the public model API — the way a user
+would describe their own 2.5D system — and then pushed through the
+floorplanner and the signal assigner.
+
+The system:
+
+* one 6 x 5 mm SoC die with two 64-bit HBM PHY banks on its left and
+  right edges plus a 32-bit serdes bank on the bottom edge;
+* two 4 x 3 mm HBM stacks, each with a 64-bit interface bank;
+* 32 serdes signals escaping to package balls on the bottom edge.
+
+Run with::
+
+    python examples/hbm_soc_interposer.py
+"""
+
+from repro import (
+    Design,
+    Die,
+    FlowConfig,
+    Interposer,
+    Package,
+    Signal,
+    SpacingRules,
+    run_flow,
+)
+from repro.geometry import Point, Rect
+from repro.model import (
+    IOBuffer,
+    escape_points_on_frame,
+    make_bump_grid,
+    make_tsv_grid,
+)
+
+BUMP_PITCH = 0.04  # mm, per the paper's technology assumptions
+TSV_PITCH = 0.2  # mm
+
+
+def bank(die_id, prefix, count, start, step, signals):
+    """A row of I/O buffers at ``start + i * step`` carrying ``signals``."""
+    return [
+        IOBuffer(
+            id=f"{prefix}{i}",
+            die_id=die_id,
+            position=Point(start.x + i * step.x, start.y + i * step.y),
+            signal_id=signals[i],
+        )
+        for i in range(count)
+    ]
+
+
+def build_design() -> Design:
+    hbm_west = [f"hbmw{i}" for i in range(64)]
+    hbm_east = [f"hbme{i}" for i in range(64)]
+    serdes = [f"ser{i}" for i in range(32)]
+
+    # SoC: 6 x 5 mm.  HBM PHY banks hug the left/right edges; the serdes
+    # bank hugs the bottom edge.
+    soc_buffers = (
+        bank("soc", "soc_w", 64, Point(0.25, 0.6), Point(0.0, 0.06), hbm_west)
+        + bank("soc", "soc_e", 64, Point(5.75, 0.6), Point(0.0, 0.06), hbm_east)
+        + bank("soc", "soc_s", 32, Point(1.5, 0.25), Point(0.09, 0.0), serdes)
+    )
+    soc = Die(
+        id="soc",
+        width=6.0,
+        height=5.0,
+        buffers=soc_buffers,
+        bumps=make_bump_grid("soc", 6.0, 5.0, BUMP_PITCH),
+        bump_pitch=BUMP_PITCH,
+    )
+
+    # HBM stacks: 4 x 3 mm, interface bank on the edge facing the SoC.
+    hbm0 = Die(
+        id="hbm0",
+        width=4.0,
+        height=3.0,
+        buffers=bank(
+            "hbm0", "h0_", 64, Point(3.8, 0.2), Point(0.0, 0.04), hbm_west
+        ),
+        bumps=make_bump_grid("hbm0", 4.0, 3.0, BUMP_PITCH),
+        bump_pitch=BUMP_PITCH,
+    )
+    hbm1 = Die(
+        id="hbm1",
+        width=4.0,
+        height=3.0,
+        buffers=bank(
+            "hbm1", "h1_", 64, Point(0.2, 0.2), Point(0.0, 0.04), hbm_east
+        ),
+        bumps=make_bump_grid("hbm1", 4.0, 3.0, BUMP_PITCH),
+        bump_pitch=BUMP_PITCH,
+    )
+
+    # Interposer sized for the three dies plus routing margin; full TSV
+    # field at 0.2 mm pitch.
+    interposer = Interposer(
+        width=16.0,
+        height=7.0,
+        tsvs=make_tsv_grid(16.0, 7.0, TSV_PITCH),
+        tsv_pitch=TSV_PITCH,
+    )
+
+    # Package frame 1 mm beyond the interposer; serdes signals escape on
+    # the bottom edge (walk distance 0 starts at the lower-left corner).
+    frame = Rect(-1.0, -1.0, 18.0, 9.0)
+    escape_points = escape_points_on_frame(
+        frame, serdes, start_fraction=0.0
+    )
+    # Keep the serdes escapes on the bottom edge only: the helper spreads
+    # over the whole perimeter, so respace them across the bottom side.
+    escape_points = [
+        type(e)(
+            id=e.id,
+            position=Point(-1.0 + 18.0 * (i + 0.5) / len(serdes), -1.0),
+            signal_id=e.signal_id,
+        )
+        for i, e in enumerate(escape_points)
+    ]
+    package = Package(frame=frame, escape_points=escape_points)
+    escape_of = {e.signal_id: e.id for e in escape_points}
+
+    signals = (
+        [Signal(s, (f"soc_w{i}", f"h0_{i}")) for i, s in enumerate(hbm_west)]
+        + [Signal(s, (f"soc_e{i}", f"h1_{i}")) for i, s in enumerate(hbm_east)]
+        + [Signal(s, (f"soc_s{i}",), escape_of[s]) for i, s in enumerate(serdes)]
+    )
+
+    return Design(
+        name="hbm-soc",
+        dies=[soc, hbm0, hbm1],
+        interposer=interposer,
+        package=package,
+        signals=signals,
+        spacing=SpacingRules(die_to_die=0.5, die_to_boundary=0.3),
+    )
+
+
+def main() -> None:
+    design = build_design()
+    stats = design.stats()
+    print(
+        f"{design.name}: {stats['D']} dies, {stats['S']} signals, "
+        f"{stats['M']} bump sites, {stats['T']} TSV sites"
+    )
+
+    result = run_flow(design, FlowConfig(floorplan_budget_s=60))
+
+    print("\nFloorplan (expect the HBM stacks flanking the SoC):")
+    for die in design.dies:
+        rect = result.floorplan.die_rect(die.id)
+        print(
+            f"  {die.id:5s} at ({rect.x:6.2f}, {rect.y:6.2f}) "
+            f"{rect.width:.1f} x {rect.height:.1f} mm "
+            f"[{result.floorplan.placement(die.id).orientation.name}]"
+        )
+
+    wl = result.wirelength
+    print(f"\n{wl}")
+    per_hbm_bit = wl.wl_internal / 128
+    print(f"average interposer length per HBM bit: {per_hbm_bit:.3f} mm")
+
+    # Sanity: the two HBM dies should end up on opposite sides of the SoC.
+    soc_cx = result.floorplan.die_rect("soc").center.x
+    h0_cx = result.floorplan.die_rect("hbm0").center.x
+    h1_cx = result.floorplan.die_rect("hbm1").center.x
+    flanking = (h0_cx - soc_cx) * (h1_cx - soc_cx) < 0
+    print(f"HBM stacks flank the SoC: {flanking}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Routability report: congestion map, post-floorplan optimization, SVG.
+
+Runs the full flow on a generated design, then:
+
+1. applies the post-floorplan die-shifting optimizer (the paper's stated
+   future work, [16]) and reports what it bought;
+2. estimates RDL congestion of the internal nets on a gcell grid (the
+   routability concern of the companion work [15]);
+3. writes an SVG rendering of the solved layout to ``layout.svg``.
+
+Run with::
+
+    python examples/routability_report.py
+"""
+
+from repro import (
+    CongestionConfig,
+    FlowConfig,
+    GeneratorConfig,
+    MCMFAssigner,
+    estimate_congestion,
+    generate_design,
+    optimize_floorplan,
+    run_flow,
+    save_layout_svg,
+    total_wirelength,
+)
+
+
+def main() -> None:
+    design = generate_design(
+        GeneratorConfig(
+            name="routability-demo",
+            die_count=4,
+            signal_count=90,
+            chip_width=2.4,
+            chip_height=2.0,
+            seed=23,
+            escape_fraction=0.5,
+            multi_terminal_fraction=0.2,
+        )
+    )
+    result = run_flow(design, FlowConfig(floorplan_budget_s=30))
+    print(result.summary())
+
+    # Post-floorplan optimization.
+    optimized_fp, post = optimize_floorplan(design, result.floorplan)
+    print(
+        f"\npost-floorplan optimization: {post.moves} die moves in "
+        f"{post.sweeps} sweeps, estWL {post.initial_est_wl:.3f} -> "
+        f"{post.final_est_wl:.3f} ({100 * post.improvement:.2f}% better)"
+    )
+    assignment = MCMFAssigner().assign(design, optimized_fp)
+    wl = total_wirelength(design, optimized_fp, assignment)
+    print(f"re-assigned on the optimized floorplan: {wl}")
+    print(f"original flow TWL: {result.twl:.4f}")
+
+    # Congestion: how much RDL capacity do the internal nets consume?
+    for layers in (2, 4):
+        report = estimate_congestion(
+            design,
+            optimized_fp,
+            assignment,
+            CongestionConfig(grid=24, rdl_layers=layers),
+        )
+        status = "routable" if report.routable else "NOT routable"
+        print(
+            f"congestion with {layers} RDL layers: max "
+            f"{report.max_utilization:.1%}, mean "
+            f"{report.mean_utilization:.1%}, overflowed gcells "
+            f"{report.overflow_cells} -> {status}"
+        )
+
+    save_layout_svg("layout.svg", design, optimized_fp, assignment)
+    print("\nwrote layout.svg (open in a browser to inspect the layout)")
+
+
+if __name__ == "__main__":
+    main()

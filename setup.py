@@ -1,0 +1,9 @@
+from setuptools import setup
+
+# Mirrors pyproject.toml for environments whose setuptools cannot do
+# PEP-517 editable installs (no `wheel` available offline).
+setup(
+    entry_points={
+        "console_scripts": ["repro-25d = repro.cli:main"],
+    },
+)

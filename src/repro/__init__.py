@@ -1,0 +1,123 @@
+"""repro — floorplanning and signal assignment for interposer-based 3D ICs.
+
+A from-scratch Python reproduction of Liu, Chang & Wang,
+"Floorplanning and Signal Assignment for Silicon Interposer-based 3D ICs"
+(DAC 2014).  The package provides:
+
+* a 2.5D IC design model (:mod:`repro.model`);
+* the enumeration-based multi-die floorplanner EFA with its three
+  acceleration techniques and an SA baseline (:mod:`repro.floorplan`);
+* the network-flow signal assigner with window matching, plus greedy and
+  bipartite-matching baselines (:mod:`repro.assign`);
+* the Eq. 1 wirelength evaluator (:mod:`repro.eval`);
+* a synthetic testcase generator mirroring the paper's ISPD08-derived
+  suite (:mod:`repro.benchgen`);
+* an end-to-end flow (:func:`repro.run_flow`).
+
+Quickstart::
+
+    from repro import load_tiny, run_flow
+    design = load_tiny(die_count=3)
+    result = run_flow(design)
+    print(result.summary())
+"""
+
+from .assign import (
+    AssignmentError,
+    BipartiteAssigner,
+    BipartiteAssignerConfig,
+    GreedyAssigner,
+    GreedyAssignerConfig,
+    MCMFAssigner,
+    MCMFAssignerConfig,
+)
+from .benchgen import (
+    GeneratorConfig,
+    SUITE_CONFIGS,
+    generate_design,
+    load_case,
+    load_tiny,
+    suite_names,
+)
+from .eval import (
+    CongestionConfig,
+    CongestionReport,
+    WirelengthBreakdown,
+    estimate_congestion,
+    hpwl_estimate,
+    total_wirelength,
+)
+from .floorplan import (
+    EFAConfig,
+    FloorplanResult,
+    PostOptStats,
+    SAConfig,
+    optimize_floorplan,
+    run_efa,
+    run_efa_dop,
+    run_efa_mix,
+    run_sa,
+)
+from .viz import render_layout, save_layout_svg
+from .flow import FlowConfig, FlowResult, run_flow
+from .model import (
+    Assignment,
+    Design,
+    Die,
+    Floorplan,
+    Interposer,
+    Package,
+    Placement,
+    Signal,
+    SpacingRules,
+    Weights,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "AssignmentError",
+    "BipartiteAssigner",
+    "BipartiteAssignerConfig",
+    "CongestionConfig",
+    "CongestionReport",
+    "Design",
+    "Die",
+    "EFAConfig",
+    "Floorplan",
+    "FloorplanResult",
+    "FlowConfig",
+    "FlowResult",
+    "GeneratorConfig",
+    "GreedyAssigner",
+    "GreedyAssignerConfig",
+    "Interposer",
+    "MCMFAssigner",
+    "MCMFAssignerConfig",
+    "Package",
+    "Placement",
+    "PostOptStats",
+    "SAConfig",
+    "SUITE_CONFIGS",
+    "Signal",
+    "SpacingRules",
+    "Weights",
+    "WirelengthBreakdown",
+    "__version__",
+    "estimate_congestion",
+    "generate_design",
+    "hpwl_estimate",
+    "load_case",
+    "load_tiny",
+    "optimize_floorplan",
+    "render_layout",
+    "run_efa",
+    "run_efa_dop",
+    "run_efa_mix",
+    "run_flow",
+    "run_sa",
+    "save_layout_svg",
+    "suite_names",
+    "total_wirelength",
+]

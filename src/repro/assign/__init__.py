@@ -1,0 +1,30 @@
+"""Signal assignment: MCMF (ori/fast), greedy baseline, and the [5] baseline."""
+
+from .base import (
+    AssignmentError,
+    AssignmentRunResult,
+    SubSapStats,
+    die_processing_order,
+)
+from .bipartite import BipartiteAssigner, BipartiteAssignerConfig
+from .cost import assignment_cost, far_terminal_weight
+from .greedy_assign import GreedyAssigner, GreedyAssignerConfig
+from .mcmf_assign import MCMFAssigner, MCMFAssignerConfig
+from .window import WindowStats, window_candidates
+
+__all__ = [
+    "AssignmentError",
+    "AssignmentRunResult",
+    "BipartiteAssigner",
+    "BipartiteAssignerConfig",
+    "GreedyAssigner",
+    "GreedyAssignerConfig",
+    "MCMFAssigner",
+    "MCMFAssignerConfig",
+    "SubSapStats",
+    "WindowStats",
+    "assignment_cost",
+    "die_processing_order",
+    "far_terminal_weight",
+    "window_candidates",
+]

@@ -1,0 +1,65 @@
+"""The signal assignment cost model (Eqs. 3 and 4).
+
+The cost of assigning buffer ``b`` (in die ``d_i``) to micro-bump ``m`` is
+
+``c(b, m) = alpha * D(b, m) + sum over e in ME(b) of WC(m, t_i(e))``
+
+where ``ME(b)`` are the MST edges incident to ``b`` in the signal's current
+topology and ``t_i(e)`` the far endpoint of each edge.  ``WC`` weights the
+bump-to-far-terminal distance by the *cheapest* net class that leg could
+eventually be realized as, so the cost never over-estimates (Eq. 4):
+
+* far terminal is a micro-bump (its die already solved): the leg is an
+  internal net — weight ``beta``;
+* far terminal is an I/O buffer (die not yet solved): the leg will end at
+  that buffer's future bump, splitting into internal + intra-die pieces —
+  weight ``min(alpha, beta)``;
+* far terminal is an escaping point (TSV not yet chosen): the leg will
+  split into internal + external pieces — weight ``min(beta, gamma)``.
+
+The TSV sub-SAP reuses the same formula with the interposer treated as one
+big die: escape points play the buffer role (their leg to the TSV is an
+external net, weight ``gamma``) and TSVs play the bump role.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..geometry import Point, manhattan
+from ..model import Terminal, TerminalKind, Weights
+
+
+def far_terminal_weight(kind: str, weights: Weights) -> float:
+    """The Eq. 4 weight for a bump-to-far-terminal leg."""
+    if kind == TerminalKind.BUMP:
+        return weights.beta
+    if kind == TerminalKind.BUFFER:
+        return min(weights.alpha, weights.beta)
+    if kind == TerminalKind.ESCAPE:
+        return min(weights.beta, weights.gamma)
+    if kind == TerminalKind.TSV:
+        # A TSV terminal sits in the interposer exactly like a bump.
+        return weights.beta
+    raise ValueError(f"unknown terminal kind {kind!r}")
+
+
+def assignment_cost(
+    source_pos: Point,
+    site_pos: Point,
+    far_terminals: Iterable[Terminal],
+    leg_weight: float,
+    weights: Weights,
+) -> float:
+    """Eq. 3: cost of serving ``source`` (buffer / escape) from ``site``.
+
+    ``leg_weight`` is ``alpha`` for the per-die sub-SAPs (the buffer-to-bump
+    leg is an intra-die net) and ``gamma`` for the TSV sub-SAP (the
+    escape-to-TSV leg is an external net).
+    """
+    cost = leg_weight * manhattan(source_pos, site_pos)
+    for far in far_terminals:
+        cost += far_terminal_weight(far.kind, weights) * manhattan(
+            site_pos, far.position
+        )
+    return cost

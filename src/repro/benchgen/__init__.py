@@ -1,0 +1,25 @@
+"""Synthetic testcase generation (the ISPD08-derivation substitute)."""
+
+from .generator import GeneratorConfig, generate_design, reference_floorplan
+from .partition import slicing_partition
+from .suite import (
+    SUITE_CONFIGS,
+    load_case,
+    load_tiny,
+    suite_config,
+    suite_names,
+    tiny_config,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SUITE_CONFIGS",
+    "generate_design",
+    "load_case",
+    "load_tiny",
+    "reference_floorplan",
+    "slicing_partition",
+    "suite_config",
+    "suite_names",
+    "tiny_config",
+]

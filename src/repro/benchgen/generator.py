@@ -1,0 +1,396 @@
+"""Synthetic 2.5D testcase generation (the paper's Section 5 recipe).
+
+The original testcases were derived from the (proprietary-format, no longer
+needed) ISPD08 global-routing benchmarks; this generator reproduces the
+same construction synthetically:
+
+1. a virtual 2D chip outline is cut into dies by slicing partitioning;
+2. each die gets an area-array micro-bump grid at the 0.04 mm pitch of
+   [Madden, ISPD'13] and one I/O buffer per signal terminal, placed where
+   the net's pin would have been;
+3. the interposer is the chip outline expanded by 10-20%, carrying a TSV
+   grid at 0.2 mm pitch;
+4. a package frame encloses the interposer, with escaping points spread
+   along its boundary for the escaping subset of signals;
+5. signals connect 2..k distinct dies (multi-terminal with a configurable
+   fraction), a configurable fraction additionally escaping.
+
+Everything is seeded and deterministic, so every benchmark run sees byte-
+identical designs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..geometry import Orientation, Point, Rect
+from ..model import (
+    Design,
+    Die,
+    Floorplan,
+    IOBuffer,
+    Interposer,
+    Package,
+    Placement,
+    Signal,
+    SpacingRules,
+    Weights,
+    escape_points_on_frame,
+    make_bump_grid,
+    make_tsv_grid,
+)
+from .partition import slicing_partition
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Everything defining one synthetic testcase."""
+
+    name: str
+    die_count: int
+    signal_count: int
+    chip_width: float  # mm
+    chip_height: float  # mm
+    seed: int = 0
+    escape_fraction: float = 0.3  # |E| / |S|
+    multi_terminal_fraction: float = 0.08
+    max_terminals: int = 4
+    die_shrink: float = 0.92  # die dims as a fraction of the slicing piece
+    # I/O buffer placement:
+    # * "edge" (default) puts each signal's buffer in a shallow band along
+    #   the die side facing its partner dies, clustered around the partner
+    #   projection — the realistic planned-I/O pattern, with enough local
+    #   contention that the assigner ordering of the paper's Table 3
+    #   (MCMF_ori <= MCMF_fast < greedy) is reproduced;
+    # * "hotspot" concentrates buffers into a few pin-cluster hotspots whose
+    #   density exceeds the bump-grid density (severe contention; stresses
+    #   the window-matching feasibility retries);
+    # * "uniform" scatters buffers over the whole die (no contention; the
+    #   assignment baselines then essentially tie).
+    buffer_placement: str = "edge"
+    buffer_band: float = 0.12  # band/hotspot depth, fraction of the die dim
+    buffer_spread: float = 0.10  # sigma of the along-edge cluster, fractional
+    hotspots_per_side: int = 2
+    hotspot_sigma_pitches: float = 1.5  # hotspot sigma in bump pitches
+    interposer_margin: float = 0.15  # 10-20% expansion, per the paper
+    package_margin: float = 0.5  # mm of frame beyond the interposer
+    bump_pitch: float = 0.04  # mm, per [4]
+    tsv_pitch: float = 0.2  # mm, per [4]
+    die_to_die: float = 0.1  # c_d, mm
+    die_to_boundary: float = 0.05  # c_b, mm
+    weights: Weights = field(default_factory=Weights)
+
+    def primed(self) -> "GeneratorConfig":
+        """The Table 4 variant: 2-terminal signals only, nothing escapes."""
+        return replace(
+            self,
+            name=self.name + "'",
+            escape_fraction=0.0,
+            multi_terminal_fraction=0.0,
+        )
+
+
+def _side_hotspots(
+    rng: random.Random, die: Die, config: GeneratorConfig
+) -> Dict[str, List[Point]]:
+    """Fixed per-side hotspot centres for one die (die-local coordinates).
+
+    Hotspots sit inside a shallow band along each side at random along-edge
+    positions; every buffer facing that side is scattered tightly around
+    one of them.
+    """
+    spots: Dict[str, List[Point]] = {}
+    band_x = config.buffer_band * die.width
+    band_y = config.buffer_band * die.height
+    for side in ("left", "right", "bottom", "top"):
+        centres = []
+        for _ in range(max(config.hotspots_per_side, 1)):
+            along = rng.uniform(0.15, 0.85)
+            if side == "left":
+                centres.append(Point(band_x / 2.0, along * die.height))
+            elif side == "right":
+                centres.append(
+                    Point(die.width - band_x / 2.0, along * die.height)
+                )
+            elif side == "bottom":
+                centres.append(Point(along * die.width, band_y / 2.0))
+            else:
+                centres.append(
+                    Point(along * die.width, die.height - band_y / 2.0)
+                )
+        spots[side] = centres
+    return spots
+
+
+def _facing_side(piece: Rect, target: Point) -> str:
+    """The die side whose outward normal best matches piece -> target."""
+    dx = target.x - piece.center.x
+    dy = target.y - piece.center.y
+    if abs(dx) >= abs(dy):
+        return "right" if dx >= 0 else "left"
+    return "top" if dy >= 0 else "bottom"
+
+
+def _edge_buffer_position(
+    rng: random.Random,
+    piece: Rect,
+    die: Die,
+    target: Point,
+    config: GeneratorConfig,
+) -> Point:
+    """A die-local buffer position in a band along the side facing ``target``.
+
+    The buffer sits at a random depth inside the band and at an along-edge
+    position clustered (Gaussian) around the projection of the partner
+    centroid, as planned I/O buffers of cross-die nets are.
+    """
+    side = _facing_side(piece, target)
+    if side in ("left", "right"):
+        band = config.buffer_band * die.width
+        depth = rng.uniform(0.0, band)
+        x = die.width - depth if side == "right" else depth
+        frac = (target.y - piece.y) / piece.height
+        frac = min(max(frac + rng.gauss(0.0, config.buffer_spread), 0.02), 0.98)
+        y = frac * die.height
+    else:
+        band = config.buffer_band * die.height
+        depth = rng.uniform(0.0, band)
+        y = die.height - depth if side == "top" else depth
+        frac = (target.x - piece.x) / piece.width
+        frac = min(max(frac + rng.gauss(0.0, config.buffer_spread), 0.02), 0.98)
+        x = frac * die.width
+    return Point(x, y)
+
+
+def _hotspot_buffer_position(
+    rng: random.Random,
+    piece: Rect,
+    die: Die,
+    target: Point,
+    hotspots: Dict[str, List[Point]],
+    config: GeneratorConfig,
+) -> Point:
+    """A die-local buffer position in a tight pin-cluster hotspot.
+
+    The hotspot lies on the side facing ``target``; the scatter sigma is a
+    few bump pitches, so buffer density locally exceeds bump density as in
+    placed netlists (severe contention).
+    """
+    side = _facing_side(piece, target)
+    centre = rng.choice(hotspots[side])
+    sigma = config.hotspot_sigma_pitches * config.bump_pitch
+    x = min(max(centre.x + rng.gauss(0.0, sigma), 0.0), die.width)
+    y = min(max(centre.y + rng.gauss(0.0, sigma), 0.0), die.height)
+    return Point(x, y)
+
+
+def _walk_distance_of_projection(frame: Rect, p: Point) -> float:
+    """Walk distance (CCW from lower-left) of ``p`` projected onto the
+    frame boundary along the ray from the frame centre through ``p``."""
+    cx, cy = frame.center.x, frame.center.y
+    dx, dy = p.x - cx, p.y - cy
+    if dx == 0 and dy == 0:
+        return 0.0
+    # Scale the ray to hit the boundary of the (axis-aligned) frame.
+    tx = (frame.width / 2.0) / abs(dx) if dx else float("inf")
+    ty = (frame.height / 2.0) / abs(dy) if dy else float("inf")
+    t = min(tx, ty)
+    bx, by = cx + dx * t, cy + dy * t
+    # Convert the boundary point to a CCW walk distance from lower-left.
+    if abs(by - frame.y) < 1e-9:
+        return bx - frame.x
+    if abs(bx - frame.x2) < 1e-9:
+        return frame.width + (by - frame.y)
+    if abs(by - frame.y2) < 1e-9:
+        return frame.width + frame.height + (frame.x2 - bx)
+    return 2 * frame.width + frame.height + (frame.y2 - by)
+
+
+def generate_design(config: GeneratorConfig) -> Design:
+    """Build a deterministic synthetic :class:`Design` from ``config``."""
+    if config.die_count < 2:
+        raise ValueError("a 2.5D testcase needs at least two dies")
+    if config.signal_count < 1:
+        raise ValueError("signal_count must be positive")
+    rng = random.Random(config.seed)
+
+    chip = Rect(0.0, 0.0, config.chip_width, config.chip_height)
+    pieces = slicing_partition(chip, config.die_count, rng)
+
+    # Dies: shrunken slicing pieces with bump grids.
+    dies: List[Die] = []
+    for i, piece in enumerate(pieces):
+        w = piece.width * config.die_shrink
+        h = piece.height * config.die_shrink
+        die_id = f"d{i + 1}"
+        dies.append(
+            Die(
+                id=die_id,
+                width=w,
+                height=h,
+                buffers=[],
+                bumps=make_bump_grid(die_id, w, h, config.bump_pitch),
+                bump_pitch=config.bump_pitch,
+            )
+        )
+
+    # Signals: pick 2..k distinct dies each, put one buffer per die at a
+    # random pin-like location.
+    signals: List[Signal] = []
+    buffer_lists: List[List[IOBuffer]] = [[] for _ in dies]
+    die_indices = list(range(len(dies)))
+    hotspot_map = [_side_hotspots(rng, die, config) for die in dies]
+    escape_flags: List[bool] = []
+    for s_idx in range(config.signal_count):
+        if (
+            rng.random() < config.multi_terminal_fraction
+            and config.die_count >= 3
+        ):
+            k = rng.randint(3, min(config.max_terminals, config.die_count))
+        else:
+            k = 2
+        chosen = rng.sample(die_indices, k)
+        buffer_ids = []
+        for die_idx in chosen:
+            die = dies[die_idx]
+            buffer_id = f"b_{die.id}_{len(buffer_lists[die_idx])}"
+            if config.buffer_placement in ("edge", "hotspot"):
+                partners = [pieces[j].center for j in chosen if j != die_idx]
+                target = Point(
+                    sum(p.x for p in partners) / len(partners),
+                    sum(p.y for p in partners) / len(partners),
+                )
+                if config.buffer_placement == "edge":
+                    pos = _edge_buffer_position(
+                        rng, pieces[die_idx], die, target, config
+                    )
+                else:
+                    pos = _hotspot_buffer_position(
+                        rng,
+                        pieces[die_idx],
+                        die,
+                        target,
+                        hotspot_map[die_idx],
+                        config,
+                    )
+            elif config.buffer_placement == "uniform":
+                pos = Point(
+                    rng.uniform(0.0, die.width),
+                    rng.uniform(0.0, die.height),
+                )
+            else:
+                raise ValueError(
+                    f"unknown buffer_placement {config.buffer_placement!r}"
+                )
+            buffer_lists[die_idx].append(
+                IOBuffer(buffer_id, die.id, pos, signal_id=f"s{s_idx}")
+            )
+            buffer_ids.append(buffer_id)
+        escape_flags.append(rng.random() < config.escape_fraction)
+        signals.append(Signal(f"s{s_idx}", tuple(buffer_ids)))
+
+    for die, buffers in zip(dies, buffer_lists):
+        die.buffers = buffers
+        die.reindex()
+
+    # Interposer: chip expanded by the configured margin, TSV grid on top.
+    interposer_w = config.chip_width * (1.0 + config.interposer_margin)
+    interposer_h = config.chip_height * (1.0 + config.interposer_margin)
+    interposer = Interposer(
+        width=interposer_w,
+        height=interposer_h,
+        tsvs=make_tsv_grid(interposer_w, interposer_h, config.tsv_pitch),
+        tsv_pitch=config.tsv_pitch,
+    )
+
+    # Package frame + escaping points for the escaping subset.
+    frame = interposer.outline.inflated(config.package_margin)
+    escaping_signal_ids = [
+        s.id for s, escapes in zip(signals, escape_flags) if escapes
+    ]
+    # Every escaping signal needs its own TSV; cap the escaping subset at
+    # the TSV supply so every generated design is feasible by construction.
+    if len(escaping_signal_ids) > len(interposer.tsvs):
+        escaping_signal_ids = escaping_signal_ids[: len(interposer.tsvs)]
+    # Ball-outs are co-designed with the intended placement: each escaping
+    # signal leaves the package near the dies that drive it.  Order the
+    # escaping signals by where their terminals sit in the as-sliced chip
+    # layout (walk distance of the projected centroid along the frame), so
+    # the evenly spaced escape points land on the matching package side.
+    # This correlation is what a PCB-blind flow forfeits (Fig. 1(c)).
+    buffer_piece = {}
+    for die_idx, buffers in enumerate(buffer_lists):
+        for buf in buffers:
+            buffer_piece[buf.id] = pieces[die_idx]
+    scale_x = interposer_w / config.chip_width
+    scale_y = interposer_h / config.chip_height
+    perimeter = 2 * (frame.width + frame.height)
+
+    def _preferred_walk(signal_id: str) -> float:
+        signal = next(s for s in signals if s.id == signal_id)
+        cx = sum(buffer_piece[b].center.x for b in signal.buffer_ids)
+        cy = sum(buffer_piece[b].center.y for b in signal.buffer_ids)
+        k = len(signal.buffer_ids)
+        centroid = Point(cx / k * scale_x, cy / k * scale_y)
+        return _walk_distance_of_projection(frame, centroid)
+
+    escaping_signal_ids.sort(key=_preferred_walk)
+    # Rotate the evenly spaced slots so the first signal's slot sits near
+    # its preferred boundary position.
+    if escaping_signal_ids:
+        first_pref = _preferred_walk(escaping_signal_ids[0])
+        offset = first_pref / perimeter
+    else:
+        offset = 0.0
+    escape_points = escape_points_on_frame(
+        frame, escaping_signal_ids, start_fraction=offset
+    )
+    package = Package(frame=frame, escape_points=escape_points)
+    escape_of_signal = {e.signal_id: e.id for e in escape_points}
+    signals = [
+        Signal(s.id, s.buffer_ids, escape_of_signal.get(s.id))
+        for s in signals
+    ]
+
+    return Design(
+        name=config.name,
+        dies=dies,
+        interposer=interposer,
+        package=package,
+        signals=signals,
+        weights=config.weights,
+        spacing=SpacingRules(
+            die_to_die=config.die_to_die,
+            die_to_boundary=config.die_to_boundary,
+        ),
+    )
+
+
+def reference_floorplan(
+    design: Design, config: GeneratorConfig
+) -> Optional[Floorplan]:
+    """The 'as-sliced' floorplan: each die centred in its scaled piece.
+
+    Because the dies were cut out of the chip and the interposer is the
+    chip scaled up, centring every die inside its slicing piece scaled to
+    interposer coordinates reproduces a placement very close to the
+    original chip layout.  Returns ``None`` when that placement is not
+    legal under the spacing rules (callers should then enlarge margins).
+    """
+    rng = random.Random(config.seed)
+    chip = Rect(0.0, 0.0, config.chip_width, config.chip_height)
+    pieces = slicing_partition(chip, config.die_count, rng)
+    scale_x = design.interposer.width / config.chip_width
+    scale_y = design.interposer.height / config.chip_height
+    placements = {}
+    for die, piece in zip(design.dies, pieces):
+        cx = piece.center.x * scale_x
+        cy = piece.center.y * scale_y
+        placements[die.id] = Placement(
+            Point(cx - die.width / 2.0, cy - die.height / 2.0),
+            Orientation.R0,
+        )
+    floorplan = Floorplan(design, placements)
+    return floorplan if floorplan.is_legal() else None

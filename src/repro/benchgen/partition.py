@@ -1,0 +1,55 @@
+"""Slicing partitioning of a chip outline into die pieces.
+
+The paper builds its 2.5D testcases by dividing each ISPD08 chip "into
+several pieces by the slicing partitioning" and treating each piece as a
+die.  This module reproduces that step: a rectangle is recursively cut by
+axis-aligned slices (always across the longer side, with a jittered cut
+position so pieces are unequal, as placed macro regions would be) until the
+requested number of pieces exists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..geometry import Rect
+
+
+def slicing_partition(
+    outline: Rect,
+    pieces: int,
+    rng: random.Random,
+    jitter: float = 0.15,
+) -> List[Rect]:
+    """Cut ``outline`` into ``pieces`` rectangles by recursive slicing.
+
+    ``jitter`` bounds how far a cut may wander from the proportional
+    position (0 = exactly proportional splits).  Pieces are returned in
+    deterministic recursion order.
+    """
+    if pieces < 1:
+        raise ValueError("pieces must be >= 1")
+    if not 0 <= jitter < 0.5:
+        raise ValueError("jitter must be in [0, 0.5)")
+    if pieces == 1:
+        return [outline]
+
+    left_count = pieces // 2
+    right_count = pieces - left_count
+    # Cut across the longer side, proportionally to the piece counts with
+    # a bounded random wobble.
+    fraction = left_count / pieces
+    fraction *= 1.0 + rng.uniform(-jitter, jitter)
+    fraction = min(max(fraction, 0.1), 0.9)
+    if outline.width >= outline.height:
+        cut = outline.x + outline.width * fraction
+        first = Rect(outline.x, outline.y, cut - outline.x, outline.height)
+        second = Rect(cut, outline.y, outline.x2 - cut, outline.height)
+    else:
+        cut = outline.y + outline.height * fraction
+        first = Rect(outline.x, outline.y, outline.width, cut - outline.y)
+        second = Rect(outline.x, cut, outline.width, outline.y2 - cut)
+    return slicing_partition(first, left_count, rng, jitter) + (
+        slicing_partition(second, right_count, rng, jitter)
+    )

@@ -1,0 +1,328 @@
+"""Command-line interface.
+
+Exposes the library's main entry points as subcommands operating on JSON
+artifacts, so the flow can be scripted without writing Python:
+
+* ``repro-25d generate`` — build a suite/tiny testcase, write design JSON;
+* ``repro-25d floorplan`` — run a floorplanner on a design JSON;
+* ``repro-25d assign`` — run a signal assigner on design + floorplan;
+* ``repro-25d evaluate`` — score a complete solution with Eq. 1 (and
+  optionally the RDL congestion estimate);
+* ``repro-25d run`` — the whole flow in one call;
+* ``repro-25d render`` — write an SVG of a (solved) layout.
+
+Every command prints a short human summary to stdout and writes machine
+artifacts only where asked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import io as json_io
+from .assign import (
+    BipartiteAssigner,
+    BipartiteAssignerConfig,
+    GreedyAssigner,
+    MCMFAssigner,
+    MCMFAssignerConfig,
+)
+from .benchgen import load_case, load_tiny, suite_names
+from .eval import CongestionConfig, estimate_congestion, total_wirelength
+from .floorplan import (
+    EFAConfig,
+    SAConfig,
+    optimize_floorplan,
+    run_efa,
+    run_efa_dop,
+    run_efa_mix,
+    run_sa,
+)
+from .viz import render_layout
+
+FLOORPLANNERS = ("mix", "ori", "c1", "c2", "c3", "dop", "sa", "btree-sa")
+ASSIGNERS = ("mcmf-fast", "mcmf-ori", "greedy", "bipartite")
+
+
+def _load_design(path: str):
+    """Load a design, dispatching on the file extension (.25d = text)."""
+    if str(path).endswith(".25d"):
+        return json_io.load_design_text(path)
+    return json_io.load_design(path)
+
+
+def _save_design(design, path: str) -> None:
+    if str(path).endswith(".25d"):
+        json_io.save_design_text(design, path)
+    else:
+        json_io.save_design(design, path)
+
+
+def _run_floorplanner(design, algorithm: str, budget: Optional[float]):
+    if algorithm == "mix":
+        return run_efa_mix(design, time_budget_s=budget)
+    if algorithm == "dop":
+        return run_efa_dop(design, time_budget_s=budget)
+    if algorithm == "sa":
+        return run_sa(design, SAConfig(time_budget_s=budget))
+    if algorithm == "btree-sa":
+        from .floorplan import BTreeSAConfig, run_btree_sa
+
+        return run_btree_sa(design, BTreeSAConfig(time_budget_s=budget))
+    config = EFAConfig(
+        illegal_cut=algorithm in ("c1", "c3"),
+        inferior_cut=algorithm in ("c2", "c3"),
+        time_budget_s=budget,
+    )
+    return run_efa(design, config)
+
+
+def _make_assigner(algorithm: str, budget: Optional[float]):
+    if algorithm == "mcmf-fast":
+        return MCMFAssigner(MCMFAssignerConfig(time_budget_s=budget))
+    if algorithm == "mcmf-ori":
+        return MCMFAssigner(
+            MCMFAssignerConfig(window_matching=False, time_budget_s=budget)
+        )
+    if algorithm == "greedy":
+        return GreedyAssigner()
+    return BipartiteAssigner(BipartiteAssignerConfig(time_budget_s=budget))
+
+
+def cmd_generate(args) -> int:
+    """Handle ``repro-25d generate``."""
+    if args.case == "tiny":
+        design = load_tiny(die_count=args.dies, signal_count=args.signals)
+    else:
+        design = load_case(args.case)
+    _save_design(design, args.output)
+    stats = design.stats()
+    print(f"wrote {args.output}: {design.name} {stats}")
+    return 0
+
+
+def cmd_floorplan(args) -> int:
+    """Handle ``repro-25d floorplan``."""
+    design = _load_design(args.design)
+    result = _run_floorplanner(design, args.algorithm, args.budget)
+    if not result.found:
+        print("no legal floorplan found", file=sys.stderr)
+        return 1
+    floorplan = result.floorplan
+    if args.post_optimize:
+        floorplan, post = optimize_floorplan(design, floorplan)
+        print(
+            f"post-opt: {post.moves} moves, "
+            f"estWL {post.initial_est_wl:.4f} -> {post.final_est_wl:.4f}"
+        )
+    json_io.save_floorplan(floorplan, args.output)
+    print(
+        f"wrote {args.output}: {result.algorithm or args.algorithm}, "
+        f"estWL={result.est_wl:.4f}, "
+        f"{result.stats.floorplans_evaluated} floorplans in "
+        f"{result.stats.runtime_s:.2f}s"
+        + (" (budget-truncated)" if result.stats.timed_out else "")
+    )
+    return 0
+
+
+def cmd_assign(args) -> int:
+    """Handle ``repro-25d assign``."""
+    design = _load_design(args.design)
+    floorplan = json_io.load_floorplan(args.floorplan, design)
+    assigner = _make_assigner(args.algorithm, args.budget)
+    result = assigner.assign_with_stats(design, floorplan)
+    if not result.complete:
+        print(f"assignment failed: {result.note}", file=sys.stderr)
+        return 1
+    json_io.save_assignment(result.assignment, args.output)
+    wl = total_wirelength(design, floorplan, result.assignment)
+    print(
+        f"wrote {args.output}: {result.algorithm} in "
+        f"{result.runtime_s:.2f}s, {wl}"
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Handle ``repro-25d evaluate``."""
+    design = _load_design(args.design)
+    floorplan = json_io.load_floorplan(args.floorplan, design)
+    assignment = json_io.load_assignment(args.assignment)
+    problems = assignment.violations(design)
+    if problems:
+        print("invalid assignment:", file=sys.stderr)
+        for p in problems[:10]:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    wl = total_wirelength(design, floorplan, assignment)
+    print(wl)
+    if args.congestion:
+        report = estimate_congestion(
+            design, floorplan, assignment,
+            CongestionConfig(grid=args.congestion_grid),
+        )
+        print(
+            f"congestion: max {report.max_utilization:.2%}, mean "
+            f"{report.mean_utilization:.2%}, overflow cells "
+            f"{report.overflow_cells} -> "
+            f"{'routable' if report.routable else 'NOT routable'}"
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Handle ``repro-25d run`` (the full flow)."""
+    design = _load_design(args.design)
+    fp_result = _run_floorplanner(design, args.floorplanner, args.budget)
+    if not fp_result.found:
+        print("no legal floorplan found", file=sys.stderr)
+        return 1
+    floorplan = fp_result.floorplan
+    if args.post_optimize:
+        floorplan, _ = optimize_floorplan(design, floorplan)
+    assigner = _make_assigner(args.assigner, args.budget)
+    result = assigner.assign_with_stats(design, floorplan)
+    if not result.complete:
+        print(f"assignment failed: {result.note}", file=sys.stderr)
+        return 1
+    wl = total_wirelength(design, floorplan, result.assignment)
+    print(wl)
+    if args.floorplan_out:
+        json_io.save_floorplan(floorplan, args.floorplan_out)
+    if args.assignment_out:
+        json_io.save_assignment(result.assignment, args.assignment_out)
+    return 0
+
+
+def cmd_route(args) -> int:
+    """Handle ``repro-25d route``."""
+    from .route import GridConfig, route_design
+
+    design = _load_design(args.design)
+    floorplan = json_io.load_floorplan(args.floorplan, design)
+    assignment = json_io.load_assignment(args.assignment)
+    result = route_design(
+        design,
+        floorplan,
+        assignment,
+        GridConfig(
+            cells_x=args.grid,
+            cells_y=args.grid,
+            wire_pitch=args.wire_pitch,
+            rdl_layers=args.layers,
+        ),
+    )
+    print(
+        f"routed {len(result.nets)} internal nets: total "
+        f"{result.total_routed_length:.4f} mm (MST estimate "
+        f"{result.total_mst_length:.4f} mm), correlation "
+        f"{result.correlation():.3f}"
+    )
+    print(
+        f"max utilization {result.max_utilization:.1%}, overflow "
+        f"{result.overflow} -> "
+        f"{'routable' if result.routable else 'NOT routable'}"
+    )
+    return 0 if result.routable else 2
+
+
+def cmd_render(args) -> int:
+    """Handle ``repro-25d render``."""
+    design = _load_design(args.design)
+    floorplan = json_io.load_floorplan(args.floorplan, design)
+    assignment = None
+    if args.assignment:
+        assignment = json_io.load_assignment(args.assignment)
+    svg = render_layout(design, floorplan, assignment)
+    with open(args.output, "w") as handle:
+        handle.write(svg)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-25d",
+        description="Floorplanning and signal assignment for 2.5D ICs "
+        "(DAC'14 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a testcase design JSON")
+    p.add_argument(
+        "--case",
+        default="tiny",
+        choices=["tiny"] + suite_names() + [n + "'" for n in suite_names()],
+    )
+    p.add_argument("--dies", type=int, default=3)
+    p.add_argument("--signals", type=int, default=12)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("floorplan", help="floorplan a design")
+    p.add_argument("design")
+    p.add_argument("--algorithm", default="mix", choices=FLOORPLANNERS)
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--post-optimize", action="store_true")
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_floorplan)
+
+    p = sub.add_parser("assign", help="assign signals to bumps and TSVs")
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.add_argument("--algorithm", default="mcmf-fast", choices=ASSIGNERS)
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_assign)
+
+    p = sub.add_parser("evaluate", help="score a complete solution (Eq. 1)")
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.add_argument("assignment")
+    p.add_argument("--congestion", action="store_true")
+    p.add_argument("--congestion-grid", type=int, default=32)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("run", help="full flow: floorplan + assign + evaluate")
+    p.add_argument("design")
+    p.add_argument("--floorplanner", default="mix", choices=FLOORPLANNERS)
+    p.add_argument("--assigner", default="mcmf-fast", choices=ASSIGNERS)
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--post-optimize", action="store_true")
+    p.add_argument("--floorplan-out")
+    p.add_argument("--assignment-out")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "route", help="globally route the internal nets on the RDL grid"
+    )
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.add_argument("assignment")
+    p.add_argument("--grid", type=int, default=24)
+    p.add_argument("--wire-pitch", type=float, default=0.004)
+    p.add_argument("--layers", type=int, default=4)
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("render", help="write an SVG of the layout")
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.add_argument("--assignment")
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_render)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

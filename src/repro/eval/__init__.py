@@ -1,0 +1,22 @@
+"""Wirelength evaluation (Eq. 1), congestion estimation and reporting."""
+
+from .congestion import CongestionConfig, CongestionReport, estimate_congestion
+from .report import format_table, geometric_mean
+from .wirelength import (
+    WirelengthBreakdown,
+    hpwl_estimate,
+    netlist_wirelength,
+    total_wirelength,
+)
+
+__all__ = [
+    "CongestionConfig",
+    "CongestionReport",
+    "WirelengthBreakdown",
+    "estimate_congestion",
+    "format_table",
+    "geometric_mean",
+    "hpwl_estimate",
+    "netlist_wirelength",
+    "total_wirelength",
+]

@@ -1,0 +1,55 @@
+"""Multi-die floorplanning: EFA, its accelerations, and the SA baseline."""
+
+from .annealing import AnnealingFloorplanner, SAConfig, run_sa
+from .base import FloorplanResult, SearchStats, TimeBudget
+from .btree import (
+    BStarTree,
+    BTreeFloorplanner,
+    BTreeSAConfig,
+    pack_btree,
+    run_btree_sa,
+)
+from .dop import run_efa_dop
+from .efa import EFAConfig, EnumerativeFloorplanner, run_efa
+from .estimator import (
+    FastHpwlEvaluator,
+    greedy_assignment_est_wl,
+    orientation_code,
+    orientation_from_code,
+)
+from .greedy_packing import (
+    GreedyPacker,
+    GreedyPackingResult,
+    predetermine_orientations,
+)
+from .mix import DEFAULT_DIE_THRESHOLD, run_efa_mix
+from .postopt import PostOptStats, optimize_floorplan
+
+__all__ = [
+    "AnnealingFloorplanner",
+    "BStarTree",
+    "BTreeFloorplanner",
+    "BTreeSAConfig",
+    "DEFAULT_DIE_THRESHOLD",
+    "pack_btree",
+    "run_btree_sa",
+    "EFAConfig",
+    "EnumerativeFloorplanner",
+    "FastHpwlEvaluator",
+    "FloorplanResult",
+    "GreedyPacker",
+    "GreedyPackingResult",
+    "PostOptStats",
+    "optimize_floorplan",
+    "SAConfig",
+    "SearchStats",
+    "TimeBudget",
+    "greedy_assignment_est_wl",
+    "orientation_code",
+    "orientation_from_code",
+    "predetermine_orientations",
+    "run_efa",
+    "run_efa_dop",
+    "run_efa_mix",
+    "run_sa",
+]

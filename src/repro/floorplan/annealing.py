@@ -1,0 +1,199 @@
+"""Simulated-annealing floorplanner (the baseline EFA is compared against).
+
+Section 3 of the paper motivates EFA by noting it beats an SA-based
+floorplanner; this module provides that baseline.  The SA state is a
+sequence pair plus an orientation vector; moves are the classic
+sequence-pair perturbations (swap in gamma_plus, swap in gamma_minus, swap
+in both, rotate one die).  Candidates are packed, centred and scored with
+the same swollen-dimension HPWL machinery EFA uses, with an overflow
+penalty for arrangements that do not fit the interposer, so SA can travel
+through illegal space but never returns an illegal result.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import ALL_ORIENTATIONS, Orientation, Point
+from ..model import Design, Floorplan, Placement
+from ..seqpair import SequencePair, pack_sequence_pair
+from .base import FloorplanResult, SearchStats, TimeBudget
+from .estimator import FastHpwlEvaluator, orientation_code
+
+_EPS = 1e-9
+
+
+@dataclass
+class SAConfig:
+    """Annealing schedule parameters (defaults tuned for <= 8 dies)."""
+
+    seed: int = 0
+    initial_acceptance: float = 0.8
+    cooling: float = 0.95
+    moves_per_temperature: int = 60
+    min_temperature_ratio: float = 1e-4
+    time_budget_s: Optional[float] = None
+    overflow_penalty: float = 1e6
+
+
+class AnnealingFloorplanner:
+    """SA over (sequence pair, orientation vector) states."""
+
+    def __init__(self, design: Design, config: Optional[SAConfig] = None):
+        self.design = design
+        self.config = config or SAConfig()
+        self.evaluator = FastHpwlEvaluator(design)
+        self._die_ids = self.evaluator.die_ids
+        c_d = design.spacing.die_to_die
+        c_b = design.spacing.die_to_boundary
+        self._half_cd = c_d / 2.0
+        self._avail_w = design.interposer.width - 2 * c_b + c_d
+        self._avail_h = design.interposer.height - 2 * c_b + c_d
+        self._dims = {
+            die.id: {
+                o: tuple(
+                    v + c_d for v in o.rotated_dims(die.width, die.height)
+                )
+                for o in ALL_ORIENTATIONS
+            }
+            for die in design.dies
+        }
+        self._center = design.interposer.center
+
+    # -- state evaluation ---------------------------------------------------------
+
+    def _evaluate(
+        self, sp: SequencePair, orient_vec: Tuple[Orientation, ...]
+    ) -> Tuple[float, bool]:
+        """(cost, legal) of one state; cost folds in outline overflow."""
+        dims = {
+            d: self._dims[d][o] for d, o in zip(self._die_ids, orient_vec)
+        }
+        packed = pack_sequence_pair(sp, dims)
+        overflow = max(packed.width - self._avail_w, 0.0) + max(
+            packed.height - self._avail_h, 0.0
+        )
+        n = len(self._die_ids)
+        die_x = np.empty(n)
+        die_y = np.empty(n)
+        codes = np.empty(n, dtype=np.int64)
+        off_x = self._center.x - packed.width / 2.0 + self._half_cd
+        off_y = self._center.y - packed.height / 2.0 + self._half_cd
+        for i, d in enumerate(self._die_ids):
+            px, py = packed.positions[d]
+            die_x[i] = px + off_x
+            die_y[i] = py + off_y
+            codes[i] = orientation_code(orient_vec[i])
+        wl = self.evaluator.hpwl(die_x, die_y, codes)
+        legal = overflow <= _EPS
+        return wl + self.config.overflow_penalty * overflow, legal
+
+    def _neighbor(
+        self,
+        rng: random.Random,
+        sp: SequencePair,
+        orient_vec: Tuple[Orientation, ...],
+    ) -> Tuple[SequencePair, Tuple[Orientation, ...]]:
+        n = len(self._die_ids)
+        move = rng.randrange(4) if n > 1 else 3
+        plus: List[str] = list(sp.plus)
+        minus: List[str] = list(sp.minus)
+        orients = list(orient_vec)
+        if move in (0, 2):
+            i, j = rng.sample(range(n), 2)
+            plus[i], plus[j] = plus[j], plus[i]
+        if move in (1, 2):
+            i, j = rng.sample(range(n), 2)
+            minus[i], minus[j] = minus[j], minus[i]
+        if move == 3:
+            i = rng.randrange(n)
+            orients[i] = rng.choice(
+                [o for o in ALL_ORIENTATIONS if o is not orients[i]]
+            )
+        return SequencePair(tuple(plus), tuple(minus)), tuple(orients)
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(self) -> FloorplanResult:
+        """Anneal and return the best legal floorplan found."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        budget = TimeBudget(cfg.time_budget_s)
+        stats = SearchStats()
+        start = time.monotonic()
+
+        ids = tuple(self._die_ids)
+        sp = SequencePair(ids, ids)
+        orient_vec: Tuple[Orientation, ...] = tuple(
+            Orientation.R0 for _ in ids
+        )
+        cost, legal = self._evaluate(sp, orient_vec)
+        stats.floorplans_evaluated += 1
+
+        best_state = (sp, orient_vec) if legal else None
+        best_cost = cost if legal else float("inf")
+
+        # Calibrate the initial temperature from a random walk so the
+        # configured initial acceptance probability holds for average
+        # uphill moves.
+        deltas = []
+        probe_sp, probe_vec, probe_cost = sp, orient_vec, cost
+        for _ in range(30):
+            cand_sp, cand_vec = self._neighbor(rng, probe_sp, probe_vec)
+            cand_cost, _ = self._evaluate(cand_sp, cand_vec)
+            stats.floorplans_evaluated += 1
+            deltas.append(abs(cand_cost - probe_cost))
+            probe_sp, probe_vec, probe_cost = cand_sp, cand_vec, cand_cost
+        avg_delta = max(sum(deltas) / len(deltas), 1e-6)
+        temperature = -avg_delta / math.log(cfg.initial_acceptance)
+        floor_temperature = temperature * cfg.min_temperature_ratio
+
+        while temperature > floor_temperature and not budget.expired:
+            for _ in range(cfg.moves_per_temperature):
+                cand_sp, cand_vec = self._neighbor(rng, sp, orient_vec)
+                cand_cost, cand_legal = self._evaluate(cand_sp, cand_vec)
+                stats.floorplans_evaluated += 1
+                delta = cand_cost - cost
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / temperature
+                ):
+                    sp, orient_vec, cost = cand_sp, cand_vec, cand_cost
+                    if cand_legal and cand_cost < best_cost:
+                        best_cost = cand_cost
+                        best_state = (cand_sp, cand_vec)
+            temperature *= cfg.cooling
+        stats.timed_out = budget.expired
+        stats.runtime_s = time.monotonic() - start
+
+        if best_state is None:
+            return FloorplanResult(None, float("inf"), stats, "SA")
+        floorplan = self._realize(*best_state)
+        return FloorplanResult(floorplan, best_cost, stats, "SA")
+
+    def _realize(
+        self, sp: SequencePair, orient_vec: Tuple[Orientation, ...]
+    ) -> Floorplan:
+        dims = {
+            d: self._dims[d][o] for d, o in zip(self._die_ids, orient_vec)
+        }
+        packed = pack_sequence_pair(sp, dims)
+        off_x = self._center.x - packed.width / 2.0 + self._half_cd
+        off_y = self._center.y - packed.height / 2.0 + self._half_cd
+        placements = {}
+        for d, o in zip(self._die_ids, orient_vec):
+            px, py = packed.positions[d]
+            placements[d] = Placement(Point(px + off_x, py + off_y), o)
+        return Floorplan(self.design, placements)
+
+
+def run_sa(
+    design: Design, config: Optional[SAConfig] = None
+) -> FloorplanResult:
+    """One-call convenience wrapper around :class:`AnnealingFloorplanner`."""
+    return AnnealingFloorplanner(design, config).run()

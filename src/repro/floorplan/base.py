@@ -1,0 +1,77 @@
+"""Common types for the floorplanning algorithms.
+
+All floorplanners in :mod:`repro.floorplan` return a
+:class:`FloorplanResult`; enumerative ones additionally fill in the search
+statistics that the paper's Table 2 is built from (floorplans explored,
+branches pruned, wall-clock, whether the time budget truncated the search).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..model import Floorplan
+
+
+class TimeBudget:
+    """A wall-clock budget, mirroring the paper's 12-hour cut-offs.
+
+    The paper forces EFA variants to "jump out of the floorplanning stage
+    after 12 hours" and keep the best floorplan found; on our scaled
+    testcases the same mechanism runs with budgets of seconds.  A ``None``
+    budget never expires.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._start = time.monotonic()
+
+    def restart(self) -> None:
+        """Reset the budget's clock to now."""
+        self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return time.monotonic() - self._start
+
+    @property
+    def expired(self) -> bool:
+        """True once the wall-clock budget is spent."""
+        return self.seconds is not None and self.elapsed >= self.seconds
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one enumerative floorplanning run."""
+
+    sequence_pairs_total: int = 0
+    sequence_pairs_explored: int = 0
+    pruned_illegal: int = 0
+    pruned_inferior: int = 0
+    floorplans_evaluated: int = 0
+    floorplans_rejected_outline: int = 0
+    runtime_s: float = 0.0
+    timed_out: bool = False
+
+
+@dataclass
+class FloorplanResult:
+    """A floorplanner's output: the best floorplan and how it was found.
+
+    ``est_wl`` is the estimator value (total per-signal HPWL by default)
+    that the search minimized — *not* the post-assignment TWL of Eq. 1,
+    which can only be computed after the SAP is solved.
+    """
+
+    floorplan: Optional[Floorplan]
+    est_wl: float = float("inf")
+    stats: SearchStats = field(default_factory=SearchStats)
+    algorithm: str = ""
+
+    @property
+    def found(self) -> bool:
+        """True when a legal floorplan was produced."""
+        return self.floorplan is not None

@@ -1,0 +1,361 @@
+"""B*-tree floorplan representation and an SA floorplanner on top of it.
+
+The sequence pair is the paper's representation; the B*-tree (Chang et
+al., DAC 2000) is the other classic compacted-floorplan representation
+used throughout the floorplanning literature.  Having both lets the
+benchmarks check that EFA's advantage over annealing is a property of
+exhaustive enumeration, not of the chosen SA neighborhood.
+
+Packing semantics (standard B*-tree):
+
+* the root die sits at x = 0;
+* a node's **left child** is placed immediately to its right
+  (``x = parent.x + parent.width``);
+* a node's **right child** is placed at the same x, above the parent;
+* every y coordinate is the lowest position admitted by the *contour* —
+  the skyline of everything packed so far.
+
+Die-to-die spacing is handled exactly as in EFA: dimensions are swollen
+by ``c_d`` before packing, and the result is centred on the interposer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import ALL_ORIENTATIONS, Orientation, Point
+from ..model import Design, Floorplan, Placement
+from .base import FloorplanResult, SearchStats, TimeBudget
+from .estimator import FastHpwlEvaluator, orientation_code
+
+_EPS = 1e-9
+
+
+class BStarTree:
+    """A mutable B*-tree over die indices 0..n-1.
+
+    Stored as parent/left/right arrays; the structure is always a valid
+    binary tree with exactly the ``n`` dies as nodes.
+    """
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError("B*-tree needs at least one die")
+        self.n = n
+        self.parent: List[int] = [-1] * n
+        self.left: List[int] = [-1] * n
+        self.right: List[int] = [-1] * n
+        self.root = 0
+        order = list(range(n))
+        if rng is not None:
+            rng.shuffle(order)
+        self.root = order[0]
+        # Start from a left-leaning chain (a row of dies).
+        for prev, node in zip(order, order[1:]):
+            self.left[prev] = node
+            self.parent[node] = prev
+
+    # -- structural edits --------------------------------------------------------
+
+    def swap_dies(self, a: int, b: int) -> None:
+        """Exchange the tree positions of two dies (indices stay nodes;
+        the per-node die payload is implicit, so swap the nodes' links)."""
+        if a == b:
+            return
+        # Swapping payloads == relabelling nodes: rebuild link arrays with
+        # a and b exchanged everywhere.
+        def rl(x: int) -> int:
+            if x == a:
+                return b
+            if x == b:
+                return a
+            return x
+
+        parent = [0] * self.n
+        left = [0] * self.n
+        right = [0] * self.n
+        for node in range(self.n):
+            parent[rl(node)] = rl(self.parent[node]) if self.parent[node] != -1 else -1
+            left[rl(node)] = rl(self.left[node]) if self.left[node] != -1 else -1
+            right[rl(node)] = rl(self.right[node]) if self.right[node] != -1 else -1
+        self.parent, self.left, self.right = parent, left, right
+        self.root = rl(self.root)
+
+    def remove(self, node: int) -> None:
+        """Detach ``node``, promoting children until it becomes a leaf."""
+        while self.left[node] != -1 or self.right[node] != -1:
+            child = self.left[node] if self.left[node] != -1 else self.right[node]
+            self._swap_positions(node, child)
+        p = self.parent[node]
+        if p != -1:
+            if self.left[p] == node:
+                self.left[p] = -1
+            else:
+                self.right[p] = -1
+        self.parent[node] = -1
+
+    def _swap_positions(self, a: int, b: int) -> None:
+        """Exchange two nodes' positions in the tree (link-level swap)."""
+        self.swap_dies(a, b)
+
+    def insert(self, node: int, target: int, as_left: bool) -> None:
+        """Attach a detached ``node`` as a child of ``target``; an existing
+        child in that slot is pushed down as ``node``'s same-side child."""
+        if self.parent[node] != -1 or node == self.root:
+            raise ValueError("insert() needs a detached node")
+        if as_left:
+            displaced = self.left[target]
+            self.left[target] = node
+            self.left[node] = displaced
+        else:
+            displaced = self.right[target]
+            self.right[target] = node
+            self.right[node] = displaced
+        if displaced != -1:
+            self.parent[displaced] = node
+        self.parent[node] = target
+
+    def nodes_in_preorder(self) -> List[int]:
+        """Die indices in preorder (root first)."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node == -1:
+                continue
+            out.append(node)
+            stack.append(self.right[node])
+            stack.append(self.left[node])
+        return out
+
+    def is_consistent(self) -> bool:
+        """All n nodes reachable, parent pointers coherent."""
+        seen = self.nodes_in_preorder()
+        if sorted(seen) != list(range(self.n)):
+            return False
+        for node in range(self.n):
+            for child in (self.left[node], self.right[node]):
+                if child != -1 and self.parent[child] != node:
+                    return False
+        return self.parent[self.root] == -1
+
+    def clone(self) -> "BStarTree":
+        """An independent copy of this tree."""
+        other = BStarTree.__new__(BStarTree)
+        other.n = self.n
+        other.parent = list(self.parent)
+        other.left = list(self.left)
+        other.right = list(self.right)
+        other.root = self.root
+        return other
+
+
+def pack_btree(
+    tree: BStarTree, dims: List[Tuple[float, float]]
+) -> Tuple[List[float], List[float], float, float]:
+    """Contour packing; returns per-die x/y plus bounding width/height."""
+    n = tree.n
+    xs = [0.0] * n
+    ys = [0.0] * n
+    # Contour as a list of (x_start, x_end, height), kept sorted/disjoint.
+    contour: List[Tuple[float, float, float]] = []
+
+    def place(node: int, x: float) -> None:
+        w, h = dims[node]
+        x2 = x + w
+        # y = max contour height over [x, x2).
+        y = 0.0
+        for cx1, cx2, ch in contour:
+            if cx1 < x2 - _EPS and x < cx2 - _EPS:
+                y = max(y, ch)
+        xs[node] = x
+        ys[node] = y
+        top = y + h
+        # Update the contour with the new plateau.
+        updated: List[Tuple[float, float, float]] = []
+        for cx1, cx2, ch in contour:
+            if cx2 <= x + _EPS or cx1 >= x2 - _EPS:
+                updated.append((cx1, cx2, ch))
+                continue
+            if cx1 < x:
+                updated.append((cx1, x, ch))
+            if cx2 > x2:
+                updated.append((x2, cx2, ch))
+        updated.append((x, x2, top))
+        updated.sort()
+        contour[:] = updated
+
+    # Pack in DFS order; left child at parent's right edge, right child at
+    # parent's x.
+    frontier = [(tree.root, 0.0)]
+    while frontier:
+        node, x = frontier.pop()
+        place(node, x)
+        if tree.right[node] != -1:
+            frontier.append((tree.right[node], x))
+        if tree.left[node] != -1:
+            frontier.append((tree.left[node], xs[node] + dims[node][0]))
+
+    width = max(xs[i] + dims[i][0] for i in range(n))
+    height = max(ys[i] + dims[i][1] for i in range(n))
+    return xs, ys, width, height
+
+
+@dataclass
+class BTreeSAConfig:
+    """Annealing schedule for the B*-tree floorplanner."""
+
+    seed: int = 0
+    initial_acceptance: float = 0.8
+    cooling: float = 0.95
+    moves_per_temperature: int = 60
+    min_temperature_ratio: float = 1e-4
+    time_budget_s: Optional[float] = None
+    overflow_penalty: float = 1e6
+
+
+class BTreeFloorplanner:
+    """Simulated annealing over (B*-tree, orientation vector) states."""
+
+    def __init__(self, design: Design, config: Optional[BTreeSAConfig] = None):
+        self.design = design
+        self.config = config or BTreeSAConfig()
+        self.evaluator = FastHpwlEvaluator(design)
+        self._die_ids = self.evaluator.die_ids
+        c_d = design.spacing.die_to_die
+        c_b = design.spacing.die_to_boundary
+        self._half_cd = c_d / 2.0
+        self._avail_w = design.interposer.width - 2 * c_b + c_d
+        self._avail_h = design.interposer.height - 2 * c_b + c_d
+        self._dims_by_code = []
+        for die in design.dies:
+            per_code = [None] * 4
+            for o in ALL_ORIENTATIONS:
+                w, h = o.rotated_dims(die.width, die.height)
+                per_code[orientation_code(o)] = (w + c_d, h + c_d)
+            self._dims_by_code.append(per_code)
+        self._center = design.interposer.center
+
+    def _evaluate(self, tree: BStarTree, codes: List[int]):
+        dims = [
+            self._dims_by_code[i][codes[i]] for i in range(len(self._die_ids))
+        ]
+        xs, ys, w, h = pack_btree(tree, dims)
+        overflow = max(w - self._avail_w, 0.0) + max(h - self._avail_h, 0.0)
+        n = len(self._die_ids)
+        die_x = np.empty(n)
+        die_y = np.empty(n)
+        codes_arr = np.asarray(codes, dtype=np.int64)
+        off_x = self._center.x - w / 2.0 + self._half_cd
+        off_y = self._center.y - h / 2.0 + self._half_cd
+        for i in range(n):
+            die_x[i] = xs[i] + off_x
+            die_y[i] = ys[i] + off_y
+        wl = self.evaluator.hpwl(die_x, die_y, codes_arr)
+        legal = overflow <= _EPS
+        return wl + self.config.overflow_penalty * overflow, legal, (xs, ys, w, h)
+
+    def _neighbor(self, rng: random.Random, tree: BStarTree, codes: List[int]):
+        n = tree.n
+        new_tree = tree.clone()
+        new_codes = list(codes)
+        move = rng.randrange(3) if n > 1 else 2
+        if move == 0:
+            a, b = rng.sample(range(n), 2)
+            new_tree.swap_dies(a, b)
+        elif move == 1:
+            node = rng.randrange(n)
+            if node != new_tree.root or (
+                new_tree.left[node] != -1 or new_tree.right[node] != -1
+            ):
+                # Never remove a childless root (it would orphan the tree).
+                if node == new_tree.root:
+                    node = new_tree.nodes_in_preorder()[-1]
+                new_tree.remove(node)
+                candidates = [x for x in range(n) if x != node]
+                target = rng.choice(candidates)
+                new_tree.insert(node, target, as_left=rng.random() < 0.5)
+        else:
+            i = rng.randrange(n)
+            new_codes[i] = rng.choice(
+                [c for c in range(4) if c != new_codes[i]]
+            )
+        return new_tree, new_codes
+
+    def run(self) -> FloorplanResult:
+        """Anneal and return the best legal floorplan found."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        budget = TimeBudget(cfg.time_budget_s)
+        stats = SearchStats()
+        start = time.monotonic()
+        n = len(self._die_ids)
+
+        tree = BStarTree(n, rng)
+        codes = [0] * n
+        cost, legal, _ = self._evaluate(tree, codes)
+        stats.floorplans_evaluated += 1
+        best = (tree.clone(), list(codes)) if legal else None
+        best_cost = cost if legal else float("inf")
+
+        deltas = []
+        probe_t, probe_c, probe_cost = tree, codes, cost
+        for _ in range(30):
+            cand_t, cand_c = self._neighbor(rng, probe_t, probe_c)
+            cand_cost, _, _ = self._evaluate(cand_t, cand_c)
+            stats.floorplans_evaluated += 1
+            deltas.append(abs(cand_cost - probe_cost))
+            probe_t, probe_c, probe_cost = cand_t, cand_c, cand_cost
+        avg_delta = max(sum(deltas) / len(deltas), 1e-6)
+        temperature = -avg_delta / math.log(cfg.initial_acceptance)
+        floor_temperature = temperature * cfg.min_temperature_ratio
+
+        while temperature > floor_temperature and not budget.expired:
+            for _ in range(cfg.moves_per_temperature):
+                cand_t, cand_c = self._neighbor(rng, tree, codes)
+                cand_cost, cand_legal, _ = self._evaluate(cand_t, cand_c)
+                stats.floorplans_evaluated += 1
+                delta = cand_cost - cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    tree, codes, cost = cand_t, cand_c, cand_cost
+                    if cand_legal and cand_cost < best_cost:
+                        best_cost = cand_cost
+                        best = (cand_t.clone(), list(cand_c))
+            temperature *= cfg.cooling
+        stats.timed_out = budget.expired
+        stats.runtime_s = time.monotonic() - start
+
+        if best is None:
+            return FloorplanResult(None, float("inf"), stats, "B*-SA")
+        floorplan = self._realize(*best)
+        return FloorplanResult(floorplan, best_cost, stats, "B*-SA")
+
+    def _realize(self, tree: BStarTree, codes: List[int]) -> Floorplan:
+        from .estimator import orientation_from_code
+
+        dims = [
+            self._dims_by_code[i][codes[i]] for i in range(len(self._die_ids))
+        ]
+        xs, ys, w, h = pack_btree(tree, dims)
+        off_x = self._center.x - w / 2.0 + self._half_cd
+        off_y = self._center.y - h / 2.0 + self._half_cd
+        placements: Dict[str, Placement] = {}
+        for i, die_id in enumerate(self._die_ids):
+            placements[die_id] = Placement(
+                Point(xs[i] + off_x, ys[i] + off_y),
+                orientation_from_code(codes[i]),
+            )
+        return Floorplan(self.design, placements)
+
+
+def run_btree_sa(
+    design: Design, config: Optional[BTreeSAConfig] = None
+) -> FloorplanResult:
+    """One-call convenience wrapper around :class:`BTreeFloorplanner`."""
+    return BTreeFloorplanner(design, config).run()

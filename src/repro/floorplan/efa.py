@@ -1,0 +1,321 @@
+"""The enumeration-based floorplanning algorithm (EFA, Section 3).
+
+EFA enumerates every sequence pair over the die set and, per sequence pair,
+every combination of the four die orientations; each candidate is packed,
+centred on the interposer, legality-checked and scored with the HPWL
+estimator.  The three acceleration techniques of the paper are switchable:
+
+* ``illegal_cut``   — Section 3.1, illegal branch cutting (lossless);
+* ``inferior_cut``  — Section 3.2, inferior branch cutting via the Eq. 2
+  lower bound (heuristic, empirically lossless in the paper);
+* ``fixed_orientations`` — Section 3.3, die orientation pre-determination
+  (pass the orientations from :mod:`repro.floorplan.greedy_packing`).
+
+Spacing handling follows the paper exactly: during the sequence-pair
+transform every die is swollen by ``c_d / 2`` per side, which bakes the
+die-to-die constraint into the packing, and the outline check shrinks the
+interposer by ``c_b - c_d / 2`` per side so that the actual (unswollen)
+dies keep ``c_b`` boundary clearance.
+
+Implementation note: the search iterates over *index* permutations and
+packs with flat lists — with up to ``n!^2 * 4^n`` candidates this inner
+loop dominates the floorplanning stage, so no :class:`SequencePair` or
+dict machinery is allowed inside it.  The semantics are identical to
+:func:`repro.seqpair.pack_sequence_pair`, which the tests cross-check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import permutations, product
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import (
+    ALL_ORIENTATIONS,
+    Orientation,
+    Point,
+    landscape_orientations,
+    portrait_orientations,
+)
+from ..model import Design, Floorplan, Placement
+from ..seqpair import SequencePair, sequence_pair_count
+from .base import FloorplanResult, SearchStats, TimeBudget
+from .estimator import FastHpwlEvaluator, orientation_code
+
+_EPS = 1e-9
+
+
+@dataclass
+class EFAConfig:
+    """Switches selecting which EFA variant to run.
+
+    The paper's variant names map to configs as:
+    ``EFA_ori`` = no flags, ``EFA_c1`` = illegal_cut, ``EFA_c2`` =
+    inferior_cut, ``EFA_c3`` = both, ``EFA_dop`` = fixed_orientations from
+    the greedy packer (and no cuts — with one orientation per sequence pair
+    the cuts cannot pay for themselves, as the paper notes).
+    """
+
+    illegal_cut: bool = False
+    inferior_cut: bool = False
+    fixed_orientations: Optional[Mapping[str, Orientation]] = None
+    time_budget_s: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        """The paper's name for this variant (EFA_ori/c1/c2/c3/dop)."""
+        if self.fixed_orientations is not None:
+            return "EFA_dop"
+        if self.illegal_cut and self.inferior_cut:
+            return "EFA_c3"
+        if self.illegal_cut:
+            return "EFA_c1"
+        if self.inferior_cut:
+            return "EFA_c2"
+        return "EFA_ori"
+
+
+class EnumerativeFloorplanner:
+    """Runs EFA over a design, per the Fig. 3 pseudo code."""
+
+    def __init__(self, design: Design, config: Optional[EFAConfig] = None):
+        self.design = design
+        self.config = config or EFAConfig()
+        self.evaluator = FastHpwlEvaluator(design)
+        self._die_ids = self.evaluator.die_ids
+        self._prepare_dims()
+
+    def _prepare_dims(self) -> None:
+        """Precompute swollen per-orientation dimensions and outline bounds."""
+        c_d = self.design.spacing.die_to_die
+        c_b = self.design.spacing.die_to_boundary
+        interposer = self.design.interposer
+        # Allowed region for the *swollen* dies (see module docstring).
+        self._avail_w = interposer.width - 2 * c_b + c_d
+        self._avail_h = interposer.height - 2 * c_b + c_d
+        self._half_cd = c_d / 2.0
+        n = len(self._die_ids)
+        # dims_by_code[die index][orientation code] -> swollen (w, h).
+        self._dims_by_code: List[List[Tuple[float, float]]] = []
+        self._low_dims: List[Tuple[float, float]] = []
+        self._thin_dims: List[Tuple[float, float]] = []
+        for die in self.design.dies:
+            per_code = [None] * 4
+            for o in ALL_ORIENTATIONS:
+                w, h = o.rotated_dims(die.width, die.height)
+                per_code[orientation_code(o)] = (w + c_d, h + c_d)
+            self._dims_by_code.append(per_code)
+            low = landscape_orientations(die.width, die.height)[0]
+            thin = portrait_orientations(die.width, die.height)[0]
+            self._low_dims.append(per_code[orientation_code(low)])
+            self._thin_dims.append(per_code[orientation_code(thin)])
+        self._center = interposer.center
+
+    # -- fast index-based packing -------------------------------------------------
+
+    @staticmethod
+    def _pack(
+        minus: Sequence[int],
+        rank_plus: Sequence[int],
+        dims: Sequence[Tuple[float, float]],
+    ) -> Tuple[List[float], List[float], float, float]:
+        """Longest-path packing over die indices.
+
+        ``minus`` is gamma_minus as a sequence of die indices (a valid
+        topological order for both constraint graphs); ``rank_plus[i]`` is
+        die ``i``'s rank in gamma_plus.  Returns per-die x/y plus the
+        bounding width/height.
+        """
+        n = len(minus)
+        xs = [0.0] * n
+        ys = [0.0] * n
+        width = 0.0
+        height = 0.0
+        for pos in range(n):
+            b = minus[pos]
+            rb = rank_plus[b]
+            x = 0.0
+            y = 0.0
+            for prev in range(pos):
+                a = minus[prev]
+                if rank_plus[a] < rb:
+                    xa = xs[a] + dims[a][0]
+                    if xa > x:
+                        x = xa
+                else:
+                    ya = ys[a] + dims[a][1]
+                    if ya > y:
+                        y = ya
+            xs[b] = x
+            ys[b] = y
+            xe = x + dims[b][0]
+            ye = y + dims[b][1]
+            if xe > width:
+                width = xe
+            if ye > height:
+                height = ye
+        return xs, ys, width, height
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> FloorplanResult:
+        """Enumerate per Fig. 3 and return the best floorplan found."""
+        cfg = self.config
+        n = len(self._die_ids)
+        stats = SearchStats(sequence_pairs_total=sequence_pair_count(n))
+        budget = TimeBudget(cfg.time_budget_s)
+        start = time.monotonic()
+
+        evaluator = self.evaluator
+        best_wl = float("inf")
+        best: Optional[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = None
+
+        if cfg.fixed_orientations is not None:
+            fixed_codes: Optional[Tuple[int, ...]] = tuple(
+                orientation_code(cfg.fixed_orientations[d])
+                for d in self._die_ids
+            )
+            orient_combos = (fixed_codes,)
+        else:
+            fixed_codes = None
+            orient_combos = tuple(product(range(4), repeat=n))
+
+        die_x = np.empty(n)
+        die_y = np.empty(n)
+        codes_arr = np.empty(n, dtype=np.int64)
+        dims_by_code = self._dims_by_code
+        low_dims = self._low_dims
+        thin_dims = self._thin_dims
+        avail_w = self._avail_w + _EPS
+        avail_h = self._avail_h + _EPS
+        center_x = self._center.x
+        center_y = self._center.y
+        half_cd = self._half_cd
+        use_illegal = cfg.illegal_cut
+        use_inferior = cfg.inferior_cut
+        candidate_count = 0
+
+        indices = tuple(range(n))
+        rank_plus = [0] * n
+        for plus in permutations(indices):
+            for r, i in enumerate(plus):
+                rank_plus[i] = r
+            timed_out = False
+            for minus in permutations(indices):
+                if budget.expired:
+                    timed_out = True
+                    break
+                if use_illegal or use_inferior:
+                    lxs, lys, lw, lh = self._pack(minus, rank_plus, low_dims)
+                    txs, tys, tw, th = self._pack(minus, rank_plus, thin_dims)
+                    if use_illegal and (lh > avail_h or tw > avail_w):
+                        stats.pruned_illegal += 1
+                        continue
+                    if use_inferior and best_wl < float("inf"):
+                        bound = self._lower_bound(lys, lh, txs, tw)
+                        if bound > best_wl + _EPS:
+                            stats.pruned_inferior += 1
+                            continue
+
+                stats.sequence_pairs_explored += 1
+                for combo in orient_combos:
+                    candidate_count += 1
+                    # One sequence pair can hide 4^n inner candidates;
+                    # re-check the budget periodically so truncation stays
+                    # sharp even inside a single sequence pair.
+                    if candidate_count % 4096 == 0 and budget.expired:
+                        timed_out = True
+                        break
+                    dims = [dims_by_code[i][combo[i]] for i in indices]
+                    xs, ys, w, h = self._pack(minus, rank_plus, dims)
+                    if w > avail_w or h > avail_h:
+                        stats.floorplans_rejected_outline += 1
+                        continue
+                    # Centre the arrangement on the interposer (Fig. 3
+                    # line 5); positions below are of the *actual* dies
+                    # (swollen position plus the c_d/2 inset).
+                    off_x = center_x - w / 2.0 + half_cd
+                    off_y = center_y - h / 2.0 + half_cd
+                    for i in indices:
+                        die_x[i] = xs[i] + off_x
+                        die_y[i] = ys[i] + off_y
+                        codes_arr[i] = combo[i]
+                    wl = evaluator.hpwl(die_x, die_y, codes_arr)
+                    stats.floorplans_evaluated += 1
+                    if wl < best_wl:
+                        best_wl = wl
+                        best = (plus, minus, combo)
+                if timed_out:
+                    break
+            if timed_out:
+                stats.timed_out = True
+                break
+
+        stats.runtime_s = time.monotonic() - start
+        if best is None:
+            return FloorplanResult(None, float("inf"), stats, cfg.name)
+        floorplan = self._realize(*best)
+        return FloorplanResult(floorplan, best_wl, stats, cfg.name)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _lower_bound(
+        self,
+        low_ys: Sequence[float],
+        low_h: float,
+        thin_xs: Sequence[float],
+        thin_w: float,
+    ) -> float:
+        """``L_min = LX_min + LY_min`` for a sequence pair (Section 3.2)."""
+        off_y = self._center.y - low_h / 2.0 + self._half_cd
+        die_y_low = np.asarray(low_ys) + off_y
+        ly_min = self.evaluator.lower_bound_vertical(die_y_low)
+
+        off_x = self._center.x - thin_w / 2.0 + self._half_cd
+        die_x_thin = np.asarray(thin_xs) + off_x
+        lx_min = self.evaluator.lower_bound_horizontal(die_x_thin)
+        return lx_min + ly_min
+
+    def _realize(
+        self,
+        plus: Tuple[int, ...],
+        minus: Tuple[int, ...],
+        combo: Tuple[int, ...],
+    ) -> Floorplan:
+        """Re-pack the winning candidate into a :class:`Floorplan`."""
+        n = len(self._die_ids)
+        rank_plus = [0] * n
+        for r, i in enumerate(plus):
+            rank_plus[i] = r
+        dims = [self._dims_by_code[i][combo[i]] for i in range(n)]
+        xs, ys, w, h = self._pack(minus, rank_plus, dims)
+        off_x = self._center.x - w / 2.0 + self._half_cd
+        off_y = self._center.y - h / 2.0 + self._half_cd
+        from .estimator import orientation_from_code
+
+        placements = {}
+        for i, die_id in enumerate(self._die_ids):
+            placements[die_id] = Placement(
+                Point(xs[i] + off_x, ys[i] + off_y),
+                orientation_from_code(combo[i]),
+            )
+        return Floorplan(self.design, placements)
+
+    def winning_sequence_pair(
+        self, plus: Tuple[int, ...], minus: Tuple[int, ...]
+    ) -> SequencePair:
+        """Expose a winner's index permutations as a :class:`SequencePair`."""
+        return SequencePair(
+            tuple(self._die_ids[i] for i in plus),
+            tuple(self._die_ids[i] for i in minus),
+        )
+
+
+def run_efa(
+    design: Design, config: Optional[EFAConfig] = None
+) -> FloorplanResult:
+    """One-call convenience wrapper around :class:`EnumerativeFloorplanner`."""
+    return EnumerativeFloorplanner(design, config).run()

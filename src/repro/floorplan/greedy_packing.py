@@ -1,0 +1,368 @@
+"""The greedy two-stage packing algorithm (Fig. 5, Section 3.3).
+
+Die orientation pre-determination builds a reference floorplan ``F_ref``:
+
+* **Stage 1** tries every die pair, every orientation of both dies and
+  every contact boundary, packing the second die against the first
+  (centre-aligned on the contact boundary, ``c_d`` apart) and keeping the
+  cheapest pair as the initial ``F_ref``.
+* **Stage 2** repeatedly attaches one unpacked die — every orientation,
+  every *available* boundary of ``F_ref`` (a die side not already used as a
+  contact) — resolving overlaps by the minimal axis-aligned shift, and
+  keeps the cheapest extension.
+
+The cost of a candidate packing is the total HPWL of all signals over the
+terminals already located (buffers of packed dies, plus escape points,
+which are always located), after centring the arrangement on the
+interposer; illegal arrangements get a large penalty.  The orientations of
+``F_ref`` then seed ``EFA_dop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import ALL_ORIENTATIONS, Orientation, Point, Rect, hpwl
+from ..model import Design, Floorplan, Placement
+
+SIDES = ("left", "right", "bottom", "top")
+_OPPOSITE = {"left": "right", "right": "left", "top": "bottom", "bottom": "top"}
+
+# Penalty added to the cost of an arrangement that does not fit the
+# interposer legally; large enough to dominate any real HPWL while keeping
+# relative order among illegal arrangements (less overflow is preferred).
+_ILLEGAL_PENALTY = 1e9
+
+
+@dataclass
+class GreedyPackingResult:
+    """``F_ref`` plus the per-die orientations EFA_dop will fix."""
+
+    floorplan: Floorplan
+    orientations: Dict[str, Orientation]
+    cost: float
+
+
+class GreedyPacker:
+    """Builds ``F_ref`` for a design per the Fig. 5 pseudo code."""
+
+    def __init__(self, design: Design):
+        self.design = design
+        self._half_cd = design.spacing.die_to_die / 2.0
+        self._c_d = design.spacing.die_to_die
+        self._c_b = design.spacing.die_to_boundary
+        # Buffer terminals per die: (signal index, per-orientation local pos).
+        self._die_terminals: Dict[str, List[Tuple[int, Dict[Orientation, Point]]]] = {}
+        self._escape_pos: List[Optional[Point]] = []
+        self._signal_degree: List[int] = [
+            len(s.buffer_ids) for s in design.signals
+        ]
+        for idx, signal in enumerate(design.signals):
+            self._escape_pos.append(
+                design.escape(signal.escape_id).position
+                if signal.escape_id is not None
+                else None
+            )
+            for buffer_id in signal.buffer_ids:
+                die_id = design.die_of_buffer(buffer_id)
+                die = design.die(die_id)
+                pos = die.buffer(buffer_id).position
+                per_orient = {
+                    o: o.apply(pos, die.width, die.height)
+                    for o in ALL_ORIENTATIONS
+                }
+                self._die_terminals.setdefault(die_id, []).append(
+                    (idx, per_orient)
+                )
+
+    # -- geometry helpers -----------------------------------------------------
+
+    def _rect(self, die_id: str, pos: Point, orient: Orientation) -> Rect:
+        die = self.design.die(die_id)
+        w, h = orient.rotated_dims(die.width, die.height)
+        return Rect(pos.x, pos.y, w, h)
+
+    def _attach_position(
+        self,
+        base: Rect,
+        die_id: str,
+        orient: Orientation,
+        side: str,
+        align: str = "center",
+    ) -> Point:
+        """Lower-left of ``die_id`` attached to ``side`` of ``base``.
+
+        The new die's opposite boundary touches the contact boundary at
+        distance ``c_d``.  ``align`` picks the along-boundary alignment:
+        ``"center"`` (the paper's choice for the initial pair), ``"low"``
+        (bottom/left edges flush) or ``"high"`` (top/right edges flush) —
+        the extra alignments let the incremental stage reach grid-like
+        packings that centre-only attachment cannot, which matters on
+        tightly-utilized interposers.
+        """
+        die = self.design.die(die_id)
+        w, h = orient.rotated_dims(die.width, die.height)
+        if side in ("right", "left"):
+            if align == "center":
+                y = base.center.y - h / 2.0
+            elif align == "low":
+                y = base.y
+            else:
+                y = base.y2 - h
+            x = base.x2 + self._c_d if side == "right" else base.x - self._c_d - w
+            return Point(x, y)
+        if align == "center":
+            x = base.center.x - w / 2.0
+        elif align == "low":
+            x = base.x
+        else:
+            x = base.x2 - w
+        y = base.y2 + self._c_d if side == "top" else base.y - self._c_d - h
+        return Point(x, y)
+
+    def _resolve_overlap(
+        self, rect: Rect, placed: List[Rect]
+    ) -> Optional[Rect]:
+        """Shift ``rect`` by the minimal axis displacement clearing ``placed``.
+
+        Tries each of the four axis directions, iteratively pushing until no
+        placed die is closer than ``c_d`` (equivalently: until the
+        ``c_d/2``-swollen rectangles stop overlapping), and returns the
+        cheapest outcome.  Returns ``rect`` unchanged when already clear.
+        """
+        swollen = [r.inflated(self._half_cd) for r in placed]
+        mine = rect.inflated(self._half_cd)
+        if not any(mine.overlaps(s) for s in swollen):
+            return rect
+        best_rect: Optional[Rect] = None
+        best_shift = float("inf")
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            cand = mine
+            total = 0.0
+            for _ in range(2 * len(placed) + 1):
+                hits = [s for s in swollen if cand.overlaps(s)]
+                if not hits:
+                    break
+                if dx > 0:
+                    step = max(s.x2 - cand.x for s in hits)
+                elif dx < 0:
+                    step = max(cand.x2 - s.x for s in hits)
+                elif dy > 0:
+                    step = max(s.y2 - cand.y for s in hits)
+                else:
+                    step = max(cand.y2 - s.y for s in hits)
+                cand = cand.translated(dx * step, dy * step)
+                total += step
+            else:
+                continue  # Still overlapping after the iteration cap.
+            if any(cand.overlaps(s) for s in swollen):
+                continue
+            if total < best_shift:
+                best_shift = total
+                best_rect = cand.inflated(-self._half_cd)
+        return best_rect
+
+    # -- cost --------------------------------------------------------------------
+
+    def _cost(self, arrangement: Dict[str, Tuple[Point, Orientation]]) -> float:
+        """HPWL over located terminals after centring, plus legality penalty."""
+        rects = {
+            d: self._rect(d, pos, o) for d, (pos, o) in arrangement.items()
+        }
+        box = None
+        for r in rects.values():
+            box = r if box is None else box.union(r)
+        target = self.design.interposer.center
+        off = Point(target.x - box.center.x, target.y - box.center.y)
+
+        penalty = 0.0
+        outline = self.design.interposer.outline
+        for r in rects.values():
+            clearance = outline.boundary_clearance(r.translated(off.x, off.y))
+            if clearance < self._c_b - 1e-9:
+                penalty += _ILLEGAL_PENALTY * (1.0 + (self._c_b - clearance))
+        # Die-to-die violations (overlap or gap below c_d) are impossible
+        # for the attach-generated candidates but can appear during the
+        # in-place orientation refinement, so penalize them here too.
+        rect_list = list(rects.values())
+        for i, a in enumerate(rect_list):
+            for b in rect_list[i + 1 :]:
+                gap = a.gap_to(b)
+                if a.overlaps(b) or gap < self._c_d - 1e-9:
+                    penalty += _ILLEGAL_PENALTY * (1.0 + (self._c_d - gap))
+
+        # Gather located terminal positions per signal.  Only signals whose
+        # die terminals are *all* inside the packed set contribute ("the
+        # total HPWL of all signals in F_pair"): a partially packed signal
+        # has no meaningful HPWL yet, and counting its fragment would bias
+        # the packer toward escape-point geometry instead of die-to-die
+        # connectivity.
+        per_signal: Dict[int, List[Point]] = {}
+        for die_id, (pos, orient) in arrangement.items():
+            base = pos + off
+            for signal_idx, per_orient in self._die_terminals.get(die_id, ()):
+                per_signal.setdefault(signal_idx, []).append(
+                    per_orient[orient] + base
+                )
+        total = penalty
+        for signal_idx, points in per_signal.items():
+            if len(points) < self._signal_degree[signal_idx]:
+                continue
+            escape = self._escape_pos[signal_idx]
+            if escape is not None:
+                points.append(escape)
+            if len(points) >= 2:
+                total += hpwl(points)
+        return total
+
+    # -- the two stages ------------------------------------------------------------
+
+    def run(self) -> GreedyPackingResult:
+        """Run both packing stages and return ``F_ref`` (Fig. 5)."""
+        die_ids = [d.id for d in self.design.dies]
+        if len(die_ids) == 1:
+            arrangement = {die_ids[0]: (Point(0.0, 0.0), Orientation.R0)}
+            return self._finish(arrangement)
+
+        # Stage 1: best pair (Fig. 5 lines 2-12).
+        best_cost = float("inf")
+        best_pair: Optional[Dict[str, Tuple[Point, Orientation]]] = None
+        for i, d_i in enumerate(die_ids):
+            for d_j in die_ids[i + 1 :]:
+                for r_i in ALL_ORIENTATIONS:
+                    rect_i = self._rect(d_i, Point(0.0, 0.0), r_i)
+                    for r_j in ALL_ORIENTATIONS:
+                        for side in SIDES:
+                            pos_j = self._attach_position(
+                                rect_i, d_j, r_j, side
+                            )
+                            arrangement = {
+                                d_i: (Point(0.0, 0.0), r_i),
+                                d_j: (pos_j, r_j),
+                            }
+                            cost = self._cost(arrangement)
+                            if cost < best_cost:
+                                best_cost = cost
+                                best_pair = arrangement
+        assert best_pair is not None
+        arrangement = dict(best_pair)
+
+        # Stage 2: attach remaining dies one by one (Fig. 5 lines 14-24).
+        used_sides: set = set()
+        while len(arrangement) < len(die_ids):
+            best_cost = float("inf")
+            best_step = None
+            placed_rects = {
+                d: self._rect(d, pos, o)
+                for d, (pos, o) in arrangement.items()
+            }
+            for d in die_ids:
+                if d in arrangement:
+                    continue
+                for orient in ALL_ORIENTATIONS:
+                    for anchor, side in self._available_boundaries(
+                        arrangement, used_sides
+                    ):
+                        for align in ("center", "low", "high"):
+                            pos = self._attach_position(
+                                placed_rects[anchor], d, orient, side, align
+                            )
+                            rect = self._rect(d, pos, orient)
+                            resolved = self._resolve_overlap(
+                                rect, list(placed_rects.values())
+                            )
+                            if resolved is None:
+                                continue
+                            candidate = dict(arrangement)
+                            candidate[d] = (
+                                Point(resolved.x, resolved.y),
+                                orient,
+                            )
+                            cost = self._cost(candidate)
+                            if cost < best_cost:
+                                best_cost = cost
+                                best_step = (d, candidate, anchor, side)
+            if best_step is None:
+                raise RuntimeError(
+                    "greedy packing could not attach a die without overlap"
+                )
+            d, arrangement, anchor, side = best_step
+            used_sides.add((anchor, side))
+            used_sides.add((d, _OPPOSITE[side]))
+        arrangement = self._refine_orientations(arrangement)
+        return self._finish(arrangement)
+
+    def _refine_orientations(
+        self, arrangement: Dict[str, Tuple[Point, Orientation]]
+    ) -> Dict[str, Tuple[Point, Orientation]]:
+        """Coordinate-descent polish of the per-die orientations.
+
+        The greedy attach order can lock in early orientation choices that
+        look poor once all dies are placed; since the whole point of
+        ``F_ref`` is its orientation *vector* (EFA_dop re-derives the
+        positions anyway), rotate each die in place about its centre and
+        keep any strictly improving orientation, sweeping until stable.
+        """
+        current = dict(arrangement)
+        cost = self._cost(current)
+        for _ in range(3):
+            improved = False
+            for die_id in sorted(current):
+                pos, orient = current[die_id]
+                rect = self._rect(die_id, pos, orient)
+                centre = rect.center
+                for candidate in ALL_ORIENTATIONS:
+                    if candidate is orient:
+                        continue
+                    die = self.design.die(die_id)
+                    w, h = candidate.rotated_dims(die.width, die.height)
+                    new_pos = Point(centre.x - w / 2.0, centre.y - h / 2.0)
+                    trial = dict(current)
+                    trial[die_id] = (new_pos, candidate)
+                    trial_cost = self._cost(trial)
+                    if trial_cost < cost - 1e-12:
+                        current = trial
+                        cost = trial_cost
+                        orient = candidate
+                        improved = True
+            if not improved:
+                break
+        return current
+
+    def _available_boundaries(self, arrangement, used_sides):
+        """(die, side) pairs of ``F_ref`` not yet used as contact boundaries."""
+        out = []
+        for d in arrangement:
+            for side in SIDES:
+                if (d, side) not in used_sides:
+                    out.append((d, side))
+        return out
+
+    def _finish(
+        self, arrangement: Dict[str, Tuple[Point, Orientation]]
+    ) -> GreedyPackingResult:
+        """Centre the final arrangement and wrap it as a Floorplan."""
+        rects = {
+            d: self._rect(d, pos, o) for d, (pos, o) in arrangement.items()
+        }
+        box = None
+        for r in rects.values():
+            box = r if box is None else box.union(r)
+        target = self.design.interposer.center
+        dx = target.x - box.center.x
+        dy = target.y - box.center.y
+        placements = {
+            d: Placement(pos.translated(dx, dy), o)
+            for d, (pos, o) in arrangement.items()
+        }
+        floorplan = Floorplan(self.design, placements)
+        orientations = {d: o for d, (pos, o) in arrangement.items()}
+        return GreedyPackingResult(
+            floorplan, orientations, self._cost(arrangement)
+        )
+
+
+def predetermine_orientations(design: Design) -> GreedyPackingResult:
+    """Run the greedy packer; convenience entry used by EFA_dop."""
+    return GreedyPacker(design).run()

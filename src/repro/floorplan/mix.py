@@ -1,0 +1,37 @@
+"""The hybrid flow EFA_mix (Section 5.1).
+
+The paper balances quality against runtime by invoking EFA_c3 (both branch
+cuttings, full orientation enumeration) when the design has at most
+``threshold`` dies and EFA_dop above that.  The paper's threshold is 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model import Design
+from .base import FloorplanResult
+from .dop import run_efa_dop
+from .efa import EFAConfig, EnumerativeFloorplanner
+
+DEFAULT_DIE_THRESHOLD = 5
+
+
+def run_efa_mix(
+    design: Design,
+    time_budget_s: Optional[float] = None,
+    die_threshold: int = DEFAULT_DIE_THRESHOLD,
+) -> FloorplanResult:
+    """EFA_c3 for small die counts, EFA_dop otherwise."""
+    if len(design.dies) <= die_threshold:
+        config = EFAConfig(
+            illegal_cut=True,
+            inferior_cut=True,
+            time_budget_s=time_budget_s,
+        )
+        result = EnumerativeFloorplanner(design, config).run()
+        result.algorithm = "EFA_mix(c3)"
+        return result
+    result = run_efa_dop(design, time_budget_s=time_budget_s)
+    result.algorithm = "EFA_mix(dop)"
+    return result

@@ -1,0 +1,104 @@
+"""The end-to-end 2.5D wirelength-minimization flow.
+
+The paper splits the problem into multi-die floorplanning followed by
+signal assignment; :func:`run_flow` glues the two stages together and
+evaluates Eq. 1 on the result.  The default configuration is the paper's
+production flow: EFA_mix for floorplanning and MCMF_fast for assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .assign import AssignmentRunResult, MCMFAssigner, MCMFAssignerConfig
+from .eval import WirelengthBreakdown, total_wirelength
+from .floorplan import FloorplanResult, run_efa_mix
+from .model import Assignment, Design, Floorplan
+
+
+@dataclass
+class FlowConfig:
+    """Stage budgets and variant switches for :func:`run_flow`."""
+
+    floorplan_budget_s: Optional[float] = None
+    assigner: MCMFAssignerConfig = field(default_factory=MCMFAssignerConfig)
+    # Apply the post-floorplan die-shifting pass (future work [16]) between
+    # the two stages.
+    post_optimize: bool = False
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow run produced."""
+
+    design: Design
+    floorplan_result: FloorplanResult
+    assignment_result: AssignmentRunResult
+    wirelength: WirelengthBreakdown
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """The chosen floorplan."""
+        return self.floorplan_result.floorplan
+
+    @property
+    def assignment(self) -> Assignment:
+        """The chosen signal assignment."""
+        return self.assignment_result.assignment
+
+    @property
+    def twl(self) -> float:
+        """The Eq. 1 total wirelength of the final solution."""
+        return self.wirelength.total
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        fp = self.floorplan_result
+        asg = self.assignment_result
+        return (
+            f"{self.design.name}: {fp.algorithm or 'floorplan'} "
+            f"({fp.stats.runtime_s:.2f}s, estWL={fp.est_wl:.3f}) + "
+            f"{asg.algorithm} ({asg.runtime_s:.2f}s) -> {self.wirelength}"
+        )
+
+
+def run_flow(
+    design: Design,
+    config: Optional[FlowConfig] = None,
+    floorplan: Optional[Floorplan] = None,
+) -> FlowResult:
+    """Floorplan (unless one is supplied), assign signals, evaluate Eq. 1.
+
+    Raises ``RuntimeError`` when the floorplanner finds no legal floorplan
+    and :class:`~repro.assign.AssignmentError` when the SAP fails; partial
+    results are never silently scored.
+    """
+    cfg = config or FlowConfig()
+    if floorplan is not None:
+        fp_result = FloorplanResult(floorplan, algorithm="given")
+    else:
+        fp_result = run_efa_mix(
+            design, time_budget_s=cfg.floorplan_budget_s
+        )
+        if not fp_result.found:
+            raise RuntimeError(
+                f"no legal floorplan found for design {design.name!r}"
+            )
+    if cfg.post_optimize:
+        from .floorplan import optimize_floorplan
+
+        optimized, post_stats = optimize_floorplan(
+            design, fp_result.floorplan
+        )
+        fp_result.floorplan = optimized
+        fp_result.est_wl = post_stats.final_est_wl
+    assigner = MCMFAssigner(cfg.assigner)
+    asg_result = assigner.assign_with_stats(design, fp_result.floorplan)
+    if not asg_result.complete:
+        raise RuntimeError(
+            f"signal assignment failed for design {design.name!r}: "
+            f"{asg_result.note}"
+        )
+    wl = total_wirelength(design, fp_result.floorplan, asg_result.assignment)
+    return FlowResult(design, fp_result, asg_result, wl)

@@ -1,0 +1,26 @@
+"""Planar geometry substrate: points, rectangles, orientations, HPWL."""
+
+from .bbox import bounding_box, hpwl, hpwl_of_rect
+from .orientation import (
+    ALL_ORIENTATIONS,
+    Orientation,
+    landscape_orientations,
+    portrait_orientations,
+)
+from .point import ORIGIN, Point, centroid, manhattan
+from .rect import Rect
+
+__all__ = [
+    "ALL_ORIENTATIONS",
+    "ORIGIN",
+    "Orientation",
+    "Point",
+    "Rect",
+    "bounding_box",
+    "centroid",
+    "hpwl",
+    "hpwl_of_rect",
+    "landscape_orientations",
+    "manhattan",
+    "portrait_orientations",
+]

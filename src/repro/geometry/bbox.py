@@ -1,0 +1,62 @@
+"""Bounding boxes and half-perimeter wirelength (HPWL).
+
+HPWL is the floorplanner's wirelength estimator (Section 3 of the paper):
+the total wirelength of a floorplan is approximated by summing, over every
+signal, the half perimeter of the bounding box of the signal's terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .point import Point
+from .rect import Rect
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Smallest axis-aligned rectangle covering a non-empty point set."""
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box() of an empty point set") from None
+    lo_x = hi_x = first.x
+    lo_y = hi_y = first.y
+    for p in it:
+        if p.x < lo_x:
+            lo_x = p.x
+        elif p.x > hi_x:
+            hi_x = p.x
+        if p.y < lo_y:
+            lo_y = p.y
+        elif p.y > hi_y:
+            hi_y = p.y
+    return Rect(lo_x, lo_y, hi_x - lo_x, hi_y - lo_y)
+
+
+def hpwl(points: Iterable[Point]) -> float:
+    """Half-perimeter wirelength of a point set (0.0 for < 2 points)."""
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        return 0.0
+    lo_x = hi_x = first.x
+    lo_y = hi_y = first.y
+    for p in it:
+        if p.x < lo_x:
+            lo_x = p.x
+        elif p.x > hi_x:
+            hi_x = p.x
+        if p.y < lo_y:
+            lo_y = p.y
+        elif p.y > hi_y:
+            hi_y = p.y
+    return (hi_x - lo_x) + (hi_y - lo_y)
+
+
+def hpwl_of_rect(box: Optional[Rect]) -> float:
+    """Half perimeter of a rectangle (0.0 for ``None``)."""
+    if box is None:
+        return 0.0
+    return box.width + box.height

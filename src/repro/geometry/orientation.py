@@ -1,0 +1,106 @@
+"""Die orientations and local-to-global coordinate transforms.
+
+The paper allows each die to be rotated by 0, 90, 180 or 270 degrees; die
+flipping (mirroring) is *not* allowed in 2.5D ICs (Section 3).  A die's
+pads are given in die-local coordinates with the origin at the die's
+lower-left corner; placing the die on the interposer therefore needs a
+rotation followed by a translation.
+
+The convention used throughout:
+
+* A die of size ``(w, h)`` rotated by ``R90`` occupies ``(h, w)``.
+* Rotation is counter-clockwise about the die's own lower-left corner,
+  followed by shifting the rotated footprint back into the first quadrant,
+  so local coordinates always stay within ``[0, w'] x [0, h']`` of the
+  rotated footprint.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+from .point import Point
+
+
+class Orientation(Enum):
+    """The four allowed die rotations (counter-clockwise, no mirroring)."""
+
+    R0 = 0
+    R90 = 90
+    R180 = 180
+    R270 = 270
+
+    @property
+    def swaps_dims(self) -> bool:
+        """True when the rotation exchanges width and height."""
+        return self in (Orientation.R90, Orientation.R270)
+
+    def rotated_dims(self, width: float, height: float) -> Tuple[float, float]:
+        """Footprint of a ``width x height`` die under this orientation."""
+        if self.swaps_dims:
+            return (height, width)
+        return (width, height)
+
+    def apply(self, p: Point, width: float, height: float) -> Point:
+        """Map a die-local point into the rotated die's local frame.
+
+        ``width`` and ``height`` are the die's *unrotated* dimensions.  The
+        result is again expressed with the rotated footprint's lower-left
+        corner at the origin.
+        """
+        if self is Orientation.R0:
+            return p
+        if self is Orientation.R90:
+            # CCW 90: (x, y) -> (-y, x), shift x by +h.
+            return Point(height - p.y, p.x)
+        if self is Orientation.R180:
+            return Point(width - p.x, height - p.y)
+        # R270: (x, y) -> (y, -x), shift y by +w.
+        return Point(p.y, width - p.x)
+
+    def inverse(self) -> "Orientation":
+        """The rotation that undoes this one."""
+        return _INVERSE[self]
+
+    def compose(self, other: "Orientation") -> "Orientation":
+        """Orientation equal to applying ``self`` then ``other``."""
+        return Orientation((self.value + other.value) % 360)
+
+
+_INVERSE = {
+    Orientation.R0: Orientation.R0,
+    Orientation.R90: Orientation.R270,
+    Orientation.R180: Orientation.R180,
+    Orientation.R270: Orientation.R90,
+}
+
+ALL_ORIENTATIONS: Tuple[Orientation, ...] = (
+    Orientation.R0,
+    Orientation.R90,
+    Orientation.R180,
+    Orientation.R270,
+)
+
+
+def landscape_orientations(width: float, height: float) -> Tuple[Orientation, ...]:
+    """Orientations making the die's height <= its width (used for F_low).
+
+    A square die qualifies under all four orientations, matching the paper's
+    Fig. 4(b) discussion where the square die d2 contributes four potential
+    locations per terminal.
+    """
+    if width == height:
+        return ALL_ORIENTATIONS
+    if width > height:
+        return (Orientation.R0, Orientation.R180)
+    return (Orientation.R90, Orientation.R270)
+
+
+def portrait_orientations(width: float, height: float) -> Tuple[Orientation, ...]:
+    """Orientations making the die's width <= its height (used for F_thin)."""
+    if width == height:
+        return ALL_ORIENTATIONS
+    if height > width:
+        return (Orientation.R0, Orientation.R180)
+    return (Orientation.R90, Orientation.R270)

@@ -1,0 +1,87 @@
+"""Planar points and Manhattan metrics.
+
+All geometry in this library lives on a continuous 2D plane measured in
+millimetres (the unit used by the paper's technology parameters: 0.04 mm
+micro-bump pitch, 0.2 mm TSV pitch).  Wirelength is always rectilinear
+(L1 / Manhattan), matching the paper's MST- and HPWL-based evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2D point.
+
+    ``Point`` supports vector-style addition/subtraction and scalar
+    multiplication, which keeps the orientation-transform code in
+    :mod:`repro.geometry.orientation` short and readable.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Rectilinear (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """True when both coordinates match within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Module-level alias of :meth:`Point.manhattan_to`.
+
+    The signal-assignment cost model (Eq. 3/4 of the paper) calls this in
+    tight loops; a free function keeps those call sites symmetric in the two
+    endpoints.
+    """
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid() of an empty point set")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))

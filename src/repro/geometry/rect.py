@@ -1,0 +1,165 @@
+"""Axis-aligned rectangles.
+
+Dies, interposer outlines and window-matching windows are all axis-aligned
+rectangles.  The class stores the lower-left corner plus width/height, which
+matches how sequence-pair packing produces coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An immutable axis-aligned rectangle with non-negative dimensions."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"Rect dimensions must be non-negative, got "
+                f"{self.width} x {self.height}"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_corners(cls, x1: float, y1: float, x2: float, y2: float) -> "Rect":
+        """Build from any two opposite corners."""
+        lo_x, hi_x = min(x1, x2), max(x1, x2)
+        lo_y, hi_y = min(y1, y2), max(y1, y2)
+        return cls(lo_x, lo_y, hi_x - lo_x, hi_y - lo_y)
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Build a ``width x height`` rectangle centred on ``center``."""
+        return cls(center.x - width / 2.0, center.y - height / 2.0, width, height)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the rectangle."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Corners in counter-clockwise order starting at lower-left."""
+        return (
+            Point(self.x, self.y),
+            Point(self.x2, self.y),
+            Point(self.x2, self.y2),
+            Point(self.x, self.y2),
+        )
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.width
+        yield self.height
+
+    # -- predicates ---------------------------------------------------------
+
+    def contains_point(self, p: Point, tol: float = 0.0) -> bool:
+        """True when ``p`` lies inside or on the boundary (inflated by tol)."""
+        return (
+            self.x - tol <= p.x <= self.x2 + tol
+            and self.y - tol <= p.y <= self.y2 + tol
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """True when ``other`` lies fully inside this rectangle."""
+        return (
+            other.x >= self.x - tol
+            and other.y >= self.y - tol
+            and other.x2 <= self.x2 + tol
+            and other.y2 <= self.y2 + tol
+        )
+
+    def overlaps(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """True when the two rectangles share interior area (not mere touch)."""
+        return (
+            self.x < other.x2 - tol
+            and other.x < self.x2 - tol
+            and self.y < other.y2 - tol
+            and other.y < self.y2 - tol
+        )
+
+    # -- measurements --------------------------------------------------------
+
+    def gap_to(self, other: "Rect") -> float:
+        """Minimum rectilinear clearance between the two boundaries.
+
+        Zero when the rectangles touch or overlap.  This is the quantity the
+        die-to-die spacing constraint ``c_d`` bounds from below.
+        """
+        dx = max(other.x - self.x2, self.x - other.x2, 0.0)
+        dy = max(other.y - self.y2, self.y - other.y2, 0.0)
+        if dx > 0.0 and dy > 0.0:
+            # Diagonal separation: the clearance relevant to manufacturing
+            # stress is the straight-line gap; use the Chebyshev-style max so
+            # two diagonally adjacent dies separated by (dx, dy) pass iff the
+            # larger component passes.  The paper speaks of "distance between
+            # the boundaries", which for axis-aligned dies reduces to this.
+            return max(dx, dy)
+        return dx + dy
+
+    def boundary_clearance(self, inner: "Rect") -> float:
+        """Minimum distance from ``inner``'s boundary to this rect's boundary.
+
+        Negative when ``inner`` sticks out.  This is the quantity the
+        die-to-interposer-boundary constraint ``c_b`` bounds from below.
+        """
+        return min(
+            inner.x - self.x,
+            inner.y - self.y,
+            self.x2 - inner.x2,
+            self.y2 - inner.y2,
+        )
+
+    # -- transforms -----------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) every side by ``margin``."""
+        return Rect(
+            self.x - margin,
+            self.y - margin,
+            self.width + 2 * margin,
+            self.height + 2 * margin,
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect.from_corners(
+            min(self.x, other.x),
+            min(self.y, other.y),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )

@@ -1,0 +1,49 @@
+"""Serialization: JSON (canonical) and a Bookshelf-style text format."""
+
+from .text_format import (
+    TextFormatError,
+    dumps_design,
+    load_design_text,
+    loads_design,
+    save_design_text,
+)
+from .json_io import (
+    SCHEMA_VERSION,
+    assignment_from_dict,
+    assignment_to_dict,
+    design_from_dict,
+    design_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_assignment,
+    load_design,
+    load_floorplan,
+    load_json,
+    save_assignment,
+    save_design,
+    save_floorplan,
+    save_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TextFormatError",
+    "dumps_design",
+    "load_design_text",
+    "loads_design",
+    "save_design_text",
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "design_from_dict",
+    "design_to_dict",
+    "floorplan_from_dict",
+    "floorplan_to_dict",
+    "load_assignment",
+    "load_design",
+    "load_floorplan",
+    "load_json",
+    "save_assignment",
+    "save_design",
+    "save_floorplan",
+    "save_json",
+]

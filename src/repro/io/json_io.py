@@ -1,0 +1,288 @@
+"""JSON round-tripping for designs, floorplans and assignments.
+
+Keeps benchmark artifacts inspectable and lets downstream users bring their
+own designs without touching Python constructors.  The schema is versioned
+so future format changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..geometry import Orientation, Point, Rect
+from ..model import (
+    Assignment,
+    Design,
+    Die,
+    EscapePoint,
+    Floorplan,
+    IOBuffer,
+    Interposer,
+    MicroBump,
+    Package,
+    Placement,
+    Signal,
+    SpacingRules,
+    TSV,
+    Weights,
+)
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _point(p: Point) -> Dict[str, float]:
+    return {"x": p.x, "y": p.y}
+
+
+def _parse_point(d: Dict[str, float]) -> Point:
+    return Point(float(d["x"]), float(d["y"]))
+
+
+# -- design ----------------------------------------------------------------------
+
+
+def design_to_dict(design: Design) -> Dict[str, Any]:
+    """Serialize a design to plain JSON-ready dicts."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": design.name,
+        "weights": {
+            "alpha": design.weights.alpha,
+            "beta": design.weights.beta,
+            "gamma": design.weights.gamma,
+        },
+        "spacing": {
+            "die_to_die": design.spacing.die_to_die,
+            "die_to_boundary": design.spacing.die_to_boundary,
+        },
+        "interposer": {
+            "width": design.interposer.width,
+            "height": design.interposer.height,
+            "tsv_pitch": design.interposer.tsv_pitch,
+            "tsvs": [
+                {"id": t.id, "position": _point(t.position)}
+                for t in design.interposer.tsvs
+            ],
+        },
+        "package": {
+            "frame": list(design.package.frame),
+            "escape_points": [
+                {
+                    "id": e.id,
+                    "position": _point(e.position),
+                    "signal_id": e.signal_id,
+                }
+                for e in design.package.escape_points
+            ],
+        },
+        "dies": [
+            {
+                "id": d.id,
+                "width": d.width,
+                "height": d.height,
+                "bump_pitch": d.bump_pitch,
+                "buffers": [
+                    {
+                        "id": b.id,
+                        "position": _point(b.position),
+                        "signal_id": b.signal_id,
+                    }
+                    for b in d.buffers
+                ],
+                "bumps": [
+                    {"id": m.id, "position": _point(m.position)}
+                    for m in d.bumps
+                ],
+            }
+            for d in design.dies
+        ],
+        "signals": [
+            {
+                "id": s.id,
+                "buffer_ids": list(s.buffer_ids),
+                "escape_id": s.escape_id,
+            }
+            for s in design.signals
+        ],
+    }
+
+
+def design_from_dict(data: Dict[str, Any]) -> Design:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported design schema {data.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    dies = []
+    for dd in data["dies"]:
+        dies.append(
+            Die(
+                id=dd["id"],
+                width=float(dd["width"]),
+                height=float(dd["height"]),
+                bump_pitch=float(dd["bump_pitch"]),
+                buffers=[
+                    IOBuffer(
+                        id=bd["id"],
+                        die_id=dd["id"],
+                        position=_parse_point(bd["position"]),
+                        signal_id=bd.get("signal_id"),
+                    )
+                    for bd in dd["buffers"]
+                ],
+                bumps=[
+                    MicroBump(
+                        id=md["id"],
+                        die_id=dd["id"],
+                        position=_parse_point(md["position"]),
+                    )
+                    for md in dd["bumps"]
+                ],
+            )
+        )
+    inter = data["interposer"]
+    interposer = Interposer(
+        width=float(inter["width"]),
+        height=float(inter["height"]),
+        tsv_pitch=float(inter["tsv_pitch"]),
+        tsvs=[
+            TSV(id=td["id"], position=_parse_point(td["position"]))
+            for td in inter["tsvs"]
+        ],
+    )
+    pkg = data["package"]
+    package = Package(
+        frame=Rect(*[float(v) for v in pkg["frame"]]),
+        escape_points=[
+            EscapePoint(
+                id=ed["id"],
+                position=_parse_point(ed["position"]),
+                signal_id=ed["signal_id"],
+            )
+            for ed in pkg["escape_points"]
+        ],
+    )
+    signals = [
+        Signal(
+            id=sd["id"],
+            buffer_ids=tuple(sd["buffer_ids"]),
+            escape_id=sd.get("escape_id"),
+        )
+        for sd in data["signals"]
+    ]
+    w = data["weights"]
+    s = data["spacing"]
+    return Design(
+        name=data["name"],
+        dies=dies,
+        interposer=interposer,
+        package=package,
+        signals=signals,
+        weights=Weights(
+            float(w["alpha"]), float(w["beta"]), float(w["gamma"])
+        ),
+        spacing=SpacingRules(
+            float(s["die_to_die"]), float(s["die_to_boundary"])
+        ),
+    )
+
+
+# -- floorplan ----------------------------------------------------------------------
+
+
+def floorplan_to_dict(floorplan: Floorplan) -> Dict[str, Any]:
+    """Serialize a floorplan's placements."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "placements": {
+            die_id: {
+                "position": _point(pl.position),
+                "orientation": pl.orientation.value,
+            }
+            for die_id, pl in floorplan.placements.items()
+        },
+    }
+
+
+def floorplan_from_dict(data: Dict[str, Any], design: Design) -> Floorplan:
+    """Rebuild a floorplan against its design."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError("unsupported floorplan schema")
+    placements = {
+        die_id: Placement(
+            _parse_point(pd["position"]),
+            Orientation(int(pd["orientation"])),
+        )
+        for die_id, pd in data["placements"].items()
+    }
+    return Floorplan(design, placements)
+
+
+# -- assignment ---------------------------------------------------------------------
+
+
+def assignment_to_dict(assignment: Assignment) -> Dict[str, Any]:
+    """Serialize an assignment's two maps."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "buffer_to_bump": dict(assignment.buffer_to_bump),
+        "escape_to_tsv": dict(assignment.escape_to_tsv),
+    }
+
+
+def assignment_from_dict(data: Dict[str, Any]) -> Assignment:
+    """Rebuild an assignment from its dict form."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError("unsupported assignment schema")
+    return Assignment(
+        buffer_to_bump=dict(data["buffer_to_bump"]),
+        escape_to_tsv=dict(data["escape_to_tsv"]),
+    )
+
+
+# -- file helpers ----------------------------------------------------------------------
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> None:
+    """Write a dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON file into a dict."""
+    return json.loads(Path(path).read_text())
+
+
+def save_design(design: Design, path: PathLike) -> None:
+    """Write a design as JSON."""
+    save_json(design_to_dict(design), path)
+
+
+def load_design(path: PathLike) -> Design:
+    """Read a design from JSON."""
+    return design_from_dict(load_json(path))
+
+
+def save_floorplan(floorplan: Floorplan, path: PathLike) -> None:
+    """Write a floorplan as JSON."""
+    save_json(floorplan_to_dict(floorplan), path)
+
+
+def load_floorplan(path: PathLike, design: Design) -> Floorplan:
+    """Read a floorplan from JSON (needs its design)."""
+    return floorplan_from_dict(load_json(path), design)
+
+
+def save_assignment(assignment: Assignment, path: PathLike) -> None:
+    """Write an assignment as JSON."""
+    save_json(assignment_to_dict(assignment), path)
+
+
+def load_assignment(path: PathLike) -> Assignment:
+    """Read an assignment from JSON."""
+    return assignment_from_dict(load_json(path))

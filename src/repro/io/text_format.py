@@ -1,0 +1,281 @@
+"""A line-oriented text format for 2.5D designs (Bookshelf-style).
+
+JSON (see :mod:`repro.io.json_io`) is the canonical interchange format;
+this text format exists for hand-written testcases and diff-friendly
+storage, in the spirit of the academic Bookshelf/ISPD formats the paper's
+original testcases came from.
+
+Grammar (``#`` starts a comment, blank lines ignored)::
+
+    design <name>
+    weights <alpha> <beta> <gamma>
+    spacing <die_to_die> <die_to_boundary>
+    interposer <width> <height> <tsv_pitch>
+    tsv <id> <x> <y>
+    package <x> <y> <width> <height>
+    escape <id> <x> <y> <signal_id>
+    die <id> <width> <height> <bump_pitch>
+      buffer <id> <x> <y> <signal_id|->
+      bump <id> <x> <y>
+    end
+    signal <id> <escape_id|-> <buffer_id> [<buffer_id> ...]
+
+Sections may appear in any order except that ``buffer``/``bump`` lines
+must sit inside a ``die``/``end`` block.  The writer emits sections in the
+order above; reader and writer round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..geometry import Point, Rect
+from ..model import (
+    Design,
+    Die,
+    EscapePoint,
+    IOBuffer,
+    Interposer,
+    MicroBump,
+    Package,
+    Signal,
+    SpacingRules,
+    TSV,
+    Weights,
+)
+
+PathLike = Union[str, Path]
+
+
+class TextFormatError(ValueError):
+    """A syntax or structural error in a ``.25d`` text design."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def dumps_design(design: Design) -> str:
+    """Serialize a design to the text format."""
+    out: List[str] = [
+        f"# 2.5D design {design.name!r} "
+        "(repro text format; see repro.io.text_format)",
+        f"design {design.name}",
+        f"weights {design.weights.alpha!r} {design.weights.beta!r} "
+        f"{design.weights.gamma!r}",
+        f"spacing {design.spacing.die_to_die!r} "
+        f"{design.spacing.die_to_boundary!r}",
+        f"interposer {design.interposer.width!r} "
+        f"{design.interposer.height!r} {design.interposer.tsv_pitch!r}",
+    ]
+    for tsv in design.interposer.tsvs:
+        out.append(f"tsv {tsv.id} {tsv.position.x!r} {tsv.position.y!r}")
+    frame = design.package.frame
+    out.append(
+        f"package {frame.x!r} {frame.y!r} {frame.width!r} {frame.height!r}"
+    )
+    for e in design.package.escape_points:
+        out.append(
+            f"escape {e.id} {e.position.x!r} {e.position.y!r} {e.signal_id}"
+        )
+    for die in design.dies:
+        out.append(
+            f"die {die.id} {die.width!r} {die.height!r} {die.bump_pitch!r}"
+        )
+        for b in die.buffers:
+            signal = b.signal_id if b.signal_id is not None else "-"
+            out.append(
+                f"  buffer {b.id} {b.position.x!r} {b.position.y!r} {signal}"
+            )
+        for m in die.bumps:
+            out.append(f"  bump {m.id} {m.position.x!r} {m.position.y!r}")
+        out.append("end")
+    for s in design.signals:
+        escape = s.escape_id if s.escape_id is not None else "-"
+        out.append(f"signal {s.id} {escape} {' '.join(s.buffer_ids)}")
+    return "\n".join(out) + "\n"
+
+
+def loads_design(text: str) -> Design:
+    """Parse a design from the text format.
+
+    Raises :class:`TextFormatError` with a line number on any problem the
+    parser itself detects; the resulting :class:`Design` additionally runs
+    its own cross-reference validation.
+    """
+    name: Optional[str] = None
+    weights = Weights()
+    spacing = SpacingRules()
+    interposer_dims = None
+    tsvs: List[TSV] = []
+    frame: Optional[Rect] = None
+    escapes: List[EscapePoint] = []
+    dies: List[Die] = []
+    signals: List[Signal] = []
+
+    current_die = None  # (id, width, height, pitch, buffers, bumps)
+
+    def want(parts, count, line_no, what):
+        if len(parts) != count:
+            raise TextFormatError(
+                line_no, f"{what} expects {count - 1} fields, "
+                f"got {len(parts) - 1}"
+            )
+
+    def number(token, line_no):
+        try:
+            return float(token)
+        except ValueError:
+            raise TextFormatError(line_no, f"not a number: {token!r}") from None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+
+        if keyword in ("buffer", "bump") and current_die is None:
+            raise TextFormatError(
+                line_no, f"{keyword!r} outside a die block"
+            )
+
+        if keyword == "design":
+            want(parts, 2, line_no, "design")
+            name = parts[1]
+        elif keyword == "weights":
+            want(parts, 4, line_no, "weights")
+            weights = Weights(
+                number(parts[1], line_no),
+                number(parts[2], line_no),
+                number(parts[3], line_no),
+            )
+        elif keyword == "spacing":
+            want(parts, 3, line_no, "spacing")
+            spacing = SpacingRules(
+                number(parts[1], line_no), number(parts[2], line_no)
+            )
+        elif keyword == "interposer":
+            want(parts, 4, line_no, "interposer")
+            interposer_dims = (
+                number(parts[1], line_no),
+                number(parts[2], line_no),
+                number(parts[3], line_no),
+            )
+        elif keyword == "tsv":
+            want(parts, 4, line_no, "tsv")
+            tsvs.append(
+                TSV(
+                    parts[1],
+                    Point(number(parts[2], line_no), number(parts[3], line_no)),
+                )
+            )
+        elif keyword == "package":
+            want(parts, 5, line_no, "package")
+            frame = Rect(
+                number(parts[1], line_no),
+                number(parts[2], line_no),
+                number(parts[3], line_no),
+                number(parts[4], line_no),
+            )
+        elif keyword == "escape":
+            want(parts, 5, line_no, "escape")
+            escapes.append(
+                EscapePoint(
+                    parts[1],
+                    Point(number(parts[2], line_no), number(parts[3], line_no)),
+                    parts[4],
+                )
+            )
+        elif keyword == "die":
+            want(parts, 5, line_no, "die")
+            if current_die is not None:
+                raise TextFormatError(line_no, "nested die block")
+            current_die = (
+                parts[1],
+                number(parts[2], line_no),
+                number(parts[3], line_no),
+                number(parts[4], line_no),
+                [],
+                [],
+            )
+        elif keyword == "buffer":
+            want(parts, 5, line_no, "buffer")
+            signal_id = None if parts[4] == "-" else parts[4]
+            current_die[4].append(
+                IOBuffer(
+                    parts[1],
+                    current_die[0],
+                    Point(number(parts[2], line_no), number(parts[3], line_no)),
+                    signal_id,
+                )
+            )
+        elif keyword == "bump":
+            want(parts, 4, line_no, "bump")
+            current_die[5].append(
+                MicroBump(
+                    parts[1],
+                    current_die[0],
+                    Point(number(parts[2], line_no), number(parts[3], line_no)),
+                )
+            )
+        elif keyword == "end":
+            if current_die is None:
+                raise TextFormatError(line_no, "'end' outside a die block")
+            die_id, w, h, pitch, buffers, bumps = current_die
+            dies.append(
+                Die(
+                    id=die_id,
+                    width=w,
+                    height=h,
+                    bump_pitch=pitch,
+                    buffers=buffers,
+                    bumps=bumps,
+                )
+            )
+            current_die = None
+        elif keyword == "signal":
+            if len(parts) < 4:
+                raise TextFormatError(
+                    line_no, "signal expects an id, an escape (or -) and "
+                    "at least one buffer"
+                )
+            escape_id = None if parts[2] == "-" else parts[2]
+            signals.append(Signal(parts[1], tuple(parts[3:]), escape_id))
+        else:
+            raise TextFormatError(line_no, f"unknown keyword {keyword!r}")
+
+    if current_die is not None:
+        raise TextFormatError(len(text.splitlines()), "unterminated die block")
+    if name is None:
+        raise TextFormatError(0, "missing 'design' line")
+    if interposer_dims is None:
+        raise TextFormatError(0, "missing 'interposer' line")
+    if frame is None:
+        raise TextFormatError(0, "missing 'package' line")
+
+    return Design(
+        name=name,
+        dies=dies,
+        interposer=Interposer(
+            width=interposer_dims[0],
+            height=interposer_dims[1],
+            tsv_pitch=interposer_dims[2],
+            tsvs=tsvs,
+        ),
+        package=Package(frame=frame, escape_points=escapes),
+        signals=signals,
+        weights=weights,
+        spacing=spacing,
+    )
+
+
+def save_design_text(design: Design, path: PathLike) -> None:
+    """Write a design in the text format."""
+    Path(path).write_text(dumps_design(design))
+
+
+def load_design_text(path: PathLike) -> Design:
+    """Read a design from a text-format file."""
+    return loads_design(Path(path).read_text())

@@ -1,0 +1,40 @@
+"""The 2.5D IC design model: dies, interposer, package, signals, floorplans."""
+
+from .assignment import Assignment
+from .design import Design, SpacingRules, Weights
+from .die import Die, IOBuffer, MicroBump, buffers_from_positions, make_bump_grid
+from .floorplan import LEGALITY_EPS, Floorplan, Placement, orientation_vector
+from .interposer import TSV, Interposer, make_tsv_grid
+from .nets import ExternalNet, InternalNet, IntraDieNet, Netlist, extract_nets
+from .package import EscapePoint, Package, escape_points_on_frame
+from .signal import Signal, Terminal, TerminalKind
+
+__all__ = [
+    "Assignment",
+    "Design",
+    "Die",
+    "EscapePoint",
+    "ExternalNet",
+    "Floorplan",
+    "IOBuffer",
+    "InternalNet",
+    "Interposer",
+    "IntraDieNet",
+    "LEGALITY_EPS",
+    "MicroBump",
+    "Netlist",
+    "Package",
+    "Placement",
+    "Signal",
+    "SpacingRules",
+    "TSV",
+    "Terminal",
+    "TerminalKind",
+    "Weights",
+    "buffers_from_positions",
+    "escape_points_on_frame",
+    "extract_nets",
+    "make_bump_grid",
+    "make_tsv_grid",
+    "orientation_vector",
+]

@@ -1,0 +1,95 @@
+"""Signal assignment results.
+
+The SAP's output is (a) for every signal-carrying I/O buffer, the micro-bump
+of the same die that carries its signal off the die, and (b) for every
+escaping point, the TSV that carries its signal out of the interposer.
+At most one signal per micro-bump and per TSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .design import Design
+
+
+@dataclass
+class Assignment:
+    """Mapping of buffers to micro-bumps and escape points to TSVs."""
+
+    buffer_to_bump: Dict[str, str] = field(default_factory=dict)
+    escape_to_tsv: Dict[str, str] = field(default_factory=dict)
+
+    def merge(self, other: "Assignment") -> None:
+        """Fold another (disjoint) partial assignment into this one."""
+        overlap_b = set(self.buffer_to_bump) & set(other.buffer_to_bump)
+        if overlap_b:
+            raise ValueError(f"buffers assigned twice: {sorted(overlap_b)[:5]}")
+        overlap_e = set(self.escape_to_tsv) & set(other.escape_to_tsv)
+        if overlap_e:
+            raise ValueError(f"escapes assigned twice: {sorted(overlap_e)[:5]}")
+        self.buffer_to_bump.update(other.buffer_to_bump)
+        self.escape_to_tsv.update(other.escape_to_tsv)
+
+    def violations(self, design: Design) -> List[str]:
+        """All validity violations of this assignment against ``design``.
+
+        Checks the SAP constraints: every signal-carrying buffer is served
+        by a bump of its own die, every escaping point by a TSV, and no
+        bump/TSV serves two signals.
+        """
+        problems: List[str] = []
+        used_bumps: Dict[str, str] = {}
+        for buffer_id, bump_id in self.buffer_to_bump.items():
+            if design.signal_of_buffer(buffer_id) is None:
+                problems.append(f"buffer {buffer_id} carries no signal")
+                continue
+            die_b = design.die_of_buffer(buffer_id)
+            try:
+                die_m = design.die_of_bump(bump_id)
+            except KeyError:
+                problems.append(f"buffer {buffer_id} -> unknown bump {bump_id}")
+                continue
+            if die_b != die_m:
+                problems.append(
+                    f"buffer {buffer_id} (die {die_b}) assigned to bump of "
+                    f"die {die_m}"
+                )
+            if bump_id in used_bumps:
+                problems.append(
+                    f"bump {bump_id} assigned to both {used_bumps[bump_id]} "
+                    f"and {buffer_id}"
+                )
+            used_bumps[bump_id] = buffer_id
+
+        used_tsvs: Dict[str, str] = {}
+        for escape_id, tsv_id in self.escape_to_tsv.items():
+            if not design.package.has_escape(escape_id):
+                problems.append(f"unknown escape point {escape_id}")
+                continue
+            if not design.interposer.has_tsv(tsv_id):
+                problems.append(f"escape {escape_id} -> unknown TSV {tsv_id}")
+                continue
+            if tsv_id in used_tsvs:
+                problems.append(
+                    f"TSV {tsv_id} assigned to both {used_tsvs[tsv_id]} "
+                    f"and {escape_id}"
+                )
+            used_tsvs[tsv_id] = escape_id
+
+        for die in design.dies:
+            for buf in design.carrying_buffers(die.id):
+                if buf.id not in self.buffer_to_bump:
+                    problems.append(f"buffer {buf.id} left unassigned")
+        for sig in design.escaping_signals():
+            if sig.escape_id not in self.escape_to_tsv:
+                problems.append(
+                    f"escape point {sig.escape_id} (signal {sig.id}) left "
+                    "unassigned"
+                )
+        return problems
+
+    def is_complete(self, design: Design) -> bool:
+        """True when :meth:`violations` finds nothing."""
+        return not self.violations(design)

@@ -1,0 +1,221 @@
+"""The top-level 2.5D IC design container.
+
+A :class:`Design` bundles everything the two problems consume: the die set
+``D``, signal set ``S``, I/O buffers ``B``, micro-bumps ``M``, TSVs ``T``,
+escaping points ``E``, the interposer outline, the package frame, the Eq. 1
+weights and the spacing constraints.  It validates cross-references on
+construction and offers the id lookups the algorithms need in inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .die import Die, IOBuffer, MicroBump
+from .interposer import Interposer, TSV
+from .package import EscapePoint, Package
+from .signal import Signal
+
+
+@dataclass(frozen=True)
+class Weights:
+    """The Eq. 1 trade-off weights (all 1.0 by default, as in the paper)."""
+
+    alpha: float = 1.0  # intra-die nets
+    beta: float = 1.0  # internal (interposer) nets
+    gamma: float = 1.0  # external (PCB-level) nets
+
+    def __post_init__(self) -> None:
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise ValueError("wirelength weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class SpacingRules:
+    """Manufacturing stress spacing constraints (Section 2.2).
+
+    ``die_to_die`` is the paper's ``c_d`` (minimum boundary-to-boundary
+    clearance between any pair of dies), ``die_to_boundary`` its ``c_b``
+    (minimum clearance between a die boundary and the interposer boundary).
+    """
+
+    die_to_die: float = 0.0
+    die_to_boundary: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.die_to_die < 0 or self.die_to_boundary < 0:
+            raise ValueError("spacing constraints must be non-negative")
+
+
+@dataclass
+class Design:
+    """A complete 2.5D IC instance for floorplanning + signal assignment."""
+
+    name: str
+    dies: List[Die]
+    interposer: Interposer
+    package: Package
+    signals: List[Signal]
+    weights: Weights = field(default_factory=Weights)
+    spacing: SpacingRules = field(default_factory=SpacingRules)
+
+    def __post_init__(self) -> None:
+        self._die_index: Dict[str, Die] = {}
+        self._signal_index: Dict[str, Signal] = {}
+        self._buffer_owner: Dict[str, str] = {}
+        self._bump_owner: Dict[str, str] = {}
+        self._buffer_signal: Dict[str, str] = {}
+        self._escape_signal: Dict[str, str] = {}
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all cross-references and rebuild lookup tables.
+
+        Raises ``ValueError`` describing the first inconsistency found.
+        """
+        self._die_index = {d.id: d for d in self.dies}
+        if len(self._die_index) != len(self.dies):
+            raise ValueError("duplicate die ids")
+        self._signal_index = {s.id: s for s in self.signals}
+        if len(self._signal_index) != len(self.signals):
+            raise ValueError("duplicate signal ids")
+
+        self._buffer_owner = {}
+        self._bump_owner = {}
+        for die in self.dies:
+            for b in die.buffers:
+                if b.id in self._buffer_owner:
+                    raise ValueError(f"I/O buffer id {b.id!r} used by two dies")
+                self._buffer_owner[b.id] = die.id
+            for m in die.bumps:
+                if m.id in self._bump_owner:
+                    raise ValueError(f"micro-bump id {m.id!r} used by two dies")
+                self._bump_owner[m.id] = die.id
+
+        self._buffer_signal = {}
+        self._escape_signal = {}
+        for s in self.signals:
+            touched_dies = set()
+            for bid in s.buffer_ids:
+                die_id = self._buffer_owner.get(bid)
+                if die_id is None:
+                    raise ValueError(
+                        f"signal {s.id!r} references unknown buffer {bid!r}"
+                    )
+                if die_id in touched_dies:
+                    raise ValueError(
+                        f"signal {s.id!r} has two terminals in die {die_id!r}"
+                    )
+                touched_dies.add(die_id)
+                if bid in self._buffer_signal:
+                    raise ValueError(
+                        f"buffer {bid!r} carries two signals "
+                        f"({self._buffer_signal[bid]!r} and {s.id!r})"
+                    )
+                self._buffer_signal[bid] = s.id
+            if s.escape_id is not None:
+                if not self.package.has_escape(s.escape_id):
+                    raise ValueError(
+                        f"signal {s.id!r} references unknown escape point "
+                        f"{s.escape_id!r}"
+                    )
+                if s.escape_id in self._escape_signal:
+                    raise ValueError(
+                        f"escape point {s.escape_id!r} carries two signals"
+                    )
+                self._escape_signal[s.escape_id] = s.id
+                declared = self.package.escape(s.escape_id).signal_id
+                if declared != s.id:
+                    raise ValueError(
+                        f"escape point {s.escape_id!r} declares signal "
+                        f"{declared!r}, but signal {s.id!r} claims it"
+                    )
+
+        # Per-die capacity: the SAP needs at least as many bump sites as
+        # signal-carrying buffers in every die, and enough TSVs overall.
+        for die in self.dies:
+            carrying = [b for b in die.buffers if b.id in self._buffer_signal]
+            if len(carrying) > len(die.bumps):
+                raise ValueError(
+                    f"die {die.id!r} has {len(carrying)} signal-carrying "
+                    f"buffers but only {len(die.bumps)} micro-bump sites"
+                )
+        escaping = sum(1 for s in self.signals if s.escapes)
+        if escaping > len(self.interposer.tsvs):
+            raise ValueError(
+                f"{escaping} escaping signals but only "
+                f"{len(self.interposer.tsvs)} TSV sites"
+            )
+
+        if not self.package.frame.contains_rect(self.interposer.outline):
+            raise ValueError("package frame does not enclose the interposer")
+
+    # -- lookups -------------------------------------------------------------
+
+    def die(self, die_id: str) -> Die:
+        """Die by id."""
+        return self._die_index[die_id]
+
+    def signal(self, signal_id: str) -> Signal:
+        """Signal by id."""
+        return self._signal_index[signal_id]
+
+    def die_of_buffer(self, buffer_id: str) -> str:
+        """Id of the die owning a buffer."""
+        return self._buffer_owner[buffer_id]
+
+    def die_of_bump(self, bump_id: str) -> str:
+        """Id of the die owning a micro-bump."""
+        return self._bump_owner[bump_id]
+
+    def buffer(self, buffer_id: str) -> IOBuffer:
+        """I/O buffer by id."""
+        return self._die_index[self._buffer_owner[buffer_id]].buffer(buffer_id)
+
+    def bump(self, bump_id: str) -> MicroBump:
+        """Micro-bump by id."""
+        return self._die_index[self._bump_owner[bump_id]].bump(bump_id)
+
+    def tsv(self, tsv_id: str) -> TSV:
+        """TSV by id."""
+        return self.interposer.tsv(tsv_id)
+
+    def escape(self, escape_id: str) -> EscapePoint:
+        """Escape point by id."""
+        return self.package.escape(escape_id)
+
+    def signal_of_buffer(self, buffer_id: str) -> Optional[str]:
+        """Id of the signal a buffer carries, or ``None`` for spare buffers."""
+        return self._buffer_signal.get(buffer_id)
+
+    def carrying_buffers(self, die_id: str) -> List[IOBuffer]:
+        """The signal-carrying I/O buffers of a die (the sub-SAP demand)."""
+        die = self._die_index[die_id]
+        return [b for b in die.buffers if b.id in self._buffer_signal]
+
+    def escaping_signals(self) -> List[Signal]:
+        """All signals with an escape point."""
+        return [s for s in self.signals if s.escapes]
+
+    # -- statistics (the Table 1 columns) -------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """|D|, |S|, |B|, |E|, |T|, |M| as reported in the paper's Table 1."""
+        return {
+            "D": len(self.dies),
+            "S": len(self.signals),
+            "B": sum(len(d.buffers) for d in self.dies),
+            "E": len(self.package.escape_points),
+            "T": len(self.interposer.tsvs),
+            "M": sum(len(d.bumps) for d in self.dies),
+        }
+
+    def die_order_for_sap(self) -> List[str]:
+        """Die ids in decreasing number-of-I/O-buffers order (Section 4)."""
+        return [
+            d.id
+            for d in sorted(self.dies, key=lambda d: (-len(d.buffers), d.id))
+        ]

@@ -1,0 +1,186 @@
+"""Dies and their pads (I/O buffers and micro-bumps).
+
+The paper assumes each die's placement and routing are already finished, so
+I/O buffer locations inside a die are fixed inputs.  Micro-bump locations are
+*candidate sites* on a regular grid (0.04 mm pitch in the paper's testcases);
+a site is only fabricated if the signal assignment uses it.
+
+All pad coordinates are die-local with the origin at the die's lower-left
+corner and the die unrotated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class IOBuffer:
+    """A fixed I/O buffer inside a die.
+
+    ``signal_id`` names the signal this buffer carries; per the problem
+    statement every I/O buffer carries exactly one signal and needs a
+    micro-bump assigned to it.
+    """
+
+    id: str
+    die_id: str
+    position: Point
+    signal_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MicroBump:
+    """A candidate micro-bump site inside a die."""
+
+    id: str
+    die_id: str
+    position: Point
+
+
+@dataclass
+class Die:
+    """A die to be mounted on the interposer.
+
+    Parameters
+    ----------
+    id:
+        Unique die identifier (e.g. ``"d1"``).
+    width, height:
+        Die dimensions in mm, unrotated.
+    buffers:
+        The die's I/O buffers (fixed, die-local coordinates).
+    bumps:
+        The die's candidate micro-bump sites (die-local coordinates).
+    bump_pitch:
+        Pitch of the micro-bump grid; used by the window matching method.
+    """
+
+    id: str
+    width: float
+    height: float
+    buffers: List[IOBuffer] = field(default_factory=list)
+    bumps: List[MicroBump] = field(default_factory=list)
+    bump_pitch: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"die {self.id!r}: non-positive dimensions")
+        if self.bump_pitch <= 0:
+            raise ValueError(f"die {self.id!r}: non-positive bump pitch")
+        self._buffer_index: Dict[str, IOBuffer] = {}
+        self._bump_index: Dict[str, MicroBump] = {}
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild the id -> pad lookup tables after mutating pad lists."""
+        self._buffer_index = {b.id: b for b in self.buffers}
+        self._bump_index = {m.id: m for m in self.bumps}
+        if len(self._buffer_index) != len(self.buffers):
+            raise ValueError(f"die {self.id!r}: duplicate I/O buffer ids")
+        if len(self._bump_index) != len(self.bumps):
+            raise ValueError(f"die {self.id!r}: duplicate micro-bump ids")
+        for pad in list(self.buffers) + list(self.bumps):
+            if pad.die_id != self.id:
+                raise ValueError(
+                    f"pad {pad.id!r} claims die {pad.die_id!r}, "
+                    f"stored in die {self.id!r}"
+                )
+            if not (0.0 <= pad.position.x <= self.width):
+                raise ValueError(f"pad {pad.id!r} x outside die {self.id!r}")
+            if not (0.0 <= pad.position.y <= self.height):
+                raise ValueError(f"pad {pad.id!r} y outside die {self.id!r}")
+
+    # -- lookups -------------------------------------------------------------
+
+    def buffer(self, buffer_id: str) -> IOBuffer:
+        """I/O buffer by id."""
+        return self._buffer_index[buffer_id]
+
+    def bump(self, bump_id: str) -> MicroBump:
+        """Micro-bump by id."""
+        return self._bump_index[bump_id]
+
+    def has_buffer(self, buffer_id: str) -> bool:
+        """True when the id names a buffer of this die."""
+        return buffer_id in self._buffer_index
+
+    def has_bump(self, bump_id: str) -> bool:
+        """True when the id names a bump of this die."""
+        return bump_id in self._bump_index
+
+    @property
+    def dims(self) -> Tuple[float, float]:
+        """(width, height) of the unrotated die."""
+        return (self.width, self.height)
+
+    @property
+    def area(self) -> float:
+        """Die area in square millimetres."""
+        return self.width * self.height
+
+
+def make_bump_grid(
+    die_id: str,
+    width: float,
+    height: float,
+    pitch: float,
+    margin: Optional[float] = None,
+    id_prefix: str = "m",
+) -> List[MicroBump]:
+    """Generate a regular micro-bump grid covering a die.
+
+    The grid is centred on the die with ``margin`` (default: half a pitch)
+    clearance to every die edge, which mirrors how area-array micro-bumps are
+    laid out in practice.
+    """
+    if pitch <= 0:
+        raise ValueError("bump pitch must be positive")
+    if margin is None:
+        margin = pitch / 2.0
+    usable_w = width - 2 * margin
+    usable_h = height - 2 * margin
+    if usable_w < 0 or usable_h < 0:
+        return []
+    cols = int(usable_w / pitch) + 1
+    rows = int(usable_h / pitch) + 1
+    # Centre the grid inside the usable area.
+    x0 = margin + (usable_w - (cols - 1) * pitch) / 2.0
+    y0 = margin + (usable_h - (rows - 1) * pitch) / 2.0
+    bumps: List[MicroBump] = []
+    for r in range(rows):
+        for c in range(cols):
+            bumps.append(
+                MicroBump(
+                    id=f"{id_prefix}_{die_id}_{r}_{c}",
+                    die_id=die_id,
+                    position=Point(x0 + c * pitch, y0 + r * pitch),
+                )
+            )
+    return bumps
+
+
+def buffers_from_positions(
+    die_id: str,
+    positions: Sequence[Point],
+    signal_ids: Optional[Sequence[Optional[str]]] = None,
+    id_prefix: str = "b",
+) -> List[IOBuffer]:
+    """Convenience constructor for a die's I/O buffer list."""
+    if signal_ids is not None and len(signal_ids) != len(positions):
+        raise ValueError("signal_ids length must match positions length")
+    buffers = []
+    for i, pos in enumerate(positions):
+        sid = signal_ids[i] if signal_ids is not None else None
+        buffers.append(
+            IOBuffer(
+                id=f"{id_prefix}_{die_id}_{i}",
+                die_id=die_id,
+                position=pos,
+                signal_id=sid,
+            )
+        )
+    return buffers

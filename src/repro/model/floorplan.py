@@ -1,0 +1,181 @@
+"""Die placements on the interposer and global-coordinate queries.
+
+A :class:`Floorplan` is the output of the multi-die floorplanning problem:
+for every die, a lower-left position on the interposer plus one of the four
+allowed orientations.  It answers the geometric queries the signal
+assignment and the evaluator need (global pad positions, footprints) and
+checks the legality rules of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..geometry import Orientation, Point, Rect
+from .design import Design
+from .signal import Signal
+
+# Floating-point slack for the legality predicates.  Sequence-pair packing
+# and centring produce coordinates via sums of die dimensions, so exact
+# comparisons would reject floorplans that are legal by construction.
+LEGALITY_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One die's position (lower-left, global) and orientation."""
+
+    position: Point
+    orientation: Orientation = Orientation.R0
+
+
+class Floorplan:
+    """An immutable placement of every die of a design on its interposer."""
+
+    def __init__(self, design: Design, placements: Mapping[str, Placement]):
+        missing = {d.id for d in design.dies} - set(placements)
+        if missing:
+            raise ValueError(f"floorplan misses placements for dies {sorted(missing)}")
+        extra = set(placements) - {d.id for d in design.dies}
+        if extra:
+            raise ValueError(f"floorplan places unknown dies {sorted(extra)}")
+        self._design = design
+        self._placements: Dict[str, Placement] = dict(placements)
+        self._buffer_pos: Dict[str, Point] = {}
+        self._bump_pos: Dict[str, Point] = {}
+
+    @property
+    def design(self) -> Design:
+        """The design this floorplan places."""
+        return self._design
+
+    @property
+    def placements(self) -> Dict[str, Placement]:
+        """A defensive copy of the die-id -> placement map."""
+        return dict(self._placements)
+
+    def placement(self, die_id: str) -> Placement:
+        """Placement of one die."""
+        return self._placements[die_id]
+
+    # -- geometry --------------------------------------------------------------
+
+    def die_rect(self, die_id: str) -> Rect:
+        """Global footprint of a placed (rotated) die."""
+        die = self._design.die(die_id)
+        pl = self._placements[die_id]
+        w, h = pl.orientation.rotated_dims(die.width, die.height)
+        return Rect(pl.position.x, pl.position.y, w, h)
+
+    def buffer_position(self, buffer_id: str) -> Point:
+        """Global position of an I/O buffer (cached)."""
+        pos = self._buffer_pos.get(buffer_id)
+        if pos is None:
+            die_id = self._design.die_of_buffer(buffer_id)
+            die = self._design.die(die_id)
+            pl = self._placements[die_id]
+            local = pl.orientation.apply(
+                die.buffer(buffer_id).position, die.width, die.height
+            )
+            pos = local + pl.position
+            self._buffer_pos[buffer_id] = pos
+        return pos
+
+    def bump_position(self, bump_id: str) -> Point:
+        """Global position of a micro-bump site (cached)."""
+        pos = self._bump_pos.get(bump_id)
+        if pos is None:
+            die_id = self._design.die_of_bump(bump_id)
+            die = self._design.die(die_id)
+            pl = self._placements[die_id]
+            local = pl.orientation.apply(
+                die.bump(bump_id).position, die.width, die.height
+            )
+            pos = local + pl.position
+            self._bump_pos[bump_id] = pos
+        return pos
+
+    def signal_terminal_positions(self, signal: Signal) -> List[Point]:
+        """Global positions of all terminals in ``P(s)``."""
+        points = [self.buffer_position(bid) for bid in signal.buffer_ids]
+        if signal.escape_id is not None:
+            points.append(self._design.escape(signal.escape_id).position)
+        return points
+
+    # -- legality ----------------------------------------------------------------
+
+    def legality_violations(self) -> List[str]:
+        """Human-readable descriptions of every legality violation (Section 2.2).
+
+        Empty list means the floorplan is legal: all dies inside the
+        interposer with at least ``c_b`` boundary clearance, and every die
+        pair with at least ``c_d`` mutual clearance.
+        """
+        violations: List[str] = []
+        outline = self._design.interposer.outline
+        c_b = self._design.spacing.die_to_boundary
+        c_d = self._design.spacing.die_to_die
+        rects = [(d.id, self.die_rect(d.id)) for d in self._design.dies]
+        for die_id, rect in rects:
+            clearance = outline.boundary_clearance(rect)
+            if clearance < c_b - LEGALITY_EPS:
+                violations.append(
+                    f"die {die_id}: boundary clearance {clearance:.6f} < "
+                    f"c_b {c_b:.6f}"
+                )
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                id_a, rect_a = rects[i]
+                id_b, rect_b = rects[j]
+                if rect_a.overlaps(rect_b):
+                    violations.append(f"dies {id_a} and {id_b} overlap")
+                    continue
+                gap = rect_a.gap_to(rect_b)
+                if gap < c_d - LEGALITY_EPS:
+                    violations.append(
+                        f"dies {id_a}/{id_b}: gap {gap:.6f} < c_d {c_d:.6f}"
+                    )
+        return violations
+
+    def is_legal(self) -> bool:
+        """True when :meth:`legality_violations` finds nothing."""
+        return not self.legality_violations()
+
+    # -- derived ----------------------------------------------------------------
+
+    def bounding_box(self) -> Rect:
+        """Smallest rectangle covering all placed dies."""
+        rects = [self.die_rect(d.id) for d in self._design.dies]
+        box = rects[0]
+        for r in rects[1:]:
+            box = box.union(r)
+        return box
+
+    def translated(self, dx: float, dy: float) -> "Floorplan":
+        """A copy of this floorplan with every die shifted by ``(dx, dy)``."""
+        moved = {
+            die_id: Placement(pl.position.translated(dx, dy), pl.orientation)
+            for die_id, pl in self._placements.items()
+        }
+        return Floorplan(self._design, moved)
+
+    def centered_on_interposer(self) -> "Floorplan":
+        """A copy whose die bounding box is centred on the interposer.
+
+        This is line 5 of the paper's EFA pseudo code: after transforming a
+        sequence pair into relative die coordinates, the whole arrangement
+        is aligned to the interposer centre.
+        """
+        box = self.bounding_box()
+        target = self._design.interposer.center
+        return self.translated(target.x - box.center.x, target.y - box.center.y)
+
+
+def orientation_vector(
+    floorplan: Floorplan, die_order: Optional[Iterable[str]] = None
+) -> Tuple[Orientation, ...]:
+    """The orientation of each die, in ``die_order`` (default: design order)."""
+    if die_order is None:
+        die_order = [d.id for d in floorplan.design.dies]
+    return tuple(floorplan.placement(d).orientation for d in die_order)

@@ -1,0 +1,99 @@
+"""The silicon interposer and its TSV candidate sites.
+
+TSV locations are given inputs (a regular grid at 0.2 mm pitch in the paper's
+testcases); like micro-bumps, a TSV site is only fabricated when the signal
+assignment uses it.  Each TSV directly attaches a C4 bump which is one-to-one
+mapped to a solder ball, so the external net of an escaping signal starts at
+the TSV position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class TSV:
+    """A candidate through-silicon-via site, in interposer coordinates."""
+
+    id: str
+    position: Point
+
+
+@dataclass
+class Interposer:
+    """A fixed-outline silicon interposer.
+
+    The interposer's lower-left corner is the global origin: die placements,
+    TSVs and (package) escape points are all expressed in this frame.
+    """
+
+    width: float
+    height: float
+    tsvs: List[TSV] = field(default_factory=list)
+    tsv_pitch: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("interposer dimensions must be positive")
+        self._tsv_index: Dict[str, TSV] = {}
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild the id lookup after mutating the TSV list."""
+        self._tsv_index = {t.id: t for t in self.tsvs}
+        if len(self._tsv_index) != len(self.tsvs):
+            raise ValueError("duplicate TSV ids")
+        for tsv in self.tsvs:
+            if not self.outline.contains_point(tsv.position):
+                raise ValueError(f"TSV {tsv.id!r} outside the interposer")
+
+    @property
+    def outline(self) -> Rect:
+        """The interposer rectangle with the origin at (0, 0)."""
+        return Rect(0.0, 0.0, self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """Centre of the interposer outline."""
+        return self.outline.center
+
+    def tsv(self, tsv_id: str) -> TSV:
+        """TSV by id."""
+        return self._tsv_index[tsv_id]
+
+    def has_tsv(self, tsv_id: str) -> bool:
+        """True when the id names a TSV site."""
+        return tsv_id in self._tsv_index
+
+
+def make_tsv_grid(
+    width: float,
+    height: float,
+    pitch: float,
+    margin: Optional[float] = None,
+    id_prefix: str = "t",
+) -> List[TSV]:
+    """Generate a regular TSV grid covering the interposer outline."""
+    if pitch <= 0:
+        raise ValueError("TSV pitch must be positive")
+    if margin is None:
+        margin = pitch / 2.0
+    usable_w = width - 2 * margin
+    usable_h = height - 2 * margin
+    if usable_w < 0 or usable_h < 0:
+        return []
+    cols = int(usable_w / pitch) + 1
+    rows = int(usable_h / pitch) + 1
+    x0 = margin + (usable_w - (cols - 1) * pitch) / 2.0
+    y0 = margin + (usable_h - (rows - 1) * pitch) / 2.0
+    tsvs: List[TSV] = []
+    for r in range(rows):
+        for c in range(cols):
+            tsvs.append(
+                TSV(id=f"{id_prefix}_{r}_{c}", position=Point(x0 + c * pitch, y0 + r * pitch))
+            )
+    return tsvs

@@ -1,0 +1,144 @@
+"""Net extraction: from a floorplan + assignment to concrete nets.
+
+Once the SAP is solved, the interconnect of every signal decomposes into the
+paper's three net classes (Fig. 1(a)):
+
+* one **intra-die net** per signal-carrying I/O buffer — a two-terminal
+  connection from the buffer to its assigned micro-bump, inside the die;
+* one **internal net** per signal — connecting the signal's assigned
+  micro-bumps (one per touched die) and, for an escaping signal, its
+  assigned TSV, through the interposer RDLs;
+* one **external net** per escaping signal — from the TSV (through its C4
+  bump and solder ball) to the escaping point on the PCB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..geometry import Point
+from .assignment import Assignment
+from .design import Design
+from .floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class IntraDieNet:
+    """Two-terminal buffer-to-bump connection inside one die."""
+
+    signal_id: str
+    buffer_id: str
+    bump_id: str
+    buffer_pos: Point
+    bump_pos: Point
+
+    @property
+    def length(self) -> float:
+        """Manhattan length of this two-terminal net."""
+        return self.buffer_pos.manhattan_to(self.bump_pos)
+
+
+@dataclass(frozen=True)
+class InternalNet:
+    """Interposer-level connection among a signal's bumps (and its TSV)."""
+
+    signal_id: str
+    bump_ids: Tuple[str, ...]
+    tsv_id: str = ""  # empty string: no TSV terminal
+    terminal_positions: Tuple[Point, ...] = ()
+
+    @property
+    def has_tsv(self) -> bool:
+        """True when the net includes a TSV terminal."""
+        return bool(self.tsv_id)
+
+
+@dataclass(frozen=True)
+class ExternalNet:
+    """PCB-level connection from a TSV to an escaping point."""
+
+    signal_id: str
+    tsv_id: str
+    escape_id: str
+    tsv_pos: Point
+    escape_pos: Point
+
+    @property
+    def length(self) -> float:
+        """Manhattan length of this two-terminal net."""
+        return self.tsv_pos.manhattan_to(self.escape_pos)
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """All nets realized by one (floorplan, assignment) pair."""
+
+    intra_die: Tuple[IntraDieNet, ...]
+    internal: Tuple[InternalNet, ...]
+    external: Tuple[ExternalNet, ...]
+
+
+def extract_nets(
+    design: Design, floorplan: Floorplan, assignment: Assignment
+) -> Netlist:
+    """Build the three net classes realized by ``assignment``.
+
+    The assignment must be complete (every carrying buffer and escaping
+    point served); incomplete assignments raise ``ValueError`` so that
+    wirelength numbers are never silently computed on partial solutions.
+    """
+    intra: List[IntraDieNet] = []
+    internal: List[InternalNet] = []
+    external: List[ExternalNet] = []
+
+    for signal in design.signals:
+        bump_ids: List[str] = []
+        bump_positions: List[Point] = []
+        for buffer_id in signal.buffer_ids:
+            bump_id = assignment.buffer_to_bump.get(buffer_id)
+            if bump_id is None:
+                raise ValueError(
+                    f"signal {signal.id!r}: buffer {buffer_id!r} has no "
+                    "assigned micro-bump"
+                )
+            b_pos = floorplan.buffer_position(buffer_id)
+            m_pos = floorplan.bump_position(bump_id)
+            intra.append(
+                IntraDieNet(signal.id, buffer_id, bump_id, b_pos, m_pos)
+            )
+            bump_ids.append(bump_id)
+            bump_positions.append(m_pos)
+
+        tsv_id = ""
+        terminals = list(bump_positions)
+        if signal.escape_id is not None:
+            tsv_id = assignment.escape_to_tsv.get(signal.escape_id, "")
+            if not tsv_id:
+                raise ValueError(
+                    f"signal {signal.id!r}: escape point "
+                    f"{signal.escape_id!r} has no assigned TSV"
+                )
+            tsv_pos = design.tsv(tsv_id).position
+            terminals.append(tsv_pos)
+            external.append(
+                ExternalNet(
+                    signal.id,
+                    tsv_id,
+                    signal.escape_id,
+                    tsv_pos,
+                    design.escape(signal.escape_id).position,
+                )
+            )
+
+        if len(terminals) >= 2:
+            internal.append(
+                InternalNet(
+                    signal.id,
+                    tuple(bump_ids),
+                    tsv_id,
+                    tuple(terminals),
+                )
+            )
+
+    return Netlist(tuple(intra), tuple(internal), tuple(external))

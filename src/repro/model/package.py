@@ -1,0 +1,96 @@
+"""The package frame and its escaping points.
+
+Escaping points sit at the boundaries of the package on the PCB; a signal
+that must leave the 2.5D IC is routed from a TSV (through its C4 bump and
+solder ball) to its escaping point by an *external net*.  Escaping point
+locations and their signals are fixed inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class EscapePoint:
+    """A fixed escape point at the package boundary, in global coordinates."""
+
+    id: str
+    position: Point
+    signal_id: str
+
+
+@dataclass
+class Package:
+    """The package frame enclosing the interposer.
+
+    ``frame`` is expressed in the interposer's (global) coordinate frame, so
+    it normally has negative lower-left coordinates: the package is larger
+    than, and centred on, the interposer.
+    """
+
+    frame: Rect
+    escape_points: List[EscapePoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._escape_index: Dict[str, EscapePoint] = {}
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild the id lookup after mutating the escape list."""
+        self._escape_index = {e.id: e for e in self.escape_points}
+        if len(self._escape_index) != len(self.escape_points):
+            raise ValueError("duplicate escape point ids")
+
+    def escape(self, escape_id: str) -> EscapePoint:
+        """Escape point by id."""
+        return self._escape_index[escape_id]
+
+    def has_escape(self, escape_id: str) -> bool:
+        """True when the id names an escape point."""
+        return escape_id in self._escape_index
+
+
+def escape_points_on_frame(
+    frame: Rect,
+    signal_ids: List[str],
+    id_prefix: str = "e",
+    start_fraction: float = 0.0,
+) -> List[EscapePoint]:
+    """Spread one escape point per signal uniformly along the frame boundary.
+
+    Points are placed counter-clockwise starting ``start_fraction`` of the
+    perimeter past the lower-left corner; this mimics package ball-out
+    escape positions without modelling PCB routing.
+    """
+    n = len(signal_ids)
+    if n == 0:
+        return []
+    perimeter = 2 * (frame.width + frame.height)
+    step = perimeter / n
+    start = start_fraction * perimeter
+    points: List[EscapePoint] = []
+    for i, sid in enumerate(signal_ids):
+        d = start + (i + 0.5) * step
+        points.append(
+            EscapePoint(id=f"{id_prefix}_{i}", position=_walk_boundary(frame, d), signal_id=sid)
+        )
+    return points
+
+
+def _walk_boundary(frame: Rect, distance: float) -> Point:
+    """Point at ``distance`` along the frame boundary (CCW from lower-left)."""
+    d = distance % (2 * (frame.width + frame.height))
+    if d <= frame.width:
+        return Point(frame.x + d, frame.y)
+    d -= frame.width
+    if d <= frame.height:
+        return Point(frame.x2, frame.y + d)
+    d -= frame.height
+    if d <= frame.width:
+        return Point(frame.x2 - d, frame.y2)
+    d -= frame.width
+    return Point(frame.x, frame.y2 - d)

@@ -1,0 +1,86 @@
+"""Signals and their terminal sets.
+
+Per the paper's formulation, the terminal set ``P(s)`` of a signal ``s``
+contains I/O buffers in *different* dies plus at most one escaping point.
+A signal with an escaping point must be delivered from the dies through a
+TSV to the package boundary; a signal without one only travels between dies
+in the interposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..geometry import ORIGIN, Point
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A signal with its I/O-buffer terminals and optional escape point.
+
+    ``buffer_ids`` are the ids of the I/O buffers carrying this signal, one
+    per die the signal touches; ``escape_id`` names the signal's escaping
+    point, or ``None`` for a purely die-to-die signal.
+    """
+
+    id: str
+    buffer_ids: Tuple[str, ...]
+    escape_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.buffer_ids) == 0:
+            raise ValueError(f"signal {self.id!r} has no I/O buffer terminal")
+        if len(set(self.buffer_ids)) != len(self.buffer_ids):
+            raise ValueError(f"signal {self.id!r} repeats a buffer terminal")
+        if len(self.buffer_ids) < 2 and self.escape_id is None:
+            raise ValueError(
+                f"signal {self.id!r} has a single terminal and no escape "
+                "point; it would need no interposer routing"
+            )
+
+    @property
+    def escapes(self) -> bool:
+        """True when the signal must reach the package boundary."""
+        return self.escape_id is not None
+
+    @property
+    def terminal_count(self) -> int:
+        """Number of terminals in ``P(s)`` (buffers + optional escape)."""
+        return len(self.buffer_ids) + (1 if self.escape_id is not None else 0)
+
+    @property
+    def is_multi_terminal(self) -> bool:
+        """True for nets with more than two terminals (unsupported by [5])."""
+        return self.terminal_count > 2
+
+
+@dataclass(frozen=True)
+class TerminalKind:
+    """Symbolic terminal kinds used by the cost model (Eq. 4)."""
+
+    BUFFER = "buffer"
+    BUMP = "bump"
+    ESCAPE = "escape"
+    TSV = "tsv"
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """A resolved terminal: what it is, which object, and where it sits.
+
+    The signal-assignment cost model needs to know the *kind* of the far
+    endpoint of an MST edge (micro-bump vs I/O buffer vs escaping point)
+    because Eq. 4 weights the three cases differently.  ``Terminal`` bundles
+    kind, id and a global position so the MST topology can carry everything
+    the cost model asks for.
+    """
+
+    kind: str
+    ref_id: str
+    position: Point = ORIGIN
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Hashable (kind, id) identity of this terminal."""
+        return (self.kind, self.ref_id)

@@ -1,0 +1,14 @@
+"""Minimum-spanning-tree substrate for signal topologies."""
+
+from .prim import mst_length, prim_mst_edges
+from .steiner import hanan_points, steiner_length
+from .topology import SignalTopology, build_topologies
+
+__all__ = [
+    "SignalTopology",
+    "build_topologies",
+    "hanan_points",
+    "mst_length",
+    "prim_mst_edges",
+    "steiner_length",
+]

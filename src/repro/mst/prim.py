@@ -1,0 +1,59 @@
+"""Minimum spanning trees over signal terminals (rectilinear metric).
+
+The paper measures every net's wirelength by the length of its minimum
+spanning tree under the Manhattan metric (Section 2.1), and the signal
+assignment algorithm operates on each signal's MST topology (Section 4).
+Terminal sets are tiny (a signal touches at most a handful of dies plus one
+escape point), so a dense O(k^2) Prim is the right tool: no asymptotic
+cleverness, no allocation-heavy priority queues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..geometry import Point, manhattan
+
+
+def prim_mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
+    """MST edges (index pairs) of a point set under the Manhattan metric.
+
+    Returns an empty list for fewer than two points.  Ties are broken by
+    insertion order, which keeps results deterministic.
+    """
+    n = len(points)
+    if n < 2:
+        return []
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    best_parent = [-1] * n
+    in_tree[0] = True
+    for j in range(1, n):
+        best_dist[j] = manhattan(points[0], points[j])
+        best_parent[j] = 0
+
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        # Pick the closest out-of-tree point.
+        pick = -1
+        pick_dist = float("inf")
+        for j in range(n):
+            if not in_tree[j] and best_dist[j] < pick_dist:
+                pick = j
+                pick_dist = best_dist[j]
+        in_tree[pick] = True
+        edges.append((best_parent[pick], pick))
+        for j in range(n):
+            if not in_tree[j]:
+                d = manhattan(points[pick], points[j])
+                if d < best_dist[j]:
+                    best_dist[j] = d
+                    best_parent[j] = pick
+    return edges
+
+
+def mst_length(points: Sequence[Point]) -> float:
+    """Total Manhattan length of the MST of ``points``."""
+    return sum(
+        manhattan(points[i], points[j]) for i, j in prim_mst_edges(points)
+    )

@@ -1,0 +1,67 @@
+"""Rectilinear Steiner tree estimation (iterated 1-Steiner).
+
+The paper measures nets by MST length; the tighter rectilinear Steiner
+minimal tree (RSMT) is the other standard estimator in the global-routing
+literature.  This module provides the classic Kahng-Robins *iterated
+1-Steiner* heuristic: repeatedly add the Hanan-grid point that shrinks the
+MST the most, until no point helps.  For the terminal counts of 2.5D
+signals (a handful of dies plus an escape) this is exact or near-exact and
+costs microseconds.
+
+Known bounds verified by the test suite:
+``HPWL <= steiner_length <= mst_length <= 1.5 * steiner_length``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..geometry import Point
+from .prim import mst_length
+
+
+def hanan_points(points: Sequence[Point]) -> List[Point]:
+    """The Hanan grid of a point set, minus the points themselves.
+
+    Hanan's theorem: some RSMT spans only intersections of the horizontal
+    and vertical lines through the terminals, so these are the only
+    Steiner-candidate locations worth trying.
+    """
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    existing = {(p.x, p.y) for p in points}
+    return [
+        Point(x, y)
+        for x in xs
+        for y in ys
+        if (x, y) not in existing
+    ]
+
+
+def steiner_length(points: Sequence[Point], max_rounds: int = 8) -> float:
+    """Heuristic RSMT length of ``points`` (iterated 1-Steiner).
+
+    Returns 0.0 for fewer than two points.  ``max_rounds`` caps the number
+    of Steiner points ever added (terminal count bounds the useful number
+    anyway: an RSMT needs at most ``n - 2`` Steiner points).
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    best = mst_length(pts)
+    rounds = min(max_rounds, max(len(pts) - 2, 0))
+    for _ in range(rounds):
+        candidates = hanan_points(pts)
+        improved = None
+        for c in candidates:
+            trial = mst_length(pts + [c])
+            if trial < best - 1e-12:
+                best = trial
+                improved = c
+        if improved is None:
+            break
+        pts.append(improved)
+        # Prune degree-<=1 Steiner points implicitly: recomputing the MST
+        # already ignores useless additions because they can only lengthen
+        # it, and such candidates never win the argmin above.
+    return best

@@ -1,0 +1,130 @@
+"""Mutable per-signal MST topologies with the edge-splitting update.
+
+Section 4 of the paper builds an MST for every signal over its terminal set
+``P(s)`` and then solves the SAP *sub-problem by sub-problem*, updating each
+signal's topology as soon as a sub-SAP is solved: when the signal of buffer
+``b`` is assigned to micro-bump ``m``, every MST edge ``(b, t)`` is split
+into ``(b, m)`` (the intra-die net, fixed from then on) and ``(m, t)``.
+Later sub-SAPs therefore see the already-assigned micro-bump positions, not
+the original buffer positions — this is what makes the sequential
+decomposition well-informed.
+
+:class:`SignalTopology` realizes exactly this: nodes are
+:class:`~repro.model.signal.Terminal` objects (kind + id + global position)
+and :meth:`rehome` performs the split by substituting the bump for the
+buffer as the signal's interposer-facing terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..geometry import Point
+from ..model import Design, Floorplan, Signal, Terminal, TerminalKind
+from .prim import prim_mst_edges
+
+Key = Tuple[str, str]  # (kind, ref_id)
+
+
+class SignalTopology:
+    """The evolving MST topology of one signal."""
+
+    def __init__(self, signal: Signal, terminals: Iterable[Terminal]):
+        self.signal = signal
+        self._nodes: Dict[Key, Terminal] = {t.key: t for t in terminals}
+        if len(self._nodes) < 1:
+            raise ValueError(f"signal {signal.id!r} has no terminals")
+        self._adj: Dict[Key, Set[Key]] = {k: set() for k in self._nodes}
+        self._build_mst()
+
+    def _build_mst(self) -> None:
+        keys = list(self._nodes)
+        points = [self._nodes[k].position for k in keys]
+        for i, j in prim_mst_edges(points):
+            self._adj[keys[i]].add(keys[j])
+            self._adj[keys[j]].add(keys[i])
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Terminal]:
+        """All current terminals of the signal."""
+        return list(self._nodes.values())
+
+    def terminal(self, key: Key) -> Terminal:
+        """Terminal by (kind, id) key."""
+        return self._nodes[key]
+
+    def has_terminal(self, key: Key) -> bool:
+        """True when the key names a current terminal."""
+        return key in self._nodes
+
+    def neighbors(self, key: Key) -> List[Terminal]:
+        """Far endpoints of all MST edges incident to ``key`` (``ME`` set)."""
+        return [self._nodes[k] for k in sorted(self._adj[key])]
+
+    def edges(self) -> List[Tuple[Terminal, Terminal]]:
+        """The MST edges as terminal pairs (each edge once)."""
+        seen: Set[Tuple[Key, Key]] = set()
+        out: List[Tuple[Terminal, Terminal]] = []
+        for a, nbrs in self._adj.items():
+            for b in nbrs:
+                edge = (a, b) if a <= b else (b, a)
+                if edge not in seen:
+                    seen.add(edge)
+                    out.append((self._nodes[edge[0]], self._nodes[edge[1]]))
+        return out
+
+    def total_length(self) -> float:
+        """Total Manhattan length of the current topology."""
+        return sum(a.position.manhattan_to(b.position) for a, b in self.edges())
+
+    # -- updates -----------------------------------------------------------------
+
+    def rehome(self, old_key: Key, new_terminal: Terminal) -> None:
+        """Split every MST edge at ``old_key`` onto ``new_terminal``.
+
+        After assigning buffer ``b`` to bump ``m`` this substitutes ``m``
+        for ``b``: each edge ``(b, t)`` becomes ``(m, t)`` and the fixed
+        intra-die segment ``(b, m)`` leaves the topology (it is accounted
+        for separately as an intra-die net).
+        """
+        if old_key not in self._nodes:
+            raise KeyError(f"terminal {old_key} not in signal {self.signal.id!r}")
+        if new_terminal.key in self._nodes and new_terminal.key != old_key:
+            raise ValueError(
+                f"terminal {new_terminal.key} already in signal "
+                f"{self.signal.id!r}"
+            )
+        nbrs = self._adj.pop(old_key)
+        del self._nodes[old_key]
+        self._nodes[new_terminal.key] = new_terminal
+        self._adj[new_terminal.key] = set()
+        for k in nbrs:
+            self._adj[k].discard(old_key)
+            self._adj[k].add(new_terminal.key)
+            self._adj[new_terminal.key].add(k)
+
+
+def build_topologies(
+    design: Design, floorplan: Floorplan
+) -> Dict[str, SignalTopology]:
+    """Initial MST topology (Fig. 2(a)) for every signal of a design."""
+    topologies: Dict[str, SignalTopology] = {}
+    for signal in design.signals:
+        terminals = [
+            Terminal(
+                TerminalKind.BUFFER, bid, floorplan.buffer_position(bid)
+            )
+            for bid in signal.buffer_ids
+        ]
+        if signal.escape_id is not None:
+            terminals.append(
+                Terminal(
+                    TerminalKind.ESCAPE,
+                    signal.escape_id,
+                    design.escape(signal.escape_id).position,
+                )
+            )
+        topologies[signal.id] = SignalTopology(signal, terminals)
+    return topologies

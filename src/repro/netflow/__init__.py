@@ -1,0 +1,14 @@
+"""Network-flow substrate: flow networks and min-cost max-flow."""
+
+from .graph import FlowNetwork
+from .mcmf import COST_EPS, MCMFResult, min_cost_max_flow
+from .validate import conservation_violations, has_negative_residual_cycle
+
+__all__ = [
+    "COST_EPS",
+    "FlowNetwork",
+    "MCMFResult",
+    "conservation_violations",
+    "has_negative_residual_cycle",
+    "min_cost_max_flow",
+]

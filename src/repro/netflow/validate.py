@@ -1,0 +1,62 @@
+"""Correctness checkers for flow solutions.
+
+These are used by the test suite (and available to callers who want to
+assert solver output in production runs): flow conservation, capacity
+bounds, and cost optimality via the negative-cycle criterion on the
+residual network (a feasible flow is min-cost iff its residual network has
+no negative-cost cycle).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import FlowNetwork
+
+_TOL = 1e-6
+
+
+def conservation_violations(
+    network: FlowNetwork, source: int, sink: int
+) -> List[str]:
+    """Nodes (other than source/sink) whose in-flow != out-flow."""
+    n = network.node_count
+    balance = [0.0] * n
+    for arc in range(0, len(network.arc_to), 2):
+        flow = network.flow_on(arc)
+        if flow < -_TOL:
+            return [f"arc {arc}: negative flow {flow}"]
+        if flow > network.initial_capacity(arc) + _TOL:
+            return [f"arc {arc}: flow {flow} exceeds capacity"]
+        u = network.arc_source(arc)
+        v = network.arc_to[arc]
+        balance[u] -= flow
+        balance[v] += flow
+    problems = []
+    for node in range(n):
+        if node in (source, sink):
+            continue
+        if abs(balance[node]) > _TOL:
+            problems.append(f"node {node}: imbalance {balance[node]}")
+    return problems
+
+
+def has_negative_residual_cycle(network: FlowNetwork) -> bool:
+    """Bellman-Ford over the residual network; True when a cost-reducing
+    cycle exists (i.e. the current flow is *not* of minimum cost)."""
+    n = network.node_count
+    dist = [0.0] * n  # Virtual super-source to all nodes at distance 0.
+    for round_idx in range(n):
+        changed = False
+        for arc in range(len(network.arc_to)):
+            if network.arc_cap[arc] <= _TOL:
+                continue
+            u = network.arc_source(arc)
+            v = network.arc_to[arc]
+            nd = dist[u] + network.arc_cost[arc]
+            if nd < dist[v] - _TOL:
+                dist[v] = nd
+                changed = True
+        if not changed:
+            return False
+    return True

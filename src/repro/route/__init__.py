@@ -1,0 +1,17 @@
+"""RDL global routing substrate (validates the MST-length assumption)."""
+
+from .grid import Cell, GridConfig, RoutingGrid
+from .maze import edge_cost, maze_route
+from .router import GlobalRouter, RoutedNet, RoutingResult, route_design
+
+__all__ = [
+    "Cell",
+    "GlobalRouter",
+    "GridConfig",
+    "RoutedNet",
+    "RoutingGrid",
+    "RoutingResult",
+    "edge_cost",
+    "maze_route",
+    "route_design",
+]

@@ -1,0 +1,153 @@
+"""The global-routing grid over the interposer.
+
+The paper evaluates nets by MST length, justifying it by the high
+correlation between MST length and routed wirelength ([8]).  The routing
+substrate in this package lets the library *check* that claim on its own
+solutions: the interposer RDL is modelled as the standard global-routing
+grid graph — a lattice of gcells with capacitated boundary edges — on
+which :mod:`repro.route.router` actually routes every internal net.
+
+Conventions: gcells are indexed ``(col, row)`` with cell (0, 0) at the
+interposer's lower-left.  A *horizontal* edge connects ``(c, r)`` to
+``(c+1, r)`` (its crossings consume horizontal tracks); a *vertical* edge
+connects ``(c, r)`` to ``(c, r+1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..geometry import Point
+from ..model import Interposer
+
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Grid resolution and capacity model."""
+
+    cells_x: int = 32
+    cells_y: int = 32
+    wire_pitch: float = 0.004  # mm line+space
+    rdl_layers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cells_x < 2 or self.cells_y < 2:
+            raise ValueError("routing grid needs at least 2x2 cells")
+        if self.wire_pitch <= 0:
+            raise ValueError("wire pitch must be positive")
+        if self.rdl_layers < 1:
+            raise ValueError("need at least one RDL layer")
+
+
+class RoutingGrid:
+    """Capacitated gcell grid with demand tracking."""
+
+    def __init__(self, interposer: Interposer, config: GridConfig = GridConfig()):
+        self.config = config
+        self.width = interposer.width
+        self.height = interposer.height
+        self.step_x = interposer.width / config.cells_x
+        self.step_y = interposer.height / config.cells_y
+        layers_per_dir = max(config.rdl_layers // 2, 1)
+        # A horizontal edge is crossed by wires running horizontally
+        # through a cell boundary of height step_y.
+        self.capacity_h = int(self.step_y / config.wire_pitch) * layers_per_dir
+        self.capacity_v = int(self.step_x / config.wire_pitch) * layers_per_dir
+        if self.capacity_h < 1 or self.capacity_v < 1:
+            raise ValueError(
+                "grid too fine for the wire pitch: zero tracks per gcell"
+            )
+        # demand_h[c, r]: usage of the edge (c, r) -> (c+1, r).
+        self.demand_h = np.zeros(
+            (config.cells_x - 1, config.cells_y), dtype=np.int64
+        )
+        self.demand_v = np.zeros(
+            (config.cells_x, config.cells_y - 1), dtype=np.int64
+        )
+
+    # -- coordinate mapping ---------------------------------------------------
+
+    def cell_of(self, p: Point) -> Cell:
+        """The gcell containing a point (clamped to the grid)."""
+        c = int(p.x / self.step_x)
+        r = int(p.y / self.step_y)
+        return (
+            min(max(c, 0), self.config.cells_x - 1),
+            min(max(r, 0), self.config.cells_y - 1),
+        )
+
+    def center_of(self, cell: Cell) -> Point:
+        """Geometric centre of a gcell."""
+        return Point(
+            (cell[0] + 0.5) * self.step_x, (cell[1] + 0.5) * self.step_y
+        )
+
+    # -- edges ------------------------------------------------------------------
+
+    def edge_between(self, a: Cell, b: Cell):
+        """(kind, index) of the edge between two adjacent cells."""
+        (ca, ra), (cb, rb) = a, b
+        if ra == rb and abs(ca - cb) == 1:
+            return ("h", (min(ca, cb), ra))
+        if ca == cb and abs(ra - rb) == 1:
+            return ("v", (ca, min(ra, rb)))
+        raise ValueError(f"cells {a} and {b} are not adjacent")
+
+    def demand_of(self, kind: str, index) -> int:
+        """Current demand on one gcell edge."""
+        return int(
+            (self.demand_h if kind == "h" else self.demand_v)[index]
+        )
+
+    def capacity_of(self, kind: str) -> int:
+        """Track capacity of edges of one kind."""
+        return self.capacity_h if kind == "h" else self.capacity_v
+
+    def add_demand(self, kind: str, index, amount: int = 1) -> None:
+        """Add (or with a negative amount, remove) demand on an edge."""
+        if kind == "h":
+            self.demand_h[index] += amount
+        else:
+            self.demand_v[index] += amount
+
+    def neighbors(self, cell: Cell) -> Iterator[Cell]:
+        """The 2-4 gcells adjacent to ``cell``."""
+        c, r = cell
+        if c > 0:
+            yield (c - 1, r)
+        if c + 1 < self.config.cells_x:
+            yield (c + 1, r)
+        if r > 0:
+            yield (c, r - 1)
+        if r + 1 < self.config.cells_y:
+            yield (c, r + 1)
+
+    # -- metrics ------------------------------------------------------------------
+
+    @property
+    def overflow(self) -> int:
+        """Total track demand above capacity, summed over all edges."""
+        over_h = np.maximum(self.demand_h - self.capacity_h, 0).sum()
+        over_v = np.maximum(self.demand_v - self.capacity_v, 0).sum()
+        return int(over_h + over_v)
+
+    @property
+    def max_utilization(self) -> float:
+        """Highest demand/capacity ratio over all edges."""
+        util_h = (
+            self.demand_h.max() / self.capacity_h if self.demand_h.size else 0
+        )
+        util_v = (
+            self.demand_v.max() / self.capacity_v if self.demand_v.size else 0
+        )
+        return float(max(util_h, util_v))
+
+    def segment_length(self, a: Cell, b: Cell) -> float:
+        """Geometric length of stepping between two adjacent cells."""
+        kind, _ = self.edge_between(a, b)
+        return self.step_x if kind == "h" else self.step_y

@@ -1,0 +1,74 @@
+"""Congestion-aware A* maze routing on the gcell grid.
+
+The cost of stepping across a gcell edge is its geometric length plus a
+congestion penalty that grows once demand approaches or exceeds capacity,
+so the router naturally detours around hot regions.  The admissible
+heuristic is the plain geometric Manhattan distance to the target cell,
+which keeps A* exact for the congestion-free case (shortest geometric
+route) and effective under congestion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from .grid import Cell, RoutingGrid
+
+# Cost multipliers for edges at or above capacity; tuned so one overflowed
+# edge is worse than any reasonable detour on the grids we build.
+_NEAR_FULL_FACTOR = 4.0
+_OVERFLOW_FACTOR = 64.0
+
+
+def edge_cost(grid: RoutingGrid, a: Cell, b: Cell) -> float:
+    """Length-plus-congestion cost of crossing one gcell edge."""
+    kind, index = grid.edge_between(a, b)
+    base = grid.segment_length(a, b)
+    demand = grid.demand_of(kind, index)
+    capacity = grid.capacity_of(kind)
+    if demand >= capacity:
+        return base * _OVERFLOW_FACTOR * (1 + demand - capacity)
+    if demand >= 0.75 * capacity:
+        return base * _NEAR_FULL_FACTOR
+    return base
+
+
+def maze_route(
+    grid: RoutingGrid, source: Cell, target: Cell
+) -> Optional[List[Cell]]:
+    """Cheapest cell path from ``source`` to ``target`` (inclusive).
+
+    Returns ``None`` only if the grid is somehow disconnected (it never is
+    for rectangular grids, but the contract stays explicit).
+    """
+    if source == target:
+        return [source]
+
+    def heuristic(cell: Cell) -> float:
+        return abs(cell[0] - target[0]) * grid.step_x + abs(
+            cell[1] - target[1]
+        ) * grid.step_y
+
+    best: Dict[Cell, float] = {source: 0.0}
+    parent: Dict[Cell, Cell] = {}
+    heap: List[Tuple[float, Cell]] = [(heuristic(source), source)]
+    while heap:
+        f, cell = heapq.heappop(heap)
+        if cell == target:
+            path = [cell]
+            while cell in parent:
+                cell = parent[cell]
+                path.append(cell)
+            path.reverse()
+            return path
+        g = best[cell]
+        if f - heuristic(cell) > g + 1e-12:
+            continue  # Stale heap entry.
+        for nxt in grid.neighbors(cell):
+            ng = g + edge_cost(grid, cell, nxt)
+            if ng < best.get(nxt, float("inf")) - 1e-12:
+                best[nxt] = ng
+                parent[nxt] = cell
+                heapq.heappush(heap, (ng + heuristic(nxt), nxt))
+    return None

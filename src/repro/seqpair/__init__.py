@@ -1,0 +1,21 @@
+"""Sequence-pair floorplan representation, packing and enumeration."""
+
+from .enumeration import (
+    floorplan_count,
+    iter_orientation_vectors,
+    iter_sequence_pairs,
+    sequence_pair_count,
+)
+from .packing import PackedFloorplan, pack_sequence_pair
+from .sequence_pair import SequencePair, sequence_pair_from_lists
+
+__all__ = [
+    "PackedFloorplan",
+    "SequencePair",
+    "floorplan_count",
+    "iter_orientation_vectors",
+    "iter_sequence_pairs",
+    "pack_sequence_pair",
+    "sequence_pair_count",
+    "sequence_pair_from_lists",
+]

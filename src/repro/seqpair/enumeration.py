@@ -1,0 +1,42 @@
+"""Exhaustive iterators over sequence pairs and die orientation vectors.
+
+EFA's outer loops (Fig. 3, lines 2-3) enumerate every sequence pair
+(``n!^2`` of them) and, per sequence pair, every combination of the four
+die orientations (``4^n``).  The iterators here are deterministic and
+lexicographic so that runs are reproducible and that budget-truncated runs
+of different EFA variants see the same prefix of the search space.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations, product
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..geometry import ALL_ORIENTATIONS, Orientation
+from .sequence_pair import SequencePair
+
+
+def iter_sequence_pairs(die_ids: Sequence[str]) -> Iterator[SequencePair]:
+    """All ``n!^2`` sequence pairs over ``die_ids``, lexicographically."""
+    ids = tuple(die_ids)
+    for plus in permutations(ids):
+        for minus in permutations(ids):
+            yield SequencePair(plus, minus)
+
+
+def iter_orientation_vectors(
+    n: int, allowed: Iterable[Orientation] = ALL_ORIENTATIONS
+) -> Iterator[Tuple[Orientation, ...]]:
+    """All orientation vectors of length ``n`` over ``allowed`` rotations."""
+    yield from product(tuple(allowed), repeat=n)
+
+
+def sequence_pair_count(n: int) -> int:
+    """Number of sequence pairs for ``n`` dies: ``n!^2``."""
+    return math.factorial(n) ** 2
+
+
+def floorplan_count(n: int, orientations_per_die: int = 4) -> int:
+    """Size of the full EFA search space: ``n!^2 * 4^n`` (Section 3)."""
+    return sequence_pair_count(n) * orientations_per_die**n

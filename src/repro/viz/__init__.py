@@ -1,0 +1,5 @@
+"""Layout visualization (SVG)."""
+
+from .svg import SvgStyle, render_layout, save_layout_svg
+
+__all__ = ["SvgStyle", "render_layout", "save_layout_svg"]

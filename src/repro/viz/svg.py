@@ -1,0 +1,161 @@
+"""SVG rendering of 2.5D IC layouts.
+
+Renders a floorplan — and optionally a solved assignment — as a
+self-contained SVG string: package frame, interposer, dies (with labels
+and orientation), escape points, the micro-bumps and TSVs actually used,
+and the internal-net MST topology.  Pure standard library; the output is
+valid XML and opens in any browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+from xml.sax.saxutils import escape as xml_escape
+
+from ..geometry import Point, Rect
+from ..model import Assignment, Design, Floorplan, extract_nets
+from ..mst import prim_mst_edges
+
+
+@dataclass(frozen=True)
+class SvgStyle:
+    """Colours and sizing of the rendering."""
+
+    scale: float = 200.0  # px per mm
+    margin: float = 20.0  # px
+    package_fill: str = "#f4f1ea"
+    interposer_fill: str = "#dde7f0"
+    die_fill: str = "#ffd9a0"
+    die_stroke: str = "#9c6b1e"
+    net_stroke: str = "#3a6ea5"
+    external_stroke: str = "#a53a3a"
+    bump_fill: str = "#5a5a5a"
+    tsv_fill: str = "#a53a3a"
+    escape_fill: str = "#2f7d32"
+    font_px: int = 12
+
+
+class _SvgCanvas:
+    """Accumulates SVG elements in a y-flipped millimetre frame."""
+
+    def __init__(self, world: Rect, style: SvgStyle):
+        self._style = style
+        self._world = world
+        self._elements: List[str] = []
+        self.width_px = world.width * style.scale + 2 * style.margin
+        self.height_px = world.height * style.scale + 2 * style.margin
+
+    def _tx(self, p: Point) -> tuple:
+        s = self._style
+        x = (p.x - self._world.x) * s.scale + s.margin
+        # SVG's y axis points down; flip so the layout reads like a plot.
+        y = (self._world.y2 - p.y) * s.scale + s.margin
+        return x, y
+
+    def rect(self, r: Rect, fill: str, stroke: str, stroke_width: float = 1.0,
+             opacity: float = 1.0) -> None:
+        """Add a rectangle (world coordinates)."""
+        x, y = self._tx(Point(r.x, r.y2))
+        s = self._style
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" '
+            f'width="{r.width * s.scale:.2f}" '
+            f'height="{r.height * s.scale:.2f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity}"/>'
+        )
+
+    def line(self, a: Point, b: Point, stroke: str, width: float = 1.0) -> None:
+        """Add a line segment (world coordinates)."""
+        x1, y1 = self._tx(a)
+        x2, y2 = self._tx(b)
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def circle(self, c: Point, radius_px: float, fill: str) -> None:
+        """Add a circle with a pixel radius at a world position."""
+        x, y = self._tx(c)
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{radius_px:.2f}" '
+            f'fill="{fill}"/>'
+        )
+
+    def text(self, at: Point, content: str, px: Optional[int] = None) -> None:
+        """Add centred text at a world position."""
+        x, y = self._tx(at)
+        size = px or self._style.font_px
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="middle">'
+            f"{xml_escape(content)}</text>"
+        )
+
+    def render(self) -> str:
+        """Serialize the accumulated elements to an SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px:.0f}" height="{self.height_px:.0f}" '
+            f'viewBox="0 0 {self.width_px:.0f} {self.height_px:.0f}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def render_layout(
+    design: Design,
+    floorplan: Floorplan,
+    assignment: Optional[Assignment] = None,
+    style: SvgStyle = SvgStyle(),
+) -> str:
+    """Render a floorplan (and optional assignment) to an SVG string."""
+    world = design.package.frame.inflated(0.2)
+    canvas = _SvgCanvas(world, style)
+
+    canvas.rect(design.package.frame, style.package_fill, "#888", 1.5)
+    canvas.rect(design.interposer.outline, style.interposer_fill, "#567", 1.5)
+
+    for die in design.dies:
+        rect = floorplan.die_rect(die.id)
+        canvas.rect(rect, style.die_fill, style.die_stroke, 1.5)
+        canvas.text(
+            rect.center,
+            f"{die.id} ({floorplan.placement(die.id).orientation.name})",
+        )
+
+    for escape in design.package.escape_points:
+        canvas.circle(escape.position, 3.0, style.escape_fill)
+
+    if assignment is not None:
+        netlist = extract_nets(design, floorplan, assignment)
+        for net in netlist.internal:
+            points = list(net.terminal_positions)
+            for i, j in prim_mst_edges(points):
+                canvas.line(points[i], points[j], style.net_stroke, 1.0)
+        for net in netlist.external:
+            canvas.line(
+                net.tsv_pos, net.escape_pos, style.external_stroke, 1.0
+            )
+        for net in netlist.intra_die:
+            canvas.circle(net.bump_pos, 1.5, style.bump_fill)
+        for net in netlist.external:
+            canvas.circle(net.tsv_pos, 2.0, style.tsv_fill)
+
+    return canvas.render()
+
+
+def save_layout_svg(
+    path,
+    design: Design,
+    floorplan: Floorplan,
+    assignment: Optional[Assignment] = None,
+    style: SvgStyle = SvgStyle(),
+) -> None:
+    """Render and write the layout to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        render_layout(design, floorplan, assignment, style)
+    )

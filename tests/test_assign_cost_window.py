@@ -1,0 +1,170 @@
+"""Tests for the Eq. 3/4 cost model and the window matching method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import (
+    assignment_cost,
+    die_processing_order,
+    far_terminal_weight,
+    window_candidates,
+)
+from repro.benchgen import load_tiny
+from repro.geometry import Point
+from repro.model import Terminal, TerminalKind, Weights
+
+
+class TestEq4Weights:
+    def test_bump_uses_beta(self):
+        w = Weights(alpha=3.0, beta=2.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.BUMP, w) == 2.0
+
+    def test_buffer_uses_min_alpha_beta(self):
+        w = Weights(alpha=3.0, beta=2.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.BUFFER, w) == 2.0
+        w2 = Weights(alpha=1.0, beta=2.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.BUFFER, w2) == 1.0
+
+    def test_escape_uses_min_beta_gamma(self):
+        w = Weights(alpha=3.0, beta=2.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.ESCAPE, w) == 2.0
+        w2 = Weights(alpha=3.0, beta=6.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.ESCAPE, w2) == 5.0
+
+    def test_tsv_uses_beta(self):
+        w = Weights(alpha=3.0, beta=2.0, gamma=5.0)
+        assert far_terminal_weight(TerminalKind.TSV, w) == 2.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            far_terminal_weight("bogus", Weights())
+
+
+class TestEq3Cost:
+    def test_no_far_terminals(self):
+        w = Weights(alpha=2.0)
+        cost = assignment_cost(Point(0, 0), Point(1, 1), [], 2.0, w)
+        assert cost == pytest.approx(4.0)
+
+    def test_hand_computed_example(self):
+        # Fig. 7(a)-style: buffer with two MST edges, one to a bump in a
+        # solved die, one to an escape point.
+        w = Weights(alpha=1.0, beta=2.0, gamma=3.0)
+        far = [
+            Terminal(TerminalKind.BUMP, "m", Point(4, 0)),
+            Terminal(TerminalKind.ESCAPE, "e", Point(0, 5)),
+        ]
+        cost = assignment_cost(Point(0, 0), Point(1, 0), far, w.alpha, w)
+        # alpha*1 + beta*3 (to bump) + min(beta,gamma)*(1+5) (to escape).
+        assert cost == pytest.approx(1 + 6 + 2 * 6)
+
+    def test_leg_weight_gamma_for_tsv_stage(self):
+        w = Weights(alpha=1.0, beta=1.0, gamma=4.0)
+        cost = assignment_cost(Point(0, 0), Point(2, 0), [], w.gamma, w)
+        assert cost == pytest.approx(8.0)
+
+    @given(
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_cost_nonnegative(self, x, y):
+        w = Weights()
+        far = [Terminal(TerminalKind.BUFFER, "b", Point(5, 5))]
+        assert assignment_cost(Point(x, y), Point(1, 1), far, 1.0, w) >= 0
+
+
+class TestWindowMatching:
+    def test_empty_buffers(self):
+        cands, stats = window_candidates([], [Point(0, 0)], pitch=1.0)
+        assert cands == []
+
+    def test_no_sites_rejected(self):
+        with pytest.raises(ValueError, match="no candidate sites"):
+            window_candidates([Point(0, 0)], [], pitch=1.0)
+
+    def test_bad_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            window_candidates([Point(0, 0)], [Point(0, 0)], pitch=0.0)
+
+    def test_isolated_buffer_gets_local_window(self):
+        sites = [Point(x, y) for x in range(5) for y in range(5)]
+        cands, stats = window_candidates([Point(2, 2)], sites, pitch=1.0)
+        # Window half-extent 1 pitch: the 3x3 neighbourhood.
+        assert len(cands[0]) == 9
+
+    def test_window_grows_under_deficit(self):
+        # 3 buffers on one spot, only one site nearby: windows must grow
+        # until they hold >= 3 sites (M - B >= 0 with B = 3).
+        sites = [Point(0, 0), Point(5, 0), Point(10, 0)]
+        buffers = [Point(0, 0)] * 3
+        cands, stats = window_candidates(buffers, sites, pitch=1.0)
+        for c in cands:
+            assert len(c) >= 3
+
+    def test_lambda_slack_forces_larger_windows(self):
+        sites = [Point(float(x), 0.0) for x in range(20)]
+        buffers = [Point(5.0, 0.0)]
+        small, _ = window_candidates(buffers, sites, pitch=1.0, slack=0)
+        big, _ = window_candidates(buffers, sites, pitch=1.0, slack=6)
+        assert len(big[0]) > len(small[0])
+
+    def test_slack_capped_by_global_spare(self):
+        # Only 2 spare sites exist; lambda=100 must still terminate.
+        sites = [Point(float(x), 0.0) for x in range(5)]
+        buffers = [Point(2.0, 0.0)] * 3
+        cands, _ = window_candidates(buffers, sites, pitch=1.0, slack=100)
+        assert all(len(c) >= 1 for c in cands)
+
+    def test_extra_growth_pre_extends(self):
+        sites = [Point(float(x), float(y)) for x in range(10) for y in range(10)]
+        buffers = [Point(5.0, 5.0)]
+        base, _ = window_candidates(buffers, sites, pitch=1.0)
+        grown, _ = window_candidates(buffers, sites, pitch=1.0, extra_growth=2)
+        assert len(grown[0]) > len(base[0])
+
+    def test_candidates_are_valid_indices(self):
+        sites = [Point(float(x), 0.0) for x in range(7)]
+        buffers = [Point(1.0, 0.0), Point(6.0, 0.0)]
+        cands, _ = window_candidates(buffers, sites, pitch=1.0)
+        for c in cands:
+            assert np.all((0 <= c) & (c < len(sites)))
+
+    def test_stats_shape(self):
+        sites = [Point(float(x), 0.0) for x in range(7)]
+        buffers = [Point(1.0, 0.0), Point(6.0, 0.0)]
+        _, stats = window_candidates(buffers, sites, pitch=1.0)
+        assert stats.max_candidates >= stats.mean_candidates > 0
+        assert stats.mean_halfwidth >= 1.0
+
+
+class TestDieProcessingOrder:
+    def test_decreasing_order(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        order = die_processing_order(design, "decreasing")
+        counts = [len(design.carrying_buffers(d)) for d in order]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_increasing_order(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        order = die_processing_order(design, "increasing")
+        counts = [len(design.carrying_buffers(d)) for d in order]
+        assert counts == sorted(counts)
+
+    def test_random_is_seeded(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        a = die_processing_order(design, "random", seed=3)
+        b = die_processing_order(design, "random", seed=3)
+        assert a == b
+
+    def test_design_order(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        assert die_processing_order(design, "design") == [
+            d.id for d in design.dies
+        ]
+
+    def test_unknown_mode_rejected(self):
+        design = load_tiny(die_count=2)
+        with pytest.raises(ValueError):
+            die_processing_order(design, "bogus")

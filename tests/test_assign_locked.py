@@ -1,0 +1,87 @@
+"""Tests for assignment with locked (pre-decided) pads."""
+
+import pytest
+
+from repro.assign import AssignmentError, MCMFAssigner
+from repro.benchgen import load_tiny
+from repro.floorplan import EFAConfig, run_efa
+from repro.model import Assignment
+
+
+@pytest.fixture(scope="module")
+def case():
+    design = load_tiny(die_count=3, signal_count=12)
+    fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+    return design, fp
+
+
+def some_lock(design, floorplan):
+    """A valid single buffer->bump lock derived from a free solution."""
+    free = MCMFAssigner().assign(design, floorplan)
+    buffer_id, bump_id = next(iter(free.buffer_to_bump.items()))
+    return buffer_id, bump_id, free
+
+
+class TestLockedAssignment:
+    def test_lock_is_honored(self, case):
+        design, fp = case
+        buffer_id, bump_id, _ = some_lock(design, fp)
+        locked = Assignment(buffer_to_bump={buffer_id: bump_id})
+        result = MCMFAssigner().assign_with_stats(design, fp, locked=locked)
+        assert result.complete
+        assert result.assignment.buffer_to_bump[buffer_id] == bump_id
+        assert result.assignment.violations(design) == []
+
+    def test_locking_free_solution_reproduces_it(self, case):
+        """Locking a buffer to the bump the free run chose leaves an
+        instance whose solution is still complete and valid."""
+        design, fp = case
+        buffer_id, bump_id, free = some_lock(design, fp)
+        locked = Assignment(buffer_to_bump=dict(free.buffer_to_bump))
+        result = MCMFAssigner().assign_with_stats(design, fp, locked=locked)
+        assert result.complete
+        assert result.assignment.buffer_to_bump == free.buffer_to_bump
+
+    def test_lock_to_foreign_die_rejected(self, case):
+        design, fp = case
+        buffer_id, _, _ = some_lock(design, fp)
+        other_die = next(
+            d for d in design.dies
+            if d.id != design.die_of_buffer(buffer_id)
+        )
+        locked = Assignment(
+            buffer_to_bump={buffer_id: other_die.bumps[0].id}
+        )
+        result = MCMFAssigner().assign_with_stats(design, fp, locked=locked)
+        assert not result.complete
+        assert "crosses dies" in result.note
+
+    def test_carrier_less_buffer_rejected(self, case):
+        design, fp = case
+        # Invent a lock for a nonexistent buffer id.
+        locked = Assignment(buffer_to_bump={"nope": "alsonope"})
+        result = MCMFAssigner().assign_with_stats(design, fp, locked=locked)
+        assert not result.complete
+
+    def test_locked_escape(self, case):
+        design, fp = case
+        escaping = design.escaping_signals()
+        if not escaping:
+            pytest.skip("tiny case drew no escaping signal")
+        free = MCMFAssigner().assign(design, fp)
+        escape_id, tsv_id = next(iter(free.escape_to_tsv.items()))
+        locked = Assignment(escape_to_tsv={escape_id: tsv_id})
+        result = MCMFAssigner().assign_with_stats(design, fp, locked=locked)
+        assert result.complete
+        assert result.assignment.escape_to_tsv[escape_id] == tsv_id
+
+    def test_locks_do_not_leak_between_runs(self, case):
+        design, fp = case
+        buffer_id, bump_id, _ = some_lock(design, fp)
+        assigner = MCMFAssigner()
+        locked = Assignment(buffer_to_bump={buffer_id: bump_id})
+        assigner.assign_with_stats(design, fp, locked=locked)
+        # Second run without locks: the previously locked bump is free again.
+        fresh = assigner.assign_with_stats(design, fp)
+        assert fresh.complete
+        assert fresh.assignment.violations(design) == []

@@ -1,0 +1,89 @@
+"""Stress tests: severe contention, window retries, estimators."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.assign import MCMFAssigner, MCMFAssignerConfig
+from repro.benchgen import generate_design, tiny_config
+from repro.eval import total_wirelength
+from repro.floorplan import (
+    EFAConfig,
+    greedy_assignment_est_wl,
+    run_efa,
+)
+from repro.eval import hpwl_estimate
+
+
+@pytest.fixture(scope="module")
+def hotspot_case():
+    """A design whose buffers pile into pin-cluster hotspots denser than
+    the bump grid — the regime that forces window expansion."""
+    config = replace(
+        tiny_config(die_count=3, signal_count=24, escape_fraction=0.3),
+        buffer_placement="hotspot",
+        hotspots_per_side=1,
+        hotspot_sigma_pitches=0.5,
+    )
+    design = generate_design(config)
+    fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+    return design, fp
+
+
+class TestHotspotContention:
+    def test_fast_assignment_still_completes(self, hotspot_case):
+        design, fp = hotspot_case
+        result = MCMFAssigner().assign_with_stats(design, fp)
+        assert result.complete
+        assert result.assignment.violations(design) == []
+
+    def test_windows_grew_beyond_minimum(self, hotspot_case):
+        """With buffers denser than bumps, at least one sub-SAP needs
+        windows larger than the initial 2x2-pitch square."""
+        from repro.assign import window_candidates
+
+        design, fp = hotspot_case
+        die = max(
+            design.dies, key=lambda d: len(design.carrying_buffers(d.id))
+        )
+        buffers = design.carrying_buffers(die.id)
+        buffer_pos = [fp.buffer_position(b.id) for b in buffers]
+        site_pos = [fp.bump_position(m.id) for m in die.bumps]
+        _, stats = window_candidates(
+            buffer_pos, site_pos, die.bump_pitch
+        )
+        assert stats.mean_halfwidth > die.bump_pitch + 1e-12
+
+    def test_ori_and_fast_agree_on_feasibility(self, hotspot_case):
+        design, fp = hotspot_case
+        ori = MCMFAssigner(
+            MCMFAssignerConfig(window_matching=False)
+        ).assign_with_stats(design, fp)
+        assert ori.complete
+        twl_ori = total_wirelength(design, fp, ori.assignment).total
+        fast = MCMFAssigner().assign_with_stats(design, fp)
+        twl_fast = total_wirelength(design, fp, fast.assignment).total
+        # Window solution can trail the global one under this adversarial
+        # clustering, but not catastrophically.
+        assert twl_fast <= twl_ori * 1.10
+
+
+class TestGreedyEstimator:
+    def test_tracks_true_twl(self):
+        design = generate_design(tiny_config(die_count=3, signal_count=10))
+        fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+        est = greedy_assignment_est_wl(design, fp)
+        from repro.assign import GreedyAssigner
+
+        assignment = GreedyAssigner().assign(design, fp)
+        exact = total_wirelength(design, fp, assignment).total
+        assert est == pytest.approx(exact)
+
+    def test_dominates_hpwl_estimate(self):
+        """HPWL ignores the bump/TSV detours, so the greedy-assignment
+        estimate (a realizable solution) is always at least as long."""
+        design = generate_design(tiny_config(die_count=3, signal_count=10))
+        fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+        assert greedy_assignment_est_wl(design, fp) >= hpwl_estimate(
+            design, fp
+        ) * 0.99

@@ -1,0 +1,185 @@
+"""Tests for the slicing partitioner and the testcase generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import (
+    GeneratorConfig,
+    SUITE_CONFIGS,
+    generate_design,
+    load_case,
+    load_tiny,
+    reference_floorplan,
+    slicing_partition,
+    suite_config,
+    suite_names,
+    tiny_config,
+)
+from repro.geometry import Rect
+
+
+class TestSlicingPartition:
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_piece_count_and_area_preserved(self, pieces, seed):
+        rng = random.Random(seed)
+        outline = Rect(0, 0, 10, 8)
+        parts = slicing_partition(outline, pieces, rng)
+        assert len(parts) == pieces
+        assert sum(p.area for p in parts) == pytest.approx(outline.area)
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_pieces_are_disjoint_and_inside(self, pieces, seed):
+        rng = random.Random(seed)
+        outline = Rect(0, 0, 10, 8)
+        parts = slicing_partition(outline, pieces, rng)
+        for i, a in enumerate(parts):
+            assert outline.contains_rect(a)
+            for b in parts[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_single_piece_is_outline(self):
+        rng = random.Random(0)
+        outline = Rect(1, 2, 3, 4)
+        assert slicing_partition(outline, 1, rng) == [outline]
+
+    def test_invalid_args(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            slicing_partition(Rect(0, 0, 1, 1), 0, rng)
+        with pytest.raises(ValueError):
+            slicing_partition(Rect(0, 0, 1, 1), 2, rng, jitter=0.6)
+
+    def test_deterministic_per_seed(self):
+        outline = Rect(0, 0, 10, 8)
+        a = slicing_partition(outline, 5, random.Random(42))
+        b = slicing_partition(outline, 5, random.Random(42))
+        assert a == b
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = load_tiny(die_count=3)
+        b = load_tiny(die_count=3)
+        assert a.stats() == b.stats()
+        assert [s.buffer_ids for s in a.signals] == [
+            s.buffer_ids for s in b.signals
+        ]
+
+    def test_stats_match_config(self):
+        config = tiny_config(die_count=4, signal_count=15)
+        design = generate_design(config)
+        stats = design.stats()
+        assert stats["D"] == 4
+        assert stats["S"] == 15
+        # |B| = total signal terminals (>= 2 per signal).
+        assert stats["B"] >= 2 * 15
+
+    def test_validation_passes_for_all_placements(self):
+        for placement in ("edge", "hotspot", "uniform"):
+            config = tiny_config(die_count=3, signal_count=10)
+            config = type(config)(**{
+                **config.__dict__, "buffer_placement": placement,
+            })
+            design = generate_design(config)
+            assert design.stats()["S"] == 10
+
+    def test_unknown_placement_rejected(self):
+        config = tiny_config(die_count=2, signal_count=4)
+        config = type(config)(**{
+            **config.__dict__, "buffer_placement": "bogus",
+        })
+        with pytest.raises(ValueError):
+            generate_design(config)
+
+    def test_escape_fraction_respected_roughly(self):
+        design = load_tiny(die_count=3, signal_count=20, escape_fraction=1.0)
+        assert all(s.escapes for s in design.signals)
+        design0 = load_tiny(die_count=3, signal_count=20, escape_fraction=0.0)
+        assert not any(s.escapes for s in design0.signals)
+
+    def test_escaping_subset_capped_at_tsv_supply(self):
+        # 40 all-escaping signals exceed the tiny interposer's 30 TSVs;
+        # the generator must cap rather than produce an infeasible design.
+        design = load_tiny(die_count=3, signal_count=40, escape_fraction=1.0)
+        stats = design.stats()
+        assert stats["E"] <= stats["T"]
+        assert stats["E"] > 0
+
+    def test_primed_config(self):
+        primed = tiny_config(die_count=3).primed()
+        assert primed.name.endswith("'")
+        design = generate_design(primed)
+        assert not any(s.escapes for s in design.signals)
+        assert all(len(s.buffer_ids) == 2 for s in design.signals)
+
+    def test_die_count_guard(self):
+        with pytest.raises(ValueError):
+            generate_design(tiny_config(die_count=1))
+
+    def test_interposer_larger_than_chip(self):
+        config = tiny_config(die_count=3)
+        design = generate_design(config)
+        assert design.interposer.width > config.chip_width
+        assert design.interposer.height > config.chip_height
+
+    def test_reference_floorplan_is_legal(self):
+        config = tiny_config(die_count=3)
+        design = generate_design(config)
+        fp = reference_floorplan(design, config)
+        assert fp is not None
+        assert fp.is_legal()
+
+    def test_bump_and_tsv_pitches(self):
+        config = tiny_config(die_count=2)
+        design = generate_design(config)
+        assert design.dies[0].bump_pitch == config.bump_pitch
+        assert design.interposer.tsv_pitch == config.tsv_pitch
+
+
+class TestSuite:
+    def test_nine_cases(self):
+        assert len(SUITE_CONFIGS) == 9
+        assert suite_names() == [
+            "t4s", "t4m", "t4b", "t6s", "t6m", "t6b", "t8s", "t8m", "t8b",
+        ]
+
+    def test_die_counts(self):
+        for config in SUITE_CONFIGS:
+            assert config.die_count == int(config.name[1])
+
+    def test_size_ordering_within_die_count(self):
+        by_count = {}
+        for config in SUITE_CONFIGS:
+            by_count.setdefault(config.die_count, []).append(
+                config.signal_count
+            )
+        for counts in by_count.values():
+            assert counts == sorted(counts)  # s < m < b.
+
+    def test_primed_lookup(self):
+        config = suite_config("t4s'")
+        assert config.name == "t4s'"
+        assert config.escape_fraction == 0.0
+
+    def test_load_case_smallest(self):
+        design = load_case("t4s")
+        stats = design.stats()
+        assert stats["D"] == 4
+        assert stats["S"] == 60
+        assert stats["M"] > stats["B"]  # Spare bump sites exist.
+        assert stats["T"] >= stats["E"]
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            suite_config("t99x")

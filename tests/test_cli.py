@@ -1,0 +1,157 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def design_path(tmp_path):
+    path = tmp_path / "design.json"
+    rc = main(
+        ["generate", "--case", "tiny", "--dies", "3", "--signals", "10",
+         "-o", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture()
+def floorplan_path(tmp_path, design_path):
+    path = tmp_path / "fp.json"
+    rc = main(
+        ["floorplan", str(design_path), "--algorithm", "c3", "-o", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, design_path):
+        data = json.loads(design_path.read_text())
+        assert data["name"] == "tiny3"
+        assert len(data["dies"]) == 3
+
+    def test_suite_case(self, tmp_path, capsys):
+        path = tmp_path / "t4s.json"
+        rc = main(["generate", "--case", "t4s", "-o", str(path)])
+        assert rc == 0
+        assert "t4s" in capsys.readouterr().out
+
+    def test_text_format_by_extension(self, tmp_path):
+        path = tmp_path / "design.25d"
+        rc = main(
+            ["generate", "--case", "tiny", "--dies", "2", "--signals", "5",
+             "-o", str(path)]
+        )
+        assert rc == 0
+        assert path.read_text().startswith("#")
+        # Downstream commands accept the text design transparently.
+        fp = tmp_path / "fp.json"
+        assert main(["floorplan", str(path), "--algorithm", "c1",
+                     "-o", str(fp)]) == 0
+
+
+class TestFloorplan:
+    def test_writes_floorplan(self, floorplan_path):
+        data = json.loads(floorplan_path.read_text())
+        assert len(data["placements"]) == 3
+
+    def test_post_optimize_flag(self, tmp_path, design_path, capsys):
+        path = tmp_path / "fp.json"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", "c1",
+             "--post-optimize", "-o", str(path)]
+        )
+        assert rc == 0
+        assert "post-opt" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, tmp_path, design_path):
+        path = tmp_path / "fp.json"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", "ori",
+             "--budget", "0", "-o", str(path)]
+        )
+        assert rc == 1
+
+    @pytest.mark.parametrize("algorithm", ["sa", "btree-sa", "dop"])
+    def test_every_floorplanner_choice_works(
+        self, tmp_path, design_path, algorithm
+    ):
+        path = tmp_path / f"fp_{algorithm}.json"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", algorithm,
+             "--budget", "5", "-o", str(path)]
+        )
+        assert rc == 0
+        assert path.exists()
+
+
+class TestAssignEvaluateRender:
+    def test_assign_then_evaluate(self, tmp_path, design_path, floorplan_path, capsys):
+        assignment = tmp_path / "assign.json"
+        rc = main(
+            ["assign", str(design_path), str(floorplan_path),
+             "-o", str(assignment)]
+        )
+        assert rc == 0
+        rc = main(
+            ["evaluate", str(design_path), str(floorplan_path),
+             str(assignment), "--congestion"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TWL=" in out
+        assert "congestion" in out
+
+    def test_greedy_assigner(self, tmp_path, design_path, floorplan_path):
+        assignment = tmp_path / "assign.json"
+        rc = main(
+            ["assign", str(design_path), str(floorplan_path),
+             "--algorithm", "greedy", "-o", str(assignment)]
+        )
+        assert rc == 0
+
+    def test_render_svg(self, tmp_path, design_path, floorplan_path):
+        assignment = tmp_path / "assign.json"
+        main(["assign", str(design_path), str(floorplan_path), "-o", str(assignment)])
+        svg = tmp_path / "layout.svg"
+        rc = main(
+            ["render", str(design_path), str(floorplan_path),
+             "--assignment", str(assignment), "-o", str(svg)]
+        )
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+
+
+class TestRoute:
+    def test_route_reports_and_exits_clean(
+        self, tmp_path, design_path, floorplan_path, capsys
+    ):
+        assignment = tmp_path / "assign.json"
+        main(["assign", str(design_path), str(floorplan_path), "-o",
+              str(assignment)])
+        rc = main(
+            ["route", str(design_path), str(floorplan_path),
+             str(assignment), "--grid", "12"]
+        )
+        out = capsys.readouterr().out
+        assert "routed" in out and "correlation" in out
+        assert rc in (0, 2)
+
+
+class TestRun:
+    def test_full_flow(self, tmp_path, design_path, capsys):
+        fp_out = tmp_path / "fp.json"
+        asg_out = tmp_path / "assign.json"
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "c3",
+             "--post-optimize",
+             "--floorplan-out", str(fp_out),
+             "--assignment-out", str(asg_out)]
+        )
+        assert rc == 0
+        assert "TWL=" in capsys.readouterr().out
+        assert fp_out.exists() and asg_out.exists()

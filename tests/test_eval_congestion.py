@@ -1,0 +1,111 @@
+"""Tests for the RDL congestion estimator."""
+
+import numpy as np
+import pytest
+
+from repro.assign import MCMFAssigner
+from repro.benchgen import load_tiny
+from repro.eval import (
+    CongestionConfig,
+    CongestionReport,
+    estimate_congestion,
+)
+from repro.floorplan import EFAConfig, run_efa
+from repro.geometry import Orientation, Point
+from repro.model import Assignment, Floorplan, Placement
+
+from tests.helpers import build_design
+
+
+def solved_pair():
+    design = build_design()
+    fp = Floorplan(
+        design,
+        {
+            "d1": Placement(Point(0.3, 0.5), Orientation.R0),
+            "d2": Placement(Point(1.7, 0.5), Orientation.R0),
+        },
+    )
+    assignment = Assignment(
+        buffer_to_bump={"b1": "m1", "b2": "m3"},
+        escape_to_tsv={"e1": "t1"},
+    )
+    return design, fp, assignment
+
+
+class TestConfig:
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            CongestionConfig(grid=1)
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            CongestionConfig(wire_pitch=0.0)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            CongestionConfig(rdl_layers=0)
+
+
+class TestEstimate:
+    def test_wirelength_matches_internal_mst(self):
+        design, fp, assignment = solved_pair()
+        report = estimate_congestion(design, fp, assignment)
+        # Hand-computed in test_eval_wirelength: internal MST is 0.8 mm.
+        assert report.total_wirelength == pytest.approx(0.8)
+
+    def test_demand_is_where_the_net_is(self):
+        design, fp, assignment = solved_pair()
+        config = CongestionConfig(grid=8)
+        report = estimate_congestion(design, fp, assignment, config)
+        # The internal net runs horizontally at y = 1.0 (interposer is
+        # 3.0 x 2.0, so grid rows 3/4 border y = 1.0); all demand must sit
+        # in those rows.
+        rows_with_demand = {
+            int(r) for r, c in zip(*np.nonzero(report.demand))
+        }
+        assert rows_with_demand <= {3, 4}
+
+    def test_total_demand_scales_with_wirelength(self):
+        design, fp, assignment = solved_pair()
+        config = CongestionConfig(grid=16)
+        report = estimate_congestion(design, fp, assignment, config)
+        # Each unit length of wire crosses ~1 gcell per step; demand summed
+        # over cells approximates wirelength / cell-extent (within the
+        # L-shape smearing factor of ~2).
+        step = design.interposer.width / config.grid
+        approx_crossings = report.total_wirelength / step
+        assert 0.3 * approx_crossings <= report.demand.sum() <= 4 * approx_crossings
+
+    def test_tiny_design_is_routable(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+        assignment = MCMFAssigner().assign(design, fp)
+        report = estimate_congestion(design, fp, assignment)
+        assert isinstance(report, CongestionReport)
+        assert report.routable
+        assert 0.0 <= report.mean_utilization <= report.max_utilization
+
+    def test_tight_capacity_overflows(self):
+        design, fp, assignment = solved_pair()
+        config = CongestionConfig(grid=8, wire_pitch=0.5)  # Absurdly coarse.
+        report = estimate_congestion(design, fp, assignment, config)
+        assert report.overflow_cells > 0
+        assert not report.routable
+
+    def test_more_layers_reduce_utilization(self):
+        design, fp, assignment = solved_pair()
+        low = estimate_congestion(
+            design, fp, assignment, CongestionConfig(rdl_layers=2)
+        )
+        high = estimate_congestion(
+            design, fp, assignment, CongestionConfig(rdl_layers=6)
+        )
+        assert high.max_utilization <= low.max_utilization
+
+    def test_demand_shape(self):
+        design, fp, assignment = solved_pair()
+        report = estimate_congestion(
+            design, fp, assignment, CongestionConfig(grid=12)
+        )
+        assert report.demand.shape == (12, 12)

@@ -1,0 +1,143 @@
+"""Tests for the Eq. 1 evaluator on a hand-computed design."""
+
+import pytest
+
+from repro.eval import (
+    WirelengthBreakdown,
+    format_table,
+    geometric_mean,
+    hpwl_estimate,
+    netlist_wirelength,
+    total_wirelength,
+)
+from repro.geometry import Orientation, Point
+from repro.model import (
+    Assignment,
+    Floorplan,
+    Placement,
+    SpacingRules,
+    Weights,
+    extract_nets,
+)
+
+from tests.helpers import build_design
+
+
+def solved(design):
+    fp = Floorplan(
+        design,
+        {
+            "d1": Placement(Point(0.3, 0.5), Orientation.R0),
+            "d2": Placement(Point(1.7, 0.5), Orientation.R0),
+        },
+    )
+    assignment = Assignment(
+        buffer_to_bump={"b1": "m1", "b2": "m3"},
+        escape_to_tsv={"e1": "t1"},
+    )
+    return fp, assignment
+
+
+class TestEq1HandComputed:
+    def test_unit_weights(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        wl = total_wirelength(design, fp, assignment)
+        # Intra: b1(1.2,1.0)->m1(1.1,1.0) = 0.1; b2(1.8,1.0)->m3(1.9,1.0)=0.1.
+        assert wl.wl_intra_die == pytest.approx(0.2)
+        # Internal MST over m1(1.1,1), m3(1.9,1), t1(1.5,1): collinear, 0.8.
+        assert wl.wl_internal == pytest.approx(0.8)
+        # External: t1(1.5,1) -> e1(-0.5,0) = 2.0 + 1.0 = 3.0.
+        assert wl.wl_external == pytest.approx(3.0)
+        assert wl.total == pytest.approx(4.0)
+        assert wl.unweighted_total == pytest.approx(4.0)
+
+    def test_weights_scale_terms(self):
+        design = build_design(weights=Weights(alpha=2.0, beta=3.0, gamma=0.5))
+        fp, assignment = solved(design)
+        wl = total_wirelength(design, fp, assignment)
+        assert wl.total == pytest.approx(2.0 * 0.2 + 3.0 * 0.8 + 0.5 * 3.0)
+
+    def test_netlist_wirelength_matches_total(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        netlist = extract_nets(design, fp, assignment)
+        assert netlist_wirelength(design, netlist).total == pytest.approx(
+            total_wirelength(design, fp, assignment).total
+        )
+
+    def test_str_contains_terms(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        text = str(total_wirelength(design, fp, assignment))
+        assert "TWL=" in text and "WL_D=" in text
+
+    def test_hpwl_estimate_hand_computed(self):
+        design = build_design()
+        fp, _ = solved(design)
+        # Terminals: b1(1.2,1.0), b2(1.8,1.0), e1(-0.5,0.0):
+        # HPWL = (1.8-(-0.5)) + (1.0-0.0) = 3.3.
+        assert hpwl_estimate(design, fp) == pytest.approx(3.3)
+
+    def test_hpwl_underestimates_realized_twl(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        assert hpwl_estimate(design, fp) <= total_wirelength(
+            design, fp, assignment
+        ).total
+
+    def test_steiner_metric_never_above_mst(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        mst = total_wirelength(design, fp, assignment, "mst")
+        smt = total_wirelength(design, fp, assignment, "steiner")
+        assert smt.wl_internal <= mst.wl_internal + 1e-9
+        # Intra-die and external nets are two-terminal: identical.
+        assert smt.wl_intra_die == pytest.approx(mst.wl_intra_die)
+        assert smt.wl_external == pytest.approx(mst.wl_external)
+
+    def test_unknown_metric_rejected(self):
+        design = build_design()
+        fp, assignment = solved(design)
+        with pytest.raises(ValueError, match="unknown internal metric"):
+            total_wirelength(design, fp, assignment, "bogus")
+
+    def test_steiner_metric_on_generated_case(self):
+        from repro.assign import MCMFAssigner
+        from repro.benchgen import load_tiny
+        from repro.floorplan import EFAConfig, run_efa
+
+        design = load_tiny(die_count=3, signal_count=10)
+        fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+        assignment = MCMFAssigner().assign(design, fp)
+        mst = total_wirelength(design, fp, assignment, "mst")
+        smt = total_wirelength(design, fp, assignment, "steiner")
+        assert smt.total <= mst.total + 1e-9
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["case", "TWL"], [["t4s", 1.234], ["t4m", 22.5]], float_digits=2
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "case" in lines[0] and "TWL" in lines[0]
+        assert "1.23" in lines[2]
+
+    def test_format_table_none_cell(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0, 0.0, 8.0]) == pytest.approx(4.0)
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="Table X")
+        assert text.startswith("Table X")

@@ -1,0 +1,42 @@
+"""Smoke tests: the shipped examples must at least build and run briefly."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+sys.path.insert(0, str(EXAMPLES))
+
+
+class TestQuickstart:
+    def test_runs_end_to_end(self, capsys):
+        import quickstart
+
+        quickstart.main()
+        out = capsys.readouterr().out
+        assert "Wirelength (Eq. 1)" in out
+        assert "TWL" in out
+
+
+class TestHbmSocExample:
+    def test_design_builds_and_validates(self):
+        import hbm_soc_interposer
+
+        design = hbm_soc_interposer.build_design()
+        stats = design.stats()
+        assert stats["D"] == 3
+        assert stats["S"] == 160
+        # Two 64-bit HBM interfaces + 32 serdes escapes.
+        assert stats["E"] == 32
+        assert stats["B"] == 64 * 4 + 32
+
+    def test_hbm_signals_are_die_to_die(self):
+        import hbm_soc_interposer
+
+        design = hbm_soc_interposer.build_design()
+        hbm = [s for s in design.signals if s.id.startswith("hbm")]
+        assert len(hbm) == 128
+        assert all(not s.escapes for s in hbm)
+        serdes = [s for s in design.signals if s.id.startswith("ser")]
+        assert all(s.escapes for s in serdes)

@@ -1,0 +1,176 @@
+"""Tests for the vectorized HPWL evaluator and the Eq. 2 lower bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import load_tiny
+from repro.eval import hpwl_estimate
+from repro.floorplan import FastHpwlEvaluator, orientation_code, orientation_from_code
+from repro.geometry import ALL_ORIENTATIONS, Orientation, Point
+from repro.model import Floorplan, Placement
+
+
+def random_floorplan(design, rng_draw):
+    """A (possibly illegal) floorplan from hypothesis-drawn values."""
+    placements = {}
+    for i, die in enumerate(design.dies):
+        x, y, o = rng_draw[i]
+        placements[die.id] = Placement(Point(x, y), o)
+    return Floorplan(design, placements)
+
+
+placement_strategy = st.tuples(
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    st.sampled_from(ALL_ORIENTATIONS),
+)
+
+
+class TestOrientationCodes:
+    def test_round_trip(self):
+        for o in ALL_ORIENTATIONS:
+            assert orientation_from_code(orientation_code(o)) is o
+
+    def test_codes_are_0_to_3(self):
+        assert sorted(orientation_code(o) for o in ALL_ORIENTATIONS) == [
+            0, 1, 2, 3,
+        ]
+
+
+class TestFastHpwl:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(placement_strategy, min_size=3, max_size=3))
+    def test_matches_reference_estimate(self, draws):
+        design = load_tiny(die_count=3)
+        fp = random_floorplan(design, draws)
+        evaluator = FastHpwlEvaluator(design)
+        fast = evaluator.hpwl_of_floorplan(fp)
+        reference = hpwl_estimate(design, fp)
+        assert fast == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+    def test_translation_invariance_without_escapes(self):
+        design = load_tiny(die_count=3, escape_fraction=0.0)
+        evaluator = FastHpwlEvaluator(design)
+        n = evaluator.die_count
+        x = np.array([0.0, 1.5, 0.2])
+        y = np.array([0.0, 0.1, 1.4])
+        codes = np.zeros(n, dtype=np.int64)
+        a = evaluator.hpwl(x, y, codes)
+        b = evaluator.hpwl(x + 3.0, y - 2.0, codes)
+        assert a == pytest.approx(b)
+
+    def test_escape_terminals_break_translation_invariance(self):
+        design = load_tiny(die_count=3, escape_fraction=0.9)
+        evaluator = FastHpwlEvaluator(design)
+        n = evaluator.die_count
+        x = np.array([0.0, 1.5, 0.2])
+        y = np.array([0.0, 0.1, 1.4])
+        codes = np.zeros(n, dtype=np.int64)
+        a = evaluator.hpwl(x, y, codes)
+        b = evaluator.hpwl(x + 50.0, y, codes)
+        assert b > a  # Dies moved away from fixed escape points.
+
+    def test_die_index_mapping(self):
+        design = load_tiny(die_count=3)
+        evaluator = FastHpwlEvaluator(design)
+        for i, die in enumerate(design.dies):
+            assert evaluator.die_index(die.id) == i
+
+
+class TestLowerBounds:
+    def _min_hpwl_over_orientations(self, design, die_xy):
+        """Brute-force min HPWL over all orientation vectors with dies
+        pinned at fixed positions (the bound must stay below this)."""
+        evaluator = FastHpwlEvaluator(design)
+        n = evaluator.die_count
+        best = float("inf")
+        import itertools
+
+        for combo in itertools.product(range(4), repeat=n):
+            codes = np.asarray(combo, dtype=np.int64)
+            wl = evaluator.hpwl(die_xy[0], die_xy[1], codes)
+            best = min(best, wl)
+        return best
+
+    def test_vertical_bound_is_a_lower_bound(self):
+        # Pin dies at F_low-like positions; the vertical lower bound plus
+        # zero horizontal must not exceed the best achievable HPWL there.
+        design = load_tiny(die_count=3)
+        evaluator = FastHpwlEvaluator(design)
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.3, 0.6])
+        ly = evaluator.lower_bound_vertical(y)
+        best = self._min_hpwl_over_orientations(design, (x, y))
+        assert ly <= best + 1e-9
+
+    def test_horizontal_bound_is_a_lower_bound(self):
+        design = load_tiny(die_count=3)
+        evaluator = FastHpwlEvaluator(design)
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([0.0, 1.0, 2.0])
+        lx = evaluator.lower_bound_horizontal(x)
+        best = self._min_hpwl_over_orientations(design, (x, y))
+        assert lx <= best + 1e-9
+
+    def test_eq2_example_square_die_has_four_potential_locations(self):
+        """The Fig. 4(b) structure: a square die's terminal contributes the
+        min/max of its local coordinate over all four rotations."""
+        from repro.model import (
+            Design,
+            Die,
+            IOBuffer,
+            Interposer,
+            MicroBump,
+            Package,
+            Signal,
+            TSV,
+        )
+        from repro.geometry import Rect
+
+        # Square die 2x2 with one buffer at (0.5, 0.25); under the four
+        # rotations its local y is one of {0.25, 0.5, 1.75, 1.5}.
+        d1 = Die(
+            id="d1",
+            width=2.0,
+            height=2.0,
+            buffers=[IOBuffer("b1", "d1", Point(0.5, 0.25), "s1")],
+            bumps=[MicroBump("m1", "d1", Point(1.0, 1.0))],
+        )
+        # Wide die 4x2: landscape subset is R0/R180; buffer local y in
+        # {0.5, 1.5}.
+        d2 = Die(
+            id="d2",
+            width=4.0,
+            height=2.0,
+            buffers=[IOBuffer("b2", "d2", Point(1.0, 0.5), "s1")],
+            bumps=[MicroBump("m2", "d2", Point(2.0, 1.0))],
+        )
+        design = Design(
+            name="fig4b",
+            dies=[d1, d2],
+            interposer=Interposer(
+                width=10.0, height=10.0, tsvs=[TSV("t1", Point(5, 5))]
+            ),
+            package=Package(frame=Rect(-1, -1, 12, 12), escape_points=[]),
+            signals=[Signal("s1", ("b1", "b2"))],
+        )
+        evaluator = FastHpwlEvaluator(design)
+        # F_low: d1 at y=0, d2 at y=2.
+        die_y = np.array([0.0, 2.0])
+        # Potential y for b1: die_y + {0.25, 1.75} -> min 0.25, max 1.75.
+        # Potential y for b2 (landscape only): 2 + {0.5, 1.5} -> [2.5, 3.5].
+        # ceiling = max(0.25, 2.5) = 2.5; floor = min(1.75, 3.5) = 1.75.
+        expected = 2.5 - 1.75
+        assert evaluator.lower_bound_vertical(die_y) == pytest.approx(
+            expected
+        )
+
+    def test_bound_zero_when_intervals_overlap(self):
+        design = load_tiny(die_count=3, escape_fraction=0.0)
+        evaluator = FastHpwlEvaluator(design)
+        # All dies on top of each other: intervals overlap, so each
+        # signal's l_v is likely 0; bound must never go negative.
+        y = np.zeros(3)
+        assert evaluator.lower_bound_vertical(y) >= 0.0

@@ -1,0 +1,54 @@
+"""Cross-check EFA's fast index packing against the reference packer.
+
+``EnumerativeFloorplanner._pack`` re-implements sequence-pair packing over
+flat index lists for speed; this property test pins it to the documented
+reference implementation :func:`repro.seqpair.pack_sequence_pair`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan.efa import EnumerativeFloorplanner
+from repro.seqpair import SequencePair, pack_sequence_pair
+
+IDS = ("a", "b", "c", "d", "e", "f")
+
+
+@st.composite
+def packing_instance(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    ids = list(IDS[:n])
+    plus = draw(st.permutations(ids))
+    minus = draw(st.permutations(ids))
+    size = st.floats(min_value=0.1, max_value=9.0, allow_nan=False)
+    dims = {i: (draw(size), draw(size)) for i in ids}
+    return ids, tuple(plus), tuple(minus), dims
+
+
+class TestPackEquivalence:
+    @settings(max_examples=120)
+    @given(packing_instance())
+    def test_fast_pack_matches_reference(self, instance):
+        ids, plus, minus, dims = instance
+        # Reference path: SequencePair objects and dict dims.
+        packed = pack_sequence_pair(SequencePair(plus, minus), dims)
+
+        # Fast path: index permutations and list dims.
+        index_of = {die_id: i for i, die_id in enumerate(ids)}
+        dims_list = [dims[i] for i in ids]
+        plus_idx = tuple(index_of[d] for d in plus)
+        minus_idx = tuple(index_of[d] for d in minus)
+        rank_plus = [0] * len(ids)
+        for r, i in enumerate(plus_idx):
+            rank_plus[i] = r
+        xs, ys, w, h = EnumerativeFloorplanner._pack(
+            minus_idx, rank_plus, dims_list
+        )
+
+        assert w == pytest.approx(packed.width)
+        assert h == pytest.approx(packed.height)
+        for die_id in ids:
+            i = index_of[die_id]
+            assert xs[i] == pytest.approx(packed.positions[die_id][0])
+            assert ys[i] == pytest.approx(packed.positions[die_id][1])

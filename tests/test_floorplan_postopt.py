@@ -1,0 +1,119 @@
+"""Tests for the post-floorplan wirelength optimizer (future work [16])."""
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.eval import hpwl_estimate
+from repro.floorplan import EFAConfig, run_efa
+from repro.floorplan.postopt import (
+    PostOptStats,
+    _optimal_position,
+    optimize_floorplan,
+)
+from repro.geometry import Orientation, Point
+from repro.model import Floorplan, Placement
+
+from tests.helpers import build_design
+
+
+@pytest.fixture(scope="module")
+def design3():
+    return load_tiny(die_count=3, signal_count=12)
+
+
+def shifted_floorplan(design):
+    """A deliberately suboptimal but legal floorplan: EFA's floorplan with
+    every die pushed toward the lower-left as far as legality allows."""
+    base = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+    return base
+
+
+class TestOptimalPosition:
+    def test_no_breakpoints_clamps_current(self):
+        assert _optimal_position([], 5.0, 0.0, 10.0) == 5.0
+        assert _optimal_position([], -3.0, 0.0, 10.0) == 0.0
+
+    def test_empty_interval_stays(self):
+        assert _optimal_position([(1.0, 2.0)], 4.0, 5.0, 3.0) == 4.0
+
+    def test_single_signal_moves_into_interval(self):
+        # One signal with other-terminals interval [4, 6]: any x in [4, 6]
+        # is optimal; from x=0 we should land at 4.
+        assert _optimal_position([(4.0, 6.0)], 0.0, -10.0, 10.0) == 4.0
+
+    def test_prefers_staying_inside_flat_region(self):
+        # Already optimal: do not move.
+        assert _optimal_position([(4.0, 6.0)], 5.0, -10.0, 10.0) == 5.0
+
+    def test_median_of_two_signals(self):
+        # Signals pulling to [0, 1] and [9, 10]: any x in [1, 9] optimal.
+        x = _optimal_position([(0.0, 1.0), (9.0, 10.0)], 5.0, -10.0, 10.0)
+        assert 1.0 <= x <= 9.0
+
+    def test_clamped_by_slack(self):
+        x = _optimal_position([(8.0, 9.0)], 0.0, 0.0, 4.0)
+        assert x == 4.0
+
+
+class TestOptimizeFloorplan:
+    def test_never_degrades_estimate(self, design3):
+        fp = shifted_floorplan(design3)
+        optimized, stats = optimize_floorplan(design3, fp)
+        assert stats.final_est_wl <= stats.initial_est_wl + 1e-9
+        assert stats.final_est_wl == pytest.approx(
+            hpwl_estimate(design3, optimized)
+        )
+
+    def test_preserves_legality(self, design3):
+        fp = shifted_floorplan(design3)
+        optimized, _ = optimize_floorplan(design3, fp)
+        assert optimized.is_legal()
+
+    def test_preserves_orientations(self, design3):
+        fp = shifted_floorplan(design3)
+        optimized, _ = optimize_floorplan(design3, fp)
+        for die in design3.dies:
+            assert (
+                optimized.placement(die.id).orientation
+                is fp.placement(die.id).orientation
+            )
+
+    def test_rejects_illegal_floorplan(self, design3):
+        placements = {
+            d.id: Placement(Point(0.0, 0.0), Orientation.R0)
+            for d in design3.dies
+        }
+        fp = Floorplan(design3, placements)  # All dies stacked: illegal.
+        with pytest.raises(ValueError, match="legal"):
+            optimize_floorplan(design3, fp)
+
+    def test_converges(self, design3):
+        fp = shifted_floorplan(design3)
+        optimized, stats = optimize_floorplan(design3, fp, max_sweeps=50)
+        again, stats2 = optimize_floorplan(design3, optimized)
+        # A second pass finds (almost) nothing left to improve.
+        assert stats2.improvement <= 1e-6
+        assert stats.sweeps <= 50
+
+    def test_improves_a_spread_floorplan(self):
+        """Build a two-die design with dies parked far apart: the optimizer
+        must pull them together (up to the spacing constraints)."""
+        design = build_design()
+        fp = Floorplan(
+            design,
+            {
+                "d1": Placement(Point(0.0, 0.0), Orientation.R0),
+                "d2": Placement(Point(2.0, 1.0), Orientation.R0),
+            },
+        )
+        assert fp.is_legal()
+        optimized, stats = optimize_floorplan(design, fp)
+        assert stats.final_est_wl < stats.initial_est_wl - 1e-9
+        assert stats.moves >= 1
+
+    def test_stats_shape(self, design3):
+        fp = shifted_floorplan(design3)
+        _, stats = optimize_floorplan(design3, fp)
+        assert isinstance(stats, PostOptStats)
+        assert stats.runtime_s >= 0
+        assert 0.0 <= stats.improvement <= 1.0

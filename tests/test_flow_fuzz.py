@@ -1,0 +1,96 @@
+"""Property-based fuzzing of the complete flow on random tiny designs.
+
+Invariants checked on every generated instance:
+
+* the floorplan is legal (spacing + outline rules);
+* the assignment is complete and valid (bijective into sites, same-die);
+* Eq. 1 accounting is internally consistent;
+* the realized TWL is bounded below by the HPWL estimate: any connected
+  rectilinear tree spanning a signal's terminals is at least as long as
+  the half perimeter of their bounding box (projection argument), and
+  every realized signal additionally routes through its bumps/TSV.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import generate_design, tiny_config
+from repro.eval import hpwl_estimate, total_wirelength
+from repro.flow import FlowConfig, run_flow
+
+
+@st.composite
+def tiny_instances(draw):
+    die_count = draw(st.integers(min_value=2, max_value=4))
+    signal_count = draw(st.integers(min_value=3, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    escape_fraction = draw(st.sampled_from([0.0, 0.3, 0.8]))
+    placement = draw(st.sampled_from(["edge", "uniform"]))
+    config = replace(
+        tiny_config(
+            die_count=die_count,
+            signal_count=signal_count,
+            seed=seed,
+            escape_fraction=escape_fraction,
+        ),
+        buffer_placement=placement,
+        multi_terminal_fraction=0.3 if die_count >= 3 else 0.0,
+    )
+    return config
+
+
+class TestFlowFuzz:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tiny_instances())
+    def test_flow_invariants(self, config):
+        design = generate_design(config)
+        result = run_flow(design, FlowConfig(floorplan_budget_s=10))
+
+        # Legality and validity.
+        assert result.floorplan.is_legal()
+        assert result.assignment.violations(design) == []
+
+        # Eq. 1 consistency.
+        wl = result.wirelength
+        recomputed = total_wirelength(
+            design, result.floorplan, result.assignment
+        )
+        assert wl.total == pytest.approx(recomputed.total)
+        assert wl.total == pytest.approx(
+            wl.alpha * wl.wl_intra_die
+            + wl.beta * wl.wl_internal
+            + wl.gamma * wl.wl_external
+        )
+        if not any(s.escapes for s in design.signals):
+            assert wl.wl_external == 0.0
+
+        # Lower bound: realized interconnect per signal spans at least the
+        # terminal bounding box (alpha = beta = gamma = 1 in tiny configs).
+        assert wl.total >= hpwl_estimate(
+            design, result.floorplan
+        ) - 1e-6
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tiny_instances())
+    def test_post_optimize_never_hurts_estimate(self, config):
+        design = generate_design(config)
+        plain = run_flow(design, FlowConfig(floorplan_budget_s=10))
+        post = run_flow(
+            design,
+            FlowConfig(floorplan_budget_s=10, post_optimize=True),
+        )
+        assert post.floorplan.is_legal()
+        assert post.floorplan_result.est_wl <= (
+            plain.floorplan_result.est_wl + 1e-9
+        )

@@ -1,0 +1,75 @@
+"""Unit and property tests for repro.geometry.bbox."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, bounding_box, hpwl, hpwl_of_rect
+
+coords = st.floats(
+    min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=20)
+
+
+class TestBoundingBox:
+    def test_single_point_degenerate(self):
+        box = bounding_box([Point(3, 4)])
+        assert box == Rect(3, 4, 0, 0)
+
+    def test_two_points(self):
+        box = bounding_box([Point(0, 2), Point(4, 0)])
+        assert box == Rect(0, 0, 4, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    @given(point_lists)
+    def test_contains_all_points(self, pts):
+        box = bounding_box(pts)
+        for p in pts:
+            assert box.contains_point(p, tol=1e-9)
+
+
+class TestHpwl:
+    def test_empty_is_zero(self):
+        assert hpwl([]) == 0.0
+
+    def test_single_point_is_zero(self):
+        assert hpwl([Point(5, 5)]) == 0.0
+
+    def test_two_points_equals_manhattan(self):
+        assert hpwl([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_three_points(self):
+        pts = [Point(0, 0), Point(2, 5), Point(4, 1)]
+        assert hpwl(pts) == 4 + 5
+
+    @given(point_lists)
+    def test_matches_bounding_box(self, pts):
+        box = bounding_box(pts)
+        assert hpwl(pts) == pytest.approx(box.width + box.height)
+
+    @given(point_lists, coords, coords)
+    def test_translation_invariant(self, pts, dx, dy):
+        moved = [p.translated(dx, dy) for p in pts]
+        assert hpwl(moved) == pytest.approx(hpwl(pts), abs=1e-6)
+
+    @given(point_lists, points)
+    def test_monotone_under_point_addition(self, pts, extra):
+        assert hpwl(pts + [extra]) >= hpwl(pts) - 1e-9
+
+    @given(st.lists(points, min_size=2, max_size=2))
+    def test_lower_bounds_two_point_mst(self, pts):
+        # For 2 points, HPWL == MST length == Manhattan distance.
+        assert hpwl(pts) == pytest.approx(pts[0].manhattan_to(pts[1]))
+
+
+class TestHpwlOfRect:
+    def test_none_is_zero(self):
+        assert hpwl_of_rect(None) == 0.0
+
+    def test_rect_half_perimeter(self):
+        assert hpwl_of_rect(Rect(0, 0, 3, 4)) == 7

@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.geometry.orientation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    ALL_ORIENTATIONS,
+    Orientation,
+    Point,
+    landscape_orientations,
+    portrait_orientations,
+)
+
+dims = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def die_points(draw):
+    w = draw(dims)
+    h = draw(dims)
+    x = draw(st.floats(min_value=0.0, max_value=w, allow_nan=False))
+    y = draw(st.floats(min_value=0.0, max_value=h, allow_nan=False))
+    return w, h, Point(x, y)
+
+
+class TestRotatedDims:
+    def test_r0_keeps_dims(self):
+        assert Orientation.R0.rotated_dims(3, 5) == (3, 5)
+
+    def test_r90_swaps_dims(self):
+        assert Orientation.R90.rotated_dims(3, 5) == (5, 3)
+
+    def test_r180_keeps_dims(self):
+        assert Orientation.R180.rotated_dims(3, 5) == (3, 5)
+
+    def test_r270_swaps_dims(self):
+        assert Orientation.R270.rotated_dims(3, 5) == (5, 3)
+
+    def test_swaps_dims_flag(self):
+        assert not Orientation.R0.swaps_dims
+        assert Orientation.R90.swaps_dims
+        assert not Orientation.R180.swaps_dims
+        assert Orientation.R270.swaps_dims
+
+
+class TestApply:
+    def test_r0_identity(self):
+        assert Orientation.R0.apply(Point(1, 2), 4, 6) == Point(1, 2)
+
+    def test_r90_corner(self):
+        # Lower-left corner goes to lower-right of the rotated footprint.
+        assert Orientation.R90.apply(Point(0, 0), 4, 6) == Point(6, 0)
+
+    def test_r180_corner(self):
+        assert Orientation.R180.apply(Point(0, 0), 4, 6) == Point(4, 6)
+
+    def test_r270_corner(self):
+        assert Orientation.R270.apply(Point(0, 0), 4, 6) == Point(0, 4)
+
+    def test_r90_interior_point(self):
+        # (x, y) -> (h - y, x)
+        assert Orientation.R90.apply(Point(1, 2), 4, 6) == Point(4, 1)
+
+    @given(die_points())
+    def test_apply_stays_in_rotated_footprint(self, whp):
+        w, h, p = whp
+        for o in ALL_ORIENTATIONS:
+            rw, rh = o.rotated_dims(w, h)
+            q = o.apply(p, w, h)
+            assert -1e-9 <= q.x <= rw + 1e-9
+            assert -1e-9 <= q.y <= rh + 1e-9
+
+    @given(die_points())
+    def test_inverse_round_trips(self, whp):
+        w, h, p = whp
+        for o in ALL_ORIENTATIONS:
+            rw, rh = o.rotated_dims(w, h)
+            q = o.apply(p, w, h)
+            back = o.inverse().apply(q, rw, rh)
+            assert back.is_close(p, tol=1e-6)
+
+    @given(die_points())
+    def test_r180_is_r90_twice(self, whp):
+        w, h, p = whp
+        once = Orientation.R90.apply(p, w, h)
+        twice = Orientation.R90.apply(once, h, w)
+        assert twice.is_close(Orientation.R180.apply(p, w, h), tol=1e-6)
+
+    @given(die_points())
+    def test_four_r90_is_identity(self, whp):
+        w, h, p = whp
+        q = p
+        cw, ch = w, h
+        for _ in range(4):
+            q = Orientation.R90.apply(q, cw, ch)
+            cw, ch = ch, cw
+        assert q.is_close(p, tol=1e-6)
+
+
+class TestCompose:
+    def test_compose_values(self):
+        assert Orientation.R90.compose(Orientation.R90) is Orientation.R180
+        assert Orientation.R270.compose(Orientation.R180) is Orientation.R90
+
+    def test_inverse_composes_to_identity(self):
+        for o in ALL_ORIENTATIONS:
+            assert o.compose(o.inverse()) is Orientation.R0
+
+
+class TestOrientationSubsets:
+    def test_landscape_for_wide_die(self):
+        assert landscape_orientations(4, 2) == (
+            Orientation.R0,
+            Orientation.R180,
+        )
+
+    def test_landscape_for_tall_die(self):
+        assert landscape_orientations(2, 4) == (
+            Orientation.R90,
+            Orientation.R270,
+        )
+
+    def test_square_die_qualifies_all(self):
+        # The Fig. 4(b) case: a square die contributes four potential
+        # locations per terminal.
+        assert landscape_orientations(3, 3) == ALL_ORIENTATIONS
+        assert portrait_orientations(3, 3) == ALL_ORIENTATIONS
+
+    def test_portrait_for_wide_die(self):
+        assert portrait_orientations(4, 2) == (
+            Orientation.R90,
+            Orientation.R270,
+        )
+
+    @given(dims, dims)
+    def test_landscape_really_is_flat(self, w, h):
+        for o in landscape_orientations(w, h):
+            rw, rh = o.rotated_dims(w, h)
+            assert rh <= rw + 1e-12
+
+    @given(dims, dims)
+    def test_portrait_really_is_thin(self, w, h):
+        for o in portrait_orientations(w, h):
+            rw, rh = o.rotated_dims(w, h)
+            assert rw <= rh + 1e-12

@@ -1,0 +1,95 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import ORIGIN, Point, centroid, manhattan
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_multiply(self):
+        assert Point(1.5, -2) * 2 == Point(3, -4)
+
+    def test_rmul(self):
+        assert 2 * Point(1, 1) == Point(2, 2)
+
+    def test_neg(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iter_unpacking(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+    def test_as_tuple(self):
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestDistances:
+    def test_manhattan_axis(self):
+        assert Point(0, 0).manhattan_to(Point(3, 0)) == 3
+
+    def test_manhattan_diagonal(self):
+        assert Point(1, 1).manhattan_to(Point(4, 5)) == 7
+
+    def test_euclidean(self):
+        assert Point(0, 0).euclidean_to(Point(3, 4)) == pytest.approx(5)
+
+    def test_module_level_manhattan_matches_method(self):
+        a, b = Point(2, -3), Point(-1, 7)
+        assert manhattan(a, b) == a.manhattan_to(b)
+
+    @given(points, points)
+    def test_manhattan_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c) + 1e-6
+
+    @given(points)
+    def test_manhattan_identity(self, p):
+        assert manhattan(p, p) == 0.0
+
+    @given(points, points)
+    def test_manhattan_dominates_euclidean_over_sqrt2(self, a, b):
+        assert manhattan(a, b) >= a.euclidean_to(b) - 1e-9
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(2, 3)]) == Point(2, 3)
+
+    def test_two_points(self):
+        assert centroid([Point(0, 0), Point(2, 4)]) == Point(1, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1 - 1e-12))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)

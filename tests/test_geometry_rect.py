@@ -1,0 +1,111 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+sizes = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+rects = st.builds(Rect, coords, coords, sizes, sizes)
+
+
+class TestConstruction:
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 1)
+
+    def test_from_corners_any_order(self):
+        assert Rect.from_corners(3, 4, 1, 2) == Rect(1, 2, 2, 2)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert (r.x, r.y, r.x2, r.y2) == (3, 4, 7, 6)
+
+    def test_accessors(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+        assert r.center == Point(2.5, 4)
+        assert r.area == 12
+        assert tuple(r) == (1, 2, 3, 4)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 1, 2)
+        assert r.corners == (
+            Point(0, 0),
+            Point(1, 0),
+            Point(1, 2),
+            Point(0, 2),
+        )
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 3, 3))
+        assert not outer.contains_rect(Rect(8, 8, 3, 3))
+
+    def test_overlap_positive(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 2, 2))
+
+    def test_touching_is_not_overlap(self):
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 2, 2))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(5, 5, 1, 1))
+
+    @given(rects, rects)
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestMeasurements:
+    def test_gap_horizontal(self):
+        assert Rect(0, 0, 2, 2).gap_to(Rect(5, 0, 2, 2)) == 3
+
+    def test_gap_vertical(self):
+        assert Rect(0, 0, 2, 2).gap_to(Rect(0, 4, 2, 2)) == 2
+
+    def test_gap_diagonal_uses_max_component(self):
+        assert Rect(0, 0, 1, 1).gap_to(Rect(3, 4, 1, 1)) == 3
+
+    def test_gap_zero_when_overlapping(self):
+        assert Rect(0, 0, 3, 3).gap_to(Rect(1, 1, 1, 1)) == 0
+
+    @given(rects, rects)
+    def test_gap_symmetry(self, a, b):
+        assert a.gap_to(b) == pytest.approx(b.gap_to(a))
+
+    def test_boundary_clearance(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.boundary_clearance(Rect(2, 3, 4, 4)) == 2
+        assert outer.boundary_clearance(Rect(-1, 0, 5, 5)) == -1
+
+
+class TestTransforms:
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 1, 1)
+
+    def test_inflated(self):
+        assert Rect(1, 1, 2, 2).inflated(0.5) == Rect(0.5, 0.5, 3, 3)
+
+    def test_inflate_then_deflate_roundtrip(self):
+        r = Rect(0, 0, 4, 6)
+        assert r.inflated(1).inflated(-1) == r
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(3, 4, 1, 1)) == Rect(0, 0, 4, 5)
+
+    @given(rects, rects)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)

@@ -1,0 +1,109 @@
+"""Round-trip tests for JSON serialization."""
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.floorplan import EFAConfig, run_efa
+from repro.assign import MCMFAssigner
+from repro.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    design_from_dict,
+    design_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_design,
+    save_design,
+    load_floorplan,
+    save_floorplan,
+    load_assignment,
+    save_assignment,
+)
+from repro.eval import hpwl_estimate, total_wirelength
+
+
+@pytest.fixture(scope="module")
+def solved_case():
+    design = load_tiny(die_count=3, signal_count=10)
+    fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+    assignment = MCMFAssigner().assign(design, fp)
+    return design, fp, assignment
+
+
+class TestDesignRoundTrip:
+    def test_dict_round_trip_preserves_stats(self, solved_case):
+        design, _, _ = solved_case
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.stats() == design.stats()
+        assert clone.name == design.name
+
+    def test_round_trip_preserves_geometry(self, solved_case):
+        design, _, _ = solved_case
+        clone = design_from_dict(design_to_dict(design))
+        for d_orig, d_clone in zip(design.dies, clone.dies):
+            assert d_orig.id == d_clone.id
+            assert d_orig.width == d_clone.width
+            for b_orig, b_clone in zip(d_orig.buffers, d_clone.buffers):
+                assert b_orig == b_clone
+
+    def test_round_trip_preserves_weights_and_spacing(self, solved_case):
+        design, _, _ = solved_case
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.weights == design.weights
+        assert clone.spacing == design.spacing
+
+    def test_bad_schema_rejected(self, solved_case):
+        design, _, _ = solved_case
+        data = design_to_dict(design)
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            design_from_dict(data)
+
+    def test_file_round_trip(self, solved_case, tmp_path):
+        design, _, _ = solved_case
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        clone = load_design(path)
+        assert clone.stats() == design.stats()
+
+
+class TestFloorplanRoundTrip:
+    def test_round_trip_preserves_wirelength(self, solved_case):
+        design, fp, _ = solved_case
+        clone = floorplan_from_dict(floorplan_to_dict(fp), design)
+        assert hpwl_estimate(design, clone) == pytest.approx(
+            hpwl_estimate(design, fp)
+        )
+
+    def test_round_trip_preserves_orientations(self, solved_case):
+        design, fp, _ = solved_case
+        clone = floorplan_from_dict(floorplan_to_dict(fp), design)
+        for die in design.dies:
+            assert (
+                clone.placement(die.id).orientation
+                is fp.placement(die.id).orientation
+            )
+
+    def test_file_round_trip(self, solved_case, tmp_path):
+        design, fp, _ = solved_case
+        path = tmp_path / "fp.json"
+        save_floorplan(fp, path)
+        clone = load_floorplan(path, design)
+        assert clone.placements == fp.placements
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip_preserves_twl(self, solved_case):
+        design, fp, assignment = solved_case
+        clone = assignment_from_dict(assignment_to_dict(assignment))
+        assert total_wirelength(design, fp, clone).total == pytest.approx(
+            total_wirelength(design, fp, assignment).total
+        )
+
+    def test_file_round_trip(self, solved_case, tmp_path):
+        design, fp, assignment = solved_case
+        path = tmp_path / "assign.json"
+        save_assignment(assignment, path)
+        clone = load_assignment(path)
+        assert clone.buffer_to_bump == assignment.buffer_to_bump
+        assert clone.escape_to_tsv == assignment.escape_to_tsv

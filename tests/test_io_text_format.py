@@ -1,0 +1,125 @@
+"""Tests for the Bookshelf-style text design format."""
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.io import (
+    TextFormatError,
+    dumps_design,
+    load_design_text,
+    loads_design,
+    save_design_text,
+)
+
+from tests.helpers import build_design
+
+MINIMAL = """
+# a hand-written two-die design
+design mini
+weights 1.0 1.0 1.0
+spacing 0.0 0.0
+interposer 3.0 2.0 0.2
+tsv t1 1.5 1.0
+package -0.5 -0.5 4.0 3.0
+escape e1 -0.5 0.0 s1
+die d1 1.0 1.0 0.04
+  buffer b1 0.9 0.5 s1
+  bump m1 0.8 0.5
+  bump m2 0.6 0.5
+end
+die d2 1.0 1.0 0.04
+  buffer b2 0.1 0.5 s1
+  bump m3 0.2 0.5
+end
+signal s1 e1 b1 b2
+"""
+
+
+class TestRoundTrip:
+    def test_minimal_parses(self):
+        design = loads_design(MINIMAL)
+        assert design.name == "mini"
+        assert design.stats() == {
+            "D": 2, "S": 1, "B": 2, "E": 1, "T": 1, "M": 3,
+        }
+
+    def test_dumps_loads_round_trip(self):
+        design = build_design()
+        clone = loads_design(dumps_design(design))
+        assert clone.stats() == design.stats()
+        assert clone.weights == design.weights
+        assert clone.spacing == design.spacing
+        for d_orig, d_clone in zip(design.dies, clone.dies):
+            assert d_orig.buffers == d_clone.buffers
+            assert d_orig.bumps == d_clone.bumps
+
+    def test_generated_design_round_trip(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        clone = loads_design(dumps_design(design))
+        assert clone.stats() == design.stats()
+        assert [s.id for s in clone.signals] == [s.id for s in design.signals]
+
+    def test_file_round_trip(self, tmp_path):
+        design = build_design()
+        path = tmp_path / "design.25d"
+        save_design_text(design, path)
+        clone = load_design_text(path)
+        assert clone.stats() == design.stats()
+
+    def test_idempotent_dump(self):
+        design = build_design()
+        once = dumps_design(design)
+        twice = dumps_design(loads_design(once))
+        assert once == twice
+
+
+class TestSyntaxErrors:
+    def test_unknown_keyword(self):
+        with pytest.raises(TextFormatError, match="line 1"):
+            loads_design("bogus 1 2 3")
+
+    def test_buffer_outside_die(self):
+        with pytest.raises(TextFormatError, match="outside a die block"):
+            loads_design("design x\nbuffer b1 0 0 -")
+
+    def test_nested_die(self):
+        text = "design x\ndie d1 1 1 0.1\ndie d2 1 1 0.1\n"
+        with pytest.raises(TextFormatError, match="nested die"):
+            loads_design(text)
+
+    def test_unterminated_die(self):
+        text = MINIMAL.replace("end\nsignal", "signal", 1).rsplit(
+            "end", 1
+        )[0]
+        with pytest.raises(TextFormatError):
+            loads_design(text)
+
+    def test_bad_number(self):
+        with pytest.raises(TextFormatError, match="not a number"):
+            loads_design("design x\nweights a 1 1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(TextFormatError, match="expects"):
+            loads_design("design x\nspacing 1")
+
+    def test_missing_design_line(self):
+        with pytest.raises(TextFormatError, match="missing 'design'"):
+            loads_design("interposer 1 1 0.2\npackage 0 0 2 2")
+
+    def test_missing_interposer(self):
+        with pytest.raises(TextFormatError, match="missing 'interposer'"):
+            loads_design("design x\npackage 0 0 2 2")
+
+    def test_signal_arity(self):
+        with pytest.raises(TextFormatError, match="signal"):
+            loads_design("design x\nsignal s1 -")
+
+    def test_comments_and_blanks_ignored(self):
+        design = loads_design(MINIMAL + "\n# trailing comment\n\n")
+        assert design.name == "mini"
+
+    def test_structural_validation_still_applies(self):
+        # Syntactically fine, semantically broken (unknown buffer in signal).
+        text = MINIMAL.replace("signal s1 e1 b1 b2", "signal s1 e1 b1 zz")
+        with pytest.raises(ValueError, match="unknown buffer"):
+            loads_design(text)

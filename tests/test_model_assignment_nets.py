@@ -1,0 +1,139 @@
+"""Unit tests for Assignment validity and net extraction."""
+
+import pytest
+
+from repro.geometry import Orientation, Point
+from repro.model import Assignment, Floorplan, Placement, extract_nets
+
+from tests.helpers import build_design
+
+
+def legal_floorplan(design):
+    return Floorplan(
+        design,
+        {
+            "d1": Placement(Point(0.3, 0.5), Orientation.R0),
+            "d2": Placement(Point(1.7, 0.5), Orientation.R0),
+        },
+    )
+
+
+def complete_assignment():
+    return Assignment(
+        buffer_to_bump={"b1": "m1", "b2": "m3"},
+        escape_to_tsv={"e1": "t1"},
+    )
+
+
+class TestAssignmentValidity:
+    def test_complete_assignment_valid(self):
+        design = build_design()
+        assert complete_assignment().violations(design) == []
+        assert complete_assignment().is_complete(design)
+
+    def test_unassigned_buffer_detected(self):
+        design = build_design()
+        a = Assignment(buffer_to_bump={"b1": "m1"}, escape_to_tsv={"e1": "t1"})
+        assert any("left unassigned" in v for v in a.violations(design))
+
+    def test_unassigned_escape_detected(self):
+        design = build_design()
+        a = Assignment(buffer_to_bump={"b1": "m1", "b2": "m3"})
+        assert any("left unassigned" in v for v in a.violations(design))
+
+    def test_cross_die_bump_detected(self):
+        design = build_design()
+        a = complete_assignment()
+        a.buffer_to_bump["b1"] = "m3"  # m3 belongs to d2.
+        assert any("assigned to bump of" in v for v in a.violations(design))
+
+    def test_double_booked_bump_detected(self):
+        design = build_design()
+        a = Assignment(
+            buffer_to_bump={"b1": "m1", "b2": "m3"},
+            escape_to_tsv={"e1": "t1"},
+        )
+        # Need two buffers in one die to double-book; craft directly.
+        a.buffer_to_bump = {"b1": "m1", "b2": "m3"}
+        a2 = Assignment(
+            buffer_to_bump={"b1": "m1"}, escape_to_tsv={"e1": "t1"}
+        )
+        a2.buffer_to_bump["b2"] = "m1"
+        violations = a2.violations(design)
+        assert any("assigned to both" in v or "die" in v for v in violations)
+
+    def test_unknown_bump_detected(self):
+        design = build_design()
+        a = complete_assignment()
+        a.buffer_to_bump["b1"] = "zz"
+        assert any("unknown bump" in v for v in a.violations(design))
+
+    def test_unknown_tsv_detected(self):
+        design = build_design()
+        a = complete_assignment()
+        a.escape_to_tsv["e1"] = "zz"
+        assert any("unknown TSV" in v for v in a.violations(design))
+
+    def test_merge_disjoint(self):
+        a = Assignment(buffer_to_bump={"b1": "m1"})
+        b = Assignment(buffer_to_bump={"b2": "m3"}, escape_to_tsv={"e1": "t1"})
+        a.merge(b)
+        assert a.buffer_to_bump == {"b1": "m1", "b2": "m3"}
+        assert a.escape_to_tsv == {"e1": "t1"}
+
+    def test_merge_overlap_rejected(self):
+        a = Assignment(buffer_to_bump={"b1": "m1"})
+        b = Assignment(buffer_to_bump={"b1": "m2"})
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestNetExtraction:
+    def test_net_classes(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        netlist = extract_nets(design, fp, complete_assignment())
+        assert len(netlist.intra_die) == 2  # One per buffer.
+        assert len(netlist.internal) == 1  # One per signal.
+        assert len(netlist.external) == 1  # One per escaping signal.
+
+    def test_intra_net_length(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        netlist = extract_nets(design, fp, complete_assignment())
+        net = next(n for n in netlist.intra_die if n.buffer_id == "b1")
+        # b1 at (1.2, 1.0), m1 at (1.1, 1.0).
+        assert net.length == pytest.approx(0.1)
+
+    def test_internal_net_has_tsv_terminal(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        netlist = extract_nets(design, fp, complete_assignment())
+        net = netlist.internal[0]
+        assert net.has_tsv
+        assert net.tsv_id == "t1"
+        assert len(net.terminal_positions) == 3  # Two bumps + TSV.
+
+    def test_external_net_endpoints(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        netlist = extract_nets(design, fp, complete_assignment())
+        net = netlist.external[0]
+        assert net.tsv_pos == design.tsv("t1").position
+        assert net.escape_pos == design.escape("e1").position
+        assert net.length == pytest.approx(
+            net.tsv_pos.manhattan_to(net.escape_pos)
+        )
+
+    def test_incomplete_assignment_raises(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        with pytest.raises(ValueError, match="no assigned micro-bump"):
+            extract_nets(design, fp, Assignment())
+
+    def test_missing_tsv_raises(self):
+        design = build_design()
+        fp = legal_floorplan(design)
+        a = Assignment(buffer_to_bump={"b1": "m1", "b2": "m3"})
+        with pytest.raises(ValueError, match="no assigned TSV"):
+            extract_nets(design, fp, a)

@@ -1,0 +1,175 @@
+"""Unit tests for the Design container and its validation."""
+
+from tests.helpers import build_design
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.model import (
+    Design,
+    Die,
+    EscapePoint,
+    IOBuffer,
+    Interposer,
+    MicroBump,
+    Package,
+    Signal,
+    SpacingRules,
+    TSV,
+    Weights,
+)
+
+
+class TestWeightsAndSpacing:
+    def test_default_weights_are_unity(self):
+        w = Weights()
+        assert (w.alpha, w.beta, w.gamma) == (1.0, 1.0, 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Weights(alpha=-1.0)
+
+    def test_negative_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            SpacingRules(die_to_die=-0.1)
+
+
+class TestDesignValidation:
+    def test_valid_design_builds(self):
+        design = build_design()
+        assert design.stats() == {
+            "D": 2, "S": 1, "B": 2, "E": 1, "T": 1, "M": 3,
+        }
+
+    def test_unknown_buffer_in_signal(self):
+        with pytest.raises(ValueError, match="unknown buffer"):
+            build_design(signals=[Signal("s1", ("b1", "nope"), "e1")])
+
+    def test_unknown_escape_in_signal(self):
+        with pytest.raises(ValueError, match="unknown escape"):
+            build_design(signals=[Signal("s1", ("b1", "b2"), "zz")])
+
+    def test_two_terminals_in_same_die_rejected(self):
+        dies = [
+            Die(
+                id="d1",
+                width=1.0,
+                height=1.0,
+                buffers=[
+                    IOBuffer("b1", "d1", Point(0.9, 0.5), "s1"),
+                    IOBuffer("b2", "d1", Point(0.1, 0.5), "s1"),
+                ],
+                bumps=[
+                    MicroBump("m1", "d1", Point(0.8, 0.5)),
+                    MicroBump("m2", "d1", Point(0.6, 0.5)),
+                ],
+            ),
+        ]
+        with pytest.raises(ValueError, match="two terminals in die"):
+            build_design(
+                dies=dies, signals=[Signal("s1", ("b1", "b2"), "e1")]
+            )
+
+    def test_buffer_with_two_signals_rejected(self):
+        with pytest.raises(ValueError, match="carries two signals"):
+            build_design(
+                signals=[
+                    Signal("s1", ("b1", "b2"), "e1"),
+                    Signal("s2", ("b1",), "e1"),
+                ]
+            )
+
+    def test_escape_signal_mismatch_rejected(self):
+        # e1 declares s1, but s2 claims it.
+        with pytest.raises(ValueError):
+            build_design(
+                signals=[Signal("s2", ("b1", "b2"), "e1")]
+            )
+
+    def test_insufficient_bumps_rejected(self):
+        dies = [
+            Die(
+                id="d1",
+                width=1.0,
+                height=1.0,
+                buffers=[IOBuffer("b1", "d1", Point(0.9, 0.5), "s1")],
+                bumps=[],  # No sites at all.
+            ),
+            Die(
+                id="d2",
+                width=1.0,
+                height=1.0,
+                buffers=[IOBuffer("b2", "d2", Point(0.1, 0.5), "s1")],
+                bumps=[MicroBump("m3", "d2", Point(0.2, 0.5))],
+            ),
+        ]
+        with pytest.raises(ValueError, match="micro-bump sites"):
+            build_design(dies=dies)
+
+    def test_insufficient_tsvs_rejected(self):
+        with pytest.raises(ValueError, match="TSV sites"):
+            build_design(
+                interposer=Interposer(width=3.0, height=2.0, tsvs=[])
+            )
+
+    def test_package_must_enclose_interposer(self):
+        with pytest.raises(ValueError, match="enclose"):
+            build_design(
+                package=Package(
+                    frame=Rect(0.0, 0.0, 1.0, 1.0),
+                    escape_points=[
+                        EscapePoint("e1", Point(0.0, 0.0), "s1")
+                    ],
+                )
+            )
+
+    def test_duplicate_die_ids_rejected(self):
+        d = Die(id="d1", width=1.0, height=1.0)
+        d2 = Die(id="d1", width=1.0, height=1.0)
+        with pytest.raises(ValueError, match="duplicate die ids"):
+            build_design(dies=[d, d2], signals=[])
+
+
+class TestDesignLookups:
+    def test_owner_lookups(self):
+        design = build_design()
+        assert design.die_of_buffer("b1") == "d1"
+        assert design.die_of_bump("m3") == "d2"
+        assert design.signal_of_buffer("b1") == "s1"
+        assert design.signal_of_buffer("unknown") is None
+
+    def test_carrying_buffers(self):
+        design = build_design()
+        assert [b.id for b in design.carrying_buffers("d1")] == ["b1"]
+
+    def test_escaping_signals(self):
+        design = build_design()
+        assert [s.id for s in design.escaping_signals()] == ["s1"]
+
+    def test_die_order_for_sap_decreasing(self):
+        design = build_design()
+        # Equal buffer counts tie-break by id.
+        assert design.die_order_for_sap() == ["d1", "d2"]
+
+
+class TestSignal:
+    def test_single_buffer_needs_escape(self):
+        with pytest.raises(ValueError):
+            Signal("s1", ("b1",))
+
+    def test_single_buffer_with_escape_ok(self):
+        s = Signal("s1", ("b1",), "e1")
+        assert s.escapes and s.terminal_count == 2
+
+    def test_multi_terminal_flag(self):
+        assert Signal("s1", ("b1", "b2", "b3")).is_multi_terminal
+        assert not Signal("s1", ("b1", "b2")).is_multi_terminal
+        assert Signal("s1", ("b1", "b2"), "e1").is_multi_terminal
+
+    def test_empty_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("s1", ())
+
+    def test_repeated_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("s1", ("b1", "b1"))

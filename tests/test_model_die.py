@@ -1,0 +1,117 @@
+"""Unit tests for repro.model.die and the pad grid constructors."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.model import (
+    Die,
+    IOBuffer,
+    MicroBump,
+    buffers_from_positions,
+    make_bump_grid,
+)
+
+
+def make_die(**kwargs):
+    defaults = dict(id="d1", width=2.0, height=1.0)
+    defaults.update(kwargs)
+    return Die(**defaults)
+
+
+class TestDie:
+    def test_basic_properties(self):
+        die = make_die()
+        assert die.dims == (2.0, 1.0)
+        assert die.area == 2.0
+
+    def test_non_positive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            make_die(width=0.0)
+        with pytest.raises(ValueError):
+            make_die(height=-1.0)
+
+    def test_non_positive_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            make_die(bump_pitch=0.0)
+
+    def test_pad_lookup(self):
+        buf = IOBuffer("b1", "d1", Point(0.5, 0.5), "s1")
+        bump = MicroBump("m1", "d1", Point(1.0, 0.5))
+        die = make_die(buffers=[buf], bumps=[bump])
+        assert die.buffer("b1") is buf
+        assert die.bump("m1") is bump
+        assert die.has_buffer("b1") and not die.has_buffer("zz")
+        assert die.has_bump("m1") and not die.has_bump("zz")
+
+    def test_duplicate_buffer_ids_rejected(self):
+        b = IOBuffer("b1", "d1", Point(0, 0))
+        with pytest.raises(ValueError):
+            make_die(buffers=[b, b])
+
+    def test_pad_outside_die_rejected(self):
+        with pytest.raises(ValueError):
+            make_die(buffers=[IOBuffer("b1", "d1", Point(5.0, 0.5))])
+
+    def test_pad_with_wrong_die_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_die(buffers=[IOBuffer("b1", "other", Point(0.5, 0.5))])
+
+    def test_reindex_after_mutation(self):
+        die = make_die()
+        die.buffers.append(IOBuffer("b9", "d1", Point(0.1, 0.1)))
+        die.reindex()
+        assert die.has_buffer("b9")
+
+
+class TestBumpGrid:
+    def test_grid_covers_die(self):
+        bumps = make_bump_grid("d1", 1.0, 1.0, pitch=0.2)
+        assert bumps
+        for m in bumps:
+            assert 0 <= m.position.x <= 1.0
+            assert 0 <= m.position.y <= 1.0
+
+    def test_grid_pitch_spacing(self):
+        bumps = make_bump_grid("d1", 1.0, 1.0, pitch=0.25)
+        xs = sorted({round(m.position.x, 9) for m in bumps})
+        for a, b in zip(xs, xs[1:]):
+            assert b - a == pytest.approx(0.25)
+
+    def test_grid_count_matches_geometry(self):
+        bumps = make_bump_grid("d1", 1.0, 0.5, pitch=0.1, margin=0.05)
+        cols = int((1.0 - 0.1) / 0.1) + 1
+        rows = int((0.5 - 0.1) / 0.1) + 1
+        assert len(bumps) == cols * rows
+
+    def test_grid_is_centred(self):
+        bumps = make_bump_grid("d1", 1.0, 1.0, pitch=0.3)
+        xs = [m.position.x for m in bumps]
+        assert min(xs) + max(xs) == pytest.approx(1.0)
+
+    def test_too_small_die_gives_empty_grid(self):
+        assert make_bump_grid("d1", 0.05, 0.05, pitch=0.2) == []
+
+    def test_bad_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            make_bump_grid("d1", 1.0, 1.0, pitch=0.0)
+
+    def test_unique_ids(self):
+        bumps = make_bump_grid("d1", 1.0, 1.0, pitch=0.1)
+        assert len({m.id for m in bumps}) == len(bumps)
+
+
+class TestBuffersFromPositions:
+    def test_basic(self):
+        bufs = buffers_from_positions(
+            "d1", [Point(0, 0), Point(1, 1)], ["s1", "s2"]
+        )
+        assert [b.id for b in bufs] == ["b_d1_0", "b_d1_1"]
+        assert bufs[0].signal_id == "s1"
+
+    def test_without_signals(self):
+        bufs = buffers_from_positions("d1", [Point(0, 0)])
+        assert bufs[0].signal_id is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            buffers_from_positions("d1", [Point(0, 0)], ["s1", "s2"])

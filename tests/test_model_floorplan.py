@@ -1,0 +1,147 @@
+"""Unit tests for Floorplan placement geometry and legality rules."""
+
+import pytest
+
+from repro.geometry import Orientation, Point, Rect
+from repro.model import Floorplan, Placement, orientation_vector
+
+from tests.helpers import build_design
+
+
+def place(design, d1=(0.3, 0.5), d2=(1.7, 0.5), o1=Orientation.R0,
+          o2=Orientation.R0):
+    return Floorplan(
+        design,
+        {
+            "d1": Placement(Point(*d1), o1),
+            "d2": Placement(Point(*d2), o2),
+        },
+    )
+
+
+class TestConstruction:
+    def test_missing_die_rejected(self):
+        design = build_design()
+        with pytest.raises(ValueError, match="misses placements"):
+            Floorplan(design, {"d1": Placement(Point(0, 0))})
+
+    def test_unknown_die_rejected(self):
+        design = build_design()
+        with pytest.raises(ValueError, match="unknown dies"):
+            Floorplan(
+                design,
+                {
+                    "d1": Placement(Point(0, 0)),
+                    "d2": Placement(Point(1.5, 0)),
+                    "dX": Placement(Point(0, 0)),
+                },
+            )
+
+    def test_placements_copy(self):
+        design = build_design()
+        fp = place(design)
+        got = fp.placements
+        got["d1"] = Placement(Point(9, 9))
+        assert fp.placement("d1").position == Point(0.3, 0.5)
+
+
+class TestGeometry:
+    def test_die_rect_r0(self):
+        design = build_design()
+        fp = place(design)
+        assert fp.die_rect("d1") == Rect(0.3, 0.5, 1.0, 1.0)
+
+    def test_die_rect_r90_swaps(self):
+        design = build_design()
+        fp = place(design, o1=Orientation.R90)
+        r = fp.die_rect("d1")
+        assert (r.width, r.height) == (1.0, 1.0)  # Square die: unchanged.
+
+    def test_buffer_position_r0(self):
+        design = build_design()
+        fp = place(design)
+        # b1 at local (0.9, 0.5), die at (0.3, 0.5).
+        assert fp.buffer_position("b1") == Point(1.2, 1.0)
+
+    def test_buffer_position_r180(self):
+        design = build_design()
+        fp = place(design, o1=Orientation.R180)
+        # R180 maps (0.9, 0.5) -> (0.1, 0.5) for the 1x1 die.
+        assert fp.buffer_position("b1").is_close(Point(0.4, 1.0))
+
+    def test_bump_position_cached_consistently(self):
+        design = build_design()
+        fp = place(design)
+        assert fp.bump_position("m1") == fp.bump_position("m1")
+
+    def test_signal_terminal_positions_include_escape(self):
+        design = build_design()
+        fp = place(design)
+        pts = fp.signal_terminal_positions(design.signal("s1"))
+        assert len(pts) == 3
+        assert Point(-0.5, 0.0) in pts
+
+    def test_bounding_box(self):
+        design = build_design()
+        fp = place(design)
+        box = fp.bounding_box()
+        assert (box.x, box.y) == (0.3, 0.5)
+        assert box.width == pytest.approx(2.4)
+        assert box.height == pytest.approx(1.0)
+
+    def test_translated(self):
+        design = build_design()
+        fp = place(design).translated(0.1, -0.1)
+        assert fp.placement("d1").position == Point(0.4, 0.4)
+
+    def test_centered_on_interposer(self):
+        design = build_design()
+        fp = place(design).centered_on_interposer()
+        box = fp.bounding_box()
+        assert box.center.is_close(design.interposer.center, tol=1e-9)
+
+    def test_orientation_vector(self):
+        design = build_design()
+        fp = place(design, o1=Orientation.R90)
+        assert orientation_vector(fp) == (Orientation.R90, Orientation.R0)
+
+
+class TestLegality:
+    def test_legal_placement(self):
+        design = build_design()
+        assert place(design).is_legal()
+
+    def test_overlap_detected(self):
+        design = build_design()
+        fp = place(design, d1=(0.5, 0.5), d2=(1.0, 0.5))
+        violations = fp.legality_violations()
+        assert any("overlap" in v for v in violations)
+
+    def test_outside_interposer_detected(self):
+        design = build_design()
+        fp = place(design, d1=(-0.5, 0.5))
+        violations = fp.legality_violations()
+        assert any("boundary clearance" in v for v in violations)
+
+    def test_die_to_die_spacing(self):
+        from repro.model import SpacingRules
+
+        design = build_design(spacing=SpacingRules(die_to_die=0.5))
+        fp = place(design, d1=(0.2, 0.5), d2=(1.5, 0.5))  # Gap 0.3 < 0.5.
+        violations = fp.legality_violations()
+        assert any("c_d" in v for v in violations)
+
+    def test_die_to_boundary_spacing(self):
+        from repro.model import SpacingRules
+
+        design = build_design(spacing=SpacingRules(die_to_boundary=0.4))
+        fp = place(design, d1=(0.2, 0.5), d2=(1.7, 0.5))  # 0.2 < 0.4.
+        violations = fp.legality_violations()
+        assert any("c_b" in v for v in violations)
+
+    def test_exact_spacing_is_legal(self):
+        from repro.model import SpacingRules
+
+        design = build_design(spacing=SpacingRules(die_to_die=0.4))
+        fp = place(design, d1=(0.1, 0.5), d2=(1.5, 0.5))  # Gap exactly 0.4.
+        assert fp.is_legal()

@@ -1,0 +1,134 @@
+"""Unit tests for Package / escape-point placement and the Interposer."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.model import (
+    EscapePoint,
+    Interposer,
+    Package,
+    TSV,
+    escape_points_on_frame,
+    make_tsv_grid,
+)
+from repro.model.package import _walk_boundary
+
+
+class TestWalkBoundary:
+    FRAME = Rect(0.0, 0.0, 4.0, 2.0)
+
+    def test_bottom_edge(self):
+        assert _walk_boundary(self.FRAME, 1.0) == Point(1.0, 0.0)
+
+    def test_right_edge(self):
+        assert _walk_boundary(self.FRAME, 5.0) == Point(4.0, 1.0)
+
+    def test_top_edge(self):
+        assert _walk_boundary(self.FRAME, 7.0) == Point(3.0, 2.0)
+
+    def test_left_edge(self):
+        assert _walk_boundary(self.FRAME, 11.0) == Point(0.0, 1.0)
+
+    def test_wraps_around(self):
+        perimeter = 12.0
+        assert _walk_boundary(self.FRAME, perimeter + 1.0) == Point(1.0, 0.0)
+
+    def test_corners(self):
+        assert _walk_boundary(self.FRAME, 0.0) == Point(0.0, 0.0)
+        assert _walk_boundary(self.FRAME, 4.0) == Point(4.0, 0.0)
+
+
+class TestEscapePointsOnFrame:
+    FRAME = Rect(-1.0, -1.0, 6.0, 4.0)
+
+    def test_empty(self):
+        assert escape_points_on_frame(self.FRAME, []) == []
+
+    def test_all_on_boundary(self):
+        points = escape_points_on_frame(self.FRAME, [f"s{i}" for i in range(9)])
+        for e in points:
+            on_x = e.position.x in (self.FRAME.x, self.FRAME.x2)
+            on_y = e.position.y in (self.FRAME.y, self.FRAME.y2)
+            assert on_x or on_y
+
+    def test_even_spacing(self):
+        points = escape_points_on_frame(self.FRAME, ["a", "b", "c", "d"])
+        assert len(points) == 4
+        assert len({e.position for e in points}) == 4
+
+    def test_signal_association_order(self):
+        points = escape_points_on_frame(self.FRAME, ["a", "b"])
+        assert [e.signal_id for e in points] == ["a", "b"]
+
+    def test_start_fraction_rotates(self):
+        base = escape_points_on_frame(self.FRAME, ["a"])
+        shifted = escape_points_on_frame(
+            self.FRAME, ["a"], start_fraction=0.5
+        )
+        assert base[0].position != shifted[0].position
+
+    def test_unique_ids(self):
+        points = escape_points_on_frame(self.FRAME, ["a", "b", "c"])
+        assert len({e.id for e in points}) == 3
+
+
+class TestPackage:
+    def test_lookup(self):
+        e = EscapePoint("e1", Point(0, 0), "s1")
+        pkg = Package(frame=Rect(-1, -1, 2, 2), escape_points=[e])
+        assert pkg.escape("e1") is e
+        assert pkg.has_escape("e1")
+        assert not pkg.has_escape("zz")
+
+    def test_duplicate_ids_rejected(self):
+        e = EscapePoint("e1", Point(0, 0), "s1")
+        with pytest.raises(ValueError):
+            Package(frame=Rect(-1, -1, 2, 2), escape_points=[e, e])
+
+
+class TestInterposer:
+    def test_outline_and_center(self):
+        ip = Interposer(width=4.0, height=2.0)
+        assert ip.outline == Rect(0, 0, 4.0, 2.0)
+        assert ip.center == Point(2.0, 1.0)
+
+    def test_non_positive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Interposer(width=0.0, height=1.0)
+
+    def test_tsv_lookup(self):
+        tsv = TSV("t1", Point(1.0, 1.0))
+        ip = Interposer(width=4.0, height=2.0, tsvs=[tsv])
+        assert ip.tsv("t1") is tsv
+        assert ip.has_tsv("t1") and not ip.has_tsv("zz")
+
+    def test_tsv_outside_rejected(self):
+        with pytest.raises(ValueError):
+            Interposer(width=2.0, height=2.0, tsvs=[TSV("t1", Point(3, 1))])
+
+    def test_duplicate_tsv_ids_rejected(self):
+        t = TSV("t1", Point(1, 1))
+        with pytest.raises(ValueError):
+            Interposer(width=4.0, height=2.0, tsvs=[t, t])
+
+
+class TestTsvGrid:
+    def test_grid_inside_outline(self):
+        tsvs = make_tsv_grid(2.0, 1.0, pitch=0.25)
+        assert tsvs
+        for t in tsvs:
+            assert 0 <= t.position.x <= 2.0
+            assert 0 <= t.position.y <= 1.0
+
+    def test_pitch_spacing(self):
+        tsvs = make_tsv_grid(2.0, 2.0, pitch=0.5)
+        xs = sorted({round(t.position.x, 9) for t in tsvs})
+        for a, b in zip(xs, xs[1:]):
+            assert b - a == pytest.approx(0.5)
+
+    def test_bad_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            make_tsv_grid(1.0, 1.0, pitch=-1.0)
+
+    def test_too_small_outline(self):
+        assert make_tsv_grid(0.1, 0.1, pitch=0.5) == []

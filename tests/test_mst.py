@@ -1,0 +1,203 @@
+"""Unit and property tests for the MST substrate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.model import Signal, Terminal, TerminalKind
+from repro.mst import SignalTopology, mst_length, prim_mst_edges
+
+coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=2, max_size=9)
+
+
+def brute_force_mst_length(pts):
+    """Exact MST length by trying all spanning trees (Kruskal is fine too,
+    but for <= 6 points exhaustive edge subsets keep the oracle independent)."""
+    n = len(pts)
+    edges = [
+        (manhattan(pts[i], pts[j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    # Kruskal with sorted edges: independent of Prim's implementation.
+    edges.sort()
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    used = 0
+    for w, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            total += w
+            used += 1
+            if used == n - 1:
+                break
+    return total
+
+
+class TestPrim:
+    def test_fewer_than_two_points(self):
+        assert prim_mst_edges([]) == []
+        assert prim_mst_edges([Point(0, 0)]) == []
+
+    def test_two_points(self):
+        assert prim_mst_edges([Point(0, 0), Point(1, 1)]) == [(0, 1)]
+
+    def test_collinear_points(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 0)]
+        assert mst_length(pts) == pytest.approx(2.0)
+
+    def test_square_corners(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert mst_length(pts) == pytest.approx(3.0)
+
+    @given(point_lists)
+    def test_edge_count_and_spanning(self, pts):
+        edges = prim_mst_edges(pts)
+        assert len(edges) == len(pts) - 1
+        # Union-find connectivity check.
+        parent = list(range(len(pts)))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in edges:
+            parent[find(i)] = find(j)
+        assert len({find(i) for i in range(len(pts))}) == 1
+
+    @settings(max_examples=50)
+    @given(st.lists(points, min_size=2, max_size=7))
+    def test_matches_kruskal_oracle(self, pts):
+        assert mst_length(pts) == pytest.approx(
+            brute_force_mst_length(pts), rel=1e-9, abs=1e-9
+        )
+
+    @given(point_lists)
+    def test_mst_at_most_star_topology(self, pts):
+        star = sum(manhattan(pts[0], p) for p in pts[1:])
+        assert mst_length(pts) <= star + 1e-9
+
+    @given(point_lists)
+    def test_mst_at_least_hpwl_half(self, pts):
+        # Classic bound: MST >= HPWL for 2-3 terminals; in general
+        # MST >= max(x-span, y-span).
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        assert mst_length(pts) >= max(
+            max(xs) - min(xs), max(ys) - min(ys)
+        ) - 1e-9
+
+
+def _topology_for(points_by_key):
+    signal = Signal(
+        "s0", tuple(k[1] for k in points_by_key if k[0] == "buffer")
+    )
+    terminals = [
+        Terminal(kind, ref, pos) for (kind, ref), pos in points_by_key.items()
+    ]
+    return SignalTopology(signal, terminals)
+
+
+class TestSignalTopology:
+    def make_three_terminal(self):
+        pts = {
+            (TerminalKind.BUFFER, "b1"): Point(0, 0),
+            (TerminalKind.BUFFER, "b2"): Point(10, 0),
+            (TerminalKind.ESCAPE, "e1"): Point(5, 8),
+        }
+        return _topology_for(pts)
+
+    def test_total_length_matches_mst(self):
+        topo = self.make_three_terminal()
+        pts = [t.position for t in topo.nodes]
+        assert topo.total_length() == pytest.approx(mst_length(pts))
+
+    def test_neighbors_of_leaf(self):
+        topo = self.make_three_terminal()
+        nbrs = topo.neighbors((TerminalKind.BUFFER, "b1"))
+        assert len(nbrs) >= 1
+
+    def test_edge_count(self):
+        topo = self.make_three_terminal()
+        assert len(topo.edges()) == 2
+
+    def test_rehome_replaces_terminal(self):
+        topo = self.make_three_terminal()
+        old_key = (TerminalKind.BUFFER, "b1")
+        old_degree = len(topo.neighbors(old_key))
+        bump = Terminal(TerminalKind.BUMP, "m1", Point(1, 1))
+        topo.rehome(old_key, bump)
+        assert not topo.has_terminal(old_key)
+        assert topo.has_terminal(bump.key)
+        assert len(topo.neighbors(bump.key)) == old_degree
+        # Edge count is preserved (edges split, not dropped).
+        assert len(topo.edges()) == 2
+
+    def test_rehome_updates_far_side_adjacency(self):
+        topo = self.make_three_terminal()
+        bump = Terminal(TerminalKind.BUMP, "m1", Point(1, 1))
+        old_nbrs = {
+            t.key for t in topo.neighbors((TerminalKind.BUFFER, "b1"))
+        }
+        topo.rehome((TerminalKind.BUFFER, "b1"), bump)
+        for k in old_nbrs:
+            assert bump.key in {t.key for t in topo.neighbors(k)}
+
+    def test_rehome_unknown_terminal_raises(self):
+        topo = self.make_three_terminal()
+        with pytest.raises(KeyError):
+            topo.rehome(
+                (TerminalKind.BUFFER, "nope"),
+                Terminal(TerminalKind.BUMP, "m", Point(0, 0)),
+            )
+
+    def test_rehome_onto_existing_terminal_raises(self):
+        topo = self.make_three_terminal()
+        with pytest.raises(ValueError):
+            topo.rehome(
+                (TerminalKind.BUFFER, "b1"),
+                Terminal(TerminalKind.BUFFER, "b2", Point(0, 0)),
+            )
+
+    def test_rehome_changes_total_length(self):
+        topo = self.make_three_terminal()
+        bump = Terminal(TerminalKind.BUMP, "m1", Point(-5, -5))
+        before = topo.total_length()
+        topo.rehome((TerminalKind.BUFFER, "b1"), bump)
+        assert topo.total_length() != pytest.approx(before)
+
+    @settings(max_examples=25)
+    @given(st.lists(points, min_size=2, max_size=6, unique=True))
+    def test_initial_topology_is_a_tree(self, pts):
+        keys = {
+            (TerminalKind.BUFFER, f"b{i}"): p for i, p in enumerate(pts)
+        }
+        topo = _topology_for(keys)
+        # Tree: |E| = |V| - 1 and connected (walk from any node).
+        assert len(topo.edges()) == len(pts) - 1
+        seen = set()
+        stack = [next(iter(keys))]
+        while stack:
+            k = stack.pop()
+            if k in seen:
+                continue
+            seen.add(k)
+            stack.extend(t.key for t in topo.neighbors(k))
+        assert len(seen) == len(pts)

@@ -1,0 +1,80 @@
+"""Tests for the iterated 1-Steiner RSMT heuristic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, hpwl
+from repro.mst import hanan_points, mst_length, steiner_length
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=2, max_size=7, unique=True)
+
+
+class TestHananPoints:
+    def test_two_diagonal_points(self):
+        pts = [Point(0, 0), Point(2, 3)]
+        hanan = hanan_points(pts)
+        assert set(hanan) == {Point(0, 3), Point(2, 0)}
+
+    def test_collinear_points_have_no_candidates(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        assert hanan_points(pts) == []
+
+    @given(point_lists)
+    def test_candidates_exclude_terminals(self, pts):
+        for c in hanan_points(pts):
+            assert c not in pts
+
+
+class TestSteinerLength:
+    def test_trivial_sizes(self):
+        assert steiner_length([]) == 0.0
+        assert steiner_length([Point(1, 1)]) == 0.0
+        assert steiner_length([Point(0, 0), Point(3, 4)]) == pytest.approx(7)
+
+    def test_classic_cross(self):
+        """Four terminals at cross ends: the Steiner point at the centre
+        saves a full arm over the MST."""
+        pts = [Point(0, 1), Point(2, 1), Point(1, 0), Point(1, 2)]
+        assert mst_length(pts) == pytest.approx(6.0)
+        assert steiner_length(pts) == pytest.approx(4.0)
+
+    def test_l_shape_cannot_improve(self):
+        pts = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert steiner_length(pts) == pytest.approx(7.0)
+
+    @settings(max_examples=50)
+    @given(point_lists)
+    def test_sandwiched_between_hpwl_and_mst(self, pts):
+        smt = steiner_length(pts)
+        assert smt <= mst_length(pts) + 1e-9
+        assert smt >= hpwl(pts) - 1e-9
+
+    @settings(max_examples=30)
+    @given(point_lists)
+    def test_steiner_ratio(self, pts):
+        """The rectilinear Steiner ratio: MST <= 1.5 * SMT (Hwang)."""
+        smt = steiner_length(pts)
+        if smt > 0:
+            assert mst_length(pts) <= 1.5 * smt + 1e-9
+
+    @settings(max_examples=20)
+    @given(point_lists, coords, coords)
+    def test_translation_invariant(self, pts, dx, dy):
+        moved = [p.translated(dx, dy) for p in pts]
+        assert steiner_length(moved) == pytest.approx(
+            steiner_length(pts), rel=1e-9, abs=1e-7
+        )
+
+    def test_on_signal_scale_inputs(self):
+        # Typical 2.5D signal: 3 die terminals + escape.
+        pts = [
+            Point(0.5, 1.0),
+            Point(2.0, 1.1),
+            Point(1.2, 0.2),
+            Point(1.3, 3.0),
+        ]
+        smt = steiner_length(pts)
+        assert 0 < smt <= mst_length(pts)

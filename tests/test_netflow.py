@@ -1,0 +1,239 @@
+"""Unit, property and oracle tests for the min-cost max-flow substrate."""
+
+import random
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow import (
+    FlowNetwork,
+    conservation_violations,
+    has_negative_residual_cycle,
+    min_cost_max_flow,
+)
+
+
+def build_simple_network():
+    """Source -> two middle nodes -> sink with distinct costs."""
+    net = FlowNetwork()
+    s = net.add_node("s")
+    a = net.add_node("a")
+    b = net.add_node("b")
+    t = net.add_node("t")
+    net.add_edge(s, a, 1, 0.0)
+    net.add_edge(s, b, 1, 0.0)
+    net.add_edge(a, t, 1, 2.0)
+    net.add_edge(b, t, 1, 5.0)
+    return net, s, t
+
+
+class TestFlowNetwork:
+    def test_add_edge_creates_reverse_arc(self):
+        net = FlowNetwork()
+        u = net.add_node()
+        v = net.add_node()
+        arc = net.add_edge(u, v, 3, 1.5)
+        assert net.arc_to[arc] == v
+        assert net.arc_to[arc ^ 1] == u
+        assert net.arc_cap[arc] == 3
+        assert net.arc_cap[arc ^ 1] == 0
+        assert net.arc_cost[arc ^ 1] == -1.5
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        u, v = net.add_node(), net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(u, v, -1, 0.0)
+
+    def test_out_of_range_endpoint_rejected(self):
+        net = FlowNetwork()
+        u = net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(u, 5, 1, 0.0)
+
+    def test_counts_and_labels(self):
+        net, s, t = build_simple_network()
+        assert net.node_count == 4
+        assert net.arc_count == 4
+        assert net.label(s) == "s"
+
+    def test_reset_flow(self):
+        net, s, t = build_simple_network()
+        min_cost_max_flow(net, s, t)
+        net.reset_flow()
+        for arc in range(0, len(net.arc_to), 2):
+            assert net.flow_on(arc) == 0
+
+
+class TestMCMFBasics:
+    def test_simple_max_flow_and_cost(self):
+        net, s, t = build_simple_network()
+        result = min_cost_max_flow(net, s, t)
+        assert result.flow == 2
+        assert result.cost == pytest.approx(7.0)
+
+    def test_flow_limit(self):
+        net, s, t = build_simple_network()
+        result = min_cost_max_flow(net, s, t, flow_limit=1)
+        assert result.flow == 1
+        assert result.cost == pytest.approx(2.0)  # Takes the cheap path.
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork()
+        s = net.add_node()
+        t = net.add_node()
+        result = min_cost_max_flow(net, s, t)
+        assert result.flow == 0
+        assert result.cost == 0
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork()
+        s = net.add_node()
+        with pytest.raises(ValueError):
+            min_cost_max_flow(net, s, s)
+
+    def test_abort_callback_stops_early(self):
+        net, s, t = build_simple_network()
+        calls = []
+
+        def abort():
+            calls.append(1)
+            return len(calls) > 1
+
+        result = min_cost_max_flow(net, s, t, should_abort=abort)
+        assert result.flow <= 1
+
+    def test_path_choice_prefers_cheap_chain(self):
+        # Diamond where the longer chain is cheaper.
+        net = FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 1, 10.0)
+        net.add_edge(a, t, 1, 10.0)
+        net.add_edge(s, b, 1, 1.0)
+        e_cheap = net.add_edge(b, t, 1, 1.0)
+        result = min_cost_max_flow(net, s, t, flow_limit=1)
+        assert result.cost == pytest.approx(2.0)
+        assert net.flow_on(e_cheap) == 1
+
+    def test_rerouting_through_residual_arcs(self):
+        # Classic case where the second augmentation must push flow back
+        # over a used arc to stay optimal.
+        net = FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 1, 1.0)
+        net.add_edge(s, b, 1, 4.0)
+        net.add_edge(a, b, 1, 1.0)
+        net.add_edge(a, t, 1, 6.0)
+        net.add_edge(b, t, 2, 1.0)
+        result = min_cost_max_flow(net, s, t)
+        assert result.flow == 2
+        # Optimal: s-a-b-t (3) + s-b-t (5) = 8, not using a-t at all.
+        assert result.cost == pytest.approx(8.0)
+
+
+@st.composite
+def random_bipartite_instance(draw):
+    n_left = draw(st.integers(min_value=1, max_value=6))
+    n_right = draw(st.integers(min_value=n_left, max_value=8))
+    costs = {}
+    for i in range(n_left):
+        degree = draw(st.integers(min_value=1, max_value=n_right))
+        cols = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_right - 1),
+                min_size=degree,
+                max_size=degree,
+                unique=True,
+            )
+        )
+        for j in cols:
+            costs[(i, j)] = draw(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+            )
+    return n_left, n_right, costs
+
+
+def solve_ours(n_left, n_right, costs):
+    net = FlowNetwork()
+    s = net.add_node()
+    t = net.add_node()
+    left = [net.add_node() for _ in range(n_left)]
+    right = [net.add_node() for _ in range(n_right)]
+    for u in left:
+        net.add_edge(s, u, 1, 0.0)
+    for v in right:
+        net.add_edge(v, t, 1, 0.0)
+    for (i, j), c in sorted(costs.items()):
+        net.add_edge(left[i], right[j], 1, c)
+    result = min_cost_max_flow(net, s, t)
+    return net, s, t, result
+
+
+def solve_networkx(n_left, n_right, costs):
+    g = networkx.DiGraph()
+    for i in range(n_left):
+        g.add_edge("s", f"L{i}", capacity=1, weight=0)
+    for j in range(n_right):
+        g.add_edge(f"R{j}", "t", capacity=1, weight=0)
+    # networkx min_cost_flow needs integer weights for exactness; scale.
+    for (i, j), c in costs.items():
+        g.add_edge(f"L{i}", f"R{j}", capacity=1, weight=int(round(c * 1000)))
+    flow_value, flow_dict = networkx.maximum_flow(g, "s", "t")
+    mincostflow = networkx.max_flow_min_cost(g, "s", "t")
+    cost = networkx.cost_of_flow(g, mincostflow) / 1000.0
+    return flow_value, cost
+
+
+class TestMCMFOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(random_bipartite_instance())
+    def test_matches_networkx(self, instance):
+        n_left, n_right, costs = instance
+        # Round costs to 3 decimals so both solvers see identical values.
+        costs = {k: round(v, 3) for k, v in costs.items()}
+        net, s, t, result = solve_ours(n_left, n_right, costs)
+        nx_flow, nx_cost = solve_networkx(n_left, n_right, costs)
+        assert result.flow == nx_flow
+        assert result.cost == pytest.approx(nx_cost, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_bipartite_instance())
+    def test_flow_is_conserved_and_optimal(self, instance):
+        n_left, n_right, costs = instance
+        net, s, t, result = solve_ours(n_left, n_right, costs)
+        assert conservation_violations(net, s, t) == []
+        assert not has_negative_residual_cycle(net)
+
+    def test_large_random_assignment_against_networkx(self):
+        rng = random.Random(0)
+        n = 25
+        costs = {
+            (i, j): round(rng.uniform(0, 50), 3)
+            for i in range(n)
+            for j in range(n + 5)
+            if rng.random() < 0.4
+        }
+        # Ensure feasibility: give every left node one guaranteed edge.
+        for i in range(n):
+            costs.setdefault((i, i), 1.0)
+        net, s, t, result = solve_ours(n, n + 5, costs)
+        nx_flow, nx_cost = solve_networkx(n, n + 5, costs)
+        assert result.flow == nx_flow
+        assert result.cost == pytest.approx(nx_cost, abs=1e-5)
+
+
+class TestValidators:
+    def test_negative_cycle_detection(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        net.add_edge(a, b, 1, -2.0)
+        net.add_edge(b, a, 1, 1.0)
+        assert has_negative_residual_cycle(net)
+
+    def test_no_negative_cycle_in_dag(self):
+        net, s, t = build_simple_network()
+        assert not has_negative_residual_cycle(net)

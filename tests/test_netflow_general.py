@@ -1,0 +1,120 @@
+"""Property tests of the MCMF solver on general (non-bipartite) graphs."""
+
+import random
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow import (
+    FlowNetwork,
+    conservation_violations,
+    has_negative_residual_cycle,
+    min_cost_max_flow,
+)
+
+
+@st.composite
+def random_graph(draw):
+    """A random layered-ish digraph with integer caps and costs."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edge_count = draw(st.integers(min_value=1, max_value=18))
+    edges = []
+    for _ in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        cap = draw(st.integers(min_value=1, max_value=5))
+        cost = draw(st.integers(min_value=0, max_value=20))
+        edges.append((u, v, cap, cost))
+    return n, edges
+
+
+def solve_ours(n, edges, source, sink):
+    net = FlowNetwork()
+    for _ in range(n):
+        net.add_node()
+    for u, v, cap, cost in edges:
+        net.add_edge(u, v, cap, float(cost))
+    result = min_cost_max_flow(net, source, sink)
+    return net, result
+
+
+def solve_networkx(n, edges, source, sink):
+    """networkx oracle.
+
+    ``max_flow_min_cost`` rejects multigraphs, so parallel edges are
+    expanded through auxiliary midpoint nodes (cost on the first leg, zero
+    on the second) — an exact transformation.
+    """
+    g = networkx.DiGraph()
+    g.add_nodes_from(range(n))
+    next_aux = n
+    for u, v, cap, cost in edges:
+        if g.has_edge(u, v):
+            g.add_edge(u, next_aux, capacity=cap, weight=cost)
+            g.add_edge(next_aux, v, capacity=cap, weight=0)
+            next_aux += 1
+        else:
+            g.add_edge(u, v, capacity=cap, weight=cost)
+    flow_value = networkx.maximum_flow_value(g, source, sink)
+    mincost = networkx.max_flow_min_cost(g, source, sink)
+    cost = networkx.cost_of_flow(g, mincost)
+    return flow_value, cost
+
+
+class TestGeneralGraphs:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph())
+    def test_matches_networkx(self, graph):
+        n, edges = graph
+        source, sink = 0, n - 1
+        net, result = solve_ours(n, edges, source, sink)
+        nx_flow, nx_cost = solve_networkx(n, edges, source, sink)
+        assert result.flow == pytest.approx(nx_flow)
+        assert result.cost == pytest.approx(nx_cost, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph())
+    def test_solution_is_feasible_and_optimal(self, graph):
+        n, edges = graph
+        net, result = solve_ours(n, edges, 0, n - 1)
+        assert conservation_violations(net, 0, n - 1) == []
+        assert not has_negative_residual_cycle(net)
+
+    def test_multi_unit_capacities(self):
+        # Two parallel paths of caps 3 and 2 with different costs.
+        net = FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 3, 1.0)
+        net.add_edge(a, t, 3, 1.0)
+        net.add_edge(s, b, 2, 5.0)
+        net.add_edge(b, t, 2, 5.0)
+        result = min_cost_max_flow(net, s, t)
+        assert result.flow == 5
+        assert result.cost == pytest.approx(3 * 2 + 2 * 10)
+
+    def test_flow_limit_partial(self):
+        net = FlowNetwork()
+        s, a, t = (net.add_node() for _ in range(3))
+        net.add_edge(s, a, 10, 1.0)
+        net.add_edge(a, t, 10, 1.0)
+        result = min_cost_max_flow(net, s, t, flow_limit=4)
+        assert result.flow == 4
+        assert result.cost == pytest.approx(8.0)
+
+    def test_repeated_runs_require_reset(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        net.add_edge(s, t, 1, 1.0)
+        first = min_cost_max_flow(net, s, t)
+        assert first.flow == 1
+        second = min_cost_max_flow(net, s, t)
+        assert second.flow == 0  # Saturated until reset.
+        net.reset_flow()
+        third = min_cost_max_flow(net, s, t)
+        assert third.flow == 1

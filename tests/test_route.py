@@ -1,0 +1,167 @@
+"""Tests for the RDL global router substrate."""
+
+import pytest
+
+from repro.assign import MCMFAssigner
+from repro.benchgen import load_tiny
+from repro.floorplan import EFAConfig, run_efa
+from repro.geometry import Point
+from repro.model import Interposer
+from repro.route import (
+    GlobalRouter,
+    GridConfig,
+    RoutingGrid,
+    maze_route,
+    route_design,
+)
+
+
+def make_grid(cells=8, pitch=0.01, width=2.0, height=2.0, layers=2):
+    interposer = Interposer(width=width, height=height)
+    return RoutingGrid(
+        interposer,
+        GridConfig(
+            cells_x=cells, cells_y=cells, wire_pitch=pitch, rdl_layers=layers
+        ),
+    )
+
+
+class TestRoutingGrid:
+    def test_cell_mapping_round_trip(self):
+        grid = make_grid()
+        cell = grid.cell_of(Point(0.3, 1.7))
+        centre = grid.center_of(cell)
+        assert grid.cell_of(centre) == cell
+
+    def test_clamping_outside_points(self):
+        grid = make_grid()
+        assert grid.cell_of(Point(-5, -5)) == (0, 0)
+        assert grid.cell_of(Point(99, 99)) == (7, 7)
+
+    def test_edge_between_adjacent(self):
+        grid = make_grid()
+        kind, index = grid.edge_between((1, 1), (2, 1))
+        assert kind == "h" and index == (1, 1)
+        kind, index = grid.edge_between((3, 4), (3, 3))
+        assert kind == "v" and index == (3, 3)
+
+    def test_edge_between_non_adjacent_rejected(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            grid.edge_between((0, 0), (2, 0))
+
+    def test_demand_and_overflow(self):
+        grid = make_grid(cells=4, pitch=0.5)  # Tiny capacity.
+        assert grid.capacity_h == 1
+        grid.add_demand("h", (0, 0), 3)
+        assert grid.overflow == 2
+        assert grid.max_utilization == 3.0
+
+    def test_neighbors_at_corner(self):
+        grid = make_grid(cells=4)
+        assert set(grid.neighbors((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_too_fine_grid_rejected(self):
+        interposer = Interposer(width=1.0, height=1.0)
+        with pytest.raises(ValueError, match="zero tracks"):
+            RoutingGrid(
+                interposer,
+                GridConfig(cells_x=64, cells_y=64, wire_pitch=0.1),
+            )
+
+
+class TestMazeRoute:
+    def test_trivial_same_cell(self):
+        grid = make_grid()
+        assert maze_route(grid, (2, 2), (2, 2)) == [(2, 2)]
+
+    def test_straight_route(self):
+        grid = make_grid()
+        path = maze_route(grid, (0, 3), (5, 3))
+        assert path[0] == (0, 3) and path[-1] == (5, 3)
+        assert len(path) == 6  # No detour on an empty grid.
+
+    def test_l_route_length(self):
+        grid = make_grid()
+        path = maze_route(grid, (0, 0), (3, 4))
+        assert len(path) == 8  # 3 + 4 steps + origin.
+
+    def test_detours_around_congestion(self):
+        grid = make_grid(cells=6, pitch=0.3)
+        # Saturate the straight corridor between (0,2) and (5,2).
+        for c in range(5):
+            grid.add_demand("h", (c, 2), grid.capacity_h)
+        path = maze_route(grid, (0, 2), (5, 2))
+        assert path[0] == (0, 2) and path[-1] == (5, 2)
+        assert len(path) > 6  # Forced off the straight row.
+
+
+class TestGlobalRouter:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        design = load_tiny(die_count=3, signal_count=12)
+        fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+        assignment = MCMFAssigner().assign(design, fp)
+        return design, fp, assignment
+
+    def test_routes_every_internal_net(self, solved):
+        design, fp, assignment = solved
+        result = route_design(design, fp, assignment)
+        internal = [
+            s for s in design.signals
+            if len(s.buffer_ids) + (1 if s.escapes else 0) >= 2
+        ]
+        assert len(result.nets) == len(internal)
+
+    def test_routed_at_least_mst(self, solved):
+        """Grid routing cannot beat the continuous MST by more than the
+        cell-snapping granularity."""
+        design, fp, assignment = solved
+        result = route_design(design, fp, assignment)
+        grid = GlobalRouter(design).grid
+        step = max(grid.step_x, grid.step_y)
+        for net in result.nets:
+            # Terminal-to-cell-centre snapping can shave up to ~2 steps
+            # per MST edge; beyond that, routing is never shorter.
+            slack = 4 * step * max(len(net.segments), 1)
+            assert net.routed_length >= net.mst_length - slack
+
+    def test_mst_routed_correlation_is_high(self, solved):
+        """The paper's Section 2.1 assumption ([8]): MST length correlates
+        strongly with routed wirelength."""
+        design, fp, assignment = solved
+        result = route_design(design, fp, assignment)
+        assert result.correlation() > 0.9
+
+    def test_uncongested_case_is_routable(self, solved):
+        design, fp, assignment = solved
+        result = route_design(
+            design, fp, assignment,
+            GridConfig(cells_x=16, cells_y=16, wire_pitch=0.002),
+        )
+        assert result.routable
+        assert result.max_utilization <= 1.0
+
+    def test_congested_case_reroutes(self, solved):
+        design, fp, assignment = solved
+        result = route_design(
+            design, fp, assignment,
+            GridConfig(cells_x=8, cells_y=8, wire_pitch=0.05),
+        )
+        # Either the router cleaned it up or overflow is reported.
+        assert result.overflow >= 0
+        assert result.max_utilization > 0
+
+    def test_deterministic(self, solved):
+        design, fp, assignment = solved
+        a = route_design(design, fp, assignment)
+        b = route_design(design, fp, assignment)
+        assert a.total_routed_length == pytest.approx(b.total_routed_length)
+
+    def test_totals_consistent(self, solved):
+        design, fp, assignment = solved
+        result = route_design(design, fp, assignment)
+        assert result.total_routed_length == pytest.approx(
+            sum(n.routed_length for n in result.nets)
+        )
+        assert result.total_mst_length > 0

@@ -1,0 +1,210 @@
+"""Unit and property tests for the sequence-pair substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seqpair import (
+    SequencePair,
+    floorplan_count,
+    iter_orientation_vectors,
+    iter_sequence_pairs,
+    pack_sequence_pair,
+    sequence_pair_count,
+)
+
+DIE_IDS = ("a", "b", "c", "d", "e")
+
+
+@st.composite
+def sp_and_dims(draw, max_n=5):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    ids = list(DIE_IDS[:n])
+    plus = tuple(draw(st.permutations(ids)))
+    minus = tuple(draw(st.permutations(ids)))
+    size = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+    dims = {i: (draw(size), draw(size)) for i in ids}
+    return SequencePair(plus, minus), dims
+
+
+class TestSequencePair:
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "b"), ("a", "c"))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "a"), ("a", "a"))
+
+    def test_left_of_relation(self):
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        assert sp.is_left_of("a", "b")
+        assert not sp.is_below("a", "b")
+        assert sp.relation("a", "b") == "left"
+        assert sp.relation("b", "a") == "right"
+
+    def test_below_relation(self):
+        sp = SequencePair(("b", "a"), ("a", "b"))
+        assert sp.is_below("a", "b")
+        assert sp.relation("a", "b") == "below"
+        assert sp.relation("b", "a") == "above"
+
+    def test_relation_self_rejected(self):
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        with pytest.raises(ValueError):
+            sp.relation("a", "a")
+
+    def test_mirrored_reverses_relations(self):
+        sp = SequencePair(("a", "b", "c"), ("c", "a", "b"))
+        m = sp.mirrored()
+        for x in "abc":
+            for y in "abc":
+                if x == y:
+                    continue
+                rel = sp.relation(x, y)
+                flipped = {
+                    "left": "right",
+                    "right": "left",
+                    "below": "above",
+                    "above": "below",
+                }[rel]
+                assert m.relation(x, y) == flipped
+
+    @given(sp_and_dims())
+    def test_every_pair_has_exactly_one_relation(self, sp_dims):
+        sp, _ = sp_dims
+        ids = sp.die_ids
+        for i, x in enumerate(ids):
+            for y in ids[i + 1 :]:
+                left = sp.is_left_of(x, y)
+                right = sp.is_left_of(y, x)
+                below = sp.is_below(x, y)
+                above = sp.is_below(y, x)
+                assert sum([left, right, below, above]) == 1
+
+
+class TestPacking:
+    def test_fig4a_example(self):
+        # Fig. 4(a) of the paper: SP (d1 d2 d3 d4, d3 d4 d1 d2):
+        # d3 below d1, d3 below d2, d4 below d2, d1 left of d2, d3 left of
+        # d4.  With unit squares d1 sits at origin-level above d3.
+        sp = SequencePair(
+            ("d1", "d2", "d3", "d4"), ("d3", "d4", "d1", "d2")
+        )
+        dims = {d: (1.0, 1.0) for d in sp.die_ids}
+        packed = pack_sequence_pair(sp, dims)
+        pos = packed.positions
+        assert pos["d3"] == (0.0, 0.0)
+        assert pos["d4"] == (1.0, 0.0)
+        assert pos["d1"] == (0.0, 1.0)
+        assert pos["d2"] == (1.0, 1.0)
+        assert (packed.width, packed.height) == (2.0, 2.0)
+
+    def test_single_die(self):
+        sp = SequencePair(("a",), ("a",))
+        packed = pack_sequence_pair(sp, {"a": (2.0, 3.0)})
+        assert packed.positions["a"] == (0.0, 0.0)
+        assert (packed.width, packed.height) == (2.0, 3.0)
+
+    def test_missing_dims_rejected(self):
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        with pytest.raises(ValueError):
+            pack_sequence_pair(sp, {"a": (1.0, 1.0)})
+
+    def test_horizontal_row(self):
+        sp = SequencePair(("a", "b", "c"), ("a", "b", "c"))
+        dims = {"a": (1.0, 1.0), "b": (2.0, 1.0), "c": (1.5, 1.0)}
+        packed = pack_sequence_pair(sp, dims)
+        assert packed.positions["a"][0] == 0.0
+        assert packed.positions["b"][0] == 1.0
+        assert packed.positions["c"][0] == 3.0
+        assert packed.width == pytest.approx(4.5)
+        assert packed.height == pytest.approx(1.0)
+
+    def test_vertical_stack(self):
+        sp = SequencePair(("c", "b", "a"), ("a", "b", "c"))
+        dims = {"a": (1.0, 1.0), "b": (1.0, 2.0), "c": (1.0, 1.5)}
+        packed = pack_sequence_pair(sp, dims)
+        assert packed.positions["a"][1] == 0.0
+        assert packed.positions["b"][1] == 1.0
+        assert packed.positions["c"][1] == 3.0
+        assert packed.height == pytest.approx(4.5)
+        assert packed.width == pytest.approx(1.0)
+
+    @settings(max_examples=60)
+    @given(sp_and_dims())
+    def test_no_overlap_and_relations_hold(self, sp_dims):
+        sp, dims = sp_dims
+        packed = pack_sequence_pair(sp, dims)
+        ids = sp.die_ids
+        for i, a in enumerate(ids):
+            ax, ay = packed.positions[a]
+            aw, ah = dims[a]
+            # All inside the reported bounding box.
+            assert ax + aw <= packed.width + 1e-9
+            assert ay + ah <= packed.height + 1e-9
+            assert ax >= -1e-9 and ay >= -1e-9
+            for b in ids[i + 1 :]:
+                bx, by = packed.positions[b]
+                bw, bh = dims[b]
+                x_disjoint = ax + aw <= bx + 1e-9 or bx + bw <= ax + 1e-9
+                y_disjoint = ay + ah <= by + 1e-9 or by + bh <= ay + 1e-9
+                assert x_disjoint or y_disjoint
+                rel = sp.relation(a, b)
+                if rel == "left":
+                    assert ax + aw <= bx + 1e-9
+                elif rel == "right":
+                    assert bx + bw <= ax + 1e-9
+                elif rel == "below":
+                    assert ay + ah <= by + 1e-9
+                else:
+                    assert by + bh <= ay + 1e-9
+
+    @settings(max_examples=30)
+    @given(sp_and_dims(max_n=4))
+    def test_packing_is_compact(self, sp_dims):
+        # Every die is either at coordinate 0 or pressed against another
+        # die in at least one axis (longest-path packing is tight).
+        sp, dims = sp_dims
+        packed = pack_sequence_pair(sp, dims)
+        for d in sp.die_ids:
+            x, y = packed.positions[d]
+            if x > 1e-9:
+                assert any(
+                    abs(packed.positions[o][0] + dims[o][0] - x) < 1e-9
+                    for o in sp.die_ids
+                    if o != d
+                )
+            if y > 1e-9:
+                assert any(
+                    abs(packed.positions[o][1] + dims[o][1] - y) < 1e-9
+                    for o in sp.die_ids
+                    if o != d
+                )
+
+
+class TestEnumeration:
+    def test_sequence_pair_count(self):
+        assert sequence_pair_count(3) == 36
+        assert sequence_pair_count(4) == 576
+
+    def test_floorplan_count(self):
+        assert floorplan_count(2) == 4 * 16
+        assert floorplan_count(3) == 36 * 64
+
+    def test_iter_sequence_pairs_complete_and_unique(self):
+        sps = list(iter_sequence_pairs(["a", "b", "c"]))
+        assert len(sps) == 36
+        assert len({(sp.plus, sp.minus) for sp in sps}) == 36
+
+    def test_iter_orientation_vectors(self):
+        vecs = list(iter_orientation_vectors(2))
+        assert len(vecs) == 16
+        assert len(set(vecs)) == 16
+
+    def test_iteration_is_deterministic(self):
+        a = list(iter_sequence_pairs(["a", "b"]))
+        b = list(iter_sequence_pairs(["a", "b"]))
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for the SVG layout renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.assign import MCMFAssigner
+from repro.benchgen import load_tiny
+from repro.floorplan import EFAConfig, run_efa
+from repro.viz import SvgStyle, render_layout, save_layout_svg
+
+
+@pytest.fixture(scope="module")
+def solved():
+    design = load_tiny(die_count=3, signal_count=10)
+    fp = run_efa(design, EFAConfig(illegal_cut=True)).floorplan
+    assignment = MCMFAssigner().assign(design, fp)
+    return design, fp, assignment
+
+
+class TestRenderLayout:
+    def test_is_valid_xml(self, solved):
+        design, fp, assignment = solved
+        svg = render_layout(design, fp, assignment)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_one_rect_per_die_plus_frames(self, solved):
+        design, fp, _ = solved
+        svg = render_layout(design, fp)
+        root = ET.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == len(design.dies) + 2  # package + interposer
+
+    def test_die_labels_present(self, solved):
+        design, fp, _ = solved
+        svg = render_layout(design, fp)
+        for die in design.dies:
+            assert die.id in svg
+
+    def test_assignment_adds_nets(self, solved):
+        design, fp, assignment = solved
+        bare = render_layout(design, fp)
+        full = render_layout(design, fp, assignment)
+        root_bare = ET.fromstring(bare)
+        root_full = ET.fromstring(full)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root_full.findall(f".//{ns}line")) > len(
+            root_bare.findall(f".//{ns}line")
+        )
+        assert len(root_full.findall(f".//{ns}circle")) > len(
+            root_bare.findall(f".//{ns}circle")
+        )
+
+    def test_custom_style_scale(self, solved):
+        design, fp, _ = solved
+        small = render_layout(design, fp, style=SvgStyle(scale=50))
+        large = render_layout(design, fp, style=SvgStyle(scale=400))
+        w_small = float(ET.fromstring(small).get("width"))
+        w_large = float(ET.fromstring(large).get("width"))
+        assert w_large > w_small
+
+    def test_save_to_file(self, solved, tmp_path):
+        design, fp, assignment = solved
+        path = tmp_path / "layout.svg"
+        save_layout_svg(path, design, fp, assignment)
+        assert path.exists()
+        ET.parse(path)  # Valid XML on disk.
