@@ -13,14 +13,21 @@ environment variables so CI and laptops can trade time for fidelity:
 
 Each benchmark writes its rendered table to ``benchmarks/out/`` so the
 numbers recorded in EXPERIMENTS.md can be regenerated verbatim.
+
+Benchmarks read stage timings and solver counters from the observability
+run report (``FlowResult.obs_report`` / ``repro.obs.build_report``) via
+:func:`report_stage_seconds` / :func:`report_counter` instead of re-timing
+stages with their own stopwatches, so the numbers in the emitted tables
+are exactly the ones the instrumentation recorded.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.benchgen import load_case, suite_names
 from repro.eval import format_table
 from repro.model import Design
@@ -51,6 +58,34 @@ def cached_case(name: str) -> Design:
     if name not in _DESIGN_CACHE:
         _DESIGN_CACHE[name] = load_case(name)
     return _DESIGN_CACHE[name]
+
+
+def capture_report(**sections) -> Dict[str, Any]:
+    """Snapshot the current observability scope as a run report.
+
+    Call right after the instrumented stage(s) of interest; pair with
+    :func:`repro.obs.reset_run` before them to scope the report to exactly
+    one measured unit.
+    """
+    return obs.build_report(**sections)
+
+
+def report_stage_seconds(
+    report: Dict[str, Any], stage: str
+) -> Optional[float]:
+    """Wall-clock of one stage span, read from a run report.
+
+    ``stage`` is a dotted span path (``"flow.floorplan"``,
+    ``"floorplan.efa"``); returns ``None`` when the stage did not run.
+    This replaces external stopwatches around library calls — the report's
+    span tree is the single timing source.
+    """
+    return obs.span_seconds(report, stage)
+
+
+def report_counter(report: Dict[str, Any], name: str, default: int = 0):
+    """A solver counter from a run report's metric snapshot."""
+    return report.get("metrics", {}).get(name, default)
 
 
 def emit_table(

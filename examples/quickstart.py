@@ -6,14 +6,19 @@ The flow mirrors the paper end to end:
 1. generate a miniature interposer design (3 dies, a handful of signals);
 2. floorplan the dies with EFA_mix (EFA_c3 at this die count);
 3. assign signals to micro-bumps and TSVs with MCMF_fast;
-4. evaluate the Eq. 1 total wirelength.
+4. evaluate the Eq. 1 total wirelength;
+5. write the run's observability report (span tree + solver counters)
+   as versioned JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import FlowConfig, load_tiny, run_flow
+import tempfile
+from pathlib import Path
+
+from repro import FlowConfig, load_tiny, obs, run_flow
 
 
 def main() -> None:
@@ -59,6 +64,11 @@ def main() -> None:
     print(f"  internal WL_I   = {wl.wl_internal:.4f} mm")
     print(f"  external WL_E   = {wl.wl_external:.4f} mm")
     print(f"  TWL             = {wl.total:.4f} mm")
+
+    report_path = Path(tempfile.gettempdir()) / "repro_quickstart_report.json"
+    obs.write_report(result.obs_report, report_path)
+    print(f"\nSummary: {result.summary()}")
+    print(f"Run report (spans + counters) written to {report_path}")
 
 
 if __name__ == "__main__":

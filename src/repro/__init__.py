@@ -58,6 +58,8 @@ from .floorplan import (
     run_efa_mix,
     run_sa,
 )
+from . import obs
+from .obs import configure_logging
 from .viz import render_layout, save_layout_svg
 from .flow import FlowConfig, FlowResult, run_flow
 from .model import (
@@ -105,11 +107,13 @@ __all__ = [
     "Weights",
     "WirelengthBreakdown",
     "__version__",
+    "configure_logging",
     "estimate_congestion",
     "generate_design",
     "hpwl_estimate",
     "load_case",
     "load_tiny",
+    "obs",
     "optimize_floorplan",
     "render_layout",
     "run_efa",

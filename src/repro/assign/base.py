@@ -25,6 +25,8 @@ class SubSapStats:
     flow_cost: float = 0.0
     runtime_s: float = 0.0
     window_retries: int = 0
+    augmentations: int = 0  # MCMF augmenting paths (0 for non-flow assigners)
+    nodes_settled: int = 0  # Dijkstra nodes settled across the MCMF runs
 
 
 @dataclass
@@ -47,6 +49,11 @@ class AssignmentRunResult:
     def total_flow_cost(self) -> float:
         """Summed Eq. 3 cost of all sub-SAP solutions."""
         return sum(s.flow_cost for s in self.sub_saps)
+
+    @property
+    def total_augmentations(self) -> int:
+        """Augmenting paths found across all sub-SAPs."""
+        return sum(s.augmentations for s in self.sub_saps)
 
 
 class AssignmentError(RuntimeError):

@@ -31,6 +31,7 @@ from ..geometry import Point
 from ..model import Assignment, Design, Floorplan, Terminal, TerminalKind
 from ..mst import SignalTopology, build_topologies
 from ..netflow import FlowNetwork, min_cost_max_flow
+from ..obs import get_logger, metrics, span
 from .base import (
     AssignmentError,
     AssignmentRunResult,
@@ -39,6 +40,8 @@ from .base import (
 )
 from .cost import assignment_cost, far_terminal_weight
 from .window import window_candidates
+
+logger = get_logger("assign.mcmf")
 
 
 @dataclass
@@ -131,6 +134,7 @@ class MCMFAssigner:
             if tsv_stats is not None:
                 sub_stats.append(tsv_stats)
         except AssignmentError as exc:
+            logger.warning("%s: assignment failed: %s", cfg.name, exc)
             return AssignmentRunResult(
                 assignment,
                 cfg.name,
@@ -139,12 +143,21 @@ class MCMFAssigner:
                 complete=False,
                 note=str(exc),
             )
-        return AssignmentRunResult(
+        result = AssignmentRunResult(
             assignment,
             cfg.name,
             runtime_s=time.monotonic() - start,
             sub_saps=sub_stats,
         )
+        logger.info(
+            "%s: %d sub-SAPs, %d arcs, %d augmenting paths in %.3fs",
+            cfg.name,
+            len(sub_stats),
+            result.total_edges,
+            result.total_augmentations,
+            result.runtime_s,
+        )
+        return result
 
     def _apply_locks(
         self,
@@ -380,70 +393,108 @@ class MCMFAssigner:
         sub_start = time.monotonic()
         n_sources = len(source_keys)
         retries = 0
-        while True:
-            if clock.expired():
-                raise AssignmentError(
-                    f"time budget exceeded before sub-SAP {scope!r}"
-                )
-            if cfg.window_matching:
-                candidates, _ = window_candidates(
+        augmentations = 0
+        nodes_settled = 0
+        with span("assign.subsap") as sub_span:
+            while True:
+                if clock.expired():
+                    raise AssignmentError(
+                        f"time budget exceeded before sub-SAP {scope!r}"
+                    )
+                metrics.counter("assign.window.iterations").inc()
+                if cfg.window_matching:
+                    candidates, _ = window_candidates(
+                        source_pos,
+                        site_pos,
+                        pitch,
+                        slack=cfg.window_slack,
+                        extra_growth=retries,
+                    )
+                else:
+                    all_sites = np.arange(len(site_ids))
+                    candidates = [all_sites] * n_sources
+
+                edge_total = sum(len(c) for c in candidates)
+                if (
+                    cfg.max_edges_per_sub_sap is not None
+                    and edge_total > cfg.max_edges_per_sub_sap
+                ):
+                    raise AssignmentError(
+                        f"sub-SAP {scope!r} needs {edge_total} arcs, above "
+                        f"the configured limit {cfg.max_edges_per_sub_sap} "
+                        "(the paper's MCMF_ori ran out of memory the "
+                        "same way)"
+                    )
+
+                mapping, result = self._run_flow(
+                    design,
+                    source_keys,
                     source_pos,
+                    source_signals,
                     site_pos,
-                    pitch,
-                    slack=cfg.window_slack,
-                    extra_growth=retries,
+                    candidates,
+                    leg_weight,
+                    topologies,
+                    clock,
                 )
-            else:
-                all_sites = np.arange(len(site_ids))
-                candidates = [all_sites] * n_sources
-
-            edge_total = sum(len(c) for c in candidates)
-            if (
-                cfg.max_edges_per_sub_sap is not None
-                and edge_total > cfg.max_edges_per_sub_sap
-            ):
-                raise AssignmentError(
-                    f"sub-SAP {scope!r} needs {edge_total} arcs, above the "
-                    f"configured limit {cfg.max_edges_per_sub_sap} "
-                    "(the paper's MCMF_ori ran out of memory the same way)"
+                augmentations += result.augmentations
+                nodes_settled += result.settled
+                metrics.counter("assign.mcmf.runs").inc()
+                metrics.counter("assign.mcmf.augmenting_paths").inc(
+                    result.augmentations
                 )
-
-            (mapping, flow_cost), flow = self._run_flow(
-                design,
-                source_keys,
-                source_pos,
-                source_signals,
-                site_pos,
-                candidates,
-                leg_weight,
-                topologies,
-                clock,
-            )
-            if flow == n_sources:
-                stats = SubSapStats(
-                    scope=scope,
-                    demand=n_sources,
-                    candidate_sites=len(site_ids),
-                    edges=edge_total,
-                    flow_cost=flow_cost,
-                    runtime_s=time.monotonic() - sub_start,
-                    window_retries=retries,
+                metrics.counter("assign.mcmf.nodes_settled").inc(
+                    result.settled
                 )
-                return mapping, stats
-            if clock.expired():
-                raise AssignmentError(
-                    f"time budget exceeded inside sub-SAP {scope!r}"
-                )
-            if not cfg.window_matching:
-                raise AssignmentError(
-                    f"sub-SAP {scope!r} infeasible: only {flow} of "
-                    f"{n_sources} sources served"
-                )
-            retries += 1
-            if retries > cfg.max_window_retries:
-                raise AssignmentError(
-                    f"sub-SAP {scope!r} still infeasible after "
-                    f"{cfg.max_window_retries} window expansions"
+                if result.flow == n_sources:
+                    stats = SubSapStats(
+                        scope=scope,
+                        demand=n_sources,
+                        candidate_sites=len(site_ids),
+                        edges=edge_total,
+                        flow_cost=result.cost,
+                        runtime_s=time.monotonic() - sub_start,
+                        window_retries=retries,
+                        augmentations=augmentations,
+                        nodes_settled=nodes_settled,
+                    )
+                    sub_span.annotate(scope=scope)
+                    logger.debug(
+                        "sub-SAP %s: %d sources over %d sites, %d arcs, "
+                        "%d augmenting paths, cost %.4f in %.3fs",
+                        scope,
+                        n_sources,
+                        len(site_ids),
+                        edge_total,
+                        augmentations,
+                        result.cost,
+                        stats.runtime_s,
+                    )
+                    return mapping, stats
+                if clock.expired():
+                    raise AssignmentError(
+                        f"time budget exceeded inside sub-SAP {scope!r}"
+                    )
+                if not cfg.window_matching:
+                    raise AssignmentError(
+                        f"sub-SAP {scope!r} infeasible: only {result.flow} "
+                        f"of {n_sources} sources served"
+                    )
+                retries += 1
+                metrics.counter("assign.window.retries").inc()
+                if retries > cfg.max_window_retries:
+                    raise AssignmentError(
+                        f"sub-SAP {scope!r} still infeasible after "
+                        f"{cfg.max_window_retries} window expansions"
+                    )
+                logger.warning(
+                    "sub-SAP %s: only %d of %d sources served; expanding "
+                    "windows (retry %d/%d)",
+                    scope,
+                    int(result.flow),
+                    n_sources,
+                    retries,
+                    cfg.max_window_retries,
                 )
 
     def _run_flow(
@@ -499,14 +550,15 @@ class MCMFAssigner:
                 arcs.append((arc, int(j)))
             arc_of.append(arcs)
 
-        result = min_cost_max_flow(
-            network, source, sink, flow_limit=len(source_keys),
-            should_abort=clock.expired,
-        )
+        with span("assign.mcmf"):
+            result = min_cost_max_flow(
+                network, source, sink, flow_limit=len(source_keys),
+                should_abort=clock.expired,
+            )
         mapping: Dict[int, int] = {}
         for i, arcs in enumerate(arc_of):
             for arc, j in arcs:
                 if network.flow_on(arc) > 0.5:
                     mapping[i] = j
                     break
-        return (mapping, result.cost), result.flow
+        return mapping, result

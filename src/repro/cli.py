@@ -12,7 +12,12 @@ artifacts, so the flow can be scripted without writing Python:
 * ``repro-25d render`` — write an SVG of a (solved) layout.
 
 Every command prints a short human summary to stdout and writes machine
-artifacts only where asked.
+artifacts only where asked.  All subcommands additionally accept:
+
+* ``--log-level LEVEL`` / ``--log-json`` — configure the ``repro.*``
+  logger hierarchy (diagnostics go to stderr; results stay on stdout);
+* ``--report OUT.json`` — write the versioned observability run report
+  (span tree + solver counters + results) after the command finishes.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from . import io as json_io
+from . import obs
 from .assign import (
     BipartiteAssigner,
     BipartiteAssignerConfig,
@@ -44,6 +50,22 @@ from .viz import render_layout
 
 FLOORPLANNERS = ("mix", "ori", "c1", "c2", "c3", "dop", "sa", "btree-sa")
 ASSIGNERS = ("mcmf-fast", "mcmf-ori", "greedy", "bipartite")
+
+logger = obs.get_logger("cli")
+
+
+def _maybe_write_report(args, **sections) -> None:
+    """Write the run report when ``--report`` was given.
+
+    ``sections`` are forwarded to :func:`repro.obs.build_report`; the span
+    tree and metric snapshot are always included.
+    """
+    path = getattr(args, "report", None)
+    if not path:
+        return
+    report = obs.build_report(command=args.command, **sections)
+    obs.write_report(report, path)
+    print(f"wrote report {path}")
 
 
 def _load_design(path: str):
@@ -100,6 +122,7 @@ def cmd_generate(args) -> int:
     _save_design(design, args.output)
     stats = design.stats()
     print(f"wrote {args.output}: {design.name} {stats}")
+    _maybe_write_report(args, design=design)
     return 0
 
 
@@ -108,11 +131,15 @@ def cmd_floorplan(args) -> int:
     design = _load_design(args.design)
     result = _run_floorplanner(design, args.algorithm, args.budget)
     if not result.found:
-        print("no legal floorplan found", file=sys.stderr)
+        logger.error("no legal floorplan found")
+        _maybe_write_report(args, design=design, floorplan_result=result)
         return 1
     floorplan = result.floorplan
     if args.post_optimize:
         floorplan, post = optimize_floorplan(design, floorplan)
+        result.floorplan = floorplan
+        result.est_wl = post.final_est_wl
+        result.stats.runtime_s += post.runtime_s
         print(
             f"post-opt: {post.moves} moves, "
             f"estWL {post.initial_est_wl:.4f} -> {post.final_est_wl:.4f}"
@@ -125,6 +152,7 @@ def cmd_floorplan(args) -> int:
         f"{result.stats.runtime_s:.2f}s"
         + (" (budget-truncated)" if result.stats.timed_out else "")
     )
+    _maybe_write_report(args, design=design, floorplan_result=result)
     return 0
 
 
@@ -135,13 +163,17 @@ def cmd_assign(args) -> int:
     assigner = _make_assigner(args.algorithm, args.budget)
     result = assigner.assign_with_stats(design, floorplan)
     if not result.complete:
-        print(f"assignment failed: {result.note}", file=sys.stderr)
+        logger.error("assignment failed: %s", result.note)
+        _maybe_write_report(args, design=design, assignment_result=result)
         return 1
     json_io.save_assignment(result.assignment, args.output)
     wl = total_wirelength(design, floorplan, result.assignment)
     print(
         f"wrote {args.output}: {result.algorithm} in "
         f"{result.runtime_s:.2f}s, {wl}"
+    )
+    _maybe_write_report(
+        args, design=design, assignment_result=result, wirelength=wl
     )
     return 0
 
@@ -153,9 +185,11 @@ def cmd_evaluate(args) -> int:
     assignment = json_io.load_assignment(args.assignment)
     problems = assignment.violations(design)
     if problems:
-        print("invalid assignment:", file=sys.stderr)
-        for p in problems[:10]:
-            print(f"  {p}", file=sys.stderr)
+        logger.error(
+            "invalid assignment (%d problems): %s",
+            len(problems),
+            "; ".join(str(p) for p in problems[:10]),
+        )
         return 1
     wl = total_wirelength(design, floorplan, assignment)
     print(wl)
@@ -170,30 +204,40 @@ def cmd_evaluate(args) -> int:
             f"{report.overflow_cells} -> "
             f"{'routable' if report.routable else 'NOT routable'}"
         )
+    _maybe_write_report(args, design=design, wirelength=wl)
     return 0
 
 
 def cmd_run(args) -> int:
-    """Handle ``repro-25d run`` (the full flow)."""
+    """Handle ``repro-25d run`` (the full flow).
+
+    Delegates to :func:`repro.flow.run_flow` so the run is fully
+    instrumented: stage spans, solver counters and (with ``--report``) the
+    JSON run report all come from the same machinery library users get.
+    """
+    from .flow import FlowConfig, run_flow
+
     design = _load_design(args.design)
-    fp_result = _run_floorplanner(design, args.floorplanner, args.budget)
-    if not fp_result.found:
-        print("no legal floorplan found", file=sys.stderr)
+    try:
+        result = run_flow(
+            design,
+            FlowConfig(post_optimize=args.post_optimize),
+            floorplanner=lambda d: _run_floorplanner(
+                d, args.floorplanner, args.budget
+            ),
+            assigner=_make_assigner(args.assigner, args.budget),
+        )
+    except RuntimeError as exc:
+        # run_flow already logged the stage-level diagnostics.
+        logger.error("flow failed: %s", exc)
+        _maybe_write_report(args, design=design)
         return 1
-    floorplan = fp_result.floorplan
-    if args.post_optimize:
-        floorplan, _ = optimize_floorplan(design, floorplan)
-    assigner = _make_assigner(args.assigner, args.budget)
-    result = assigner.assign_with_stats(design, floorplan)
-    if not result.complete:
-        print(f"assignment failed: {result.note}", file=sys.stderr)
-        return 1
-    wl = total_wirelength(design, floorplan, result.assignment)
-    print(wl)
+    print(result.wirelength)
     if args.floorplan_out:
-        json_io.save_floorplan(floorplan, args.floorplan_out)
+        json_io.save_floorplan(result.floorplan, args.floorplan_out)
     if args.assignment_out:
         json_io.save_assignment(result.assignment, args.assignment_out)
+    _maybe_write_report(args, flow_result=result)
     return 0
 
 
@@ -226,6 +270,22 @@ def cmd_route(args) -> int:
         f"{result.overflow} -> "
         f"{'routable' if result.routable else 'NOT routable'}"
     )
+    _maybe_write_report(
+        args,
+        design=design,
+        extra={
+            "routing": {
+                "nets": len(result.nets),
+                "total_routed_length": result.total_routed_length,
+                "total_mst_length": result.total_mst_length,
+                "correlation": result.correlation(),
+                "max_utilization": result.max_utilization,
+                "overflow": result.overflow,
+                "rerouted_nets": result.rerouted_nets,
+                "runtime_s": result.runtime_s,
+            }
+        },
+    )
     return 0 if result.routable else 2
 
 
@@ -240,6 +300,7 @@ def cmd_render(args) -> int:
     with open(args.output, "w") as handle:
         handle.write(svg)
     print(f"wrote {args.output}")
+    _maybe_write_report(args, design=design)
     return 0
 
 
@@ -250,9 +311,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="Floorplanning and signal assignment for 2.5D ICs "
         "(DAC'14 reproduction)",
     )
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="diagnostic verbosity on stderr (default: warning)",
+    )
+    common.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as JSON objects",
+    )
+    common.add_argument(
+        "--report",
+        metavar="OUT.json",
+        help="write the observability run report (spans + counters) here",
+    )
+
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="generate a testcase design JSON")
+    p = add_parser("generate", help="generate a testcase design JSON")
     p.add_argument(
         "--case",
         default="tiny",
@@ -263,7 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("floorplan", help="floorplan a design")
+    p = add_parser("floorplan", help="floorplan a design")
     p.add_argument("design")
     p.add_argument("--algorithm", default="mix", choices=FLOORPLANNERS)
     p.add_argument("--budget", type=float, default=None)
@@ -271,7 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", required=True)
     p.set_defaults(func=cmd_floorplan)
 
-    p = sub.add_parser("assign", help="assign signals to bumps and TSVs")
+    p = add_parser("assign", help="assign signals to bumps and TSVs")
     p.add_argument("design")
     p.add_argument("floorplan")
     p.add_argument("--algorithm", default="mcmf-fast", choices=ASSIGNERS)
@@ -279,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", required=True)
     p.set_defaults(func=cmd_assign)
 
-    p = sub.add_parser("evaluate", help="score a complete solution (Eq. 1)")
+    p = add_parser("evaluate", help="score a complete solution (Eq. 1)")
     p.add_argument("design")
     p.add_argument("floorplan")
     p.add_argument("assignment")
@@ -287,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--congestion-grid", type=int, default=32)
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("run", help="full flow: floorplan + assign + evaluate")
+    p = add_parser("run", help="full flow: floorplan + assign + evaluate")
     p.add_argument("design")
     p.add_argument("--floorplanner", default="mix", choices=FLOORPLANNERS)
     p.add_argument("--assigner", default="mcmf-fast", choices=ASSIGNERS)
@@ -297,7 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assignment-out")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser(
+    p = add_parser(
         "route", help="globally route the internal nets on the RDL grid"
     )
     p.add_argument("design")
@@ -308,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=int, default=4)
     p.set_defaults(func=cmd_route)
 
-    p = sub.add_parser("render", help="write an SVG of the layout")
+    p = add_parser("render", help="write an SVG of the layout")
     p.add_argument("design")
     p.add_argument("floorplan")
     p.add_argument("--assignment")
@@ -321,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    obs.configure_logging(level=args.log_level, json_mode=args.log_json)
+    # Each invocation is one observability scope; commands that delegate
+    # to run_flow reset again, which is harmless.
+    obs.reset_run()
     return args.func(args)
 
 

@@ -22,11 +22,14 @@ import numpy as np
 
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point
 from ..model import Design, Floorplan, Placement
+from ..obs import get_logger, span
 from ..seqpair import SequencePair, pack_sequence_pair
 from .base import FloorplanResult, SearchStats, TimeBudget
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
+
+logger = get_logger("floorplan.sa")
 
 
 @dataclass
@@ -122,6 +125,16 @@ class AnnealingFloorplanner:
 
     def run(self) -> FloorplanResult:
         """Anneal and return the best legal floorplan found."""
+        with span("floorplan.sa") as sp:
+            result = self._run()
+        sp.annotate(
+            est_wl=result.est_wl if result.found else None,
+            moves=result.stats.floorplans_evaluated,
+        )
+        result.stats.publish(prefix="floorplan.sa")
+        return result
+
+    def _run(self) -> FloorplanResult:
         cfg = self.config
         rng = random.Random(cfg.seed)
         budget = TimeBudget(cfg.time_budget_s)
@@ -153,6 +166,11 @@ class AnnealingFloorplanner:
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
         temperature = -avg_delta / math.log(cfg.initial_acceptance)
         floor_temperature = temperature * cfg.min_temperature_ratio
+        logger.debug(
+            "SA: initial temperature %.4g (floor %.4g)",
+            temperature,
+            floor_temperature,
+        )
 
         while temperature > floor_temperature and not budget.expired:
             for _ in range(cfg.moves_per_temperature):
@@ -170,8 +188,16 @@ class AnnealingFloorplanner:
             temperature *= cfg.cooling
         stats.timed_out = budget.expired
         stats.runtime_s = time.monotonic() - start
+        logger.info(
+            "SA: %d moves in %.2fs, best cost %.4f%s",
+            stats.floorplans_evaluated,
+            stats.runtime_s,
+            best_cost,
+            " (budget-truncated)" if stats.timed_out else "",
+        )
 
         if best_state is None:
+            logger.warning("SA: no legal floorplan visited")
             return FloorplanResult(None, float("inf"), stats, "SA")
         floorplan = self._realize(*best_state)
         return FloorplanResult(floorplan, best_cost, stats, "SA")

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..model import Floorplan
+from ..obs import metrics
 
 
 class TimeBudget:
@@ -51,10 +52,34 @@ class SearchStats:
     sequence_pairs_explored: int = 0
     pruned_illegal: int = 0
     pruned_inferior: int = 0
+    lower_bound_evaluations: int = 0
     floorplans_evaluated: int = 0
     floorplans_rejected_outline: int = 0
     runtime_s: float = 0.0
     timed_out: bool = False
+
+    def publish(self, prefix: str = "floorplan.efa") -> None:
+        """Bulk-publish these counters to the process metrics registry.
+
+        Called once at the end of a search (never inside the candidate
+        loop), so the report's ``floorplan.*`` counters always match the
+        :class:`SearchStats` the paper's Table 2 is built from.
+        """
+        reg = metrics.registry()
+        reg.counter(f"{prefix}.sequence_pairs_explored").inc(
+            self.sequence_pairs_explored
+        )
+        reg.counter(f"{prefix}.pruned_illegal").inc(self.pruned_illegal)
+        reg.counter(f"{prefix}.pruned_inferior").inc(self.pruned_inferior)
+        reg.counter(f"{prefix}.floorplans_evaluated").inc(
+            self.floorplans_evaluated
+        )
+        reg.counter(f"{prefix}.rejected_outline").inc(
+            self.floorplans_rejected_outline
+        )
+        reg.counter(f"{prefix}.lower_bound_evaluations").inc(
+            self.lower_bound_evaluations
+        )
 
 
 @dataclass

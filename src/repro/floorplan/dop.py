@@ -24,9 +24,12 @@ from typing import Dict, List, Optional
 
 from ..geometry import Orientation
 from ..model import Design
+from ..obs import get_logger, span
 from .base import FloorplanResult
 from .efa import EFAConfig, EnumerativeFloorplanner
 from .greedy_packing import predetermine_orientations
+
+logger = get_logger("floorplan.dop")
 
 # Fraction of the budget spent probing each candidate orientation vector.
 _PROBE_FRACTION = 0.1
@@ -51,7 +54,8 @@ def run_efa_dop(
     import time as _time
 
     wall_start = _time.monotonic()
-    packing = predetermine_orientations(design)
+    with span("floorplan.dop.greedy_packing"):
+        packing = predetermine_orientations(design)
     all_r0: Dict[str, Orientation] = {
         d.id: Orientation.R0 for d in design.dies
     }
@@ -62,37 +66,48 @@ def run_efa_dop(
     # stumbles on a good vector for small die counts; harvest it as a
     # third candidate.  For large die counts the truncated prefix rarely
     # yields a legal floorplan, in which case nothing is added.
-    free_probe = EnumerativeFloorplanner(
-        design, EFAConfig(time_budget_s=_probe_budget(time_budget_s))
-    ).run()
-    if free_probe.found:
-        probe_vec = {
-            d.id: free_probe.floorplan.placement(d.id).orientation
-            for d in design.dies
-        }
-        if probe_vec not in candidates:
-            candidates.append(probe_vec)
+    with span("floorplan.dop.probe"):
+        free_probe = EnumerativeFloorplanner(
+            design, EFAConfig(time_budget_s=_probe_budget(time_budget_s))
+        ).run()
+        if free_probe.found:
+            probe_vec = {
+                d.id: free_probe.floorplan.placement(d.id).orientation
+                for d in design.dies
+            }
+            if probe_vec not in candidates:
+                candidates.append(probe_vec)
 
-    chosen = candidates[0]
-    if len(candidates) > 1:
-        probe_s = _probe_budget(time_budget_s)
-        best_probe = float("inf")
-        for vec in candidates:
-            probe = EnumerativeFloorplanner(
-                design,
-                EFAConfig(fixed_orientations=vec, time_budget_s=probe_s),
-            ).run()
-            if probe.est_wl < best_probe:
-                best_probe = probe.est_wl
-                chosen = vec
+        chosen = candidates[0]
+        if len(candidates) > 1:
+            probe_s = _probe_budget(time_budget_s)
+            best_probe = float("inf")
+            for vec in candidates:
+                probe = EnumerativeFloorplanner(
+                    design,
+                    EFAConfig(fixed_orientations=vec, time_budget_s=probe_s),
+                ).run()
+                if probe.est_wl < best_probe:
+                    best_probe = probe.est_wl
+                    chosen = vec
+    logger.info(
+        "EFA_dop: probed %d orientation vectors, fixed %s",
+        len(candidates),
+        {d: o.name for d, o in sorted(chosen.items())},
+    )
 
     config = EFAConfig(
         fixed_orientations=chosen, time_budget_s=time_budget_s
     )
-    result = EnumerativeFloorplanner(design, config).run()
+    with span("floorplan.dop.enumerate"):
+        result = EnumerativeFloorplanner(design, config).run()
     if not result.found and packing.floorplan.is_legal():
         from ..eval import hpwl_estimate
 
+        logger.warning(
+            "EFA_dop: enumeration found no legal floorplan; falling back "
+            "to the greedy reference floorplan"
+        )
         result.floorplan = packing.floorplan
         result.est_wl = hpwl_estimate(design, packing.floorplan)
     if not result.found:

@@ -41,11 +41,17 @@ from ..geometry import (
     portrait_orientations,
 )
 from ..model import Design, Floorplan, Placement
+from ..obs import get_logger, span
 from ..seqpair import SequencePair, sequence_pair_count
 from .base import FloorplanResult, SearchStats, TimeBudget
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
+
+logger = get_logger("floorplan.efa")
+# Progress log cadence: every this-many candidates at the existing
+# periodic budget-check site, so the hot loop gains no extra branches.
+_PROGRESS_EVERY = 1 << 18
 
 
 @dataclass
@@ -163,11 +169,31 @@ class EnumerativeFloorplanner:
 
     def run(self) -> FloorplanResult:
         """Enumerate per Fig. 3 and return the best floorplan found."""
+        with span("floorplan.efa", variant=self.config.name) as sp:
+            result = self._run()
+        sp.annotate(
+            est_wl=result.est_wl if result.found else None,
+            timed_out=result.stats.timed_out,
+        )
+        result.stats.publish()
+        return result
+
+    def _run(self) -> FloorplanResult:
         cfg = self.config
         n = len(self._die_ids)
         stats = SearchStats(sequence_pairs_total=sequence_pair_count(n))
         budget = TimeBudget(cfg.time_budget_s)
         start = time.monotonic()
+        log_progress = logger.isEnabledFor(10)  # logging.DEBUG
+        logger.info(
+            "%s: enumerating %d dies, %d sequence pairs%s",
+            cfg.name,
+            n,
+            stats.sequence_pairs_total,
+            ""
+            if cfg.time_budget_s is None
+            else f", budget {cfg.time_budget_s:.1f}s",
+        )
 
         evaluator = self.evaluator
         best_wl = float("inf")
@@ -215,6 +241,7 @@ class EnumerativeFloorplanner:
                         stats.pruned_illegal += 1
                         continue
                     if use_inferior and best_wl < float("inf"):
+                        stats.lower_bound_evaluations += 1
                         bound = self._lower_bound(lys, lh, txs, tw)
                         if bound > best_wl + _EPS:
                             stats.pruned_inferior += 1
@@ -226,9 +253,23 @@ class EnumerativeFloorplanner:
                     # One sequence pair can hide 4^n inner candidates;
                     # re-check the budget periodically so truncation stays
                     # sharp even inside a single sequence pair.
-                    if candidate_count % 4096 == 0 and budget.expired:
-                        timed_out = True
-                        break
+                    if candidate_count % 4096 == 0:
+                        if budget.expired:
+                            timed_out = True
+                            break
+                        if (
+                            log_progress
+                            and candidate_count % _PROGRESS_EVERY == 0
+                        ):
+                            logger.debug(
+                                "%s: %d candidates, %d/%d sequence pairs, "
+                                "best estWL %.4f",
+                                cfg.name,
+                                candidate_count,
+                                stats.sequence_pairs_explored,
+                                stats.sequence_pairs_total,
+                                best_wl,
+                            )
                     dims = [dims_by_code[i][combo[i]] for i in indices]
                     xs, ys, w, h = self._pack(minus, rank_plus, dims)
                     if w > avail_w or h > avail_h:
@@ -255,7 +296,19 @@ class EnumerativeFloorplanner:
                 break
 
         stats.runtime_s = time.monotonic() - start
+        logger.info(
+            "%s: explored %d sequence pairs (%d pruned illegal, %d pruned "
+            "inferior), evaluated %d floorplans in %.2fs%s",
+            cfg.name,
+            stats.sequence_pairs_explored,
+            stats.pruned_illegal,
+            stats.pruned_inferior,
+            stats.floorplans_evaluated,
+            stats.runtime_s,
+            " (budget-truncated)" if stats.timed_out else "",
+        )
         if best is None:
+            logger.warning("%s: no legal floorplan found", cfg.name)
             return FloorplanResult(None, float("inf"), stats, cfg.name)
         floorplan = self._realize(*best)
         return FloorplanResult(floorplan, best_wl, stats, cfg.name)

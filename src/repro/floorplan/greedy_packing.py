@@ -25,6 +25,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point, Rect, hpwl
 from ..model import Design, Floorplan, Placement
+from ..obs import get_logger, metrics, span
+
+logger = get_logger("floorplan.greedy_packing")
 
 SIDES = ("left", "right", "bottom", "top")
 _OPPOSITE = {"left": "right", "right": "left", "top": "bottom", "bottom": "top"}
@@ -49,6 +52,7 @@ class GreedyPacker:
 
     def __init__(self, design: Design):
         self.design = design
+        self._cost_evals = 0
         self._half_cd = design.spacing.die_to_die / 2.0
         self._c_d = design.spacing.die_to_die
         self._c_b = design.spacing.die_to_boundary
@@ -167,6 +171,7 @@ class GreedyPacker:
 
     def _cost(self, arrangement: Dict[str, Tuple[Point, Orientation]]) -> float:
         """HPWL over located terminals after centring, plus legality penalty."""
+        self._cost_evals += 1
         rects = {
             d: self._rect(d, pos, o) for d, (pos, o) in arrangement.items()
         }
@@ -220,6 +225,21 @@ class GreedyPacker:
 
     def run(self) -> GreedyPackingResult:
         """Run both packing stages and return ``F_ref`` (Fig. 5)."""
+        with span("floorplan.greedy_packing") as sp:
+            result = self._run()
+        sp.annotate(cost=result.cost)
+        metrics.counter("floorplan.greedy.candidates_evaluated").inc(
+            self._cost_evals
+        )
+        logger.debug(
+            "greedy packing: %d candidate arrangements evaluated, "
+            "F_ref cost %.4f",
+            self._cost_evals,
+            result.cost,
+        )
+        return result
+
+    def _run(self) -> GreedyPackingResult:
         die_ids = [d.id for d in self.design.dies]
         if len(die_ids) == 1:
             arrangement = {die_ids[0]: (Point(0.0, 0.0), Orientation.R0)}

@@ -10,11 +10,14 @@ from __future__ import annotations
 from typing import Optional
 
 from ..model import Design
+from ..obs import get_logger
 from .base import FloorplanResult
 from .dop import run_efa_dop
 from .efa import EFAConfig, EnumerativeFloorplanner
 
 DEFAULT_DIE_THRESHOLD = 5
+
+logger = get_logger("floorplan.mix")
 
 
 def run_efa_mix(
@@ -23,6 +26,11 @@ def run_efa_mix(
     die_threshold: int = DEFAULT_DIE_THRESHOLD,
 ) -> FloorplanResult:
     """EFA_c3 for small die counts, EFA_dop otherwise."""
+    logger.info(
+        "EFA_mix: %d dies -> %s",
+        len(design.dies),
+        "EFA_c3" if len(design.dies) <= die_threshold else "EFA_dop",
+    )
     if len(design.dies) <= die_threshold:
         config = EFAConfig(
             illegal_cut=True,

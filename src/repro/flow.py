@@ -4,17 +4,26 @@ The paper splits the problem into multi-die floorplanning followed by
 signal assignment; :func:`run_flow` glues the two stages together and
 evaluates Eq. 1 on the result.  The default configuration is the paper's
 production flow: EFA_mix for floorplanning and MCMF_fast for assignment.
+
+Every run is instrumented through :mod:`repro.obs`: the stages execute
+inside ``flow.floorplan`` / ``flow.assign`` spans, the solvers publish
+their counters to the metrics registry, and the whole run is serialized
+into a versioned JSON report attached as ``FlowResult.obs_report``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
+from . import obs
 from .assign import AssignmentRunResult, MCMFAssigner, MCMFAssignerConfig
 from .eval import WirelengthBreakdown, total_wirelength
 from .floorplan import FloorplanResult, run_efa_mix
 from .model import Assignment, Design, Floorplan
+
+logger = obs.get_logger("flow")
 
 
 @dataclass
@@ -26,6 +35,10 @@ class FlowConfig:
     # Apply the post-floorplan die-shifting pass (future work [16]) between
     # the two stages.
     post_optimize: bool = False
+    # Reset the process-local trace/metrics scope at entry so the attached
+    # report describes exactly this run.  Disable when aggregating several
+    # runs into one observability scope.
+    reset_observability: bool = True
 
 
 @dataclass
@@ -36,6 +49,9 @@ class FlowResult:
     floorplan_result: FloorplanResult
     assignment_result: AssignmentRunResult
     wirelength: WirelengthBreakdown
+    # The versioned JSON-ready run report (spans + metrics + results); see
+    # :mod:`repro.obs.report` for the schema.
+    obs_report: Optional[Dict[str, Any]] = None
 
     @property
     def floorplan(self) -> Floorplan:
@@ -67,38 +83,85 @@ def run_flow(
     design: Design,
     config: Optional[FlowConfig] = None,
     floorplan: Optional[Floorplan] = None,
+    floorplanner: Optional[Callable[[Design], FloorplanResult]] = None,
+    assigner=None,
 ) -> FlowResult:
     """Floorplan (unless one is supplied), assign signals, evaluate Eq. 1.
+
+    ``floorplanner`` (a callable returning a :class:`FloorplanResult`) and
+    ``assigner`` (an object with ``assign_with_stats``) override the paper's
+    default EFA_mix + MCMF_fast stages — the CLI uses this to run alternate
+    variants through the same instrumented flow.
 
     Raises ``RuntimeError`` when the floorplanner finds no legal floorplan
     and :class:`~repro.assign.AssignmentError` when the SAP fails; partial
     results are never silently scored.
     """
     cfg = config or FlowConfig()
-    if floorplan is not None:
-        fp_result = FloorplanResult(floorplan, algorithm="given")
-    else:
-        fp_result = run_efa_mix(
-            design, time_budget_s=cfg.floorplan_budget_s
-        )
-        if not fp_result.found:
-            raise RuntimeError(
-                f"no legal floorplan found for design {design.name!r}"
-            )
-    if cfg.post_optimize:
-        from .floorplan import optimize_floorplan
+    if cfg.reset_observability:
+        obs.reset_run()
+    logger.info("flow start: design %s", design.name)
+    with obs.span("flow") as flow_span:
+        with obs.span("floorplan") as fp_span:
+            if floorplan is not None:
+                fp_result = FloorplanResult(floorplan, algorithm="given")
+            elif floorplanner is not None:
+                fp_result = floorplanner(design)
+            else:
+                fp_result = run_efa_mix(
+                    design, time_budget_s=cfg.floorplan_budget_s
+                )
+            if not fp_result.found:
+                logger.error(
+                    "no legal floorplan found for design %s", design.name
+                )
+                raise RuntimeError(
+                    f"no legal floorplan found for design {design.name!r}"
+                )
+            if cfg.post_optimize:
+                from .floorplan import optimize_floorplan
 
-        optimized, post_stats = optimize_floorplan(
-            design, fp_result.floorplan
-        )
-        fp_result.floorplan = optimized
-        fp_result.est_wl = post_stats.final_est_wl
-    assigner = MCMFAssigner(cfg.assigner)
-    asg_result = assigner.assign_with_stats(design, fp_result.floorplan)
-    if not asg_result.complete:
-        raise RuntimeError(
-            f"signal assignment failed for design {design.name!r}: "
-            f"{asg_result.note}"
-        )
-    wl = total_wirelength(design, fp_result.floorplan, asg_result.assignment)
-    return FlowResult(design, fp_result, asg_result, wl)
+                with obs.span("postopt") as post_span:
+                    optimized, post_stats = optimize_floorplan(
+                        design, fp_result.floorplan
+                    )
+                post_span.annotate(
+                    moves=post_stats.moves,
+                    improvement=post_stats.improvement,
+                )
+                fp_result.floorplan = optimized
+                fp_result.est_wl = post_stats.final_est_wl
+                # The floorplan stage's reported wall-clock must include
+                # the shifting pass, or FT under-reports the stage.
+                fp_result.stats.runtime_s += post_stats.runtime_s
+            fp_span.annotate(
+                algorithm=fp_result.algorithm, est_wl=fp_result.est_wl
+            )
+        with obs.span("assign") as asg_span:
+            stage_assigner = (
+                assigner if assigner is not None
+                else MCMFAssigner(cfg.assigner)
+            )
+            asg_result = stage_assigner.assign_with_stats(
+                design, fp_result.floorplan
+            )
+            if not asg_result.complete:
+                logger.error(
+                    "signal assignment failed for design %s: %s",
+                    design.name,
+                    asg_result.note,
+                )
+                raise RuntimeError(
+                    f"signal assignment failed for design {design.name!r}: "
+                    f"{asg_result.note}"
+                )
+            asg_span.annotate(algorithm=asg_result.algorithm)
+        with obs.span("evaluate"):
+            wl = total_wirelength(
+                design, fp_result.floorplan, asg_result.assignment
+            )
+        flow_span.annotate(design=design.name, twl=wl.total)
+    result = FlowResult(design, fp_result, asg_result, wl)
+    result.obs_report = obs.build_report(result)
+    logger.info("flow done: %s", result.summary())
+    return result

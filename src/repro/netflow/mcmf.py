@@ -30,11 +30,18 @@ _INF = float("inf")
 
 @dataclass(frozen=True)
 class MCMFResult:
-    """Outcome of one min-cost max-flow run."""
+    """Outcome of one min-cost max-flow run.
+
+    ``settled`` counts nodes settled (popped with their final distance)
+    across all Dijkstra rounds — the per-run work measure the solver
+    counters expose, playing the role relabel counts do in push-relabel
+    implementations.
+    """
 
     flow: float
     cost: float
     augmentations: int
+    settled: int = 0
 
 
 def min_cost_max_flow(
@@ -66,6 +73,7 @@ def min_cost_max_flow(
     total_flow = 0.0
     total_cost = 0.0
     augmentations = 0
+    settled = 0
     limit = _INF if flow_limit is None else flow_limit
 
     dist = [_INF] * n
@@ -84,6 +92,7 @@ def min_cost_max_flow(
             d, u = heapq.heappop(heap)
             if d > dist[u]:
                 continue
+            settled += 1
             pot_u = potential[u]
             for arc in network.arcs_from(u):
                 if arc_cap[arc] <= 0:
@@ -126,4 +135,4 @@ def min_cost_max_flow(
         total_flow += push
         augmentations += 1
 
-    return MCMFResult(total_flow, total_cost, augmentations)
+    return MCMFResult(total_flow, total_cost, augmentations, settled)

@@ -1,0 +1,85 @@
+"""Observability substrate: logging, trace spans, metrics, run reports.
+
+The four pieces compose into one instrumentation story for the flow:
+
+* :mod:`repro.obs.logging` — a ``repro.*`` logger hierarchy with a single
+  :func:`configure_logging` entry point (human or JSON lines);
+* :mod:`repro.obs.trace` — nestable :func:`span` timing contexts producing
+  a per-run trace tree with call counts;
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms the
+  solvers publish their branch-cut / augmenting-path / expansion counts to;
+* :mod:`repro.obs.report` — a versioned JSON run-report document bundling
+  results + span tree + metric snapshot.
+
+:func:`reset_run` clears the trace tree and metric registry; the flow
+entry points call it so every run's report is self-contained.
+"""
+
+from .logging import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+    reset_metrics,
+    snapshot,
+)
+from .report import (
+    REPORT_KIND,
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    find_span,
+    report_to_json,
+    span_seconds,
+    write_report,
+)
+from .trace import (
+    Span,
+    Tracer,
+    current_span,
+    reset_trace,
+    span,
+    trace_snapshot,
+    tracer,
+)
+
+
+def reset_run() -> None:
+    """Start a fresh observability scope: clear spans and metrics."""
+    reset_trace()
+    reset_metrics()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REPORT_KIND",
+    "REPORT_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "build_report",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "find_span",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "registry",
+    "report_to_json",
+    "reset_metrics",
+    "reset_run",
+    "reset_trace",
+    "snapshot",
+    "span",
+    "span_seconds",
+    "trace_snapshot",
+    "tracer",
+    "write_report",
+]

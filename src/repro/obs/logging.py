@@ -1,0 +1,117 @@
+"""Structured logging for the ``repro`` package.
+
+Every module logs through a child of the ``repro`` logger (obtained via
+:func:`get_logger`), so one :func:`configure_logging` call controls the
+whole hierarchy.  Two output modes are supported:
+
+* human mode — ``HH:MM:SS LEVEL logger: message`` lines on stderr;
+* JSON mode — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``msg`` plus any ``extra`` fields), for machine consumption.
+
+The library itself never configures handlers at import time (standard
+library etiquette: a :class:`logging.NullHandler` is installed on the root
+``repro`` logger), so embedding applications keep full control.  The CLI
+calls :func:`configure_logging` from its ``--log-level`` / ``--log-json``
+flags.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, Union
+
+ROOT_LOGGER_NAME = "repro"
+
+# Attributes of a LogRecord that are bookkeeping, not user payload; anything
+# else found on a record (passed via ``extra=``) is emitted in JSON mode.
+_RESERVED_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger inside the ``repro.*`` hierarchy.
+
+    ``get_logger("floorplan.efa")`` -> ``repro.floorplan.efa``; an empty
+    name (or ``"repro"`` itself) returns the hierarchy root.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_RECORD_FIELDS or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+class HumanLogFormatter(logging.Formatter):
+    """Compact single-line formatter for terminals."""
+
+    default_msec_format = None  # No trailing ,mmm on times.
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    json_mode: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` hierarchy root and set its level.
+
+    Safe to call repeatedly (reconfigures in place rather than stacking
+    handlers).  Returns the configured root logger.  ``stream`` defaults to
+    ``sys.stderr`` so machine-readable results on stdout stay clean.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in [
+        h for h in root.handlers if getattr(h, "_repro_managed", False)
+    ]:
+        root.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        JsonLogFormatter() if json_mode else HumanLogFormatter()
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+# Library etiquette: silent unless the application configures logging.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

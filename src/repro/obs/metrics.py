@@ -1,0 +1,174 @@
+"""Lightweight process-local metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` maps dotted metric names to instruments:
+
+* :class:`Counter` — a monotonically increasing count (``inc``);
+* :class:`Gauge` — a last-write-wins value (``set``);
+* :class:`Histogram` — count/sum/min/max/mean of observed samples
+  (``observe``).
+
+The registry is deliberately minimal — no labels, no exposition format,
+no background threads — because its one job is to let solver internals
+publish cheap aggregate counts (sequence pairs pruned, augmenting paths
+found, maze nodes expanded) that the run report then snapshots.  Hot loops
+should accumulate into a local variable and ``inc(total)`` once; the
+instruments are plain Python and not meant for per-iteration calls in
+C-speed loops.
+
+Module-level helpers (:func:`counter`, :func:`gauge`, :func:`histogram`,
+:func:`snapshot`, :func:`reset_metrics`) operate on one process-local
+default registry; code needing isolation can instantiate its own
+:class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_value(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_value(self) -> Optional[Number]:
+        return self.value
+
+
+class Histogram:
+    """Streaming count/sum/min/max over observed samples."""
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_value(self) -> Dict[str, Number]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument mapping with typed get-or-create accessors."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        """Forget every registered instrument."""
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready ``{name: value}`` export, sorted by name."""
+        return {
+            name: self._metrics[name].to_value()
+            for name in sorted(self._metrics)
+        }
+
+
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-local default registry."""
+    return _default
+
+
+def counter(name: str) -> Counter:
+    """Get or create a counter on the default registry."""
+    return _default.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create a gauge on the default registry."""
+    return _default.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get or create a histogram on the default registry."""
+    return _default.histogram(name)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Snapshot the default registry."""
+    return _default.snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the default registry (start of a fresh run)."""
+    _default.reset()

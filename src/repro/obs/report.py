@@ -1,0 +1,169 @@
+"""Versioned JSON run reports.
+
+A run report is one JSON document capturing everything a flow run did:
+what was solved (design stats), what came out (floorplan / assignment /
+wirelength), how the time was spent (the span tree from
+:mod:`repro.obs.trace`) and what the solvers counted (the metric snapshot
+from :mod:`repro.obs.metrics`).  Benchmarks and external tooling consume
+this document instead of scraping stdout or re-timing stages.
+
+The schema is versioned via ``schema_version`` (currently
+``REPORT_SCHEMA_VERSION`` = 1); consumers should check it.  Top-level keys
+of a version-1 report:
+
+``schema_version``, ``kind`` (``"repro.run_report"``), ``created_unix_s``,
+``command`` (optional, the CLI invocation), ``design``, ``floorplan``,
+``assignment``, ``wirelength``, ``spans``, ``metrics``.
+
+This module depends only on the model/result dataclasses it serializes
+(duck-typed, to stay import-cycle-free with :mod:`repro.flow`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from . import metrics as metrics_mod
+from . import trace as trace_mod
+
+REPORT_SCHEMA_VERSION = 1
+REPORT_KIND = "repro.run_report"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-ready data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        if isinstance(value, float) and value in (
+            float("inf"), float("-inf")
+        ):
+            return None
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def design_section(design) -> Dict[str, Any]:
+    """The ``design`` section: name plus the standard size stats."""
+    return {"name": design.name, "stats": _jsonable(design.stats())}
+
+
+def floorplan_section(fp_result) -> Dict[str, Any]:
+    """The ``floorplan`` section from a :class:`FloorplanResult`."""
+    return {
+        "algorithm": fp_result.algorithm,
+        "found": fp_result.found,
+        "est_wl": _jsonable(fp_result.est_wl),
+        "stats": _jsonable(fp_result.stats),
+    }
+
+
+def assignment_section(asg_result) -> Dict[str, Any]:
+    """The ``assignment`` section from an :class:`AssignmentRunResult`."""
+    return {
+        "algorithm": asg_result.algorithm,
+        "complete": asg_result.complete,
+        "runtime_s": asg_result.runtime_s,
+        "note": asg_result.note,
+        "total_edges": asg_result.total_edges,
+        "total_flow_cost": asg_result.total_flow_cost,
+        "sub_saps": [_jsonable(s) for s in asg_result.sub_saps],
+    }
+
+
+def wirelength_section(wl) -> Dict[str, Any]:
+    """The ``wirelength`` section from a :class:`WirelengthBreakdown`."""
+    return {**_jsonable(wl), "total": wl.total}
+
+
+def build_report(
+    flow_result=None,
+    *,
+    design=None,
+    floorplan_result=None,
+    assignment_result=None,
+    wirelength=None,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    metric_values: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a version-1 run report.
+
+    Either pass a complete ``flow_result`` (a :class:`repro.flow.FlowResult`)
+    or any subset of the individual sections.  ``spans`` and
+    ``metric_values`` default to snapshots of the thread's tracer and the
+    default metrics registry, so the usual call site is simply
+    ``build_report(flow_result)`` right after the instrumented run.
+    """
+    if flow_result is not None:
+        design = design or flow_result.design
+        floorplan_result = floorplan_result or flow_result.floorplan_result
+        assignment_result = (
+            assignment_result or flow_result.assignment_result
+        )
+        wirelength = wirelength or flow_result.wirelength
+    report: Dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "created_unix_s": round(time.time(), 3),
+    }
+    if command:
+        report["command"] = command
+    if design is not None:
+        report["design"] = design_section(design)
+    if floorplan_result is not None:
+        report["floorplan"] = floorplan_section(floorplan_result)
+    if assignment_result is not None:
+        report["assignment"] = assignment_section(assignment_result)
+    if wirelength is not None:
+        report["wirelength"] = wirelength_section(wirelength)
+    report["spans"] = (
+        spans if spans is not None else trace_mod.trace_snapshot()
+    )
+    report["metrics"] = (
+        metric_values if metric_values is not None
+        else metrics_mod.snapshot()
+    )
+    if extra:
+        report.update(_jsonable(extra))
+    return report
+
+
+def report_to_json(report: Dict[str, Any], indent: int = 2) -> str:
+    """Serialize a report dict to JSON text."""
+    return json.dumps(report, indent=indent, sort_keys=False)
+
+
+def write_report(report: Dict[str, Any], path) -> None:
+    """Write a report as JSON to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(report_to_json(report) + "\n")
+
+
+def find_span(report: Dict[str, Any], path: str) -> Optional[Dict[str, Any]]:
+    """Look up a span node in a report by dotted path (``"flow.assign"``)."""
+    nodes = report.get("spans", [])
+    node: Optional[Dict[str, Any]] = None
+    for part in path.split("."):
+        node = next((n for n in nodes if n.get("name") == part), None)
+        if node is None:
+            return None
+        nodes = node.get("children", [])
+    return node
+
+
+def span_seconds(report: Dict[str, Any], path: str) -> Optional[float]:
+    """Total wall-clock of a span by dotted path, or ``None`` if absent."""
+    node = find_span(report, path)
+    return None if node is None else node.get("total_s")

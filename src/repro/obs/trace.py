@@ -1,0 +1,200 @@
+"""Hierarchical wall-clock timing spans.
+
+A *span* times one named region of the flow (``"floorplan.efa"``,
+``"assign.mcmf"``, ...).  Spans nest: entering a span while another is
+active makes it a child, so a run produces a tree mirroring the call
+structure.  Re-entering a name under the same parent (a span inside a
+loop) merges into one node — the node carries a call ``count`` and
+``total_s``/``min_s``/``max_s`` aggregates — so trees stay small even when
+a region runs thousands of times.
+
+The module keeps one process-local :class:`Tracer` (per thread, via
+``threading.local``); :func:`span` / :func:`reset_trace` /
+:func:`trace_snapshot` operate on it.  Instrumented library code only ever
+calls :func:`span`, which costs two ``perf_counter`` reads and a dict
+lookup — cheap enough for per-sub-problem granularity, but deliberately
+not used inside the EFA candidate loop (counters cover that, in bulk).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One node of the trace tree (aggregated over same-name re-entries)."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s",
+                 "attrs", "children", "_active")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.attrs: Dict[str, Any] = {}
+        self.children: Dict[str, "Span"] = {}
+        self._active = 0
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value attributes (last write wins); returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def child(self, name: str) -> Optional["Span"]:
+        """Direct child span by name, or ``None``."""
+        return self.children.get(name)
+
+    def find(self, path: str) -> Optional["Span"]:
+        """Descendant by dotted path relative to this span."""
+        node: Optional[Span] = self
+        for part in path.split("."):
+            if node is None:
+                return None
+            node = node.children.get(part)
+        return node
+
+    def _record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total_s += elapsed
+        if elapsed < self.min_s:
+            self.min_s = elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this subtree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+        }
+        if self.count:
+            out["min_s"] = round(self.min_s, 6)
+            out["max_s"] = round(self.max_s, 6)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [
+                c.to_dict() for c in self.children.values()
+            ]
+        return out
+
+
+class _SpanContext:
+    """Context manager binding one entry of a span; proxies annotate()."""
+
+    __slots__ = ("_tracer", "_span", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._start = 0.0
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def annotate(self, **attrs: Any) -> "_SpanContext":
+        self._span.annotate(**attrs)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._push(self._span)
+        self._span._active += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._span._active -= 1
+        # A recursive re-entry of an already-open span must not double-count
+        # its wall-clock in the aggregate.
+        if self._span._active == 0:
+            self._span._record(elapsed)
+        else:
+            self._span.count += 1
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects a tree of :class:`Span` nodes for one thread of execution."""
+
+    def __init__(self):
+        self.root = Span("root")
+        self._stack: List[Span] = [self.root]
+
+    # -- structural plumbing ------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # Mis-nested exit; drop back to the span's level defensively.
+            while len(self._stack) > 1 and self._stack[-1] is not span:
+                self._stack.pop()
+            if len(self._stack) > 1:
+                self._stack.pop()
+
+    # -- public API ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open (or re-enter) the child span ``name`` of the current span."""
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = Span(name)
+            parent.children[name] = node
+        if attrs:
+            node.annotate(**attrs)
+        return _SpanContext(self, node)
+
+    def current(self) -> Span:
+        """The innermost open span (the synthetic root when none is open)."""
+        return self._stack[-1]
+
+    def reset(self) -> None:
+        """Drop all recorded spans and any open-span state."""
+        self.root = Span("root")
+        self._stack = [self.root]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of top-level span trees recorded so far."""
+        return [c.to_dict() for c in self.root.children.values()]
+
+
+_local = threading.local()
+
+
+def tracer() -> Tracer:
+    """The calling thread's process-local tracer (created on first use)."""
+    t = getattr(_local, "tracer", None)
+    if t is None:
+        t = Tracer()
+        _local.tracer = t
+    return t
+
+
+def span(name: str, **attrs: Any) -> _SpanContext:
+    """Open a span on the thread's default tracer (context manager)."""
+    return tracer().span(name, **attrs)
+
+
+def current_span() -> Span:
+    """The innermost open span on the thread's default tracer."""
+    return tracer().current()
+
+
+def reset_trace() -> None:
+    """Clear the thread's default tracer."""
+    tracer().reset()
+
+
+def trace_snapshot() -> List[Dict[str, Any]]:
+    """JSON-ready span trees from the thread's default tracer."""
+    return tracer().snapshot()

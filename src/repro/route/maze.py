@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics
 from .grid import Cell, RoutingGrid
 
 # Cost multipliers for edges at or above capacity; tuned so one overflowed
@@ -53,9 +54,15 @@ def maze_route(
     best: Dict[Cell, float] = {source: 0.0}
     parent: Dict[Cell, Cell] = {}
     heap: List[Tuple[float, Cell]] = [(heuristic(source), source)]
+    # Accumulate locally and publish in bulk at exit; maze_route can run
+    # once per overflowed edge, so the hot loop stays instrument-free.
+    expansions = 0
+    expansions_counter = metrics.counter("route.maze.node_expansions")
     while heap:
         f, cell = heapq.heappop(heap)
+        expansions += 1
         if cell == target:
+            expansions_counter.inc(expansions)
             path = [cell]
             while cell in parent:
                 cell = parent[cell]
@@ -71,4 +78,5 @@ def maze_route(
                 best[nxt] = ng
                 parent[nxt] = cell
                 heapq.heappush(heap, (ng + heuristic(nxt), nxt))
+    expansions_counter.inc(expansions)
     return None

@@ -23,8 +23,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ..model import Assignment, Design, Floorplan, extract_nets
 from ..mst import prim_mst_edges
+from ..obs import get_logger, metrics, span
 from .grid import Cell, GridConfig, RoutingGrid
 from .maze import edge_cost, maze_route
+
+logger = get_logger("route")
 
 
 @dataclass
@@ -167,6 +170,30 @@ class GlobalRouter:
         reroute_passes: int = 1,
     ) -> RoutingResult:
         """Route all internal nets; see the module docstring for the flow."""
+        with span("route") as sp:
+            result = self._route(floorplan, assignment, reroute_passes)
+        sp.annotate(
+            nets=len(result.nets),
+            overflow=result.overflow,
+            rerouted=result.rerouted_nets,
+        )
+        metrics.counter("route.ripups").inc(result.rerouted_nets)
+        logger.info(
+            "routed %d nets (%.4f mm) in %.3fs: %d rip-ups, overflow %d",
+            len(result.nets),
+            result.total_routed_length,
+            result.runtime_s,
+            result.rerouted_nets,
+            result.overflow,
+        )
+        return result
+
+    def _route(
+        self,
+        floorplan: Floorplan,
+        assignment: Assignment,
+        reroute_passes: int = 1,
+    ) -> RoutingResult:
         start = time.monotonic()
         netlist = extract_nets(self.design, floorplan, assignment)
 

@@ -155,3 +155,60 @@ class TestRun:
         assert rc == 0
         assert "TWL=" in capsys.readouterr().out
         assert fp_out.exists() and asg_out.exists()
+
+    def test_failure_exit_code(self, design_path):
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "ori",
+             "--budget", "0"]
+        )
+        assert rc == 1
+
+
+class TestObservabilityFlags:
+    def test_run_report_has_stage_spans_and_counters(
+        self, tmp_path, design_path
+    ):
+        report_path = tmp_path / "report.json"
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "c3",
+             "--report", str(report_path)]
+        )
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 1
+        flow = next(s for s in report["spans"] if s["name"] == "flow")
+        children = {c["name"] for c in flow["children"]}
+        assert {"floorplan", "assign"} <= children
+        stats = report["floorplan"]["stats"]
+        metrics = report["metrics"]
+        assert (
+            metrics["floorplan.efa.pruned_illegal"]
+            == stats["pruned_illegal"]
+        )
+        assert metrics["assign.mcmf.augmenting_paths"] > 0
+
+    def test_floorplan_report_flag(self, tmp_path, design_path):
+        fp = tmp_path / "fp.json"
+        report_path = tmp_path / "fp_report.json"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", "c3",
+             "-o", str(fp), "--report", str(report_path)]
+        )
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["command"] == "floorplan"
+        assert report["floorplan"]["algorithm"] == "EFA_c3"
+
+    def test_log_json_mode(self, tmp_path, design_path, capsys):
+        fp = tmp_path / "fp.json"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", "ori",
+             "--budget", "0", "-o", str(fp), "--log-json"]
+        )
+        assert rc == 1
+        err_lines = [
+            l for l in capsys.readouterr().err.splitlines() if l.strip()
+        ]
+        assert err_lines
+        payload = json.loads(err_lines[-1])
+        assert payload["level"] in ("ERROR", "WARNING")

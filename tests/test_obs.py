@@ -1,0 +1,245 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+import logging
+
+import pytest
+
+from repro import load_tiny, obs, run_flow
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    """Isolate every test from the process-local trace/metric state."""
+    obs.reset_run()
+    yield
+    obs.reset_run()
+
+
+class TestTrace:
+    def test_span_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        snap = tracer.snapshot()
+        assert [s["name"] for s in snap] == ["outer"]
+        children = [c["name"] for c in snap[0]["children"]]
+        assert children == ["inner", "inner2"]
+
+    def test_sibling_order_is_first_entry_order(self):
+        tracer = Tracer()
+        for name in ("b", "a", "c", "a"):
+            with tracer.span(name):
+                pass
+        assert [s["name"] for s in tracer.snapshot()] == ["b", "a", "c"]
+
+    def test_reentry_merges_and_counts(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("loop"):
+                pass
+        (node,) = tracer.snapshot()
+        assert node["count"] == 5
+        assert node["total_s"] >= 0.0
+        assert node["min_s"] <= node["max_s"]
+
+    def test_same_name_under_different_parents_is_distinct(self):
+        tracer = Tracer()
+        with tracer.span("p1"):
+            with tracer.span("work"):
+                pass
+        with tracer.span("p2"):
+            with tracer.span("work"):
+                pass
+        p1, p2 = tracer.snapshot()
+        assert p1["children"][0]["count"] == 1
+        assert p2["children"][0]["count"] == 1
+
+    def test_annotate_and_find(self):
+        tracer = Tracer()
+        with tracer.span("stage") as sp:
+            sp.annotate(algorithm="EFA_c3")
+        node = tracer.root.find("stage")
+        assert node.attrs["algorithm"] == "EFA_c3"
+        assert node.to_dict()["attrs"] == {"algorithm": "EFA_c3"}
+
+    def test_module_level_default_tracer(self):
+        with obs.span("top"):
+            with obs.span("sub"):
+                assert obs.current_span().name == "sub"
+        snap = obs.trace_snapshot()
+        assert snap[0]["name"] == "top"
+        obs.reset_trace()
+        assert obs.trace_snapshot() == []
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.current().name == "root"
+        assert tracer.snapshot()[0]["count"] == 1
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        for v in (1.0, 3.0):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()
+        assert snap["c"] == 5
+        assert snap["g"] == 2.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["mean"] == pytest.approx(2.0)
+        assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 3.0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_registry_isolation_between_runs(self):
+        obs.counter("run.counter").inc(7)
+        assert obs.snapshot()["run.counter"] == 7
+        obs.reset_metrics()
+        assert obs.snapshot() == {}
+        obs.counter("run.counter").inc(1)
+        assert obs.snapshot()["run.counter"] == 1
+
+    def test_registry_instances_are_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(3)
+        assert "n" not in b.snapshot()
+
+
+class TestLogging:
+    def test_get_logger_hierarchy(self):
+        assert obs.get_logger("floorplan.efa").name == "repro.floorplan.efa"
+        assert obs.get_logger("").name == "repro"
+        assert obs.get_logger("repro.assign").name == "repro.assign"
+
+    def test_configure_logging_is_idempotent(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        obs.configure_logging("info", stream=stream)
+        obs.configure_logging("info", stream=stream)
+        root = logging.getLogger("repro")
+        managed = [
+            h for h in root.handlers
+            if getattr(h, "_repro_managed", False)
+        ]
+        assert len(managed) == 1
+
+    def test_json_mode_emits_json_lines(self):
+        import io
+
+        stream = io.StringIO()
+        obs.configure_logging("info", json_mode=True, stream=stream)
+        obs.get_logger("test").info("hello %s", "world", extra={"k": 1})
+        line = stream.getvalue().strip()
+        payload = json.loads(line)
+        assert payload["msg"] == "hello world"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["k"] == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            obs.configure_logging("chatty")
+
+
+class TestReport:
+    def test_report_json_round_trip(self):
+        with obs.span("stage"):
+            obs.counter("things").inc(2)
+        report = obs.build_report(command="test")
+        text = obs.report_to_json(report)
+        back = json.loads(text)
+        for key in ("schema_version", "kind", "created_unix_s",
+                    "command", "spans", "metrics"):
+            assert key in back
+        assert back["schema_version"] == obs.REPORT_SCHEMA_VERSION
+        assert back["kind"] == obs.REPORT_KIND
+        assert back["metrics"]["things"] == 2
+        assert back["spans"][0]["name"] == "stage"
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        obs.write_report(obs.build_report(), path)
+        assert json.loads(path.read_text())["kind"] == obs.REPORT_KIND
+
+    def test_find_span_and_seconds(self):
+        with obs.span("flow"):
+            with obs.span("floorplan"):
+                pass
+        report = obs.build_report()
+        assert obs.find_span(report, "flow.floorplan")["count"] == 1
+        assert obs.span_seconds(report, "flow.floorplan") >= 0.0
+        assert obs.find_span(report, "flow.missing") is None
+
+
+class TestFlowIntegration:
+    @pytest.fixture(scope="class")
+    def flow_result(self):
+        design = load_tiny(die_count=3, signal_count=10)
+        return run_flow(design)
+
+    def test_report_attached_and_serializable(self, flow_result):
+        report = flow_result.obs_report
+        assert report is not None
+        json.loads(obs.report_to_json(report))  # Fully JSON-serializable.
+
+    def test_report_contains_both_stage_spans(self, flow_result):
+        report = flow_result.obs_report
+        assert obs.find_span(report, "flow.floorplan") is not None
+        assert obs.find_span(report, "flow.assign") is not None
+
+    def test_efa_counters_match_search_stats(self, flow_result):
+        stats = flow_result.floorplan_result.stats
+        metrics = flow_result.obs_report["metrics"]
+        assert metrics["floorplan.efa.pruned_illegal"] == stats.pruned_illegal
+        assert (
+            metrics["floorplan.efa.pruned_inferior"] == stats.pruned_inferior
+        )
+        assert (
+            metrics["floorplan.efa.floorplans_evaluated"]
+            == stats.floorplans_evaluated
+        )
+
+    def test_mcmf_counters_match_sub_saps(self, flow_result):
+        asg = flow_result.assignment_result
+        metrics = flow_result.obs_report["metrics"]
+        assert (
+            metrics["assign.mcmf.augmenting_paths"]
+            == asg.total_augmentations
+        )
+        assert asg.total_augmentations == sum(
+            s.demand for s in asg.sub_saps
+        )  # Unit capacities: one augmenting path per served source.
+
+    def test_fresh_report_per_run(self):
+        design = load_tiny(die_count=2, signal_count=6)
+        first = run_flow(design)
+        second = run_flow(design)
+        m1 = first.obs_report["metrics"]
+        m2 = second.obs_report["metrics"]
+        # reset_observability isolates runs: counters do not accumulate.
+        assert m1["assign.mcmf.augmenting_paths"] == m2[
+            "assign.mcmf.augmenting_paths"
+        ]
+        assert second.obs_report["spans"][0]["count"] == 1
