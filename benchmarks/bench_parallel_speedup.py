@@ -1,0 +1,99 @@
+"""Sharded-EFA scaling — serial EFA_c3 vs the multi-process search.
+
+Runs EFA_c3 to completion (no time budget, so every run sees the whole
+pruned enumeration space) on the largest tiny-suite design the full
+enumeration can finish quickly — 5 dies, the paper's EFA_mix threshold —
+serially and on sharded pools of 1, 2 and 4 workers, then reports
+wall-clock and speedup per worker count.
+
+Two properties are asserted:
+
+* **determinism** — every worker count returns byte-for-byte the serial
+  result: same ``est_wl``, same winning enumeration rank, same
+  placements.  This is the headline guarantee of :mod:`repro.parallel`
+  and must hold on any host;
+* **speedup** — 4 workers beat serial wall-clock.  Only checked when the
+  host actually has >= 4 CPUs (a single-core CI box cannot speed up and
+  only pays the process-pool overhead); the measured ratio is recorded in
+  the emitted table either way.
+
+Environment knobs:
+
+* ``REPRO_PAR_DIES``    — die count (default 5; use 4 for a fast smoke).
+* ``REPRO_PAR_SIGNALS`` — signal count (default 20).
+"""
+
+import os
+
+import pytest
+
+from common import emit_table
+from repro.benchgen import load_tiny
+from repro.floorplan import EFAConfig, run_efa
+from repro.parallel import ParallelEFAConfig, run_parallel_efa
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _die_count() -> int:
+    return int(os.environ.get("REPRO_PAR_DIES", "5"))
+
+
+def _signal_count() -> int:
+    return int(os.environ.get("REPRO_PAR_SIGNALS", "20"))
+
+
+def _placements(design, result):
+    return {d.id: result.floorplan.placement(d.id) for d in design.dies}
+
+
+@pytest.mark.benchmark(group="parallel-speedup")
+def test_parallel_speedup(benchmark):
+    design = load_tiny(
+        die_count=_die_count(), signal_count=_signal_count()
+    )
+    efa_cfg = EFAConfig(illegal_cut=True, inferior_cut=True)
+
+    def run_all():
+        results = {"serial": run_efa(design, efa_cfg)}
+        for workers in WORKER_COUNTS:
+            results[workers] = run_parallel_efa(
+                design, ParallelEFAConfig(workers=workers, efa=efa_cfg)
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    serial = results["serial"]
+    serial_t = serial.stats.runtime_s
+    rows = [["serial", 1, serial_t, 1.0, serial.est_wl, "-"]]
+    for workers in WORKER_COUNTS:
+        par = results[workers]
+        # Determinism: identical result for every worker count.
+        assert par.est_wl == serial.est_wl
+        assert par.candidate_key == serial.candidate_key
+        assert _placements(design, par) == _placements(design, serial)
+        rows.append(
+            [
+                f"sharded x{workers}",
+                workers,
+                par.stats.runtime_s,
+                serial_t / par.stats.runtime_s,
+                par.est_wl,
+                "identical",
+            ]
+        )
+
+    cpus = os.cpu_count() or 1
+    emit_table(
+        "parallel_speedup.txt",
+        f"Sharded EFA_c3 scaling on {design.name} "
+        f"({_die_count()} dies, host CPUs: {cpus})",
+        ["Variant", "Workers", "FT (s)", "Speedup", "est WL",
+         "vs serial"],
+        rows,
+        float_digits=3,
+    )
+
+    if cpus >= 4:
+        assert results[4].stats.runtime_s < serial_t

@@ -52,8 +52,9 @@ def _run_case(name, budget):
     )
     twl = {
         "ori": _twl_of(design, results["ori"].floorplan),
-        # The inferior cut is heuristic (Section 3.2), so c3's floorplan
-        # can differ from ori's; report its realized TWL separately.
+        # Our inferior cut uses a certified bound (Section 3.2, see
+        # DESIGN.md §5), so when neither run is budget-truncated c3's
+        # floorplan matches ori's; its TWL column doubles as a check.
         "c3": _twl_of(design, results["c3"].floorplan),
         "dop": _twl_of(design, results["dop"].floorplan),
         "sa": _twl_of(design, results["sa"].floorplan),

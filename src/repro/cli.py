@@ -18,6 +18,12 @@ artifacts only where asked.  All subcommands additionally accept:
   logger hierarchy (diagnostics go to stderr; results stay on stdout);
 * ``--report OUT.json`` — write the versioned observability run report
   (span tree + solver counters + results) after the command finishes.
+
+The floorplanning commands (``floorplan``, ``run``) further accept
+``--workers N`` (sharded multi-process EFA search, result identical to
+serial for any ``N``), ``--portfolio`` (race EFA_c3 / EFA_dop / SA and
+keep the best legal floorplan) and ``--seed`` (reproducibility of the
+stochastic floorplanners); see :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
@@ -82,22 +88,43 @@ def _save_design(design, path: str) -> None:
         json_io.save_design(design, path)
 
 
-def _run_floorplanner(design, algorithm: str, budget: Optional[float]):
+def _run_floorplanner(
+    design,
+    algorithm: str,
+    budget: Optional[float],
+    workers: int = 1,
+    seed: int = 0,
+    portfolio: bool = False,
+):
+    if portfolio:
+        from .parallel import PortfolioConfig, run_portfolio
+
+        return run_portfolio(
+            design, PortfolioConfig(time_budget_s=budget, seed=seed)
+        )
     if algorithm == "mix":
-        return run_efa_mix(design, time_budget_s=budget)
+        return run_efa_mix(design, time_budget_s=budget, workers=workers)
     if algorithm == "dop":
         return run_efa_dop(design, time_budget_s=budget)
     if algorithm == "sa":
-        return run_sa(design, SAConfig(time_budget_s=budget))
+        return run_sa(design, SAConfig(seed=seed, time_budget_s=budget))
     if algorithm == "btree-sa":
         from .floorplan import BTreeSAConfig, run_btree_sa
 
-        return run_btree_sa(design, BTreeSAConfig(time_budget_s=budget))
+        return run_btree_sa(
+            design, BTreeSAConfig(seed=seed, time_budget_s=budget)
+        )
     config = EFAConfig(
         illegal_cut=algorithm in ("c1", "c3"),
         inferior_cut=algorithm in ("c2", "c3"),
         time_budget_s=budget,
     )
+    if workers > 1:
+        from .parallel import ParallelEFAConfig, run_parallel_efa
+
+        return run_parallel_efa(
+            design, ParallelEFAConfig(workers=workers, efa=config)
+        )
     return run_efa(design, config)
 
 
@@ -129,7 +156,14 @@ def cmd_generate(args) -> int:
 def cmd_floorplan(args) -> int:
     """Handle ``repro-25d floorplan``."""
     design = _load_design(args.design)
-    result = _run_floorplanner(design, args.algorithm, args.budget)
+    result = _run_floorplanner(
+        design,
+        args.algorithm,
+        args.budget,
+        workers=args.workers,
+        seed=args.seed,
+        portfolio=args.portfolio,
+    )
     if not result.found:
         logger.error("no legal floorplan found")
         _maybe_write_report(args, design=design, floorplan_result=result)
@@ -221,9 +255,19 @@ def cmd_run(args) -> int:
     try:
         result = run_flow(
             design,
-            FlowConfig(post_optimize=args.post_optimize),
+            FlowConfig(
+                post_optimize=args.post_optimize,
+                floorplan_workers=args.workers,
+                portfolio=args.portfolio,
+                seed=args.seed,
+            ),
             floorplanner=lambda d: _run_floorplanner(
-                d, args.floorplanner, args.budget
+                d,
+                args.floorplanner,
+                args.budget,
+                workers=args.workers,
+                seed=args.seed,
+                portfolio=args.portfolio,
             ),
             assigner=_make_assigner(args.assigner, args.budget),
         )
@@ -330,8 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the observability run report (spans + counters) here",
     )
 
-    def add_parser(name: str, **kwargs):
-        return sub.add_parser(name, parents=[common], **kwargs)
+    def add_parser(name: str, parents=(), **kwargs):
+        return sub.add_parser(
+            name, parents=[common, *parents], **kwargs
+        )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -346,7 +392,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = add_parser("floorplan", help="floorplan a design")
+    # Parallel-search flags shared by the floorplanning commands.
+    parallel_common = argparse.ArgumentParser(add_help=False)
+    parallel_common.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded EFA search (default: 1 = "
+        "serial; the result is identical for any worker count)",
+    )
+    parallel_common.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race EFA_c3 / EFA_dop / SA on the process pool and keep "
+        "the best legal floorplan (overrides --floorplanner/--algorithm)",
+    )
+    parallel_common.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the stochastic floorplanners (SA and the "
+        "portfolio's SA entrant; default: 0)",
+    )
+
+    p = add_parser(
+        "floorplan", help="floorplan a design", parents=[parallel_common]
+    )
     p.add_argument("design")
     p.add_argument("--algorithm", default="mix", choices=FLOORPLANNERS)
     p.add_argument("--budget", type=float, default=None)
@@ -370,7 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--congestion-grid", type=int, default=32)
     p.set_defaults(func=cmd_evaluate)
 
-    p = add_parser("run", help="full flow: floorplan + assign + evaluate")
+    p = add_parser(
+        "run",
+        help="full flow: floorplan + assign + evaluate",
+        parents=[parallel_common],
+    )
     p.add_argument("design")
     p.add_argument("--floorplanner", default="mix", choices=FLOORPLANNERS)
     p.add_argument("--assigner", default="mcmf-fast", choices=ASSIGNERS)

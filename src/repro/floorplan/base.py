@@ -89,12 +89,22 @@ class FloorplanResult:
     ``est_wl`` is the estimator value (total per-signal HPWL by default)
     that the search minimized — *not* the post-assignment TWL of Eq. 1,
     which can only be computed after the SAP is solved.
+
+    Enumerative searches additionally record the winning candidate's
+    coordinates in the enumeration space: ``candidate`` is the
+    ``(plus, minus, combo)`` index tuple and ``candidate_key`` its global
+    ``(plus_rank, minus_rank, combo_index)`` enumeration rank.  The rank is
+    the system-wide tie-break — equal-``est_wl`` candidates resolve to the
+    lowest key — which is what lets sharded multi-process searches merge
+    worker results into exactly the serial answer.
     """
 
     floorplan: Optional[Floorplan]
     est_wl: float = float("inf")
     stats: SearchStats = field(default_factory=SearchStats)
     algorithm: str = ""
+    candidate: Optional[tuple] = None
+    candidate_key: Optional[tuple] = None
 
     @property
     def found(self) -> bool:

@@ -6,8 +6,11 @@ centred on the interposer, legality-checked and scored with the HPWL
 estimator.  The three acceleration techniques of the paper are switchable:
 
 * ``illegal_cut``   — Section 3.1, illegal branch cutting (lossless);
-* ``inferior_cut``  — Section 3.2, inferior branch cutting via the Eq. 2
-  lower bound (heuristic, empirically lossless in the paper);
+* ``inferior_cut``  — Section 3.2, inferior branch cutting via a
+  *certified* form of the Eq. 2 lower bound (the paper's formulation is
+  heuristic; ours brackets every die origin and terminal offset over all
+  orientation combinations, so the cut is provably lossless — see
+  ``_lower_bound`` and DESIGN.md §5);
 * ``fixed_orientations`` — Section 3.3, die orientation pre-determination
   (pass the orientations from :mod:`repro.floorplan.greedy_packing`).
 
@@ -26,6 +29,7 @@ dict machinery is allowed inside it.  The semantics are identical to
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from itertools import permutations, product
@@ -42,7 +46,11 @@ from ..geometry import (
 )
 from ..model import Design, Floorplan, Placement
 from ..obs import get_logger, span
-from ..seqpair import SequencePair, sequence_pair_count
+from ..seqpair import (
+    SequencePair,
+    iter_permutations_range,
+    sequence_pair_count,
+)
 from .base import FloorplanResult, SearchStats, TimeBudget
 from .estimator import FastHpwlEvaluator, orientation_code
 
@@ -118,6 +126,10 @@ class EnumerativeFloorplanner:
             thin = portrait_orientations(die.width, die.height)[0]
             self._low_dims.append(per_code[orientation_code(low)])
             self._thin_dims.append(per_code[orientation_code(thin)])
+        # Per-die minimum swollen extents, used by the Eq. 2 bound to cap
+        # any legal candidate's die origins (origin + min extent <= avail).
+        self._min_heights = np.asarray([d[1] for d in self._low_dims])
+        self._min_widths = np.asarray([d[0] for d in self._thin_dims])
         self._center = interposer.center
 
     # -- fast index-based packing -------------------------------------------------
@@ -167,10 +179,24 @@ class EnumerativeFloorplanner:
 
     # -- public entry ---------------------------------------------------------
 
-    def run(self) -> FloorplanResult:
-        """Enumerate per Fig. 3 and return the best floorplan found."""
+    def run(
+        self,
+        plus_range: Optional[Tuple[int, int]] = None,
+        incumbent=None,
+    ) -> FloorplanResult:
+        """Enumerate per Fig. 3 and return the best floorplan found.
+
+        ``plus_range`` restricts the outer gamma_plus loop to permutations
+        with lexicographic rank in ``[lo, hi)`` — the shard interface used
+        by :mod:`repro.parallel`.  ``incumbent`` is an optional shared
+        bound exchange (duck-typed: ``peek() -> float`` and
+        ``offer(wl: float)``); when given, the Sec. 3.2 inferior cut also
+        prunes against the best value any *other* worker has found, and
+        improvements found here are published back.  Both default to the
+        serial single-process behaviour.
+        """
         with span("floorplan.efa", variant=self.config.name) as sp:
-            result = self._run()
+            result = self._run(plus_range=plus_range, incumbent=incumbent)
         sp.annotate(
             est_wl=result.est_wl if result.found else None,
             timed_out=result.stats.timed_out,
@@ -178,18 +204,29 @@ class EnumerativeFloorplanner:
         result.stats.publish()
         return result
 
-    def _run(self) -> FloorplanResult:
+    def _run(
+        self,
+        plus_range: Optional[Tuple[int, int]] = None,
+        incumbent=None,
+    ) -> FloorplanResult:
         cfg = self.config
         n = len(self._die_ids)
-        stats = SearchStats(sequence_pairs_total=sequence_pair_count(n))
+        n_fact = math.factorial(n)
+        lo, hi = plus_range if plus_range is not None else (0, n_fact)
+        if not 0 <= lo <= hi <= n_fact:
+            raise ValueError(
+                f"plus_range {(lo, hi)} out of bounds for n={n}"
+            )
+        stats = SearchStats(sequence_pairs_total=(hi - lo) * n_fact)
         budget = TimeBudget(cfg.time_budget_s)
         start = time.monotonic()
         log_progress = logger.isEnabledFor(10)  # logging.DEBUG
         logger.info(
-            "%s: enumerating %d dies, %d sequence pairs%s",
+            "%s: enumerating %d dies, %d sequence pairs%s%s",
             cfg.name,
             n,
             stats.sequence_pairs_total,
+            "" if plus_range is None else f", shard ranks [{lo}, {hi})",
             ""
             if cfg.time_budget_s is None
             else f", budget {cfg.time_budget_s:.1f}s",
@@ -198,6 +235,19 @@ class EnumerativeFloorplanner:
         evaluator = self.evaluator
         best_wl = float("inf")
         best: Optional[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = None
+        # Global enumeration rank of `best`: (plus_rank, minus_rank,
+        # combo_index).  Equal-wl candidates resolve to the lowest key, so
+        # any partition of the search space merges back to the serial
+        # winner.  In a serial run keys only grow, so the tie branch below
+        # never replaces anything — it exists for provability and for the
+        # cross-shard merge.
+        best_key: Optional[Tuple[int, int, int]] = None
+        # The wl the inferior cut prunes against: the tightest of our own
+        # best and the shared incumbent.  Every value in it is a real
+        # candidate wirelength, and the certified Eq. 2 bound only ever
+        # cuts candidates strictly above it, so no pruning order — serial,
+        # sharded, or incumbent-fed — can lose the winner or a tie.
+        prune_wl = float("inf")
 
         if cfg.fixed_orientations is not None:
             fixed_codes: Optional[Tuple[int, ...]] = tuple(
@@ -226,37 +276,54 @@ class EnumerativeFloorplanner:
 
         indices = tuple(range(n))
         rank_plus = [0] * n
-        for plus in permutations(indices):
+        if plus_range is None:
+            plus_iter = enumerate(permutations(indices))
+        else:
+            plus_iter = zip(
+                range(lo, hi), iter_permutations_range(n, lo, hi)
+            )
+        for plus_rank, plus in plus_iter:
             for r, i in enumerate(plus):
                 rank_plus[i] = r
+            if incumbent is not None:
+                shared = incumbent.peek()
+                if shared < prune_wl:
+                    prune_wl = shared
             timed_out = False
-            for minus in permutations(indices):
+            for minus_rank, minus in enumerate(permutations(indices)):
                 if budget.expired:
                     timed_out = True
                     break
                 if use_illegal or use_inferior:
-                    lxs, lys, lw, lh = self._pack(minus, rank_plus, low_dims)
-                    txs, tys, tw, th = self._pack(minus, rank_plus, thin_dims)
-                    if use_illegal and (lh > avail_h or tw > avail_w):
+                    low_pack = self._pack(minus, rank_plus, low_dims)
+                    thin_pack = self._pack(minus, rank_plus, thin_dims)
+                    if use_illegal and (
+                        low_pack[3] > avail_h or thin_pack[2] > avail_w
+                    ):
                         stats.pruned_illegal += 1
                         continue
-                    if use_inferior and best_wl < float("inf"):
+                    if use_inferior and prune_wl < float("inf"):
                         stats.lower_bound_evaluations += 1
-                        bound = self._lower_bound(lys, lh, txs, tw)
-                        if bound > best_wl + _EPS:
+                        bound = self._lower_bound(low_pack, thin_pack)
+                        if bound > prune_wl + _EPS:
                             stats.pruned_inferior += 1
                             continue
 
                 stats.sequence_pairs_explored += 1
-                for combo in orient_combos:
+                for combo_idx, combo in enumerate(orient_combos):
                     candidate_count += 1
                     # One sequence pair can hide 4^n inner candidates;
-                    # re-check the budget periodically so truncation stays
-                    # sharp even inside a single sequence pair.
+                    # re-check the budget (and pull the shared incumbent)
+                    # periodically so truncation stays sharp even inside a
+                    # single sequence pair.
                     if candidate_count % 4096 == 0:
                         if budget.expired:
                             timed_out = True
                             break
+                        if incumbent is not None:
+                            shared = incumbent.peek()
+                            if shared < prune_wl:
+                                prune_wl = shared
                         if (
                             log_progress
                             and candidate_count % _PROGRESS_EVERY == 0
@@ -289,6 +356,16 @@ class EnumerativeFloorplanner:
                     if wl < best_wl:
                         best_wl = wl
                         best = (plus, minus, combo)
+                        best_key = (plus_rank, minus_rank, combo_idx)
+                        if wl < prune_wl:
+                            prune_wl = wl
+                        if incumbent is not None:
+                            incumbent.offer(wl)
+                    elif wl == best_wl and best is not None:
+                        key = (plus_rank, minus_rank, combo_idx)
+                        if key < best_key:
+                            best = (plus, minus, combo)
+                            best_key = key
                 if timed_out:
                     break
             if timed_out:
@@ -311,25 +388,67 @@ class EnumerativeFloorplanner:
             logger.warning("%s: no legal floorplan found", cfg.name)
             return FloorplanResult(None, float("inf"), stats, cfg.name)
         floorplan = self._realize(*best)
-        return FloorplanResult(floorplan, best_wl, stats, cfg.name)
+        return FloorplanResult(
+            floorplan,
+            best_wl,
+            stats,
+            cfg.name,
+            candidate=best,
+            candidate_key=best_key,
+        )
 
     # -- internals ---------------------------------------------------------------
 
-    def _lower_bound(
-        self,
-        low_ys: Sequence[float],
-        low_h: float,
-        thin_xs: Sequence[float],
-        thin_w: float,
-    ) -> float:
-        """``L_min = LX_min + LY_min`` for a sequence pair (Section 3.2)."""
-        off_y = self._center.y - low_h / 2.0 + self._half_cd
-        die_y_low = np.asarray(low_ys) + off_y
-        ly_min = self.evaluator.lower_bound_vertical(die_y_low)
+    def _lower_bound(self, low_pack, thin_pack) -> float:
+        """``L_min = LX_min + LY_min`` for a sequence pair (Section 3.2).
 
-        off_x = self._center.x - thin_w / 2.0 + self._half_cd
-        die_x_thin = np.asarray(thin_xs) + off_x
-        lx_min = self.evaluator.lower_bound_horizontal(die_x_thin)
+        A *certified* form of the paper's Eq. 2, valid over every *legal*
+        candidate of the sequence pair (illegal ones are outline-rejected
+        and can never win, so pruning them costs nothing).  Per axis, each
+        die's packing origin is bracketed between its position in the
+        minimum-dimension packing (F_low heights / F_thin widths) and the
+        maximum-dimension one — longest-path packing is monotone in the
+        dims — further capped by legality (origin + minimum extent must
+        fit the available region).  A signal's span does not move when all
+        its die terminals share the same centring offset, so instead of
+        widening every die interval by the offset range, the evaluator
+        shifts the escape point by the negated offset interval (pinned by
+        the minimum outline and the legality-capped maximum one).  Since
+        the intervals cover every orientation combination, any branch
+        pruned against a found wirelength contains only strictly-worse or
+        illegal candidates.  That soundness is what makes EFA_c2/c3
+        return exactly EFA_ori's floorplan and the sharded parallel
+        search exactly the serial one, independent of pruning order or
+        incumbent timing.
+        """
+        lxs, lys, lw, lh = low_pack
+        txs, tys, tw, th = thin_pack
+        cx, cy, half = self._center.x, self._center.y, self._half_cd
+        # Any legal candidate's outline obeys lh <= h <= min(th, avail_h)
+        # (and the mirror in x), which pins the centring offset range:
+        # off_y(h) = cy - h/2 + half is decreasing in h.
+        h_ub = min(th, self._avail_h + _EPS)
+        w_ub = min(lw, self._avail_w + _EPS)
+        # y: origins are lowest in the min-height (F_low) packing and
+        # highest in the max-height (F_thin) one, capped so the die still
+        # fits the legal outline.
+        die_y_min = np.asarray(lys)
+        die_y_max = np.minimum(np.asarray(tys), h_ub - self._min_heights)
+        ly_min = self.evaluator.lower_bound_vertical(
+            die_y_min,
+            die_y_max,
+            cy - h_ub / 2.0 + half,
+            cy - lh / 2.0 + half,
+        )
+        # x mirrors it: F_thin has the minimal widths, F_low the maximal.
+        die_x_min = np.asarray(txs)
+        die_x_max = np.minimum(np.asarray(lxs), w_ub - self._min_widths)
+        lx_min = self.evaluator.lower_bound_horizontal(
+            die_x_min,
+            die_x_max,
+            cx - w_ub / 2.0 + half,
+            cx - tw / 2.0 + half,
+        )
         return lx_min + ly_min
 
     def _realize(
@@ -356,6 +475,20 @@ class EnumerativeFloorplanner:
                 orientation_from_code(combo[i]),
             )
         return Floorplan(self.design, placements)
+
+    def realize_candidate(
+        self,
+        plus: Tuple[int, ...],
+        minus: Tuple[int, ...],
+        combo: Tuple[int, ...],
+    ) -> Floorplan:
+        """Re-pack an enumeration candidate into a :class:`Floorplan`.
+
+        Public so the parallel executor can rebuild a worker's winning
+        candidate in the parent process from just the index tuples instead
+        of shipping placements across the process boundary.
+        """
+        return self._realize(plus, minus, combo)
 
     def winning_sequence_pair(
         self, plus: Tuple[int, ...], minus: Tuple[int, ...]

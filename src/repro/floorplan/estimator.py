@@ -19,12 +19,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..geometry import (
-    ALL_ORIENTATIONS,
-    Orientation,
-    landscape_orientations,
-    portrait_orientations,
-)
+from ..geometry import ALL_ORIENTATIONS, Orientation
 from ..model import Design, Floorplan, Placement
 
 _ORIENT_CODE = {o: i for i, o in enumerate(ALL_ORIENTATIONS)}
@@ -102,34 +97,20 @@ class FastHpwlEvaluator:
         self._terminal_count = len(t_die)
         self._terminal_range = np.arange(self._terminal_count)
 
-        # Static per-terminal extrema over landscape / portrait orientation
-        # subsets, used by the Eq. 2 lower bounds (inferior branch cutting):
-        # a die's y-position in F_low is fixed, so a terminal's potential
-        # y-coordinates differ only in the local part.
-        land_min_y, land_max_y = self._subset_extrema(
-            self._local_y, landscape_orientations
-        )
-        port_min_x, port_max_x = self._subset_extrema(
-            self._local_x, portrait_orientations
-        )
-        self._land_min_y, self._land_max_y = land_min_y, land_max_y
-        self._port_min_x, self._port_max_x = port_min_x, port_max_x
-
-    def _subset_extrema(self, local, subset_fn):
-        """Per-terminal min/max local coordinate over an orientation subset."""
-        lo = np.full(self._terminal_count, np.inf)
-        hi = np.full(self._terminal_count, -np.inf)
-        die_dims = [(d.width, d.height) for d in self.design.dies]
-        for t in range(self._terminal_count):
-            die_idx = self._t_die[t]
-            w, h = die_dims[die_idx]
-            for o in subset_fn(w, h):
-                v = local[_ORIENT_CODE[o], t]
-                if v < lo[t]:
-                    lo[t] = v
-                if v > hi[t]:
-                    hi[t] = v
-        return lo, hi
+        # Static per-terminal local-coordinate extrema over ALL four
+        # orientations, used by the Eq. 2 lower bounds (inferior branch
+        # cutting).  Any candidate orientation keeps each terminal's local
+        # offset inside these intervals, which is what makes the bound a
+        # certified lower bound rather than the paper's heuristic form.
+        if self._terminal_count:
+            self._all_min_x = np.min(self._local_x, axis=0)
+            self._all_max_x = np.max(self._local_x, axis=0)
+            self._all_min_y = np.min(self._local_y, axis=0)
+            self._all_max_y = np.max(self._local_y, axis=0)
+        else:
+            empty = np.empty(0)
+            self._all_min_x = self._all_max_x = empty
+            self._all_min_y = self._all_max_y = empty
 
     # -- evaluation ---------------------------------------------------------
 
@@ -183,42 +164,64 @@ class FastHpwlEvaluator:
 
     # -- Eq. 2 lower bounds ----------------------------------------------------
 
-    def lower_bound_vertical(self, die_y_low: np.ndarray) -> float:
-        """``LY_min``: summed minimum vertical wirelength in ``F_low``.
+    def lower_bound_vertical(
+        self,
+        die_y_min: np.ndarray,
+        die_y_max: np.ndarray,
+        off_lo: float,
+        off_hi: float,
+    ) -> float:
+        """``LY_min``: certified minimum vertical wirelength (Eq. 2 form).
 
-        ``die_y_low`` holds each die's y-position in the flattest packing of
-        the current sequence pair (landscape orientation per die), already
-        centred on the interposer.  Per Eq. 2, a terminal's potential
-        locations under all ``F_low``-compatible orientations contribute a
-        ``[min, max]`` interval; ``l_v(s) = max(ceiling - floor, 0)``.
+        ``die_y_min[i]`` / ``die_y_max[i]`` bound die ``i``'s *uncentred*
+        packing y-origin over every orientation combination of the current
+        sequence pair; ``[off_lo, off_hi]`` brackets the centring offset a
+        legal candidate can receive.  A signal's span is invariant under
+        the common offset of its die terminals, so the offset interval is
+        applied (negated) to the escape point instead of widening every
+        die-terminal interval.  Combined with the all-orientation
+        local-offset extrema this makes ``l_v(s) = max(ceiling - floor,
+        0)`` a true lower bound on the signal's vertical span — pruning on
+        it can never discard a candidate that would win or tie.
         """
         if self._terminal_count == 0:
             return 0.0
-        min_pot = die_y_low[self._t_die] + self._land_min_y
-        max_pot = die_y_low[self._t_die] + self._land_max_y
-        # An escape point has exactly one potential location, so it enters
-        # the ceiling (a max) and the floor (a min) with that location; the
-        # sentinel for signals without an escape must be -inf for the max
-        # and +inf for the min, hence fixed_max/fixed_min respectively.
+        min_pot = die_y_min[self._t_die] + self._all_min_y
+        max_pot = die_y_max[self._t_die] + self._all_max_y
+        # An escape point has one potential location ``e - off``: it
+        # enters the ceiling (a max) with its minimum ``e - off_hi`` and
+        # the floor (a min) with its maximum ``e - off_lo``.  The sentinel
+        # for signals without an escape must be -inf for the max and +inf
+        # for the min, hence fixed_max/fixed_min respectively.
         ceiling = np.maximum(
-            np.maximum.reduceat(min_pot, self._starts), self._fixed_max_y
+            np.maximum.reduceat(min_pot, self._starts),
+            self._fixed_max_y - off_hi,
         )
         floor = np.minimum(
-            np.minimum.reduceat(max_pot, self._starts), self._fixed_min_y
+            np.minimum.reduceat(max_pot, self._starts),
+            self._fixed_min_y - off_lo,
         )
         return float(np.sum(np.maximum(ceiling - floor, 0.0)))
 
-    def lower_bound_horizontal(self, die_x_thin: np.ndarray) -> float:
-        """``LX_min``: summed minimum horizontal wirelength in ``F_thin``."""
+    def lower_bound_horizontal(
+        self,
+        die_x_min: np.ndarray,
+        die_x_max: np.ndarray,
+        off_lo: float,
+        off_hi: float,
+    ) -> float:
+        """``LX_min``: certified minimum horizontal wirelength (Eq. 2 form)."""
         if self._terminal_count == 0:
             return 0.0
-        min_pot = die_x_thin[self._t_die] + self._port_min_x
-        max_pot = die_x_thin[self._t_die] + self._port_max_x
+        min_pot = die_x_min[self._t_die] + self._all_min_x
+        max_pot = die_x_max[self._t_die] + self._all_max_x
         ceiling = np.maximum(
-            np.maximum.reduceat(min_pot, self._starts), self._fixed_max_x
+            np.maximum.reduceat(min_pot, self._starts),
+            self._fixed_max_x - off_hi,
         )
         floor = np.minimum(
-            np.minimum.reduceat(max_pot, self._starts), self._fixed_min_x
+            np.minimum.reduceat(max_pot, self._starts),
+            self._fixed_min_x - off_lo,
         )
         return float(np.sum(np.maximum(ceiling - floor, 0.0)))
 

@@ -3,6 +3,13 @@
 The paper balances quality against runtime by invoking EFA_c3 (both branch
 cuttings, full orientation enumeration) when the design has at most
 ``threshold`` dies and EFA_dop above that.  The paper's threshold is 5.
+
+``workers`` extends the hybrid to the sharded multi-process search of
+:mod:`repro.parallel`: the EFA_c3 arm — the expensive full enumeration —
+is what parallelizes, and its sharded result is guaranteed identical to
+the serial one for any worker count.  EFA_dop's enumeration is already
+orders of magnitude cheaper (one orientation vector per sequence pair),
+so the large-``n`` arm stays serial.
 """
 
 from __future__ import annotations
@@ -24,12 +31,20 @@ def run_efa_mix(
     design: Design,
     time_budget_s: Optional[float] = None,
     die_threshold: int = DEFAULT_DIE_THRESHOLD,
+    workers: int = 1,
 ) -> FloorplanResult:
-    """EFA_c3 for small die counts, EFA_dop otherwise."""
+    """EFA_c3 for small die counts, EFA_dop otherwise.
+
+    ``workers > 1`` runs the EFA_c3 arm on the sharded process pool
+    (identical result, shorter wall-clock on multi-core hosts).
+    """
     logger.info(
-        "EFA_mix: %d dies -> %s",
+        "EFA_mix: %d dies -> %s%s",
         len(design.dies),
         "EFA_c3" if len(design.dies) <= die_threshold else "EFA_dop",
+        f" on {workers} workers"
+        if workers > 1 and len(design.dies) <= die_threshold
+        else "",
     )
     if len(design.dies) <= die_threshold:
         config = EFAConfig(
@@ -37,6 +52,16 @@ def run_efa_mix(
             inferior_cut=True,
             time_budget_s=time_budget_s,
         )
+        if workers > 1:
+            # Imported here: repro.parallel depends on repro.floorplan, so
+            # a module-level import would be circular.
+            from ..parallel import ParallelEFAConfig, run_parallel_efa
+
+            result = run_parallel_efa(
+                design, ParallelEFAConfig(workers=workers, efa=config)
+            )
+            result.algorithm = f"EFA_mix(c3[x{workers}])"
+            return result
         result = EnumerativeFloorplanner(design, config).run()
         result.algorithm = "EFA_mix(c3)"
         return result

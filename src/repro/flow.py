@@ -39,6 +39,16 @@ class FlowConfig:
     # report describes exactly this run.  Disable when aggregating several
     # runs into one observability scope.
     reset_observability: bool = True
+    # Worker processes for the floorplanning stage (see repro.parallel).
+    # 1 = serial; >1 shards EFA_mix's enumeration arm across a process
+    # pool with a guaranteed-identical result.
+    floorplan_workers: int = 1
+    # Race EFA_c3 / EFA_dop / SA on the pool instead of running EFA_mix;
+    # the best legal floorplan wins.  Overrides floorplan_workers.
+    portfolio: bool = False
+    # Seed for the stochastic floorplanners (today: the SA entrant of the
+    # portfolio).  Plumbed end-to-end so portfolio races are reproducible.
+    seed: int = 0
 
 
 @dataclass
@@ -107,9 +117,21 @@ def run_flow(
                 fp_result = FloorplanResult(floorplan, algorithm="given")
             elif floorplanner is not None:
                 fp_result = floorplanner(design)
+            elif cfg.portfolio:
+                from .parallel import PortfolioConfig, run_portfolio
+
+                fp_result = run_portfolio(
+                    design,
+                    PortfolioConfig(
+                        time_budget_s=cfg.floorplan_budget_s,
+                        seed=cfg.seed,
+                    ),
+                )
             else:
                 fp_result = run_efa_mix(
-                    design, time_budget_s=cfg.floorplan_budget_s
+                    design,
+                    time_budget_s=cfg.floorplan_budget_s,
+                    workers=cfg.floorplan_workers,
                 )
             if not fp_result.found:
                 logger.error(

@@ -22,8 +22,10 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    export_metrics,
     gauge,
     histogram,
+    merge_metrics,
     registry,
     reset_metrics,
     snapshot,
@@ -41,6 +43,7 @@ from .trace import (
     Span,
     Tracer,
     current_span,
+    graft_spans,
     reset_trace,
     span,
     trace_snapshot,
@@ -67,10 +70,13 @@ __all__ = [
     "configure_logging",
     "counter",
     "current_span",
+    "export_metrics",
     "find_span",
     "gauge",
     "get_logger",
+    "graft_spans",
     "histogram",
+    "merge_metrics",
     "registry",
     "report_to_json",
     "reset_metrics",

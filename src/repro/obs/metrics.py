@@ -87,6 +87,18 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge_value(self, value: Dict[str, Number]) -> None:
+        """Fold another histogram's ``to_value()`` dict into this one."""
+        count = value.get("count", 0)
+        if not count:
+            return
+        self.count += count
+        self.sum += value.get("sum", 0.0)
+        if value.get("min", float("inf")) < self.min:
+            self.min = value["min"]
+        if value.get("max", float("-inf")) > self.max:
+            self.max = value["max"]
+
     def to_value(self) -> Dict[str, Number]:
         if not self.count:
             return {"count": 0, "sum": 0.0}
@@ -140,6 +152,47 @@ class MetricsRegistry:
             for name in sorted(self._metrics)
         }
 
+    # -- cross-process reduction --------------------------------------------
+
+    def export(self) -> Dict[str, Dict[str, Any]]:
+        """Typed, picklable export for cross-process merging.
+
+        Unlike :meth:`snapshot` (which flattens every instrument to its
+        value and loses the counter/gauge distinction), the export keeps
+        the instrument type so :meth:`merge_export` can reduce a worker
+        registry into a parent registry without guessing.
+        """
+        return {
+            name: {
+                "type": type(metric).__name__.lower(),
+                "value": metric.to_value(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def merge_export(self, exported: Dict[str, Dict[str, Any]]) -> None:
+        """Reduce an :meth:`export` from another registry into this one.
+
+        Counters add, histograms fold their aggregates together, gauges
+        are last-write-wins (the merged value overwrites).  This is the
+        primitive the parallel executor uses to surface per-worker solver
+        counters in the parent's run report.
+        """
+        for name, entry in exported.items():
+            kind = entry.get("type")
+            value = entry.get("value")
+            if kind == "counter":
+                self.counter(name).inc(value)
+            elif kind == "gauge":
+                if value is not None:
+                    self.gauge(name).set(value)
+            elif kind == "histogram":
+                self.histogram(name).merge_value(value or {})
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: unknown type {kind!r}"
+                )
+
 
 _default = MetricsRegistry()
 
@@ -167,6 +220,16 @@ def histogram(name: str) -> Histogram:
 def snapshot() -> Dict[str, Any]:
     """Snapshot the default registry."""
     return _default.snapshot()
+
+
+def export_metrics() -> Dict[str, Dict[str, Any]]:
+    """Typed export of the default registry (for cross-process merging)."""
+    return _default.export()
+
+
+def merge_metrics(exported: Dict[str, Dict[str, Any]]) -> None:
+    """Merge a typed export into the default registry."""
+    _default.merge_export(exported)
 
 
 def reset_metrics() -> None:

@@ -65,6 +65,29 @@ class Span:
         if elapsed > self.max_s:
             self.max_s = elapsed
 
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a ``to_dict()`` tree (same span name) into this node.
+
+        Counts and totals add, min/max widen, attributes are last-write
+        wins, and children merge recursively by name.  This is how worker
+        span snapshots shipped across a process boundary are reduced into
+        the parent's trace tree.
+        """
+        self.count += data.get("count", 0)
+        self.total_s += data.get("total_s", 0.0)
+        if data.get("min_s", float("inf")) < self.min_s:
+            self.min_s = data["min_s"]
+        if data.get("max_s", 0.0) > self.max_s:
+            self.max_s = data["max_s"]
+        self.attrs.update(data.get("attrs", {}))
+        for child in data.get("children", []):
+            name = child.get("name", "?")
+            node = self.children.get(name)
+            if node is None:
+                node = Span(name)
+                self.children[name] = node
+            node.merge_dict(child)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation of this subtree."""
         out: Dict[str, Any] = {
@@ -158,6 +181,25 @@ class Tracer:
         """The innermost open span (the synthetic root when none is open)."""
         return self._stack[-1]
 
+    def graft(
+        self, span_dicts: List[Dict[str, Any]], under: Optional[str] = None
+    ) -> None:
+        """Merge foreign span snapshots as children of the current span.
+
+        ``span_dicts`` is a list of ``Span.to_dict()`` trees (typically a
+        worker process's :func:`trace_snapshot`); ``under`` optionally
+        interposes one extra named level (e.g. ``"worker3"``) so sibling
+        workers stay distinguishable in the report.
+        """
+        parent = self._stack[-1]
+        if under is not None:
+            node = parent.children.get(under)
+            if node is None:
+                node = Span(under)
+                parent.children[under] = node
+            parent = node
+        parent.merge_dict({"children": span_dicts})
+
     def reset(self) -> None:
         """Drop all recorded spans and any open-span state."""
         self.root = Span("root")
@@ -198,3 +240,10 @@ def reset_trace() -> None:
 def trace_snapshot() -> List[Dict[str, Any]]:
     """JSON-ready span trees from the thread's default tracer."""
     return tracer().snapshot()
+
+
+def graft_spans(
+    span_dicts: List[Dict[str, Any]], under: Optional[str] = None
+) -> None:
+    """Graft foreign span snapshots under the thread tracer's current span."""
+    tracer().graft(span_dicts, under=under)

@@ -1,0 +1,48 @@
+"""Sharded multi-process floorplan search.
+
+Three pieces, layered on the serial algorithms in
+:mod:`repro.floorplan`:
+
+* :mod:`repro.parallel.shard` — deterministic partition of the EFA
+  enumeration space into contiguous gamma_plus rank intervals;
+* :mod:`repro.parallel.executor` — a spawn-safe process pool running each
+  shard as an independent EFA sub-search with a shared ``est_wl``
+  incumbent, merging results (and observability) back into the parent;
+* :mod:`repro.parallel.portfolio` — a racer for heterogeneous strategies
+  (EFA_c3 / EFA_dop / SA) under one shared budget.
+
+The headline guarantee: for a fixed design and config,
+:func:`run_parallel_efa` returns the identical floorplan for any worker
+count — ties resolve by global enumeration rank, and the incumbent
+exchange only ever prunes strictly-inferior branches.
+"""
+
+from .executor import (
+    LocalIncumbent,
+    ParallelEFAConfig,
+    SharedIncumbent,
+    resolve_start_method,
+    resolve_workers,
+    run_parallel_efa,
+)
+from .portfolio import (
+    DEFAULT_STRATEGIES,
+    PortfolioConfig,
+    run_portfolio,
+)
+from .shard import DEFAULT_CHUNKS_PER_WORKER, Shard, make_shards
+
+__all__ = [
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "DEFAULT_STRATEGIES",
+    "LocalIncumbent",
+    "ParallelEFAConfig",
+    "PortfolioConfig",
+    "Shard",
+    "SharedIncumbent",
+    "make_shards",
+    "resolve_start_method",
+    "resolve_workers",
+    "run_parallel_efa",
+    "run_portfolio",
+]

@@ -1,0 +1,427 @@
+"""Multi-process sharded EFA search with shared incumbent bounds.
+
+:func:`run_parallel_efa` runs the enumeration of
+:class:`repro.floorplan.EnumerativeFloorplanner` split across worker
+processes along the shards of :mod:`repro.parallel.shard`.  Workers pull
+shards from a task queue, run the stock EFA loop restricted to the
+shard's gamma_plus rank interval, and exchange the best-known ``est_wl``
+through a :class:`SharedIncumbent` (one lock-protected shared double), so
+the Sec. 3.2 inferior branch cut keeps pruning with the *global* best
+bound instead of each worker's local one.
+
+**Determinism.**  For a fixed design and config the returned floorplan is
+identical for any worker count, including ``workers=1`` and the plain
+serial :func:`repro.floorplan.run_efa`:
+
+* every candidate carries its global enumeration rank ``(plus_rank,
+  minus_rank, combo_index)``; the parent merges per-shard winners by
+  ``(est_wl, rank)``, so equal-wirelength ties always resolve to the
+  lowest rank — exactly what the serial loop order produces;
+* incumbent exchange only tightens the inferior-cut bound, which prunes
+  candidates *strictly* worse than the bound; a pruned candidate can
+  neither win nor tie, so exchange timing cannot change the winner.
+
+**Spawn safety.**  Worker entry points are module-level functions with
+picklable arguments (the design, an :class:`EFAConfig`, queues and the
+shared value), so the executor works under the ``spawn`` start method;
+``fork`` is preferred where available because it skips the re-import cost.
+
+**Observability.**  Each worker runs its own obs scope; at exit it ships
+its metric export and span snapshot back, and the parent reduces them
+into the calling process's registry/trace (under
+``floorplan.parallel.workerN``), so ``--report`` output is schema-v1
+compatible and the ``floorplan.efa.*`` counters aggregate across the
+whole pool.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..floorplan import EFAConfig, EnumerativeFloorplanner
+from ..floorplan.base import FloorplanResult, SearchStats
+from ..model import Design
+from .shard import DEFAULT_CHUNKS_PER_WORKER, Shard, make_shards
+
+logger = obs.get_logger("parallel.executor")
+
+# Seconds the parent waits for a worker to exit after its sentinel before
+# escalating to terminate().
+_JOIN_GRACE_S = 10.0
+
+__all__ = [
+    "LocalIncumbent",
+    "ParallelEFAConfig",
+    "SharedIncumbent",
+    "resolve_start_method",
+    "resolve_workers",
+    "run_parallel_efa",
+]
+
+
+class LocalIncumbent:
+    """In-process incumbent with the same peek/offer protocol.
+
+    Used by the single-worker fast path and by tests; also a reference
+    for the duck-typed contract :meth:`EnumerativeFloorplanner.run`
+    expects.
+    """
+
+    def __init__(self, value: float = float("inf")):
+        self._value = value
+
+    def peek(self) -> float:
+        """The best wirelength offered so far."""
+        return self._value
+
+    def offer(self, wl: float) -> None:
+        """Record ``wl`` if it improves on the current best."""
+        if wl < self._value:
+            self._value = wl
+
+
+class SharedIncumbent:
+    """Best-known ``est_wl`` shared across worker processes.
+
+    A single lock-protected shared double.  ``offer`` takes the lock (it
+    must compare-and-set); ``peek`` reads the synchronized wrapper, which
+    is cheap enough for EFA's periodic (every-4096-candidates) pull.
+    """
+
+    def __init__(self, ctx=None):
+        self._value = (ctx or mp).Value("d", float("inf"))
+
+    def peek(self) -> float:
+        """The best wirelength any worker has offered so far."""
+        return self._value.value
+
+    def offer(self, wl: float) -> None:
+        """Publish ``wl`` if it improves on the global best."""
+        with self._value.get_lock():
+            if wl < self._value.value:
+                self._value.value = wl
+
+
+@dataclass
+class ParallelEFAConfig:
+    """Pool shape and exchange knobs for :func:`run_parallel_efa`."""
+
+    workers: Optional[int] = None  # None -> os.cpu_count()
+    chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER
+    # None -> $REPRO_PAR_START_METHOD, else "fork" when available.
+    start_method: Optional[str] = None
+    efa: EFAConfig = field(
+        default_factory=lambda: EFAConfig(
+            illegal_cut=True, inferior_cut=True
+        )
+    )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request (``None`` -> all cores)."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def resolve_start_method(start_method: Optional[str]) -> str:
+    """Pick the multiprocessing start method.
+
+    Preference order: explicit argument, ``$REPRO_PAR_START_METHOD``,
+    ``fork`` when the platform offers it (cheapest), ``spawn`` otherwise.
+    All worker code is spawn-safe, so any available method works.
+    """
+    method = start_method or os.environ.get("REPRO_PAR_START_METHOD")
+    available = mp.get_all_start_methods()
+    if method:
+        if method not in available:
+            raise ValueError(
+                f"start method {method!r} not available (have {available})"
+            )
+        return method
+    return "fork" if "fork" in available else "spawn"
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _shard_record(shard: Shard, result: FloorplanResult) -> Dict[str, Any]:
+    """The picklable per-shard result shipped back to the parent."""
+    return {
+        "kind": "shard",
+        "shard": shard.index,
+        "found": result.found,
+        "est_wl": result.est_wl,
+        "candidate": result.candidate,
+        "candidate_key": result.candidate_key,
+        "stats": asdict(result.stats),
+    }
+
+
+def _worker_main(
+    worker_id: int,
+    design: Design,
+    config: EFAConfig,
+    shards: List[Shard],
+    task_queue,
+    result_queue,
+    incumbent: SharedIncumbent,
+    deadline: Optional[float],
+) -> None:
+    """Worker loop: drain shards from the queue, ship records back.
+
+    Module-level (spawn-safe) entry point.  The worker builds its own
+    :class:`EnumerativeFloorplanner` (the evaluator's numpy tables never
+    cross the process boundary) and runs one obs scope whose metric
+    export and span snapshot are sent back in the final record.
+    """
+    obs.reset_run()
+    planner = EnumerativeFloorplanner(design, config)
+    shards_done = 0
+    try:
+        while True:
+            shard_index = task_queue.get()
+            if shard_index is None:
+                break
+            shard = shards[shard_index]
+            if deadline is not None:
+                # Remaining wall-clock, floored at 0 so late shards drain
+                # as immediate timed-out records instead of blocking.
+                planner.config.time_budget_s = max(
+                    0.0, deadline - time.monotonic()
+                )
+            result = planner.run(
+                plus_range=(shard.plus_lo, shard.plus_hi),
+                incumbent=incumbent,
+            )
+            shards_done += 1
+            result_queue.put(_shard_record(shard, result))
+        result_queue.put(
+            {
+                "kind": "final",
+                "worker": worker_id,
+                "shards_done": shards_done,
+                "metrics": obs.export_metrics(),
+                "spans": obs.trace_snapshot(),
+            }
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        result_queue.put(
+            {
+                "kind": "error",
+                "worker": worker_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        raise
+
+
+# -- parent side ------------------------------------------------------------
+
+
+def _merge_stats(
+    shard_stats: List[Dict[str, Any]], die_count: int
+) -> SearchStats:
+    """Reduce per-shard :class:`SearchStats` dicts into pool totals."""
+    merged = SearchStats(
+        sequence_pairs_total=math.factorial(die_count) ** 2
+    )
+    for s in shard_stats:
+        merged.sequence_pairs_explored += s["sequence_pairs_explored"]
+        merged.pruned_illegal += s["pruned_illegal"]
+        merged.pruned_inferior += s["pruned_inferior"]
+        merged.lower_bound_evaluations += s["lower_bound_evaluations"]
+        merged.floorplans_evaluated += s["floorplans_evaluated"]
+        merged.floorplans_rejected_outline += s[
+            "floorplans_rejected_outline"
+        ]
+        merged.timed_out = merged.timed_out or s["timed_out"]
+    return merged
+
+
+def _pick_winner(
+    records: List[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Lowest ``(est_wl, candidate_key)`` among found shard records."""
+    found = [r for r in records if r["found"]]
+    if not found:
+        return None
+    return min(found, key=lambda r: (r["est_wl"], r["candidate_key"]))
+
+
+def _run_serial(
+    design: Design, config: EFAConfig, shards: List[Shard]
+) -> Tuple[List[Dict[str, Any]], None]:
+    """Single-process fallback walking the identical shard sequence."""
+    planner = EnumerativeFloorplanner(design, config)
+    incumbent = LocalIncumbent()
+    records = []
+    deadline = (
+        None
+        if config.time_budget_s is None
+        else time.monotonic() + config.time_budget_s
+    )
+    for shard in shards:
+        if deadline is not None:
+            planner.config.time_budget_s = max(
+                0.0, deadline - time.monotonic()
+            )
+        result = planner.run(
+            plus_range=(shard.plus_lo, shard.plus_hi), incumbent=incumbent
+        )
+        records.append(_shard_record(shard, result))
+    return records, None
+
+
+def run_parallel_efa(
+    design: Design,
+    config: Optional[ParallelEFAConfig] = None,
+) -> FloorplanResult:
+    """Sharded multi-process EFA; deterministic for any worker count.
+
+    Returns a merged :class:`FloorplanResult` whose stats are the pool
+    totals and whose floorplan is re-materialized in the parent from the
+    winning candidate's enumeration indices.
+    """
+    cfg = config or ParallelEFAConfig()
+    efa_cfg = cfg.efa
+    workers = resolve_workers(cfg.workers)
+    n = len(design.dies)
+    shards = make_shards(n, workers, cfg.chunks_per_worker)
+    workers = min(workers, len(shards))
+    start = time.monotonic()
+
+    with obs.span(
+        "floorplan.parallel",
+        variant=efa_cfg.name,
+        workers=workers,
+        shards=len(shards),
+    ) as sp:
+        if workers <= 1:
+            records, _ = _run_serial(design, efa_cfg, shards)
+        else:
+            records = _run_pool(design, efa_cfg, shards, workers, cfg)
+
+        merged = _merge_stats([r["stats"] for r in records], n)
+        merged.runtime_s = time.monotonic() - start
+        winner = _pick_winner(records)
+        sp.annotate(
+            est_wl=None if winner is None else winner["est_wl"],
+            timed_out=merged.timed_out,
+        )
+
+    algorithm = f"{efa_cfg.name}[x{workers}]"
+    logger.info(
+        "%s: %d shards on %d workers, %d floorplans evaluated in %.2fs%s",
+        algorithm,
+        len(shards),
+        workers,
+        merged.floorplans_evaluated,
+        merged.runtime_s,
+        " (budget-truncated)" if merged.timed_out else "",
+    )
+    if winner is None:
+        return FloorplanResult(None, float("inf"), merged, algorithm)
+    plus, minus, combo = winner["candidate"]
+    floorplan = EnumerativeFloorplanner(design, efa_cfg).realize_candidate(
+        plus, minus, combo
+    )
+    return FloorplanResult(
+        floorplan,
+        winner["est_wl"],
+        merged,
+        algorithm,
+        candidate=winner["candidate"],
+        candidate_key=winner["candidate_key"],
+    )
+
+
+def _run_pool(
+    design: Design,
+    efa_cfg: EFAConfig,
+    shards: List[Shard],
+    workers: int,
+    cfg: ParallelEFAConfig,
+) -> List[Dict[str, Any]]:
+    """Spawn the pool, feed shards, collect records, reduce obs."""
+    ctx = mp.get_context(resolve_start_method(cfg.start_method))
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    incumbent = SharedIncumbent(ctx)
+    deadline = (
+        None
+        if efa_cfg.time_budget_s is None
+        else time.monotonic() + efa_cfg.time_budget_s
+    )
+    for shard in shards:
+        task_queue.put(shard.index)
+    for _ in range(workers):
+        task_queue.put(None)
+
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(
+                i,
+                design,
+                efa_cfg,
+                shards,
+                task_queue,
+                result_queue,
+                incumbent,
+                deadline,
+            ),
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    for p in procs:
+        p.start()
+
+    records: List[Dict[str, Any]] = []
+    finals = 0
+    errors: List[str] = []
+    while finals < workers and len(errors) == 0:
+        try:
+            rec = result_queue.get(timeout=1.0)
+        except queue_mod.Empty:
+            dead = [
+                p for p in procs if not p.is_alive() and p.exitcode not in (0, None)
+            ]
+            if dead:
+                errors.append(
+                    "worker process(es) died: "
+                    + ", ".join(f"pid={p.pid} rc={p.exitcode}" for p in dead)
+                )
+            continue
+        if rec["kind"] == "shard":
+            records.append(rec)
+        elif rec["kind"] == "final":
+            finals += 1
+            obs.merge_metrics(rec["metrics"])
+            obs.graft_spans(rec["spans"], under=f"worker{rec['worker']}")
+        elif rec["kind"] == "error":
+            errors.append(f"worker {rec['worker']}: {rec['error']}")
+
+    for p in procs:
+        p.join(timeout=_JOIN_GRACE_S)
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=_JOIN_GRACE_S)
+    if errors:
+        raise RuntimeError(
+            "parallel EFA failed: " + "; ".join(errors)
+        )
+    if len(records) != len(shards):
+        raise RuntimeError(
+            f"parallel EFA lost shards: got {len(records)} of "
+            f"{len(shards)} records"
+        )
+    return records

@@ -1,0 +1,298 @@
+"""Portfolio mode: race heterogeneous floorplanners on the process pool.
+
+Different floorplanning strategies dominate on different designs — full
+EFA_c3 wins small die counts outright, EFA_dop scales to large ones, and
+simulated annealing occasionally lands a good layout quickly on designs
+whose enumeration prefix is unlucky under a tight budget.  The portfolio
+runner starts one worker process per strategy, gives every entrant the
+same wall-clock budget, cancels stragglers once the budget (plus a small
+grace period) expires, and returns the best *legal* floorplan seen.
+
+Selection is deterministic: the winner is the lowest ``est_wl``, with
+exact ties broken by the strategy's position in ``PortfolioConfig
+.strategies`` (earlier wins).  SA receives ``PortfolioConfig.seed``, so a
+portfolio race is reproducible end-to-end for a fixed seed and budget —
+up to budget truncation of the enumerative entrants, which is inherently
+wall-clock dependent.
+
+Worker entry points are module-level and all arguments picklable (spawn
+safe).  Every strategy runs its own obs scope; the parent grafts each
+entrant's spans under ``floorplan.portfolio.<strategy>`` and merges its
+metric export, so one ``--report`` shows the whole race.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..floorplan import (
+    EFAConfig,
+    EnumerativeFloorplanner,
+    SAConfig,
+    run_efa_dop,
+    run_sa,
+)
+from ..floorplan.base import FloorplanResult, SearchStats
+from ..geometry import Orientation, Point
+from ..model import Design, Floorplan, Placement
+from .executor import resolve_start_method
+
+import multiprocessing as mp
+
+logger = obs.get_logger("parallel.portfolio")
+
+# Extra wall-clock the parent allows past the shared budget before it
+# terminates entrants that have not reported.
+DEFAULT_GRACE_S = 10.0
+
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("efa_c3", "efa_dop", "sa")
+
+__all__ = [
+    "DEFAULT_GRACE_S",
+    "DEFAULT_STRATEGIES",
+    "PortfolioConfig",
+    "run_portfolio",
+]
+
+
+@dataclass
+class PortfolioConfig:
+    """Entrants, shared budget and reproducibility knobs."""
+
+    strategies: Tuple[str, ...] = DEFAULT_STRATEGIES
+    time_budget_s: Optional[float] = None
+    seed: int = 0
+    start_method: Optional[str] = None
+    grace_s: float = DEFAULT_GRACE_S
+
+    def __post_init__(self):
+        unknown = set(self.strategies) - set(DEFAULT_STRATEGIES)
+        if unknown:
+            raise ValueError(
+                f"unknown portfolio strategies {sorted(unknown)}; "
+                f"known: {list(DEFAULT_STRATEGIES)}"
+            )
+        if not self.strategies:
+            raise ValueError("portfolio needs at least one strategy")
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _run_strategy(
+    name: str, design: Design, budget: Optional[float], seed: int
+) -> FloorplanResult:
+    """Dispatch one entrant by name (runs inside the worker process)."""
+    if name == "efa_c3":
+        return EnumerativeFloorplanner(
+            design,
+            EFAConfig(
+                illegal_cut=True, inferior_cut=True, time_budget_s=budget
+            ),
+        ).run()
+    if name == "efa_dop":
+        return run_efa_dop(design, time_budget_s=budget)
+    if name == "sa":
+        return run_sa(design, SAConfig(seed=seed, time_budget_s=budget))
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def _strategy_main(
+    name: str,
+    design: Design,
+    budget: Optional[float],
+    seed: int,
+    result_queue,
+) -> None:
+    """Module-level (spawn-safe) worker entry for one portfolio entrant."""
+    obs.reset_run()
+    try:
+        result = _run_strategy(name, design, budget, seed)
+        placements = None
+        if result.found:
+            placements = {}
+            for die in design.dies:
+                p = result.floorplan.placement(die.id)
+                placements[die.id] = (
+                    p.position.x,
+                    p.position.y,
+                    p.orientation.name,
+                )
+        result_queue.put(
+            {
+                "kind": "result",
+                "strategy": name,
+                "found": result.found,
+                "est_wl": result.est_wl,
+                "algorithm": result.algorithm,
+                "placements": placements,
+                "stats": asdict(result.stats),
+                "metrics": obs.export_metrics(),
+                "spans": obs.trace_snapshot(),
+            }
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        result_queue.put(
+            {
+                "kind": "error",
+                "strategy": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        raise
+
+
+# -- parent side ------------------------------------------------------------
+
+
+def _rebuild_floorplan(
+    design: Design, placements: Dict[str, Tuple[float, float, str]]
+) -> Floorplan:
+    """Reconstruct a :class:`Floorplan` from a worker's placement record."""
+    return Floorplan(
+        design,
+        {
+            die_id: Placement(Point(x, y), Orientation[orient])
+            for die_id, (x, y, orient) in placements.items()
+        },
+    )
+
+
+def _stats_from_dict(data: Dict[str, Any]) -> SearchStats:
+    """Inverse of ``dataclasses.asdict`` for :class:`SearchStats`."""
+    return SearchStats(
+        **{f.name: data[f.name] for f in fields(SearchStats)}
+    )
+
+
+def run_portfolio(
+    design: Design, config: Optional[PortfolioConfig] = None
+) -> FloorplanResult:
+    """Race the configured strategies; return the best legal floorplan.
+
+    Raises ``RuntimeError`` when every entrant fails (no legal floorplan
+    from any strategy) — the portfolio never silently returns an illegal
+    result.
+    """
+    cfg = config or PortfolioConfig()
+    ctx = mp.get_context(resolve_start_method(cfg.start_method))
+    result_queue = ctx.Queue()
+    start = time.monotonic()
+    deadline = (
+        None
+        if cfg.time_budget_s is None
+        else start + cfg.time_budget_s + cfg.grace_s
+    )
+
+    with obs.span(
+        "floorplan.portfolio",
+        strategies=list(cfg.strategies),
+        budget_s=cfg.time_budget_s,
+    ) as sp:
+        procs = {
+            name: ctx.Process(
+                target=_strategy_main,
+                args=(name, design, cfg.time_budget_s, cfg.seed, result_queue),
+                daemon=True,
+            )
+            for name in cfg.strategies
+        }
+        for p in procs.values():
+            p.start()
+
+        results: Dict[str, Dict[str, Any]] = {}
+        errors: List[str] = []
+        cancelled: List[str] = []
+        while len(results) + len(errors) < len(cfg.strategies):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            try:
+                rec = result_queue.get(timeout=0.5)
+            except queue_mod.Empty:
+                if all(not p.is_alive() for p in procs.values()):
+                    # Everyone exited; drain whatever is left then stop.
+                    try:
+                        while True:
+                            rec = result_queue.get_nowait()
+                            _take_record(rec, results, errors)
+                    except queue_mod.Empty:
+                        pass
+                    break
+                continue
+            _take_record(rec, results, errors)
+
+        # Budget expired (or a worker died): cancel the losers.
+        for name, p in procs.items():
+            if p.is_alive() and name not in results:
+                cancelled.append(name)
+                p.terminate()
+            p.join(timeout=DEFAULT_GRACE_S)
+        if cancelled:
+            logger.info(
+                "portfolio: cancelled %s on budget expiry", cancelled
+            )
+
+        for rec in results.values():
+            obs.merge_metrics(rec["metrics"])
+            obs.graft_spans(rec["spans"], under=rec["strategy"])
+
+        winner = _pick_winner(cfg.strategies, results)
+        sp.annotate(
+            winner=None if winner is None else winner["strategy"],
+            cancelled=cancelled,
+            est_wl=None if winner is None else winner["est_wl"],
+        )
+
+    if errors:
+        logger.warning("portfolio entrant failures: %s", "; ".join(errors))
+    if winner is None:
+        raise RuntimeError(
+            "portfolio found no legal floorplan "
+            f"(strategies={list(cfg.strategies)}, "
+            f"cancelled={cancelled}, errors={errors})"
+        )
+
+    stats = _stats_from_dict(winner["stats"])
+    stats.runtime_s = time.monotonic() - start
+    result = FloorplanResult(
+        _rebuild_floorplan(design, winner["placements"]),
+        winner["est_wl"],
+        stats,
+        f"portfolio({winner['algorithm'] or winner['strategy']})",
+    )
+    logger.info(
+        "portfolio: %s wins with estWL %.4f in %.2fs",
+        winner["strategy"],
+        result.est_wl,
+        stats.runtime_s,
+    )
+    return result
+
+
+def _take_record(
+    rec: Dict[str, Any],
+    results: Dict[str, Dict[str, Any]],
+    errors: List[str],
+) -> None:
+    if rec["kind"] == "result":
+        results[rec["strategy"]] = rec
+    else:
+        errors.append(f"{rec['strategy']}: {rec['error']}")
+
+
+def _pick_winner(
+    strategies: Tuple[str, ...], results: Dict[str, Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Lowest ``est_wl``; exact ties resolve to earliest strategy order."""
+    found = [
+        (rec["est_wl"], strategies.index(name), rec)
+        for name, rec in results.items()
+        if rec["found"]
+    ]
+    if not found:
+        return None
+    return min(found, key=lambda t: (t[0], t[1]))[2]

@@ -3,7 +3,10 @@
 from .enumeration import (
     floorplan_count,
     iter_orientation_vectors,
+    iter_permutations_range,
     iter_sequence_pairs,
+    permutation_at_rank,
+    permutation_rank,
     sequence_pair_count,
 )
 from .packing import PackedFloorplan, pack_sequence_pair
@@ -14,8 +17,11 @@ __all__ = [
     "SequencePair",
     "floorplan_count",
     "iter_orientation_vectors",
+    "iter_permutations_range",
     "iter_sequence_pairs",
     "pack_sequence_pair",
+    "permutation_at_rank",
+    "permutation_rank",
     "sequence_pair_count",
     "sequence_pair_from_lists",
 ]

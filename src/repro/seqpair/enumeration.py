@@ -5,6 +5,14 @@ EFA's outer loops (Fig. 3, lines 2-3) enumerate every sequence pair
 die orientations (``4^n``).  The iterators here are deterministic and
 lexicographic so that runs are reproducible and that budget-truncated runs
 of different EFA variants see the same prefix of the search space.
+
+The lexicographic order doubles as the coordinate system of the parallel
+sharder (:mod:`repro.parallel.shard`): every permutation of ``range(n)``
+has a *rank* in ``[0, n!)`` (its position in lexicographic order), ranks
+convert to permutations and back via the Lehmer code
+(:func:`permutation_rank` / :func:`permutation_at_rank`), and
+:func:`iter_permutations_range` walks any contiguous rank interval without
+enumerating the prefix before it.
 """
 
 from __future__ import annotations
@@ -30,6 +38,76 @@ def iter_orientation_vectors(
 ) -> Iterator[Tuple[Orientation, ...]]:
     """All orientation vectors of length ``n`` over ``allowed`` rotations."""
     yield from product(tuple(allowed), repeat=n)
+
+
+def permutation_rank(perm: Sequence[int]) -> int:
+    """Lexicographic rank of a permutation of ``range(len(perm))``.
+
+    The inverse of :func:`permutation_at_rank`:
+    ``permutation_rank(permutation_at_rank(n, r)) == r``.
+    """
+    n = len(perm)
+    rank = 0
+    remaining = sorted(range(n))
+    for value in perm:
+        pos = remaining.index(value)
+        rank = rank * len(remaining) + pos
+        # rank accumulates mixed-radix digits; multiplying by the shrinking
+        # base at each step is exactly the Lehmer-code weighting.
+        remaining.pop(pos)
+    return rank
+
+
+def permutation_at_rank(n: int, rank: int) -> Tuple[int, ...]:
+    """The permutation of ``range(n)`` at lexicographic ``rank``."""
+    if not 0 <= rank < math.factorial(n):
+        raise ValueError(
+            f"rank {rank} out of range for n={n} (must be in [0, {n}!))"
+        )
+    remaining = list(range(n))
+    out = []
+    radix = math.factorial(n)
+    for k in range(n, 0, -1):
+        radix //= k
+        digit, rank = divmod(rank, radix)
+        out.append(remaining.pop(digit))
+    return tuple(out)
+
+
+def _advance_permutation(seq: list) -> bool:
+    """In-place lexicographic successor; ``False`` at the last permutation."""
+    i = len(seq) - 2
+    while i >= 0 and seq[i] >= seq[i + 1]:
+        i -= 1
+    if i < 0:
+        return False
+    j = len(seq) - 1
+    while seq[j] <= seq[i]:
+        j -= 1
+    seq[i], seq[j] = seq[j], seq[i]
+    seq[i + 1:] = reversed(seq[i + 1:])
+    return True
+
+
+def iter_permutations_range(
+    n: int, lo: int, hi: int
+) -> Iterator[Tuple[int, ...]]:
+    """Permutations of ``range(n)`` with lexicographic rank in ``[lo, hi)``.
+
+    Starts directly at rank ``lo`` via Lehmer unranking (no enumeration of
+    the skipped prefix), so shard workers pay O(n) start-up regardless of
+    where in the ``n!`` space their chunk sits.
+    """
+    total = math.factorial(n)
+    lo = max(lo, 0)
+    hi = min(hi, total)
+    if lo >= hi:
+        return
+    current = list(permutation_at_rank(n, lo))
+    for _ in range(hi - lo):
+        yield tuple(current)
+        if not _advance_permutation(current):
+            break
 
 
 def sequence_pair_count(n: int) -> int:

@@ -88,6 +88,21 @@ class TestFloorplan:
         assert rc == 0
         assert path.exists()
 
+    @pytest.mark.parametrize("algorithm", ["sa", "btree-sa"])
+    def test_seed_makes_stochastic_floorplanners_reproducible(
+        self, tmp_path, design_path, algorithm
+    ):
+        outs = []
+        for tag in ("a", "b"):
+            path = tmp_path / f"fp_{tag}.json"
+            rc = main(
+                ["floorplan", str(design_path), "--algorithm", algorithm,
+                 "--seed", "13", "-o", str(path)]
+            )
+            assert rc == 0
+            outs.append(path.read_text())
+        assert outs[0] == outs[1]
+
 
 class TestAssignEvaluateRender:
     def test_assign_then_evaluate(self, tmp_path, design_path, floorplan_path, capsys):

@@ -95,13 +95,14 @@ class TestLowerBounds:
         return best
 
     def test_vertical_bound_is_a_lower_bound(self):
-        # Pin dies at F_low-like positions; the vertical lower bound plus
-        # zero horizontal must not exceed the best achievable HPWL there.
+        # Pin dies at F_low-like positions (degenerate intervals, zero
+        # centring offset); the vertical lower bound plus zero horizontal
+        # must not exceed the best achievable HPWL there.
         design = load_tiny(die_count=3)
         evaluator = FastHpwlEvaluator(design)
         x = np.array([0.0, 1.0, 2.0])
         y = np.array([0.0, 0.3, 0.6])
-        ly = evaluator.lower_bound_vertical(y)
+        ly = evaluator.lower_bound_vertical(y, y, 0.0, 0.0)
         best = self._min_hpwl_over_orientations(design, (x, y))
         assert ly <= best + 1e-9
 
@@ -110,9 +111,20 @@ class TestLowerBounds:
         evaluator = FastHpwlEvaluator(design)
         x = np.array([0.0, 0.5, 1.0])
         y = np.array([0.0, 1.0, 2.0])
-        lx = evaluator.lower_bound_horizontal(x)
+        lx = evaluator.lower_bound_horizontal(x, x, 0.0, 0.0)
         best = self._min_hpwl_over_orientations(design, (x, y))
         assert lx <= best + 1e-9
+
+    def test_wider_intervals_never_raise_the_bound(self):
+        # Growing the die-origin intervals or the offset range can only
+        # keep or lower the bound (more candidate positions to minimise
+        # over) — the monotonicity the certified Eq. 2 cut relies on.
+        design = load_tiny(die_count=3, escape_fraction=0.9)
+        evaluator = FastHpwlEvaluator(design)
+        y = np.array([0.0, 0.7, 1.9])
+        tight = evaluator.lower_bound_vertical(y, y, 0.0, 0.0)
+        wide = evaluator.lower_bound_vertical(y - 0.5, y + 0.5, -0.3, 0.4)
+        assert wide <= tight + 1e-9
 
     def test_eq2_example_square_die_has_four_potential_locations(self):
         """The Fig. 4(b) structure: a square die's terminal contributes the
@@ -138,8 +150,8 @@ class TestLowerBounds:
             buffers=[IOBuffer("b1", "d1", Point(0.5, 0.25), "s1")],
             bumps=[MicroBump("m1", "d1", Point(1.0, 1.0))],
         )
-        # Wide die 4x2: landscape subset is R0/R180; buffer local y in
-        # {0.5, 1.5}.
+        # Wide die 4x2: buffer local y over the four rotations is
+        # {0.5, 1.0, 1.5, 3.0}.
         d2 = Die(
             id="d2",
             width=4.0,
@@ -159,13 +171,13 @@ class TestLowerBounds:
         evaluator = FastHpwlEvaluator(design)
         # F_low: d1 at y=0, d2 at y=2.
         die_y = np.array([0.0, 2.0])
-        # Potential y for b1: die_y + {0.25, 1.75} -> min 0.25, max 1.75.
-        # Potential y for b2 (landscape only): 2 + {0.5, 1.5} -> [2.5, 3.5].
-        # ceiling = max(0.25, 2.5) = 2.5; floor = min(1.75, 3.5) = 1.75.
+        # Potential y for b1: die_y + {0.25, 1.75} -> [0.25, 1.75].
+        # Potential y for b2: 2 + {0.5, 3.0} -> [2.5, 5.0].
+        # ceiling = max(0.25, 2.5) = 2.5; floor = min(1.75, 5.0) = 1.75.
         expected = 2.5 - 1.75
-        assert evaluator.lower_bound_vertical(die_y) == pytest.approx(
-            expected
-        )
+        assert evaluator.lower_bound_vertical(
+            die_y, die_y, 0.0, 0.0
+        ) == pytest.approx(expected)
 
     def test_bound_zero_when_intervals_overlap(self):
         design = load_tiny(die_count=3, escape_fraction=0.0)
@@ -173,4 +185,4 @@ class TestLowerBounds:
         # All dies on top of each other: intervals overlap, so each
         # signal's l_v is likely 0; bound must never go negative.
         y = np.zeros(3)
-        assert evaluator.lower_bound_vertical(y) >= 0.0
+        assert evaluator.lower_bound_vertical(y, y, 0.0, 0.0) >= 0.0

@@ -1,0 +1,90 @@
+"""Tests for permutation ranking and the deterministic sharder."""
+
+import math
+from itertools import islice, permutations
+
+import pytest
+
+from repro.parallel import Shard, make_shards
+from repro.seqpair import (
+    iter_permutations_range,
+    permutation_at_rank,
+    permutation_rank,
+)
+
+
+class TestPermutationRanking:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_rank_matches_lexicographic_position(self, n):
+        for rank, perm in enumerate(permutations(range(n))):
+            assert permutation_rank(perm) == rank
+            assert permutation_at_rank(n, rank) == perm
+
+    def test_roundtrip_on_larger_n(self):
+        n = 8
+        for rank in (0, 1, 7919, 20160, math.factorial(n) - 1):
+            assert permutation_rank(permutation_at_rank(n, rank)) == rank
+
+    def test_rank_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            permutation_at_rank(3, 6)
+        with pytest.raises(ValueError):
+            permutation_at_rank(3, -1)
+
+    @pytest.mark.parametrize(
+        "n,lo,hi", [(4, 0, 24), (4, 5, 17), (5, 100, 120), (3, 4, 4)]
+    )
+    def test_range_iterator_matches_islice(self, n, lo, hi):
+        expect = list(islice(permutations(range(n)), lo, hi))
+        assert list(iter_permutations_range(n, lo, hi)) == expect
+
+    def test_range_iterator_clamps(self):
+        # Out-of-bounds endpoints clamp instead of raising, so shard
+        # arithmetic never has to special-case the last chunk.
+        assert list(iter_permutations_range(3, -5, 99)) == list(
+            permutations(range(3))
+        )
+
+
+class TestSharder:
+    @pytest.mark.parametrize("n,workers", [(3, 1), (3, 2), (4, 4), (5, 3)])
+    def test_partition_is_exact_and_ordered(self, n, workers):
+        shards = make_shards(n, workers)
+        assert shards[0].plus_lo == 0
+        assert shards[-1].plus_hi == math.factorial(n)
+        for a, b in zip(shards, shards[1:]):
+            assert a.plus_hi == b.plus_lo
+        # Balanced: sizes differ by at most one.
+        sizes = [s.plus_count for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_count_capped_by_space(self):
+        # 2 dies -> only 2 gamma_plus permutations; never more shards.
+        shards = make_shards(2, workers=8, chunks_per_worker=4)
+        assert len(shards) == 2
+
+    def test_shards_are_deterministic(self):
+        assert make_shards(4, 3) == make_shards(4, 3)
+
+    def test_shard_helpers(self):
+        shard = Shard(0, die_count=3, plus_lo=2, plus_hi=5)
+        assert shard.plus_count == 3
+        assert shard.sequence_pairs == 3 * 6
+        assert shard.first_plus() == (1, 0, 2)
+        assert list(shard.iter_plus()) == [
+            (1, 0, 2),
+            (1, 2, 0),
+            (2, 0, 1),
+        ]
+
+    def test_union_covers_every_permutation_once(self):
+        shards = make_shards(4, workers=3, chunks_per_worker=2)
+        seen = []
+        for shard in shards:
+            seen.extend(shard.iter_plus())
+        assert seen == list(permutations(range(4)))
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_workers_raise(self, bad):
+        with pytest.raises(ValueError):
+            make_shards(3, bad)
