@@ -62,13 +62,14 @@ def window_candidates(
     sx = np.asarray([p.x for p in site_positions])
     sy = np.asarray([p.y for p in site_positions])
 
-    # A window can never need to grow beyond the whole site extent; cap the
-    # expansion there so degenerate inputs terminate.
+    # A window can never need to grow beyond the combined buffer+site
+    # extent; cap the expansion there so degenerate inputs terminate.
+    # The extent must span the *union* of both point sets — a buffer far
+    # outside the site cloud needs a window reaching across the gap, and
+    # capping at the per-set extents would leave it with no candidates.
     span = max(
-        sx.max() - sx.min(),
-        sy.max() - sy.min(),
-        bx.max() - bx.min(),
-        by.max() - by.min(),
+        max(sx.max(), bx.max()) - min(sx.min(), bx.min()),
+        max(sy.max(), by.max()) - min(sy.min(), by.min()),
         pitch,
     )
     max_steps = int(math.ceil(span / pitch)) + 2

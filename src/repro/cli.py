@@ -95,6 +95,7 @@ def _run_floorplanner(
     workers: int = 1,
     seed: int = 0,
     portfolio: bool = False,
+    serial_eval: bool = False,
 ):
     if portfolio:
         from .parallel import PortfolioConfig, run_portfolio
@@ -103,7 +104,12 @@ def _run_floorplanner(
             design, PortfolioConfig(time_budget_s=budget, seed=seed)
         )
     if algorithm == "mix":
-        return run_efa_mix(design, time_budget_s=budget, workers=workers)
+        return run_efa_mix(
+            design,
+            time_budget_s=budget,
+            workers=workers,
+            batch_eval=not serial_eval,
+        )
     if algorithm == "dop":
         return run_efa_dop(design, time_budget_s=budget)
     if algorithm == "sa":
@@ -118,6 +124,7 @@ def _run_floorplanner(
         illegal_cut=algorithm in ("c1", "c3"),
         inferior_cut=algorithm in ("c2", "c3"),
         time_budget_s=budget,
+        batch_eval=not serial_eval,
     )
     if workers > 1:
         from .parallel import ParallelEFAConfig, run_parallel_efa
@@ -163,6 +170,7 @@ def cmd_floorplan(args) -> int:
         workers=args.workers,
         seed=args.seed,
         portfolio=args.portfolio,
+        serial_eval=args.serial_eval,
     )
     if not result.found:
         logger.error("no legal floorplan found")
@@ -268,6 +276,7 @@ def cmd_run(args) -> int:
                 workers=args.workers,
                 seed=args.seed,
                 portfolio=args.portfolio,
+                serial_eval=args.serial_eval,
             ),
             assigner=_make_assigner(args.assigner, args.budget),
         )
@@ -413,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the stochastic floorplanners (SA and the "
         "portfolio's SA entrant; default: 0)",
+    )
+    parallel_common.add_argument(
+        "--serial-eval",
+        action="store_true",
+        help="disable the batched orientation-sweep evaluation and score "
+        "candidates one at a time (same winner; for benchmarking and "
+        "cross-checks)",
     )
 
     p = add_parser(

@@ -1,7 +1,13 @@
 """Multi-die floorplanning: EFA, its accelerations, and the SA baseline."""
 
 from .annealing import AnnealingFloorplanner, SAConfig, run_sa
-from .base import FloorplanResult, SearchStats, TimeBudget
+from .base import (
+    FloorplanResult,
+    SearchStats,
+    TimeBudget,
+    validate_sa_schedule,
+)
+from .batch import MAX_SWEEP_DIES, OrientationSweep, pack_indices
 from .btree import (
     BStarTree,
     BTreeFloorplanner,
@@ -38,6 +44,10 @@ __all__ = [
     "FastHpwlEvaluator",
     "FloorplanResult",
     "GreedyPacker",
+    "MAX_SWEEP_DIES",
+    "OrientationSweep",
+    "pack_indices",
+    "validate_sa_schedule",
     "GreedyPackingResult",
     "PostOptStats",
     "optimize_floorplan",

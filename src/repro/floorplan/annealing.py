@@ -23,11 +23,22 @@ import numpy as np
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point
 from ..model import Design, Floorplan, Placement
 from ..obs import get_logger, span
-from ..seqpair import SequencePair, pack_sequence_pair
-from .base import FloorplanResult, SearchStats, TimeBudget
+from ..seqpair import SequencePair
+from .base import (
+    FloorplanResult,
+    SearchStats,
+    TimeBudget,
+    validate_sa_schedule,
+)
+from .batch import pack_indices
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
+
+# Entries kept in the packed-result cache before it is wiped; SA only
+# needs the current state's packing (an orientation flip re-derives the
+# same key), so a small bound keeps lookups O(1) and memory flat.
+_PACK_CACHE_LIMIT = 64
 
 logger = get_logger("floorplan.sa")
 
@@ -43,6 +54,16 @@ class SAConfig:
     min_temperature_ratio: float = 1e-4
     time_budget_s: Optional[float] = None
     overflow_penalty: float = 1e6
+
+    def __post_init__(self) -> None:
+        validate_sa_schedule(
+            "SAConfig",
+            initial_acceptance=self.initial_acceptance,
+            cooling=self.cooling,
+            moves_per_temperature=self.moves_per_temperature,
+            min_temperature_ratio=self.min_temperature_ratio,
+            overflow_penalty=self.overflow_penalty,
+        )
 
 
 class AnnealingFloorplanner:
@@ -68,31 +89,71 @@ class AnnealingFloorplanner:
             for die in design.dies
         }
         self._center = design.interposer.center
+        # Index-space mirrors of the above for the cached packing path:
+        # orientation codes 0/2 (R0/R180) share a footprint, as do 1/3
+        # (R90/R270), so the packed result is keyed by ``code & 1``.
+        self._die_index = {d: i for i, d in enumerate(self._die_ids)}
+        self._shape_dims = [
+            [
+                self._dims[d][Orientation.R0],
+                self._dims[d][Orientation.R90],
+            ]
+            for d in self._die_ids
+        ]
+        self._pack_cache: dict = {}
+        self.pack_cache_hits = 0
+        self.pack_cache_misses = 0
 
     # -- state evaluation ---------------------------------------------------------
+
+    def _packed(
+        self, sp: SequencePair, shape_key: Tuple[int, ...]
+    ) -> Tuple[List[float], List[float], float, float]:
+        """Pack a state, reusing the cached result when only shapes match.
+
+        A 180-degree orientation flip changes terminal positions but not
+        the die footprint, so the longest-path packing — the expensive
+        half of a move evaluation — is keyed by the sequence pair plus
+        each die's shape class (``orientation_code & 1``), not the full
+        orientation vector.  SA's rotate move therefore re-scores HPWL
+        without re-packing half the time.
+        """
+        key = (sp.plus, sp.minus, shape_key)
+        cached = self._pack_cache.get(key)
+        if cached is not None:
+            self.pack_cache_hits += 1
+            return cached
+        self.pack_cache_misses += 1
+        minus = [self._die_index[d] for d in sp.minus]
+        rank_plus = [0] * len(minus)
+        for rank, d in enumerate(sp.plus):
+            rank_plus[self._die_index[d]] = rank
+        dims = [
+            self._shape_dims[i][s] for i, s in enumerate(shape_key)
+        ]
+        packed = pack_indices(minus, rank_plus, dims)
+        if len(self._pack_cache) >= _PACK_CACHE_LIMIT:
+            self._pack_cache.clear()
+        self._pack_cache[key] = packed
+        return packed
 
     def _evaluate(
         self, sp: SequencePair, orient_vec: Tuple[Orientation, ...]
     ) -> Tuple[float, bool]:
         """(cost, legal) of one state; cost folds in outline overflow."""
-        dims = {
-            d: self._dims[d][o] for d, o in zip(self._die_ids, orient_vec)
-        }
-        packed = pack_sequence_pair(sp, dims)
-        overflow = max(packed.width - self._avail_w, 0.0) + max(
-            packed.height - self._avail_h, 0.0
+        codes = np.asarray(
+            [orientation_code(o) for o in orient_vec], dtype=np.int64
         )
-        n = len(self._die_ids)
-        die_x = np.empty(n)
-        die_y = np.empty(n)
-        codes = np.empty(n, dtype=np.int64)
-        off_x = self._center.x - packed.width / 2.0 + self._half_cd
-        off_y = self._center.y - packed.height / 2.0 + self._half_cd
-        for i, d in enumerate(self._die_ids):
-            px, py = packed.positions[d]
-            die_x[i] = px + off_x
-            die_y[i] = py + off_y
-            codes[i] = orientation_code(orient_vec[i])
+        xs, ys, width, height = self._packed(
+            sp, tuple(int(c) & 1 for c in codes)
+        )
+        overflow = max(width - self._avail_w, 0.0) + max(
+            height - self._avail_h, 0.0
+        )
+        off_x = self._center.x - width / 2.0 + self._half_cd
+        off_y = self._center.y - height / 2.0 + self._half_cd
+        die_x = np.asarray(xs) + off_x
+        die_y = np.asarray(ys) + off_y
         wl = self.evaluator.hpwl(die_x, die_y, codes)
         legal = overflow <= _EPS
         return wl + self.config.overflow_penalty * overflow, legal
@@ -154,13 +215,13 @@ class AnnealingFloorplanner:
 
         # Calibrate the initial temperature from a random walk so the
         # configured initial acceptance probability holds for average
-        # uphill moves.
+        # uphill moves.  Probes are schedule calibration, not search, so
+        # they are excluded from ``stats.floorplans_evaluated``.
         deltas = []
         probe_sp, probe_vec, probe_cost = sp, orient_vec, cost
         for _ in range(30):
             cand_sp, cand_vec = self._neighbor(rng, probe_sp, probe_vec)
             cand_cost, _ = self._evaluate(cand_sp, cand_vec)
-            stats.floorplans_evaluated += 1
             deltas.append(abs(cand_cost - probe_cost))
             probe_sp, probe_vec, probe_cost = cand_sp, cand_vec, cand_cost
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
@@ -174,6 +235,11 @@ class AnnealingFloorplanner:
 
         while temperature > floor_temperature and not budget.expired:
             for _ in range(cfg.moves_per_temperature):
+                # Checked per move, not per level: a level at the default
+                # 60 moves can outlive a sub-second budget many times
+                # over on large designs.
+                if budget.expired:
+                    break
                 cand_sp, cand_vec = self._neighbor(rng, sp, orient_vec)
                 cand_cost, cand_legal = self._evaluate(cand_sp, cand_vec)
                 stats.floorplans_evaluated += 1
@@ -205,16 +271,17 @@ class AnnealingFloorplanner:
     def _realize(
         self, sp: SequencePair, orient_vec: Tuple[Orientation, ...]
     ) -> Floorplan:
-        dims = {
-            d: self._dims[d][o] for d, o in zip(self._die_ids, orient_vec)
-        }
-        packed = pack_sequence_pair(sp, dims)
-        off_x = self._center.x - packed.width / 2.0 + self._half_cd
-        off_y = self._center.y - packed.height / 2.0 + self._half_cd
+        shape_key = tuple(
+            orientation_code(o) & 1 for o in orient_vec
+        )
+        xs, ys, width, height = self._packed(sp, shape_key)
+        off_x = self._center.x - width / 2.0 + self._half_cd
+        off_y = self._center.y - height / 2.0 + self._half_cd
         placements = {}
-        for d, o in zip(self._die_ids, orient_vec):
-            px, py = packed.positions[d]
-            placements[d] = Placement(Point(px + off_x, py + off_y), o)
+        for i, (d, o) in enumerate(zip(self._die_ids, orient_vec)):
+            placements[d] = Placement(
+                Point(xs[i] + off_x, ys[i] + off_y), o
+            )
         return Floorplan(self.design, placements)
 
 

@@ -44,6 +44,55 @@ class TimeBudget:
         return self.seconds is not None and self.elapsed >= self.seconds
 
 
+def validate_sa_schedule(
+    config_name: str,
+    *,
+    initial_acceptance: float,
+    cooling: float,
+    moves_per_temperature: int,
+    min_temperature_ratio: float,
+    overflow_penalty: float,
+) -> None:
+    """Validate an annealing schedule, with actionable error messages.
+
+    The annealers derive the initial temperature as
+    ``-avg_delta / log(initial_acceptance)``, so an acceptance outside
+    (0, 1) silently turns into ``ZeroDivisionError`` / ``ValueError``
+    deep inside the run; validating at config construction surfaces the
+    mistake where it was made.
+    """
+    if not 0.0 < initial_acceptance < 1.0:
+        raise ValueError(
+            f"{config_name}.initial_acceptance must be in (0, 1), got "
+            f"{initial_acceptance!r}: it is the target probability of "
+            "accepting an average uphill move, and log() of it must be "
+            "finite and negative to calibrate the initial temperature"
+        )
+    if not 0.0 < cooling < 1.0:
+        raise ValueError(
+            f"{config_name}.cooling must be in (0, 1), got {cooling!r}: "
+            "the temperature is multiplied by it every level and must "
+            "strictly decrease towards the floor"
+        )
+    if moves_per_temperature < 1:
+        raise ValueError(
+            f"{config_name}.moves_per_temperature must be >= 1, got "
+            f"{moves_per_temperature!r}"
+        )
+    if not 0.0 < min_temperature_ratio < 1.0:
+        raise ValueError(
+            f"{config_name}.min_temperature_ratio must be in (0, 1), got "
+            f"{min_temperature_ratio!r}: the anneal stops once the "
+            "temperature falls below this fraction of the initial one"
+        )
+    if overflow_penalty <= 0.0:
+        raise ValueError(
+            f"{config_name}.overflow_penalty must be positive, got "
+            f"{overflow_penalty!r}: without it illegal arrangements "
+            "would win on wirelength alone"
+        )
+
+
 @dataclass
 class SearchStats:
     """Counters describing one enumerative floorplanning run."""

@@ -31,10 +31,20 @@ import numpy as np
 
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point
 from ..model import Design, Floorplan, Placement
-from .base import FloorplanResult, SearchStats, TimeBudget
+from .base import (
+    FloorplanResult,
+    SearchStats,
+    TimeBudget,
+    validate_sa_schedule,
+)
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
+
+# See annealing._PACK_CACHE_LIMIT: the cache only ever needs to hold the
+# neighborhood of the current SA state, so keep it small and wipe on
+# overflow instead of tracking LRU order.
+_PACK_CACHE_LIMIT = 64
 
 
 class BStarTree:
@@ -219,6 +229,16 @@ class BTreeSAConfig:
     time_budget_s: Optional[float] = None
     overflow_penalty: float = 1e6
 
+    def __post_init__(self) -> None:
+        validate_sa_schedule(
+            "BTreeSAConfig",
+            initial_acceptance=self.initial_acceptance,
+            cooling=self.cooling,
+            moves_per_temperature=self.moves_per_temperature,
+            min_temperature_ratio=self.min_temperature_ratio,
+            overflow_penalty=self.overflow_penalty,
+        )
+
 
 class BTreeFloorplanner:
     """Simulated annealing over (B*-tree, orientation vector) states."""
@@ -241,12 +261,44 @@ class BTreeFloorplanner:
                 per_code[orientation_code(o)] = (w + c_d, h + c_d)
             self._dims_by_code.append(per_code)
         self._center = design.interposer.center
+        self._pack_cache: Dict[tuple, tuple] = {}
+        self.pack_cache_hits = 0
+        self.pack_cache_misses = 0
+
+    def _packed(
+        self, tree: BStarTree, shape_key: Tuple[int, ...]
+    ) -> Tuple[List[float], List[float], float, float]:
+        """Contour-pack a state, cached by tree links and footprint shapes.
+
+        Orientation codes 0/2 and 1/3 share a footprint, so the rotate
+        move's 180-degree flips re-score HPWL against the cached packing
+        instead of re-running the contour sweep.
+        """
+        key = (
+            tuple(tree.parent),
+            tuple(tree.left),
+            tuple(tree.right),
+            tree.root,
+            shape_key,
+        )
+        cached = self._pack_cache.get(key)
+        if cached is not None:
+            self.pack_cache_hits += 1
+            return cached
+        self.pack_cache_misses += 1
+        dims = [
+            self._dims_by_code[i][s] for i, s in enumerate(shape_key)
+        ]
+        packed = pack_btree(tree, dims)
+        if len(self._pack_cache) >= _PACK_CACHE_LIMIT:
+            self._pack_cache.clear()
+        self._pack_cache[key] = packed
+        return packed
 
     def _evaluate(self, tree: BStarTree, codes: List[int]):
-        dims = [
-            self._dims_by_code[i][codes[i]] for i in range(len(self._die_ids))
-        ]
-        xs, ys, w, h = pack_btree(tree, dims)
+        xs, ys, w, h = self._packed(
+            tree, tuple(c & 1 for c in codes)
+        )
         overflow = max(w - self._avail_w, 0.0) + max(h - self._avail_h, 0.0)
         n = len(self._die_ids)
         die_x = np.empty(n)
@@ -304,12 +356,13 @@ class BTreeFloorplanner:
         best = (tree.clone(), list(codes)) if legal else None
         best_cost = cost if legal else float("inf")
 
+        # Calibration probes are excluded from floorplans_evaluated (they
+        # size the schedule, they do not explore the search space).
         deltas = []
         probe_t, probe_c, probe_cost = tree, codes, cost
         for _ in range(30):
             cand_t, cand_c = self._neighbor(rng, probe_t, probe_c)
             cand_cost, _, _ = self._evaluate(cand_t, cand_c)
-            stats.floorplans_evaluated += 1
             deltas.append(abs(cand_cost - probe_cost))
             probe_t, probe_c, probe_cost = cand_t, cand_c, cand_cost
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
@@ -318,6 +371,8 @@ class BTreeFloorplanner:
 
         while temperature > floor_temperature and not budget.expired:
             for _ in range(cfg.moves_per_temperature):
+                if budget.expired:
+                    break
                 cand_t, cand_c = self._neighbor(rng, tree, codes)
                 cand_cost, cand_legal, _ = self._evaluate(cand_t, cand_c)
                 stats.floorplans_evaluated += 1
@@ -339,10 +394,9 @@ class BTreeFloorplanner:
     def _realize(self, tree: BStarTree, codes: List[int]) -> Floorplan:
         from .estimator import orientation_from_code
 
-        dims = [
-            self._dims_by_code[i][codes[i]] for i in range(len(self._die_ids))
-        ]
-        xs, ys, w, h = pack_btree(tree, dims)
+        xs, ys, w, h = self._packed(
+            tree, tuple(c & 1 for c in codes)
+        )
         off_x = self._center.x - w / 2.0 + self._half_cd
         off_y = self._center.y - h / 2.0 + self._half_cd
         placements: Dict[str, Placement] = {}

@@ -52,9 +52,14 @@ from ..seqpair import (
     sequence_pair_count,
 )
 from .base import FloorplanResult, SearchStats, TimeBudget
+from .batch import MAX_SWEEP_DIES, OrientationSweep, pack_indices
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
+# Batched-evaluation chunk target: keep each hpwl_batch call's (B, T)
+# intermediates near this many elements (~8 MB of float64 apiece), so the
+# sweep never materializes an unbounded batch on terminal-heavy designs.
+_BATCH_TARGET_ELEMS = 1 << 20
 
 logger = get_logger("floorplan.efa")
 # Progress log cadence: every this-many candidates at the existing
@@ -77,6 +82,17 @@ class EFAConfig:
     inferior_cut: bool = False
     fixed_orientations: Optional[Mapping[str, Orientation]] = None
     time_budget_s: Optional[float] = None
+    # Score each sequence pair's whole 4^n orientation sweep in one
+    # batched pack + hpwl_batch pass (bit-identical result; see
+    # repro.floorplan.batch).  Off = the scalar per-combination loop.
+    batch_eval: bool = True
+    # Optional enumeration window: restrict gamma_plus / gamma_minus to
+    # lexicographic rank intervals [lo, hi).  None = the full n! range.
+    # Windows compose with the parallel sharder (shards partition the
+    # plus window) and keep global ranks, so tie-breaking and the
+    # serial/sharded identity guarantee are unchanged within a window.
+    plus_range: Optional[Tuple[int, int]] = None
+    minus_range: Optional[Tuple[int, int]] = None
 
     @property
     def name(self) -> str:
@@ -134,48 +150,9 @@ class EnumerativeFloorplanner:
 
     # -- fast index-based packing -------------------------------------------------
 
-    @staticmethod
-    def _pack(
-        minus: Sequence[int],
-        rank_plus: Sequence[int],
-        dims: Sequence[Tuple[float, float]],
-    ) -> Tuple[List[float], List[float], float, float]:
-        """Longest-path packing over die indices.
-
-        ``minus`` is gamma_minus as a sequence of die indices (a valid
-        topological order for both constraint graphs); ``rank_plus[i]`` is
-        die ``i``'s rank in gamma_plus.  Returns per-die x/y plus the
-        bounding width/height.
-        """
-        n = len(minus)
-        xs = [0.0] * n
-        ys = [0.0] * n
-        width = 0.0
-        height = 0.0
-        for pos in range(n):
-            b = minus[pos]
-            rb = rank_plus[b]
-            x = 0.0
-            y = 0.0
-            for prev in range(pos):
-                a = minus[prev]
-                if rank_plus[a] < rb:
-                    xa = xs[a] + dims[a][0]
-                    if xa > x:
-                        x = xa
-                else:
-                    ya = ys[a] + dims[a][1]
-                    if ya > y:
-                        y = ya
-            xs[b] = x
-            ys[b] = y
-            xe = x + dims[b][0]
-            ye = y + dims[b][1]
-            if xe > width:
-                width = xe
-            if ye > height:
-                height = ye
-        return xs, ys, width, height
+    # Longest-path packing over die indices; lives in
+    # :mod:`repro.floorplan.batch` so the SA floorplanners share it.
+    _pack = staticmethod(pack_indices)
 
     # -- public entry ---------------------------------------------------------
 
@@ -212,12 +189,34 @@ class EnumerativeFloorplanner:
         cfg = self.config
         n = len(self._die_ids)
         n_fact = math.factorial(n)
-        lo, hi = plus_range if plus_range is not None else (0, n_fact)
-        if not 0 <= lo <= hi <= n_fact:
+        cfg_lo, cfg_hi = (
+            cfg.plus_range if cfg.plus_range is not None else (0, n_fact)
+        )
+        if not 0 <= cfg_lo <= cfg_hi <= n_fact:
             raise ValueError(
-                f"plus_range {(lo, hi)} out of bounds for n={n}"
+                f"plus_range {(cfg_lo, cfg_hi)} out of bounds for n={n}"
             )
-        stats = SearchStats(sequence_pairs_total=(hi - lo) * n_fact)
+        if plus_range is None:
+            lo, hi = cfg_lo, cfg_hi
+        else:
+            lo, hi = plus_range
+            if not 0 <= lo <= hi <= n_fact:
+                raise ValueError(
+                    f"plus_range {(lo, hi)} out of bounds for n={n}"
+                )
+            # A shard interval composes with the config window by
+            # intersection (empty when they don't overlap).
+            lo, hi = max(lo, cfg_lo), min(hi, cfg_hi)
+            if lo > hi:
+                lo = hi
+        mlo, mhi = (
+            cfg.minus_range if cfg.minus_range is not None else (0, n_fact)
+        )
+        if not 0 <= mlo <= mhi <= n_fact:
+            raise ValueError(
+                f"minus_range {(mlo, mhi)} out of bounds for n={n}"
+            )
+        stats = SearchStats(sequence_pairs_total=(hi - lo) * (mhi - mlo))
         budget = TimeBudget(cfg.time_budget_s)
         start = time.monotonic()
         log_progress = logger.isEnabledFor(10)  # logging.DEBUG
@@ -254,10 +253,28 @@ class EnumerativeFloorplanner:
                 orientation_code(cfg.fixed_orientations[d])
                 for d in self._die_ids
             )
-            orient_combos = (fixed_codes,)
         else:
             fixed_codes = None
+        # Batched sweep: only worthwhile with a real orientation sweep to
+        # amortize over (EFA_dop has one combination per sequence pair),
+        # and only while the (n, 4^n) sweep tables stay small.
+        use_batch = (
+            cfg.batch_eval and fixed_codes is None and n <= MAX_SWEEP_DIES
+        )
+        sweep = OrientationSweep(self._dims_by_code) if use_batch else None
+        if fixed_codes is not None:
+            orient_combos: Optional[Tuple[Tuple[int, ...], ...]] = (
+                fixed_codes,
+            )
+        elif use_batch:
+            orient_combos = None  # the sweep's code matrix replaces it
+        else:
             orient_combos = tuple(product(range(4), repeat=n))
+        # Chunk the sweep so one hpwl_batch call's (B, T) intermediates
+        # stay near _BATCH_TARGET_ELEMS (see estimator memory contract).
+        chunk_size = max(
+            1, _BATCH_TARGET_ELEMS // max(1, evaluator.terminal_count)
+        )
 
         die_x = np.empty(n)
         die_y = np.empty(n)
@@ -276,7 +293,7 @@ class EnumerativeFloorplanner:
 
         indices = tuple(range(n))
         rank_plus = [0] * n
-        if plus_range is None:
+        if (lo, hi) == (0, n_fact):
             plus_iter = enumerate(permutations(indices))
         else:
             plus_iter = zip(
@@ -290,10 +307,23 @@ class EnumerativeFloorplanner:
                 if shared < prune_wl:
                     prune_wl = shared
             timed_out = False
-            for minus_rank, minus in enumerate(permutations(indices)):
+            if cfg.minus_range is None:
+                minus_iter = enumerate(permutations(indices))
+            else:
+                minus_iter = zip(
+                    range(mlo, mhi), iter_permutations_range(n, mlo, mhi)
+                )
+            for minus_rank, minus in minus_iter:
                 if budget.expired:
                     timed_out = True
                     break
+                if sweep is not None and incumbent is not None:
+                    # The scalar loop pulls the shared incumbent every
+                    # 4096 candidates; the batched loop pulls once per
+                    # sequence pair (each sweep is >= 4^n candidates).
+                    shared = incumbent.peek()
+                    if shared < prune_wl:
+                        prune_wl = shared
                 if use_illegal or use_inferior:
                     low_pack = self._pack(minus, rank_plus, low_dims)
                     thin_pack = self._pack(minus, rank_plus, thin_dims)
@@ -310,6 +340,88 @@ class EnumerativeFloorplanner:
                             continue
 
                 stats.sequence_pairs_explored += 1
+                if sweep is not None:
+                    # Batched path: pack all 4^n orientation variants of
+                    # this sequence pair in one vectorized longest-path
+                    # pass, score the legal ones with chunked hpwl_batch
+                    # calls, and fold the sweep winner into the running
+                    # best.  Outline checks, wirelengths and the
+                    # (plus_rank, minus_rank, combo_index) tie-break are
+                    # bit-identical to the scalar loop below.
+                    xs_b, ys_b, w_b, h_b = sweep.pack_all(minus, rank_plus)
+                    legal_idx = np.flatnonzero(
+                        ~((w_b > avail_w) | (h_b > avail_h))
+                    )
+                    candidate_count += sweep.size
+                    stats.floorplans_rejected_outline += (
+                        sweep.size - legal_idx.size
+                    )
+                    sweep_wl = float("inf")
+                    sweep_combo = -1
+                    if legal_idx.size:
+                        off_x_b = center_x - w_b / 2.0 + half_cd
+                        off_y_b = center_y - h_b / 2.0 + half_cd
+                        xs_t = xs_b.T  # (4^n, n) candidate-major views
+                        ys_t = ys_b.T
+                        for lo_c in range(0, legal_idx.size, chunk_size):
+                            sel = legal_idx[lo_c : lo_c + chunk_size]
+                            wl_b = evaluator.hpwl_batch(
+                                xs_t[sel] + off_x_b[sel, None],
+                                ys_t[sel] + off_y_b[sel, None],
+                                sweep.codes[sel],
+                            )
+                            stats.floorplans_evaluated += sel.size
+                            j = int(np.argmin(wl_b))
+                            if wl_b[j] < sweep_wl:
+                                # Strict < keeps the earliest chunk on
+                                # ties; argmin keeps the earliest index
+                                # within a chunk — together the lowest
+                                # combo_index, like the scalar loop.
+                                sweep_wl = float(wl_b[j])
+                                sweep_combo = int(sel[j])
+                            if budget.expired:
+                                timed_out = True
+                                break
+                    if sweep_combo >= 0:
+                        if sweep_wl < best_wl:
+                            best_wl = sweep_wl
+                            best = (
+                                plus,
+                                minus,
+                                tuple(
+                                    int(c) for c in sweep.codes[sweep_combo]
+                                ),
+                            )
+                            best_key = (plus_rank, minus_rank, sweep_combo)
+                            if sweep_wl < prune_wl:
+                                prune_wl = sweep_wl
+                            if incumbent is not None:
+                                incumbent.offer(sweep_wl)
+                        elif sweep_wl == best_wl and best is not None:
+                            key = (plus_rank, minus_rank, sweep_combo)
+                            if key < best_key:
+                                best = (
+                                    plus,
+                                    minus,
+                                    tuple(
+                                        int(c)
+                                        for c in sweep.codes[sweep_combo]
+                                    ),
+                                )
+                                best_key = key
+                    if log_progress and candidate_count % _PROGRESS_EVERY < sweep.size:
+                        logger.debug(
+                            "%s: %d candidates, %d/%d sequence pairs, "
+                            "best estWL %.4f",
+                            cfg.name,
+                            candidate_count,
+                            stats.sequence_pairs_explored,
+                            stats.sequence_pairs_total,
+                            best_wl,
+                        )
+                    if timed_out:
+                        break
+                    continue
                 for combo_idx, combo in enumerate(orient_combos):
                     candidate_count += 1
                     # One sequence pair can hide 4^n inner candidates;

@@ -90,12 +90,30 @@ class FastHpwlEvaluator:
         self._local_x = np.asarray(local_x, dtype=np.float64)
         self._local_y = np.asarray(local_y, dtype=np.float64)
         self._starts = np.asarray(signal_starts, dtype=np.int64)
+        # Signals with zero die-borne terminals (escape-only signals)
+        # produce empty ``reduceat`` segments, which numpy does not treat
+        # as identity reductions: an empty mid-array segment silently
+        # *borrows* the next signal's first terminal, and a trailing
+        # empty segment (start == terminal_count) raises IndexError.  The
+        # evaluators therefore reduce over a one-element-padded array
+        # with a sentinel start appended (so every index stays in range
+        # and the last real segment keeps its proper end), then overwrite
+        # the empty segments with the reduction identity via this mask.
+        seg_counts = np.diff(
+            np.append(self._starts, len(t_die))
+        )
+        self._empty_signal = seg_counts == 0
+        self._has_empty_signal = bool(self._empty_signal.any())
+        self._starts_padded = np.append(self._starts, len(t_die))
         self._fixed_min_x = np.asarray(fixed_min_x, dtype=np.float64)
         self._fixed_max_x = np.asarray(fixed_max_x, dtype=np.float64)
         self._fixed_min_y = np.asarray(fixed_min_y, dtype=np.float64)
         self._fixed_max_y = np.asarray(fixed_max_y, dtype=np.float64)
         self._terminal_count = len(t_die)
         self._terminal_range = np.arange(self._terminal_count)
+        # Flattened-batch reduceat offsets, cached per batch size (see
+        # hpwl_batch); bounded — chunked sweeps use at most two sizes.
+        self._batch_starts: Dict[Tuple[int, int], np.ndarray] = {}
 
         # Static per-terminal local-coordinate extrema over ALL four
         # orientations, used by the Eq. 2 lower bounds (inferior branch
@@ -119,9 +137,29 @@ class FastHpwlEvaluator:
         """Number of dies in the design."""
         return len(self.die_ids)
 
+    @property
+    def terminal_count(self) -> int:
+        """Number of die-borne terminals (escape points excluded)."""
+        return self._terminal_count
+
     def die_index(self, die_id: str) -> int:
         """Array index of a die id."""
         return self._die_index[die_id]
+
+    def _reduce_signals(self, values: np.ndarray, ufunc, identity: float):
+        """Per-signal ``ufunc`` reduction, correct for empty segments.
+
+        Reduces over a one-element-padded copy with a sentinel start
+        appended: the pad keeps every ``reduceat`` index in range (a
+        trailing empty segment points exactly at it) and the sentinel
+        start caps the last real segment at ``terminal_count``, so no
+        non-empty segment's value changes.  Empty segments still come out
+        as borrowed garbage — numpy's documented behaviour — and are
+        overwritten with the reduction identity.
+        """
+        padded = np.append(values, 0.0)
+        reduced = ufunc.reduceat(padded, self._starts_padded)[:-1]
+        return np.where(self._empty_signal, identity, reduced)
 
     def hpwl(
         self,
@@ -136,19 +174,108 @@ class FastHpwlEvaluator:
         codes = orient_codes[self._t_die]
         tx = die_x[self._t_die] + self._local_x[codes, self._terminal_range]
         ty = die_y[self._t_die] + self._local_y[codes, self._terminal_range]
+        if self._has_empty_signal:
+            red_min_x = self._reduce_signals(tx, np.minimum, np.inf)
+            red_max_x = self._reduce_signals(tx, np.maximum, -np.inf)
+            red_min_y = self._reduce_signals(ty, np.minimum, np.inf)
+            red_max_y = self._reduce_signals(ty, np.maximum, -np.inf)
+        else:
+            red_min_x = np.minimum.reduceat(tx, self._starts)
+            red_max_x = np.maximum.reduceat(tx, self._starts)
+            red_min_y = np.minimum.reduceat(ty, self._starts)
+            red_max_y = np.maximum.reduceat(ty, self._starts)
+        min_x = np.minimum(red_min_x, self._fixed_min_x)
+        max_x = np.maximum(red_max_x, self._fixed_max_x)
+        min_y = np.minimum(red_min_y, self._fixed_min_y)
+        max_y = np.maximum(red_max_y, self._fixed_max_y)
+        return float(np.sum(max_x - min_x) + np.sum(max_y - min_y))
+
+    def _batch_reduce_starts(self, batch: int, stride: int) -> np.ndarray:
+        """Flattened ``reduceat`` offsets for a ``(batch, stride)`` layout."""
+        key = (batch, stride)
+        starts = self._batch_starts.get(key)
+        if starts is None:
+            per_row = (
+                self._starts_padded
+                if self._has_empty_signal
+                else self._starts
+            )
+            starts = (
+                per_row[None, :]
+                + np.arange(batch, dtype=np.int64)[:, None] * stride
+            ).ravel()
+            if len(self._batch_starts) >= 8:
+                self._batch_starts.clear()
+            self._batch_starts[key] = starts
+        return starts
+
+    def _batch_reduce(
+        self, values: np.ndarray, ufunc, identity: float
+    ) -> np.ndarray:
+        """Row-wise per-signal reduction of a ``(B, T)`` (or padded
+        ``(B, T + 1)``) terminal array; returns ``(B, S)``."""
+        batch, stride = values.shape
+        starts = self._batch_reduce_starts(batch, stride)
+        reduced = ufunc.reduceat(values.reshape(-1), starts).reshape(
+            batch, -1
+        )
+        if self._has_empty_signal:
+            reduced = np.where(
+                self._empty_signal[None, :], identity, reduced[:, :-1]
+            )
+        return reduced
+
+    def hpwl_batch(
+        self,
+        die_x: np.ndarray,
+        die_y: np.ndarray,
+        orient_codes: np.ndarray,
+    ) -> np.ndarray:
+        """Total HPWL of ``B`` candidate floorplans in one numpy pass.
+
+        ``die_x`` / ``die_y`` are ``(B, n)`` global lower-left die origins
+        and ``orient_codes`` a ``(B, n)`` 0..3 code matrix; returns the
+        length-``B`` vector of totals.  Row ``b`` is bit-identical to
+        ``hpwl(die_x[b], die_y[b], orient_codes[b])`` — the batch applies
+        the same float64 gathers, reductions and (pairwise) sums, just
+        laid out over a flattened batch with per-row ``reduceat`` offsets.
+
+        Memory: the pass materializes a few ``(B, T)`` float64
+        intermediates (``T`` = die-borne terminal count), so callers
+        should chunk ``B`` to keep ``B * T`` bounded — EFA targets ~1M
+        elements (8 MB per intermediate) per chunk.
+        """
+        die_x = np.asarray(die_x, dtype=np.float64)
+        die_y = np.asarray(die_y, dtype=np.float64)
+        batch = die_x.shape[0]
+        if batch == 0 or self._terminal_count == 0:
+            return np.zeros(batch)
+        codes = np.asarray(orient_codes, dtype=np.int64)[:, self._t_die]
+        tx = die_x[:, self._t_die] + self._local_x[
+            codes, self._terminal_range
+        ]
+        ty = die_y[:, self._t_die] + self._local_y[
+            codes, self._terminal_range
+        ]
+        if self._has_empty_signal:
+            # Pad one column so trailing empty segments index in range;
+            # the sentinel start keeps it out of every real segment.
+            pad = np.zeros((batch, 1))
+            tx = np.concatenate([tx, pad], axis=1)
+            ty = np.concatenate([ty, pad], axis=1)
         min_x = np.minimum(
-            np.minimum.reduceat(tx, self._starts), self._fixed_min_x
+            self._batch_reduce(tx, np.minimum, np.inf), self._fixed_min_x
         )
         max_x = np.maximum(
-            np.maximum.reduceat(tx, self._starts), self._fixed_max_x
+            self._batch_reduce(tx, np.maximum, -np.inf), self._fixed_max_x
         )
         min_y = np.minimum(
-            np.minimum.reduceat(ty, self._starts), self._fixed_min_y
+            self._batch_reduce(ty, np.minimum, np.inf), self._fixed_min_y
         )
         max_y = np.maximum(
-            np.maximum.reduceat(ty, self._starts), self._fixed_max_y
+            self._batch_reduce(ty, np.maximum, -np.inf), self._fixed_max_y
         )
-        return float(np.sum(max_x - min_x) + np.sum(max_y - min_y))
+        return np.sum(max_x - min_x, axis=1) + np.sum(max_y - min_y, axis=1)
 
     def hpwl_of_floorplan(self, floorplan: Floorplan) -> float:
         """Convenience wrapper evaluating a :class:`Floorplan` object."""
@@ -192,15 +319,17 @@ class FastHpwlEvaluator:
         # enters the ceiling (a max) with its minimum ``e - off_hi`` and
         # the floor (a min) with its maximum ``e - off_lo``.  The sentinel
         # for signals without an escape must be -inf for the max and +inf
-        # for the min, hence fixed_max/fixed_min respectively.
-        ceiling = np.maximum(
-            np.maximum.reduceat(min_pot, self._starts),
-            self._fixed_max_y - off_hi,
-        )
-        floor = np.minimum(
-            np.minimum.reduceat(max_pot, self._starts),
-            self._fixed_min_y - off_lo,
-        )
+        # for the min, hence fixed_max/fixed_min respectively.  An
+        # escape-only signal (empty segment) keeps only its escape term:
+        # its ceiling - floor is off_lo - off_hi <= 0, clamped to zero.
+        if self._has_empty_signal:
+            red_max = self._reduce_signals(min_pot, np.maximum, -np.inf)
+            red_min = self._reduce_signals(max_pot, np.minimum, np.inf)
+        else:
+            red_max = np.maximum.reduceat(min_pot, self._starts)
+            red_min = np.minimum.reduceat(max_pot, self._starts)
+        ceiling = np.maximum(red_max, self._fixed_max_y - off_hi)
+        floor = np.minimum(red_min, self._fixed_min_y - off_lo)
         return float(np.sum(np.maximum(ceiling - floor, 0.0)))
 
     def lower_bound_horizontal(
@@ -215,14 +344,14 @@ class FastHpwlEvaluator:
             return 0.0
         min_pot = die_x_min[self._t_die] + self._all_min_x
         max_pot = die_x_max[self._t_die] + self._all_max_x
-        ceiling = np.maximum(
-            np.maximum.reduceat(min_pot, self._starts),
-            self._fixed_max_x - off_hi,
-        )
-        floor = np.minimum(
-            np.minimum.reduceat(max_pot, self._starts),
-            self._fixed_min_x - off_lo,
-        )
+        if self._has_empty_signal:
+            red_max = self._reduce_signals(min_pot, np.maximum, -np.inf)
+            red_min = self._reduce_signals(max_pot, np.minimum, np.inf)
+        else:
+            red_max = np.maximum.reduceat(min_pot, self._starts)
+            red_min = np.minimum.reduceat(max_pot, self._starts)
+        ceiling = np.maximum(red_max, self._fixed_max_x - off_hi)
+        floor = np.minimum(red_min, self._fixed_min_x - off_lo)
         return float(np.sum(np.maximum(ceiling - floor, 0.0)))
 
 

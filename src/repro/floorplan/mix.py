@@ -32,11 +32,14 @@ def run_efa_mix(
     time_budget_s: Optional[float] = None,
     die_threshold: int = DEFAULT_DIE_THRESHOLD,
     workers: int = 1,
+    batch_eval: bool = True,
 ) -> FloorplanResult:
     """EFA_c3 for small die counts, EFA_dop otherwise.
 
     ``workers > 1`` runs the EFA_c3 arm on the sharded process pool
-    (identical result, shorter wall-clock on multi-core hosts).
+    (identical result, shorter wall-clock on multi-core hosts);
+    ``batch_eval=False`` forces the scalar per-combination inner loop
+    (same winner, mainly for benchmarking and cross-checks).
     """
     logger.info(
         "EFA_mix: %d dies -> %s%s",
@@ -51,6 +54,7 @@ def run_efa_mix(
             illegal_cut=True,
             inferior_cut=True,
             time_budget_s=time_budget_s,
+            batch_eval=batch_eval,
         )
         if workers > 1:
             # Imported here: repro.parallel depends on repro.floorplan, so

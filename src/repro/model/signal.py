@@ -21,7 +21,11 @@ class Signal:
 
     ``buffer_ids`` are the ids of the I/O buffers carrying this signal, one
     per die the signal touches; ``escape_id`` names the signal's escaping
-    point, or ``None`` for a purely die-to-die signal.
+    point, or ``None`` for a purely die-to-die signal.  A signal may be
+    *escape-only* (no buffers, just the escaping point): such nets are
+    fully pinned at the package boundary and contribute zero HPWL, but
+    they occur in netlists as pre-assigned escapes and the evaluator must
+    not let their empty die-terminal segment corrupt a neighbour's.
     """
 
     id: str
@@ -29,11 +33,11 @@ class Signal:
     escape_id: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if len(self.buffer_ids) == 0:
-            raise ValueError(f"signal {self.id!r} has no I/O buffer terminal")
         if len(set(self.buffer_ids)) != len(self.buffer_ids):
             raise ValueError(f"signal {self.id!r} repeats a buffer terminal")
-        if len(self.buffer_ids) < 2 and self.escape_id is None:
+        if len(self.buffer_ids) == 0 and self.escape_id is None:
+            raise ValueError(f"signal {self.id!r} has no terminals at all")
+        if len(self.buffer_ids) == 1 and self.escape_id is None:
             raise ValueError(
                 f"signal {self.id!r} has a single terminal and no escape "
                 "point; it would need no interposer routing"

@@ -227,12 +227,10 @@ def _worker_main(
 
 
 def _merge_stats(
-    shard_stats: List[Dict[str, Any]], die_count: int
+    shard_stats: List[Dict[str, Any]], sequence_pairs_total: int
 ) -> SearchStats:
     """Reduce per-shard :class:`SearchStats` dicts into pool totals."""
-    merged = SearchStats(
-        sequence_pairs_total=math.factorial(die_count) ** 2
-    )
+    merged = SearchStats(sequence_pairs_total=sequence_pairs_total)
     for s in shard_stats:
         merged.sequence_pairs_explored += s["sequence_pairs_explored"]
         merged.pruned_illegal += s["pruned_illegal"]
@@ -294,8 +292,17 @@ def run_parallel_efa(
     efa_cfg = cfg.efa
     workers = resolve_workers(cfg.workers)
     n = len(design.dies)
-    shards = make_shards(n, workers, cfg.chunks_per_worker)
-    workers = min(workers, len(shards))
+    n_fact = math.factorial(n)
+    # Enumeration windows (see EFAConfig) shard like the full space:
+    # only the configured gamma_plus window is partitioned, and every
+    # worker keeps the gamma_minus window intact inside its shard.
+    plus_lo, plus_hi = efa_cfg.plus_range or (0, n_fact)
+    minus_lo, minus_hi = efa_cfg.minus_range or (0, n_fact)
+    pairs_total = (plus_hi - plus_lo) * (minus_hi - minus_lo)
+    shards = make_shards(
+        n, workers, cfg.chunks_per_worker, plus_range=efa_cfg.plus_range
+    )
+    workers = max(1, min(workers, len(shards)))
     start = time.monotonic()
 
     with obs.span(
@@ -309,7 +316,7 @@ def run_parallel_efa(
         else:
             records = _run_pool(design, efa_cfg, shards, workers, cfg)
 
-        merged = _merge_stats([r["stats"] for r in records], n)
+        merged = _merge_stats([r["stats"] for r in records], pairs_total)
         merged.runtime_s = time.monotonic() - start
         winner = _pick_winner(records)
         sp.annotate(

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..seqpair import iter_permutations_range, permutation_at_rank
 
@@ -75,15 +75,20 @@ def make_shards(
     die_count: int,
     workers: int,
     chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    plus_range: Optional[Tuple[int, int]] = None,
 ) -> List[Shard]:
-    """Partition ``[0, n!)`` into balanced contiguous rank intervals.
+    """Partition a gamma_plus rank window into contiguous intervals.
 
-    Produces ``min(n!, workers * chunks_per_worker)`` shards whose sizes
-    differ by at most one, covering every rank exactly once and in order
-    (shard ``i`` ends where shard ``i+1`` begins).  ``workers <= 1`` still
-    yields the chunked partition, so a single worker draining the queue
-    walks the identical shard sequence — useful for apples-to-apples
-    overhead measurements.
+    The window defaults to the full ``[0, n!)``; passing ``plus_range``
+    shards only that sub-interval (ranks stay *global*, so windowed and
+    full runs share one tie-break coordinate system).  Produces
+    ``min(window, workers * chunks_per_worker)`` shards whose sizes
+    differ by at most one, covering every windowed rank exactly once and
+    in order (shard ``i`` ends where shard ``i+1`` begins); an empty
+    window yields an empty list.  ``workers <= 1`` still yields the
+    chunked partition, so a single worker draining the queue walks the
+    identical shard sequence — useful for apples-to-apples overhead
+    measurements.
     """
     if die_count < 1:
         raise ValueError("die_count must be >= 1")
@@ -91,14 +96,23 @@ def make_shards(
         raise ValueError("workers must be >= 1")
     if chunks_per_worker < 1:
         raise ValueError("chunks_per_worker must be >= 1")
-    total = math.factorial(die_count)
+    n_fact = math.factorial(die_count)
+    win_lo, win_hi = (0, n_fact) if plus_range is None else plus_range
+    if not 0 <= win_lo <= win_hi <= n_fact:
+        raise ValueError(
+            f"plus_range {(win_lo, win_hi)} out of bounds for "
+            f"die_count={die_count}"
+        )
+    total = win_hi - win_lo
+    if total == 0:
+        return []
     count = min(total, workers * chunks_per_worker)
     base, extra = divmod(total, count)
     shards: List[Shard] = []
-    lo = 0
+    lo = win_lo
     for i in range(count):
         size = base + (1 if i < extra else 0)
         shards.append(Shard(i, die_count, lo, lo + size))
         lo += size
-    assert lo == total
+    assert lo == win_hi
     return shards

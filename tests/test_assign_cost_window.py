@@ -139,6 +139,71 @@ class TestWindowMatching:
         assert stats.mean_halfwidth >= 1.0
 
 
+class TestWindowMatchingEdgeCases:
+    def test_fewer_sites_than_buffers_terminates_with_candidates(self):
+        # M < B globally: the deficit M - B >= lambda can never be met,
+        # so termination relies on the span cap; every buffer must still
+        # end with at least one candidate (the assigners report the
+        # infeasibility downstream, not the window builder).
+        sites = [Point(0.0, 0.0), Point(3.0, 0.0)]
+        buffers = [Point(float(x), 0.0) for x in range(5)]
+        cands, _ = window_candidates(buffers, sites, pitch=1.0)
+        assert len(cands) == 5
+        assert all(len(c) >= 1 for c in cands)
+
+    def test_single_candidate_site(self):
+        # One site far from the buffer: the window must expand to reach
+        # it and return exactly that index.
+        cands, stats = window_candidates(
+            [Point(0.0, 0.0)], [Point(7.0, 7.0)], pitch=1.0
+        )
+        assert cands[0].tolist() == [0]
+        assert stats.max_candidates == 1
+
+    def test_site_exactly_on_window_boundary_included(self):
+        # The half-extent after one growth step is exactly 2.0; a site at
+        # distance 2.0 sits on the boundary and the 1e-12 epsilon must
+        # keep it inside despite float repr of the comparison operands.
+        buffers = [Point(0.0, 0.0), Point(0.1, 0.0)]
+        sites = [Point(1.0, 0.0), Point(2.0, 0.0)]
+        cands, _ = window_candidates(buffers, sites, pitch=1.0)
+        assert 1 in cands[0].tolist()
+
+    def test_boundary_inclusion_with_noninteger_pitch(self):
+        # 3 * 0.1 != 0.30000000000000004 in float64; the epsilon absorbs
+        # the representation error for sites at an exact pitch multiple.
+        buffers = [Point(0.0, 0.0)]
+        sites = [Point(0.1, 0.0)]
+        cands, _ = window_candidates(buffers, sites, pitch=0.1)
+        assert cands[0].tolist() == [0]
+
+    def test_expansion_terminates_on_coincident_everything(self):
+        # All buffers and sites on one point with a deficit: span
+        # degenerates to the pitch and the step cap must still terminate
+        # the loop.
+        sites = [Point(0.0, 0.0)]
+        buffers = [Point(0.0, 0.0)] * 4
+        cands, _ = window_candidates(buffers, sites, pitch=0.5)
+        assert all(c.tolist() == [0] for c in cands)
+
+    def test_every_buffer_covered_when_sites_exist(self):
+        # Random scatter: whatever the geometry, each buffer must end
+        # with a nonempty candidate list.
+        rng = np.random.default_rng(5)
+        sites = [Point(*xy) for xy in rng.uniform(0, 30, size=(12, 2))]
+        buffers = [Point(*xy) for xy in rng.uniform(0, 30, size=(9, 2))]
+        cands, _ = window_candidates(buffers, sites, pitch=0.7)
+        assert len(cands) == 9
+        assert all(len(c) >= 1 for c in cands)
+
+    def test_negative_slack_behaves_like_zero(self):
+        sites = [Point(float(x), 0.0) for x in range(6)]
+        buffers = [Point(2.0, 0.0)]
+        neg, _ = window_candidates(buffers, sites, pitch=1.0, slack=-5)
+        zero, _ = window_candidates(buffers, sites, pitch=1.0, slack=0)
+        assert [c.tolist() for c in neg] == [c.tolist() for c in zero]
+
+
 class TestDieProcessingOrder:
     def test_decreasing_order(self):
         design = load_tiny(die_count=3, signal_count=10)

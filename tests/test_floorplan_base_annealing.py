@@ -88,6 +88,100 @@ class TestAnnealerInternals:
         assert result.stats.runtime_s < 5.0
 
 
+class TestSAConfigValidation:
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_initial_acceptance_range(self, bad):
+        with pytest.raises(ValueError, match="initial_acceptance"):
+            SAConfig(initial_acceptance=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, 1.1, -0.5])
+    def test_cooling_range(self, bad):
+        with pytest.raises(ValueError, match="cooling"):
+            SAConfig(cooling=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_moves_per_temperature_positive(self, bad):
+        with pytest.raises(ValueError, match="moves_per_temperature"):
+            SAConfig(moves_per_temperature=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_min_temperature_ratio_range(self, bad):
+        with pytest.raises(ValueError, match="min_temperature_ratio"):
+            SAConfig(min_temperature_ratio=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_overflow_penalty_positive(self, bad):
+        with pytest.raises(ValueError, match="overflow_penalty"):
+            SAConfig(overflow_penalty=bad)
+
+    def test_btree_config_validated_too(self):
+        from repro.floorplan.btree import BTreeSAConfig
+
+        with pytest.raises(ValueError, match="BTreeSAConfig.cooling"):
+            BTreeSAConfig(cooling=2.0)
+
+    def test_defaults_are_valid(self):
+        SAConfig()  # must not raise
+
+
+class TestSAAccounting:
+    def test_probes_not_counted_as_evaluations(self):
+        # One initial evaluation + moves_per_temperature * levels; the 30
+        # calibration probes must not inflate the count.  With a tiny
+        # schedule the total stays far below 30 if probes are excluded.
+        design = load_tiny(die_count=2, signal_count=4)
+        result = run_sa(
+            design,
+            SAConfig(
+                seed=3,
+                moves_per_temperature=2,
+                cooling=0.5,
+                min_temperature_ratio=0.4,
+            ),
+        )
+        # Two temperature levels max (0.5^2 < 0.4): 1 + 2 * levels.
+        assert result.stats.floorplans_evaluated <= 1 + 2 * 2
+
+    def test_budget_checked_inside_move_loop(self):
+        design = load_tiny(die_count=3, signal_count=8)
+        result = run_sa(
+            design,
+            SAConfig(seed=1, moves_per_temperature=100000, time_budget_s=0.2),
+        )
+        # Pre-fix the expiry was only seen between temperature levels, so
+        # a single huge level overran the budget by orders of magnitude.
+        assert result.stats.timed_out
+        assert result.stats.runtime_s < 2.0
+
+    def test_pack_cache_reused_on_180_flips(self):
+        design = load_tiny(die_count=3, signal_count=8)
+        planner = AnnealingFloorplanner(design, SAConfig(seed=0))
+        from repro.geometry import Orientation
+
+        ids = tuple(planner._die_ids)
+        sp = SequencePair(ids, ids)
+        base = tuple(Orientation.R0 for _ in ids)
+        flipped = (Orientation.R180,) + base[1:]
+        planner._evaluate(sp, base)
+        misses_before = planner.pack_cache_misses
+        planner._evaluate(sp, flipped)  # same footprints -> cache hit
+        assert planner.pack_cache_misses == misses_before
+        assert planner.pack_cache_hits >= 1
+
+    def test_cached_evaluation_matches_fresh_planner(self):
+        # The cached path must not change SA's cost function.
+        design = load_tiny(die_count=3, signal_count=8)
+        from repro.geometry import Orientation
+
+        a = AnnealingFloorplanner(design, SAConfig(seed=0))
+        ids = tuple(a._die_ids)
+        sp = SequencePair(ids, ids[::-1])
+        vec = (Orientation.R90, Orientation.R270, Orientation.R0)
+        first = a._evaluate(sp, vec)
+        again = a._evaluate(sp, vec)  # now served from the cache
+        assert first == again
+
+
 class TestMixThreshold:
     def test_threshold_boundary(self):
         design = load_tiny(die_count=3, signal_count=8)

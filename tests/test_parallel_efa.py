@@ -331,3 +331,42 @@ class TestParallelCLI:
         )
         assert rc == 0
         assert json.loads(out.read_text())["placements"]
+
+
+class TestWindowedParallel:
+    """Enumeration windows compose with sharding and batch/serial eval."""
+
+    def test_windowed_pool_matches_windowed_serial(self, design3):
+        cfg = EFAConfig(
+            illegal_cut=True,
+            inferior_cut=True,
+            plus_range=(1, 5),
+            minus_range=(0, 4),
+        )
+        serial = run_efa(design3, cfg)
+        pooled = run_parallel_efa(
+            design3, ParallelEFAConfig(workers=2, efa=cfg)
+        )
+        assert pooled.est_wl == serial.est_wl
+        assert pooled.candidate_key == serial.candidate_key
+        assert pooled.stats.sequence_pairs_total == 4 * 4
+
+    def test_windowed_batch_matches_windowed_scalar(self, design3):
+        kwargs = dict(plus_range=(0, 3), minus_range=(2, 6))
+        a = run_efa(design3, EFAConfig(batch_eval=True, **kwargs))
+        b = run_efa(design3, EFAConfig(batch_eval=False, **kwargs))
+        assert a.est_wl == b.est_wl
+        assert a.candidate_key == b.candidate_key
+        assert (
+            a.stats.floorplans_evaluated == b.stats.floorplans_evaluated
+        )
+
+    def test_empty_window_returns_not_found(self, design3):
+        result = run_parallel_efa(
+            design3,
+            ParallelEFAConfig(
+                workers=2, efa=EFAConfig(plus_range=(2, 2))
+            ),
+        )
+        assert not result.found
+        assert result.stats.sequence_pairs_total == 0

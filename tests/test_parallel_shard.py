@@ -88,3 +88,32 @@ class TestSharder:
     def test_invalid_workers_raise(self, bad):
         with pytest.raises(ValueError):
             make_shards(3, bad)
+
+
+class TestWindowedShards:
+    def test_window_partition_is_exact(self):
+        shards = make_shards(4, workers=3, plus_range=(5, 17))
+        assert shards[0].plus_lo == 5
+        assert shards[-1].plus_hi == 17
+        for a, b in zip(shards, shards[1:]):
+            assert a.plus_hi == b.plus_lo
+        sizes = [s.plus_count for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_window_yields_no_shards(self):
+        assert make_shards(4, workers=3, plus_range=(7, 7)) == []
+
+    def test_window_ranks_stay_global(self):
+        # Permutations enumerated inside a window are the same global-rank
+        # permutations the full partition visits at those ranks.
+        full = make_shards(4, workers=1, chunks_per_worker=1)
+        windowed = make_shards(4, workers=1, chunks_per_worker=1,
+                               plus_range=(3, 9))
+        all_perms = list(full[0].iter_plus())
+        win_perms = [p for s in windowed for p in s.iter_plus()]
+        assert win_perms == all_perms[3:9]
+
+    @pytest.mark.parametrize("bad", [(-1, 2), (0, 999), (5, 3)])
+    def test_invalid_window_raises(self, bad):
+        with pytest.raises(ValueError):
+            make_shards(4, workers=2, plus_range=bad)
