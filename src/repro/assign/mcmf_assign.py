@@ -31,7 +31,7 @@ from ..geometry import Point
 from ..model import Assignment, Design, Floorplan, Terminal, TerminalKind
 from ..mst import SignalTopology, build_topologies
 from ..netflow import FlowNetwork, min_cost_max_flow
-from ..obs import get_logger, metrics, span
+from ..obs import Progress, get_logger, metrics, span
 from .base import (
     AssignmentError,
     AssignmentRunResult,
@@ -115,24 +115,39 @@ class MCMFAssigner:
         self._locked_tsvs: set = set()
         self._locked_buffers: set = set()
         self._locked_escapes: set = set()
+        order = die_processing_order(design, cfg.die_order, cfg.order_seed)
+        # One heartbeat per solved sub-SAP (the per-die stages plus the
+        # final interposer/TSV stage).
+        progress = Progress(
+            cfg.name, total=len(order) + 1, unit="sub-SAPs", logger=logger
+        )
         try:
             if locked is not None:
                 self._apply_locks(
                     design, floorplan, locked, assignment, topologies
                 )
-            for die_id in die_processing_order(
-                design, cfg.die_order, cfg.order_seed
-            ):
+            for stage, die_id in enumerate(order):
                 stats = self._solve_die(
                     design, floorplan, die_id, topologies, assignment, clock
                 )
                 if stats is not None:
                     sub_stats.append(stats)
+                progress.update(
+                    done=stage + 1,
+                    scope=die_id,
+                    arcs=sum(s.edges for s in sub_stats),
+                    augmentations=sum(s.augmentations for s in sub_stats),
+                )
             tsv_stats = self._solve_tsvs(
                 design, topologies, assignment, clock
             )
             if tsv_stats is not None:
                 sub_stats.append(tsv_stats)
+            progress.finish(
+                done=len(order) + 1,
+                arcs=sum(s.edges for s in sub_stats),
+                augmentations=sum(s.augmentations for s in sub_stats),
+            )
         except AssignmentError as exc:
             logger.warning("%s: assignment failed: %s", cfg.name, exc)
             return AssignmentRunResult(

@@ -17,7 +17,11 @@ artifacts only where asked.  All subcommands additionally accept:
 * ``--log-level LEVEL`` / ``--log-json`` — configure the ``repro.*``
   logger hierarchy (diagnostics go to stderr; results stay on stdout);
 * ``--report OUT.json`` — write the versioned observability run report
-  (span tree + solver counters + results) after the command finishes.
+  (span tree + solver counters + results) after the command finishes;
+* ``--trace-out TRACE.json`` — write the run's span tree as Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
+* ``--heartbeat SECONDS`` — progress-heartbeat interval for the
+  long-running stages (implies ``--log-level info``).
 
 The floorplanning commands (``floorplan``, ``run``) further accept
 ``--workers N`` (sharded multi-process EFA search, result identical to
@@ -29,6 +33,7 @@ stochastic floorplanners); see :mod:`repro.parallel`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -382,6 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="write the observability run report (spans + counters) here",
     )
+    common.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="write the run's span tree as Chrome trace-event JSON "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    common.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="progress-heartbeat interval (implies --log-level info; "
+        "<= 0 disables; default: $REPRO_HEARTBEAT_S or 2.0)",
+    )
 
     def add_parser(name: str, parents=(), **kwargs):
         return sub.add_parser(
@@ -495,11 +514,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    obs.configure_logging(level=args.log_level, json_mode=args.log_json)
+    log_level = args.log_level
+    if args.heartbeat is not None:
+        # Solvers (and worker processes) read the interval from the
+        # environment; heartbeats only emit at INFO, so raise the default
+        # level rather than making the flag silently do nothing.
+        os.environ["REPRO_HEARTBEAT_S"] = str(args.heartbeat)
+        if log_level == "warning":
+            log_level = "info"
+    obs.configure_logging(level=log_level, json_mode=args.log_json)
     # Each invocation is one observability scope; commands that delegate
     # to run_flow reset again, which is harmless.
     obs.reset_run()
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # The span tree exists even when the command failed; a trace of a
+        # failed run is exactly what one wants to look at.
+        if getattr(args, "trace_out", None):
+            obs.write_trace(args.trace_out)
+            print(f"wrote trace {args.trace_out}")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point
 from ..model import Design, Floorplan, Placement
-from ..obs import get_logger, span
+from ..obs import Progress, get_logger, record_incumbent, span
 from ..seqpair import SequencePair
 from .base import (
     FloorplanResult,
@@ -232,7 +232,24 @@ class AnnealingFloorplanner:
             temperature,
             floor_temperature,
         )
+        # Geometric schedule -> the level count is known up front, so the
+        # heartbeat can carry a real ETA.  Updated once per level.
+        total_levels = max(
+            1,
+            int(
+                math.ceil(
+                    math.log(cfg.min_temperature_ratio)
+                    / math.log(cfg.cooling)
+                )
+            ),
+        )
+        progress = Progress(
+            "floorplan.sa", total=total_levels, unit="levels", logger=logger
+        )
+        if best_cost < float("inf"):
+            record_incumbent(best_cost, source="SA")
 
+        level = 0
         while temperature > floor_temperature and not budget.expired:
             for _ in range(cfg.moves_per_temperature):
                 # Checked per move, not per level: a level at the default
@@ -251,9 +268,20 @@ class AnnealingFloorplanner:
                     if cand_legal and cand_cost < best_cost:
                         best_cost = cand_cost
                         best_state = (cand_sp, cand_vec)
+                        record_incumbent(best_cost, source="SA")
             temperature *= cfg.cooling
+            level += 1
+            progress.update(
+                done=level,
+                best=best_cost,
+                temp=temperature,
+                moves=stats.floorplans_evaluated,
+            )
         stats.timed_out = budget.expired
         stats.runtime_s = time.monotonic() - start
+        progress.finish(
+            done=level, best=best_cost, moves=stats.floorplans_evaluated
+        )
         logger.info(
             "SA: %d moves in %.2fs, best cost %.4f%s",
             stats.floorplans_evaluated,

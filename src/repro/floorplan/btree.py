@@ -31,6 +31,7 @@ import numpy as np
 
 from ..geometry import ALL_ORIENTATIONS, Orientation, Point
 from ..model import Design, Floorplan, Placement
+from ..obs import Progress, get_logger, record_incumbent, span
 from .base import (
     FloorplanResult,
     SearchStats,
@@ -45,6 +46,8 @@ _EPS = 1e-9
 # neighborhood of the current SA state, so keep it small and wipe on
 # overflow instead of tracking LRU order.
 _PACK_CACHE_LIMIT = 64
+
+logger = get_logger("floorplan.btree")
 
 
 class BStarTree:
@@ -342,6 +345,16 @@ class BTreeFloorplanner:
 
     def run(self) -> FloorplanResult:
         """Anneal and return the best legal floorplan found."""
+        with span("floorplan.btree_sa") as sp:
+            result = self._run()
+        sp.annotate(
+            est_wl=result.est_wl if result.found else None,
+            moves=result.stats.floorplans_evaluated,
+        )
+        result.stats.publish(prefix="floorplan.btree_sa")
+        return result
+
+    def _run(self) -> FloorplanResult:
         cfg = self.config
         rng = random.Random(cfg.seed)
         budget = TimeBudget(cfg.time_budget_s)
@@ -368,7 +381,25 @@ class BTreeFloorplanner:
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
         temperature = -avg_delta / math.log(cfg.initial_acceptance)
         floor_temperature = temperature * cfg.min_temperature_ratio
+        total_levels = max(
+            1,
+            int(
+                math.ceil(
+                    math.log(cfg.min_temperature_ratio)
+                    / math.log(cfg.cooling)
+                )
+            ),
+        )
+        progress = Progress(
+            "floorplan.btree_sa",
+            total=total_levels,
+            unit="levels",
+            logger=logger,
+        )
+        if best_cost < float("inf"):
+            record_incumbent(best_cost, source="B*-SA")
 
+        level = 0
         while temperature > floor_temperature and not budget.expired:
             for _ in range(cfg.moves_per_temperature):
                 if budget.expired:
@@ -382,11 +413,23 @@ class BTreeFloorplanner:
                     if cand_legal and cand_cost < best_cost:
                         best_cost = cand_cost
                         best = (cand_t.clone(), list(cand_c))
+                        record_incumbent(best_cost, source="B*-SA")
             temperature *= cfg.cooling
+            level += 1
+            progress.update(
+                done=level,
+                best=best_cost,
+                temp=temperature,
+                moves=stats.floorplans_evaluated,
+            )
         stats.timed_out = budget.expired
         stats.runtime_s = time.monotonic() - start
+        progress.finish(
+            done=level, best=best_cost, moves=stats.floorplans_evaluated
+        )
 
         if best is None:
+            logger.warning("B*-SA: no legal floorplan visited")
             return FloorplanResult(None, float("inf"), stats, "B*-SA")
         floorplan = self._realize(*best)
         return FloorplanResult(floorplan, best_cost, stats, "B*-SA")

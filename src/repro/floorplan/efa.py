@@ -45,7 +45,7 @@ from ..geometry import (
     portrait_orientations,
 )
 from ..model import Design, Floorplan, Placement
-from ..obs import get_logger, span
+from ..obs import Progress, get_logger, record_incumbent, span
 from ..seqpair import (
     SequencePair,
     iter_permutations_range,
@@ -218,6 +218,15 @@ class EnumerativeFloorplanner:
             )
         stats = SearchStats(sequence_pairs_total=(hi - lo) * (mhi - mlo))
         budget = TimeBudget(cfg.time_budget_s)
+        # Heartbeats ride the loop's existing periodic sites (per plus
+        # permutation, per batched sweep, every 4096 scalar candidates),
+        # so a disabled reporter costs one branch at each.
+        progress = Progress(
+            cfg.name,
+            total=stats.sequence_pairs_total,
+            unit="pairs",
+            logger=logger,
+        )
         start = time.monotonic()
         log_progress = logger.isEnabledFor(10)  # logging.DEBUG
         logger.info(
@@ -393,6 +402,7 @@ class EnumerativeFloorplanner:
                                 ),
                             )
                             best_key = (plus_rank, minus_rank, sweep_combo)
+                            record_incumbent(sweep_wl, source=cfg.name)
                             if sweep_wl < prune_wl:
                                 prune_wl = sweep_wl
                             if incumbent is not None:
@@ -409,6 +419,13 @@ class EnumerativeFloorplanner:
                                     ),
                                 )
                                 best_key = key
+                    progress.update(
+                        done=stats.sequence_pairs_explored
+                        + stats.pruned_illegal
+                        + stats.pruned_inferior,
+                        best=best_wl,
+                        candidates=candidate_count,
+                    )
                     if log_progress and candidate_count % _PROGRESS_EVERY < sweep.size:
                         logger.debug(
                             "%s: %d candidates, %d/%d sequence pairs, "
@@ -436,6 +453,13 @@ class EnumerativeFloorplanner:
                             shared = incumbent.peek()
                             if shared < prune_wl:
                                 prune_wl = shared
+                        progress.update(
+                            done=stats.sequence_pairs_explored
+                            + stats.pruned_illegal
+                            + stats.pruned_inferior,
+                            best=best_wl,
+                            candidates=candidate_count,
+                        )
                         if (
                             log_progress
                             and candidate_count % _PROGRESS_EVERY == 0
@@ -469,6 +493,7 @@ class EnumerativeFloorplanner:
                         best_wl = wl
                         best = (plus, minus, combo)
                         best_key = (plus_rank, minus_rank, combo_idx)
+                        record_incumbent(wl, source=cfg.name)
                         if wl < prune_wl:
                             prune_wl = wl
                         if incumbent is not None:
@@ -480,11 +505,24 @@ class EnumerativeFloorplanner:
                             best_key = key
                 if timed_out:
                     break
+            progress.update(
+                done=stats.sequence_pairs_explored
+                + stats.pruned_illegal
+                + stats.pruned_inferior,
+                best=best_wl,
+            )
             if timed_out:
                 stats.timed_out = True
                 break
 
         stats.runtime_s = time.monotonic() - start
+        progress.finish(
+            done=stats.sequence_pairs_explored
+            + stats.pruned_illegal
+            + stats.pruned_inferior,
+            best=best_wl,
+            evaluated=stats.floorplans_evaluated,
+        )
         logger.info(
             "%s: explored %d sequence pairs (%d pruned illegal, %d pruned "
             "inferior), evaluated %d floorplans in %.2fs%s",

@@ -159,6 +159,12 @@ def run_flow(
             fp_span.annotate(
                 algorithm=fp_result.algorithm, est_wl=fp_result.est_wl
             )
+            # Anchor the stage outcome on the run trajectory even when
+            # the floorplanner ran out-of-process (workers' own points
+            # keep worker-relative timestamps).
+            obs.record_incumbent(
+                fp_result.est_wl, metric="est_wl", source="flow.floorplan"
+            )
         with obs.span("assign") as asg_span:
             stage_assigner = (
                 assigner if assigner is not None
@@ -182,6 +188,7 @@ def run_flow(
             wl = total_wirelength(
                 design, fp_result.floorplan, asg_result.assignment
             )
+        obs.record_incumbent(wl.total, metric="twl", source="flow.evaluate")
         flow_span.annotate(design=design.name, twl=wl.total)
     result = FlowResult(design, fp_result, asg_result, wl)
     result.obs_report = obs.build_report(result)

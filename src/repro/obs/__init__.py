@@ -1,21 +1,28 @@
-"""Observability substrate: logging, trace spans, metrics, run reports.
+"""Observability substrate: logging, spans, metrics, telemetry, reports.
 
-The four pieces compose into one instrumentation story for the flow:
+The pieces compose into one instrumentation story for the flow:
 
 * :mod:`repro.obs.logging` — a ``repro.*`` logger hierarchy with a single
   :func:`configure_logging` entry point (human or JSON lines);
 * :mod:`repro.obs.trace` — nestable :func:`span` timing contexts producing
-  a per-run trace tree with call counts;
+  a per-run trace tree with call counts and monotonic start offsets;
 * :mod:`repro.obs.metrics` — process-local counters/gauges/histograms the
   solvers publish their branch-cut / augmenting-path / expansion counts to;
+* :mod:`repro.obs.progress` — throttled :class:`Progress` heartbeats the
+  long-running searches feed, plus run-scoped :func:`telemetry` state
+  (incumbent trajectory, per-worker shard balance);
+* :mod:`repro.obs.trace_export` — Chrome trace-event rendering of the
+  span tree (:func:`write_trace`, the CLI's ``--trace-out``);
 * :mod:`repro.obs.report` — a versioned JSON run-report document bundling
-  results + span tree + metric snapshot.
+  results + span tree + metric snapshot + telemetry (schema v2).
 
-:func:`reset_run` clears the trace tree and metric registry; the flow
-entry points call it so every run's report is self-contained.
+:func:`reset_run` clears the trace tree, metric registry and telemetry
+scope; the flow entry points call it so every run's report is
+self-contained, and every spawned worker process must call it at entry
+(see the threading/spawn contract in :mod:`repro.obs.metrics`).
 """
 
-from .logging import configure_logging, get_logger
+from .logging import configure_logging, get_logger, json_default
 from .metrics import (
     Counter,
     Gauge,
@@ -29,6 +36,13 @@ from .metrics import (
     registry,
     reset_metrics,
     snapshot,
+)
+from .progress import (
+    Progress,
+    Telemetry,
+    record_incumbent,
+    reset_telemetry,
+    telemetry,
 )
 from .report import (
     REPORT_KIND,
@@ -49,12 +63,14 @@ from .trace import (
     trace_snapshot,
     tracer,
 )
+from .trace_export import build_trace, trace_events, write_trace
 
 
 def reset_run() -> None:
-    """Start a fresh observability scope: clear spans and metrics."""
+    """Start a fresh observability scope: spans, metrics, telemetry."""
     reset_trace()
     reset_metrics()
+    reset_telemetry()
 
 
 __all__ = [
@@ -62,11 +78,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Progress",
     "REPORT_KIND",
     "REPORT_SCHEMA_VERSION",
     "Span",
+    "Telemetry",
     "Tracer",
     "build_report",
+    "build_trace",
     "configure_logging",
     "counter",
     "current_span",
@@ -76,16 +95,22 @@ __all__ = [
     "get_logger",
     "graft_spans",
     "histogram",
+    "json_default",
     "merge_metrics",
+    "record_incumbent",
     "registry",
     "report_to_json",
     "reset_metrics",
     "reset_run",
+    "reset_telemetry",
     "reset_trace",
     "snapshot",
     "span",
     "span_seconds",
+    "telemetry",
+    "trace_events",
     "trace_snapshot",
     "tracer",
     "write_report",
+    "write_trace",
 ]

@@ -17,6 +17,7 @@ flags.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
 import sys
@@ -24,6 +25,33 @@ import time
 from typing import Any, Dict, Optional, Union
 
 ROOT_LOGGER_NAME = "repro"
+
+
+def json_default(value: Any) -> Any:
+    """``json.dumps`` fallback that never raises.
+
+    Handles the payloads instrumentation realistically receives: numpy
+    scalars and arrays (the batched kernels feed ``np.float64`` /
+    ``np.int64`` into counters, heartbeats and span annotations), sets,
+    dataclasses — anything else degrades to ``repr``.  Numpy is
+    duck-typed via ``tolist`` so this module keeps zero hard
+    dependencies.  Shared by the JSON log formatter here and
+    :func:`repro.obs.report.report_to_json`.
+    """
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        try:
+            return tolist()
+        except Exception:
+            pass
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: getattr(value, f.name)
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)
 
 # Attributes of a LogRecord that are bookkeeping, not user payload; anything
 # else found on a record (passed via ``extra=``) is emitted in JSON mode.
@@ -46,7 +74,12 @@ def get_logger(name: str = "") -> logging.Logger:
 
 
 class JsonLogFormatter(logging.Formatter):
-    """Format records as one JSON object per line."""
+    """Format records as one JSON object per line.
+
+    ``extra=`` payload fields serialize through :func:`json_default`, so
+    numpy scalars become plain numbers and arbitrary objects degrade to
+    ``repr`` instead of crashing the formatter.
+    """
 
     def format(self, record: logging.LogRecord) -> str:
         payload: Dict[str, Any] = {
@@ -58,14 +91,10 @@ class JsonLogFormatter(logging.Formatter):
         for key, value in record.__dict__.items():
             if key in _RESERVED_RECORD_FIELDS or key.startswith("_"):
                 continue
-            try:
-                json.dumps(value)
-            except (TypeError, ValueError):
-                value = repr(value)
             payload[key] = value
         if record.exc_info:
             payload["exc"] = self.formatException(record.exc_info)
-        return json.dumps(payload, sort_keys=False)
+        return json.dumps(payload, sort_keys=False, default=json_default)
 
 
 class HumanLogFormatter(logging.Formatter):

@@ -19,10 +19,24 @@ Module-level helpers (:func:`counter`, :func:`gauge`, :func:`histogram`,
 :func:`snapshot`, :func:`reset_metrics`) operate on one process-local
 default registry; code needing isolation can instantiate its own
 :class:`MetricsRegistry`.
+
+**Threading and spawn-worker contract.**  Registry-level mutations —
+get-or-create, :meth:`~MetricsRegistry.reset`, snapshot/export and
+:meth:`~MetricsRegistry.merge_export` — are guarded by a per-registry
+re-entrant lock, so concurrent threads can create instruments, reset the
+run scope, or reduce worker exports without corrupting the name map.
+The *instruments themselves* stay lock-free: ``inc``/``set``/``observe``
+are meant for solver hot paths, and the publishing convention (accumulate
+locally, publish once per search from one thread — see
+``SearchStats.publish``) already serializes them.  Worker *processes*
+never share a registry: each worker calls :func:`repro.obs.reset_run` at
+entry, publishes into its own process-local registry, and ships
+:func:`export_metrics` back for the parent to :func:`merge_metrics`.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional, Union
 
 Number = Union[int, float]
@@ -112,22 +126,29 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name -> instrument mapping with typed get-or-create accessors."""
+    """Name -> instrument mapping with typed get-or-create accessors.
+
+    Registry-level mutations are thread-safe (see the module docstring);
+    instrument updates are not synchronized and belong to one thread at a
+    time by convention.
+    """
 
     def __init__(self):
+        self._lock = threading.RLock()
         self._metrics: Dict[str, Any] = {}
 
     def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, not {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -143,14 +164,16 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Forget every registered instrument."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready ``{name: value}`` export, sorted by name."""
-        return {
-            name: self._metrics[name].to_value()
-            for name in sorted(self._metrics)
-        }
+        with self._lock:
+            return {
+                name: self._metrics[name].to_value()
+                for name in sorted(self._metrics)
+            }
 
     # -- cross-process reduction --------------------------------------------
 
@@ -162,13 +185,14 @@ class MetricsRegistry:
         the instrument type so :meth:`merge_export` can reduce a worker
         registry into a parent registry without guessing.
         """
-        return {
-            name: {
-                "type": type(metric).__name__.lower(),
-                "value": metric.to_value(),
+        with self._lock:
+            return {
+                name: {
+                    "type": type(metric).__name__.lower(),
+                    "value": metric.to_value(),
+                }
+                for name, metric in sorted(self._metrics.items())
             }
-            for name, metric in sorted(self._metrics.items())
-        }
 
     def merge_export(self, exported: Dict[str, Dict[str, Any]]) -> None:
         """Reduce an :meth:`export` from another registry into this one.
@@ -178,20 +202,21 @@ class MetricsRegistry:
         primitive the parallel executor uses to surface per-worker solver
         counters in the parent's run report.
         """
-        for name, entry in exported.items():
-            kind = entry.get("type")
-            value = entry.get("value")
-            if kind == "counter":
-                self.counter(name).inc(value)
-            elif kind == "gauge":
-                if value is not None:
-                    self.gauge(name).set(value)
-            elif kind == "histogram":
-                self.histogram(name).merge_value(value or {})
-            else:
-                raise ValueError(
-                    f"cannot merge metric {name!r}: unknown type {kind!r}"
-                )
+        with self._lock:
+            for name, entry in exported.items():
+                kind = entry.get("type")
+                value = entry.get("value")
+                if kind == "counter":
+                    self.counter(name).inc(value)
+                elif kind == "gauge":
+                    if value is not None:
+                        self.gauge(name).set(value)
+                elif kind == "histogram":
+                    self.histogram(name).merge_value(value or {})
+                else:
+                    raise ValueError(
+                        f"cannot merge metric {name!r}: unknown type {kind!r}"
+                    )
 
 
 _default = MetricsRegistry()

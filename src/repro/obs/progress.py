@@ -1,0 +1,298 @@
+"""Live search telemetry: progress heartbeats and run trajectories.
+
+Long enumerations are black boxes between the start log line and the
+final report; this module adds the two live signals that matter for a
+search whose practical speed hinges on pruning:
+
+* :class:`Progress` — a throttled *heartbeat* reporter the solvers feed
+  from their existing periodic check sites.  It emits ETA lines through
+  the ``repro.*`` logger at INFO level (so ``--log-json`` turns them into
+  structured JSON objects for machine consumption, and the default
+  WARNING level keeps them — and their cost — off entirely), and it
+  records each emission into the run's :class:`Telemetry`.
+* :class:`Telemetry` — run-scoped state behind the run report's
+  ``telemetry`` section (schema v2): the incumbent-vs-time *trajectory*
+  (every improvement of the best wirelength, stamped with a monotonic
+  offset from the run epoch), per-worker *shard balance* gauges from the
+  parallel executor, and heartbeat counts per reporter.
+
+Overhead contract: a disabled heartbeat (logger above INFO, or
+``REPRO_HEARTBEAT_S <= 0``) costs one attribute store and one branch per
+``update`` call; an enabled one adds a ``perf_counter`` read.  Solvers
+only call ``update`` at sites that already do periodic work (budget
+checks, per-sequence-pair boundaries), so the measured overhead on a
+full EFA run stays under 1% (see EXPERIMENTS.md).  Trajectory recording
+happens only on incumbent *improvements* — rare by construction — and is
+capped at :data:`TRAJECTORY_CAP` points (further improvements are
+counted, not stored).
+
+Telemetry state is per-process and lock-guarded; worker processes start
+a fresh scope via :func:`repro.obs.reset_run`, ship
+``telemetry().snapshot()`` home, and the parent folds it in with
+:meth:`Telemetry.merge` (trajectory offsets stay relative to the
+*worker's* run epoch — sources are tagged so consumers can tell).
+"""
+
+from __future__ import annotations
+
+import logging as logging_mod
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .logging import get_logger
+
+# Default seconds between heartbeat emissions; override per reporter or
+# globally via $REPRO_HEARTBEAT_S (<= 0 disables heartbeats entirely).
+DEFAULT_INTERVAL_S = 2.0
+
+# Incumbent-trajectory points kept per run; improvements beyond the cap
+# are counted in ``trajectory_dropped`` instead of stored.
+TRAJECTORY_CAP = 4096
+
+
+def heartbeat_interval_s(override: Optional[float] = None) -> float:
+    """The effective heartbeat interval (explicit > env > default)."""
+    if override is not None:
+        return override
+    raw = os.environ.get("REPRO_HEARTBEAT_S")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_INTERVAL_S
+
+
+class Telemetry:
+    """Run-scoped live-telemetry state (one instance per process)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        """Start a fresh scope: new epoch, empty trajectory and gauges."""
+        with self._lock:
+            self._epoch = time.perf_counter()
+            self._trajectory: List[Dict[str, Any]] = []
+            self._dropped = 0
+            self._shard_balance: Dict[str, Dict[str, float]] = {}
+            self._heartbeats: Dict[str, int] = {}
+
+    @property
+    def epoch(self) -> float:
+        """``perf_counter`` instant of the scope start."""
+        return self._epoch
+
+    def record_incumbent(
+        self, value: float, metric: str = "est_wl", source: str = ""
+    ) -> None:
+        """Append one point to the incumbent-vs-time trajectory."""
+        t_s = time.perf_counter() - self._epoch
+        with self._lock:
+            if len(self._trajectory) >= TRAJECTORY_CAP:
+                self._dropped += 1
+                return
+            self._trajectory.append(
+                {
+                    "t_s": round(t_s, 6),
+                    "value": float(value),
+                    "metric": metric,
+                    "source": source,
+                }
+            )
+
+    def record_shard_balance(self, worker: str, **fields: float) -> None:
+        """Accumulate per-worker load-balance gauges (numeric adds)."""
+        with self._lock:
+            entry = self._shard_balance.setdefault(worker, {})
+            for key, value in fields.items():
+                entry[key] = entry.get(key, 0) + value
+
+    def record_heartbeat(self, name: str) -> None:
+        """Count one heartbeat emission for reporter ``name``."""
+        with self._lock:
+            self._heartbeats[name] = self._heartbeats.get(name, 0) + 1
+
+    def merge(self, snap: Dict[str, Any], source: str = "") -> None:
+        """Fold a worker's :meth:`snapshot` into this scope.
+
+        Trajectory points keep their worker-relative ``t_s`` but gain a
+        ``source`` prefix; shard-balance and heartbeat counts add.
+        """
+        prefix = f"{source}." if source else ""
+        with self._lock:
+            for point in snap.get("trajectory", []):
+                if len(self._trajectory) >= TRAJECTORY_CAP:
+                    self._dropped += 1
+                    continue
+                merged = dict(point)
+                merged["source"] = prefix + str(point.get("source", ""))
+                self._trajectory.append(merged)
+            self._dropped += snap.get("trajectory_dropped", 0)
+            for worker, fields in snap.get("shard_balance", {}).items():
+                entry = self._shard_balance.setdefault(prefix + worker, {})
+                for key, value in fields.items():
+                    entry[key] = entry.get(key, 0) + value
+            for name, count in snap.get("heartbeats", {}).items():
+                key = prefix + name
+                self._heartbeats[key] = self._heartbeats.get(key, 0) + count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready ``telemetry`` section for the schema-v2 report."""
+        with self._lock:
+            return {
+                "trajectory": [dict(p) for p in self._trajectory],
+                "trajectory_dropped": self._dropped,
+                "shard_balance": {
+                    w: dict(f) for w, f in sorted(self._shard_balance.items())
+                },
+                "heartbeats": dict(sorted(self._heartbeats.items())),
+            }
+
+
+_telemetry = Telemetry()
+
+
+def telemetry() -> Telemetry:
+    """The process-local telemetry scope."""
+    return _telemetry
+
+
+def record_incumbent(
+    value: float, metric: str = "est_wl", source: str = ""
+) -> None:
+    """Record one incumbent improvement on the default telemetry scope."""
+    _telemetry.record_incumbent(value, metric=metric, source=source)
+
+
+def reset_telemetry() -> None:
+    """Clear the default telemetry scope (start of a fresh run)."""
+    _telemetry.reset()
+
+
+class Progress:
+    """A throttled heartbeat reporter for one long-running stage.
+
+    Construct it at stage entry, call :meth:`update` from the stage's
+    periodic check sites, and :meth:`finish` at exit.  ``update`` stores
+    the latest ``done`` / field values unconditionally (cheap), and emits
+    a heartbeat — an INFO log line with a structured ``heartbeat`` extra,
+    plus a telemetry count — at most every ``interval_s`` seconds.
+    """
+
+    __slots__ = (
+        "name",
+        "total",
+        "unit",
+        "done",
+        "fields",
+        "emits",
+        "_logger",
+        "_interval",
+        "_enabled",
+        "_start",
+        "_last_emit",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        total: Optional[int] = None,
+        unit: str = "items",
+        interval_s: Optional[float] = None,
+        logger: Optional[logging_mod.Logger] = None,
+    ):
+        self.name = name
+        self.total = total
+        self.unit = unit
+        self.done = 0
+        self.fields: Dict[str, Any] = {}
+        self.emits = 0
+        self._logger = logger or get_logger(name)
+        self._interval = heartbeat_interval_s(interval_s)
+        self._enabled = self._interval > 0 and self._logger.isEnabledFor(
+            logging_mod.INFO
+        )
+        self._start = time.perf_counter()
+        self._last_emit = self._start
+
+    @property
+    def enabled(self) -> bool:
+        """True when heartbeats will actually be emitted."""
+        return self._enabled
+
+    def update(self, done: Optional[int] = None, **fields: Any) -> bool:
+        """Record progress; emit a throttled heartbeat when one is due.
+
+        Returns True when a heartbeat was emitted.  Safe to call from hot
+        periodic sites: when disabled this is one store and one branch.
+        """
+        if done is not None:
+            self.done = done
+        if fields:
+            self.fields.update(fields)
+        if not self._enabled:
+            return False
+        now = time.perf_counter()
+        if now - self._last_emit < self._interval:
+            return False
+        self._emit(now)
+        return True
+
+    def finish(self, done: Optional[int] = None, **fields: Any) -> None:
+        """Emit one final heartbeat (if enabled) marking the stage done."""
+        if done is not None:
+            self.done = done
+        if fields:
+            self.fields.update(fields)
+        if self._enabled:
+            self._emit(time.perf_counter(), final=True)
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit(self, now: float, final: bool = False) -> None:
+        self._last_emit = now
+        self.emits += 1
+        elapsed = now - self._start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "done": self.done,
+            "unit": self.unit,
+            "elapsed_s": round(elapsed, 3),
+            "rate_per_s": round(rate, 3),
+            "final": final,
+        }
+        parts = [f"{self.done}"]
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            payload["total"] = self.total
+            payload["pct"] = round(pct, 2)
+            parts = [f"{self.done}/{self.total}", f"{pct:.1f}%"]
+            if rate > 0 and not final:
+                eta = max(0.0, (self.total - self.done) / rate)
+                payload["eta_s"] = round(eta, 1)
+                parts.append(f"eta {eta:.0f}s")
+        if rate > 0:
+            parts.append(f"{rate:.0f} {self.unit}/s")
+        if self.fields:
+            payload.update(self.fields)
+            parts.extend(f"{k}={_fmt(v)}" for k, v in self.fields.items())
+        self._logger.info(
+            "%s %s: %s",
+            "done" if final else "progress",
+            self.name,
+            ", ".join(parts),
+            extra={"heartbeat": payload},
+        )
+        _telemetry.record_heartbeat(self.name)
+
+
+def _fmt(value: Any) -> str:
+    """Compact field formatting for the human heartbeat line."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

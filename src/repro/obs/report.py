@@ -8,12 +8,19 @@ from :mod:`repro.obs.metrics`).  Benchmarks and external tooling consume
 this document instead of scraping stdout or re-timing stages.
 
 The schema is versioned via ``schema_version`` (currently
-``REPORT_SCHEMA_VERSION`` = 1); consumers should check it.  Top-level keys
-of a version-1 report:
+``REPORT_SCHEMA_VERSION`` = 2); consumers should check it.  Top-level keys
+of a version-2 report:
 
 ``schema_version``, ``kind`` (``"repro.run_report"``), ``created_unix_s``,
 ``command`` (optional, the CLI invocation), ``design``, ``floorplan``,
-``assignment``, ``wirelength``, ``spans``, ``metrics``.
+``assignment``, ``wirelength``, ``spans``, ``metrics``, ``telemetry``.
+
+Version 2 adds (a) the ``telemetry`` section — the incumbent-vs-time
+``trajectory``, per-worker ``shard_balance`` gauges and ``heartbeats``
+counts from :mod:`repro.obs.progress` — and (b) monotonic
+``start_s``/``end_s`` offsets on every span node (consumed by
+:mod:`repro.obs.trace_export`).  Version-1 consumers reading only the
+v1 keys keep working; strict ones must accept 2.
 
 This module depends only on the model/result dataclasses it serializes
 (duck-typed, to stay import-cycle-free with :mod:`repro.flow`).
@@ -27,9 +34,11 @@ import time
 from typing import Any, Dict, List, Optional
 
 from . import metrics as metrics_mod
+from . import progress as progress_mod
 from . import trace as trace_mod
+from .logging import json_default
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 REPORT_KIND = "repro.run_report"
 
 
@@ -50,6 +59,12 @@ def _jsonable(value: Any) -> Any:
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set)):
         return [_jsonable(v) for v in value]
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        try:
+            return _jsonable(tolist())
+        except Exception:
+            pass
     return repr(value)
 
 
@@ -95,15 +110,17 @@ def build_report(
     wirelength=None,
     spans: Optional[List[Dict[str, Any]]] = None,
     metric_values: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
     command: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble a version-1 run report.
+    """Assemble a version-2 run report.
 
     Either pass a complete ``flow_result`` (a :class:`repro.flow.FlowResult`)
-    or any subset of the individual sections.  ``spans`` and
-    ``metric_values`` default to snapshots of the thread's tracer and the
-    default metrics registry, so the usual call site is simply
+    or any subset of the individual sections.  ``spans``,
+    ``metric_values`` and ``telemetry`` default to snapshots of the
+    thread's tracer, the default metrics registry and the process
+    telemetry scope, so the usual call site is simply
     ``build_report(flow_result)`` right after the instrumented run.
     """
     if flow_result is not None:
@@ -135,14 +152,25 @@ def build_report(
         metric_values if metric_values is not None
         else metrics_mod.snapshot()
     )
+    report["telemetry"] = (
+        telemetry if telemetry is not None
+        else progress_mod.telemetry().snapshot()
+    )
     if extra:
         report.update(_jsonable(extra))
     return report
 
 
 def report_to_json(report: Dict[str, Any], indent: int = 2) -> str:
-    """Serialize a report dict to JSON text."""
-    return json.dumps(report, indent=indent, sort_keys=False)
+    """Serialize a report dict to JSON text.
+
+    Uses :func:`json_default`, so numpy scalars that leaked into counters
+    or span attributes (common since the batched kernels) serialize as
+    plain numbers instead of crashing the dump.
+    """
+    return json.dumps(
+        report, indent=indent, sort_keys=False, default=json_default
+    )
 
 
 def write_report(report: Dict[str, Any], path) -> None:
@@ -152,14 +180,26 @@ def write_report(report: Dict[str, Any], path) -> None:
 
 
 def find_span(report: Dict[str, Any], path: str) -> Optional[Dict[str, Any]]:
-    """Look up a span node in a report by dotted path (``"flow.assign"``)."""
+    """Look up a span node in a report by dotted path (``"flow.assign"``).
+
+    Span names may themselves contain dots (``"floorplan.efa"``), so at
+    each level the longest literal name match wins before descending.
+    """
     nodes = report.get("spans", [])
     node: Optional[Dict[str, Any]] = None
-    for part in path.split("."):
-        node = next((n for n in nodes if n.get("name") == part), None)
-        if node is None:
+    parts = path.split(".")
+    i = 0
+    while i < len(parts):
+        for j in range(len(parts), i, -1):
+            name = ".".join(parts[i:j])
+            cand = next((n for n in nodes if n.get("name") == name), None)
+            if cand is not None:
+                node = cand
+                nodes = cand.get("children", [])
+                i = j
+                break
+        else:
             return None
-        nodes = node.get("children", [])
     return node
 
 

@@ -14,6 +14,22 @@ The module keeps one process-local :class:`Tracer` (per thread, via
 calls :func:`span`, which costs two ``perf_counter`` reads and a dict
 lookup — cheap enough for per-sub-problem granularity, but deliberately
 not used inside the EFA candidate loop (counters cover that, in bulk).
+
+Every span additionally records *monotonic offsets*: ``start_s`` is the
+first entry and ``end_s`` the last exit, both relative to the tracer's
+epoch (set at creation / :meth:`Tracer.reset`).  The offsets are what
+:mod:`repro.obs.trace_export` needs to place spans on a Chrome
+trace-event timeline; aggregation semantics are unchanged (re-entries
+still merge into one node).
+
+**Threading contract.**  Tracers are per-thread, so span entry/exit never
+races across threads by construction; the structural mutations
+(push/pop/graft/reset/snapshot) are nevertheless guarded by a per-tracer
+re-entrant lock so that a monitoring thread snapshotting another thread's
+tracer object, or a callback grafting worker spans, cannot observe a
+half-mutated tree.  Worker *processes* do not share any of this state:
+each worker must call :func:`repro.obs.reset_run` at entry and ship its
+snapshot back for grafting (see :mod:`repro.parallel.executor`).
 """
 
 from __future__ import annotations
@@ -24,10 +40,15 @@ from typing import Any, Dict, List, Optional
 
 
 class Span:
-    """One node of the trace tree (aggregated over same-name re-entries)."""
+    """One node of the trace tree (aggregated over same-name re-entries).
+
+    ``start_s`` / ``end_s`` are monotonic offsets (seconds relative to the
+    owning tracer's epoch) of the node's first entry and last exit;
+    ``None`` until the span has been entered at least once.
+    """
 
     __slots__ = ("name", "count", "total_s", "min_s", "max_s",
-                 "attrs", "children", "_active")
+                 "start_s", "end_s", "attrs", "children", "_active")
 
     def __init__(self, name: str):
         self.name = name
@@ -35,6 +56,8 @@ class Span:
         self.total_s = 0.0
         self.min_s = float("inf")
         self.max_s = 0.0
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
         self.attrs: Dict[str, Any] = {}
         self.children: Dict[str, "Span"] = {}
         self._active = 0
@@ -72,6 +95,11 @@ class Span:
         wins, and children merge recursively by name.  This is how worker
         span snapshots shipped across a process boundary are reduced into
         the parent's trace tree.
+
+        Monotonic offsets widen too (earliest start, latest end), but note
+        they stay relative to the *source* tracer's epoch — grafted worker
+        subtrees keep worker-relative offsets, which is why the trace
+        exporter renders each worker as its own process timeline.
         """
         self.count += data.get("count", 0)
         self.total_s += data.get("total_s", 0.0)
@@ -79,6 +107,12 @@ class Span:
             self.min_s = data["min_s"]
         if data.get("max_s", 0.0) > self.max_s:
             self.max_s = data["max_s"]
+        start = data.get("start_s")
+        if start is not None and (self.start_s is None or start < self.start_s):
+            self.start_s = start
+        end = data.get("end_s")
+        if end is not None and (self.end_s is None or end > self.end_s):
+            self.end_s = end
         self.attrs.update(data.get("attrs", {}))
         for child in data.get("children", []):
             name = child.get("name", "?")
@@ -98,6 +132,10 @@ class Span:
         if self.count:
             out["min_s"] = round(self.min_s, 6)
             out["max_s"] = round(self.max_s, 6)
+        if self.start_s is not None:
+            out["start_s"] = round(self.start_s, 6)
+        if self.end_s is not None:
+            out["end_s"] = round(self.end_s, 6)
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -129,50 +167,69 @@ class _SpanContext:
         self._tracer._push(self._span)
         self._span._active += 1
         self._start = time.perf_counter()
+        if self._span.start_s is None:
+            self._span.start_s = self._start - self._tracer.epoch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        elapsed = time.perf_counter() - self._start
-        self._span._active -= 1
+        now = time.perf_counter()
+        elapsed = now - self._start
+        span = self._span
+        span._active -= 1
+        end_s = now - self._tracer.epoch
+        if span.end_s is None or end_s > span.end_s:
+            span.end_s = end_s
         # A recursive re-entry of an already-open span must not double-count
         # its wall-clock in the aggregate.
-        if self._span._active == 0:
-            self._span._record(elapsed)
+        if span._active == 0:
+            span._record(elapsed)
         else:
-            self._span.count += 1
-        self._tracer._pop(self._span)
+            span.count += 1
+        self._tracer._pop(span)
 
 
 class Tracer:
-    """Collects a tree of :class:`Span` nodes for one thread of execution."""
+    """Collects a tree of :class:`Span` nodes for one thread of execution.
+
+    ``epoch`` is the ``perf_counter`` instant the tracer (or its last
+    :meth:`reset`) was created; all span ``start_s``/``end_s`` offsets are
+    relative to it.  Structural mutations take ``_lock`` (re-entrant, so
+    nested spans opened under an outer span's entry don't deadlock); see
+    the module docstring for the threading contract.
+    """
 
     def __init__(self):
+        self._lock = threading.RLock()
         self.root = Span("root")
         self._stack: List[Span] = [self.root]
+        self.epoch = time.perf_counter()
 
     # -- structural plumbing ------------------------------------------------
 
     def _push(self, span: Span) -> None:
-        self._stack.append(span)
+        with self._lock:
+            self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        else:  # Mis-nested exit; drop back to the span's level defensively.
-            while len(self._stack) > 1 and self._stack[-1] is not span:
+        with self._lock:
+            if self._stack and self._stack[-1] is span:
                 self._stack.pop()
-            if len(self._stack) > 1:
-                self._stack.pop()
+            else:  # Mis-nested exit; drop back to the span's level defensively.
+                while len(self._stack) > 1 and self._stack[-1] is not span:
+                    self._stack.pop()
+                if len(self._stack) > 1:
+                    self._stack.pop()
 
     # -- public API ---------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open (or re-enter) the child span ``name`` of the current span."""
-        parent = self._stack[-1]
-        node = parent.children.get(name)
-        if node is None:
-            node = Span(name)
-            parent.children[name] = node
+        with self._lock:
+            parent = self._stack[-1]
+            node = parent.children.get(name)
+            if node is None:
+                node = Span(name)
+                parent.children[name] = node
         if attrs:
             node.annotate(**attrs)
         return _SpanContext(self, node)
@@ -191,23 +248,27 @@ class Tracer:
         interposes one extra named level (e.g. ``"worker3"``) so sibling
         workers stay distinguishable in the report.
         """
-        parent = self._stack[-1]
-        if under is not None:
-            node = parent.children.get(under)
-            if node is None:
-                node = Span(under)
-                parent.children[under] = node
-            parent = node
-        parent.merge_dict({"children": span_dicts})
+        with self._lock:
+            parent = self._stack[-1]
+            if under is not None:
+                node = parent.children.get(under)
+                if node is None:
+                    node = Span(under)
+                    parent.children[under] = node
+                parent = node
+            parent.merge_dict({"children": span_dicts})
 
     def reset(self) -> None:
         """Drop all recorded spans and any open-span state."""
-        self.root = Span("root")
-        self._stack = [self.root]
+        with self._lock:
+            self.root = Span("root")
+            self._stack = [self.root]
+            self.epoch = time.perf_counter()
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """JSON-ready list of top-level span trees recorded so far."""
-        return [c.to_dict() for c in self.root.children.values()]
+        with self._lock:
+            return [c.to_dict() for c in self.root.children.values()]
 
 
 _local = threading.local()

@@ -1,0 +1,159 @@
+"""Chrome trace-event export of the span tree.
+
+Renders the aggregated span trees of :mod:`repro.obs.trace` (or the
+``spans`` section of a run report) to the Trace Event JSON format that
+``chrome://tracing`` and Perfetto load: a ``{"traceEvents": [...]}``
+document of *complete* (``"ph": "X"``) events in microseconds.
+
+Mapping (documented in DESIGN.md):
+
+* one span node -> one ``X`` event.  ``ts`` is the node's ``start_s``
+  (first entry, relative to the tracer epoch) and ``dur`` spans to its
+  ``end_s`` (last exit); for an aggregated node (``count > 1``) the event
+  therefore covers the whole first-entry..last-exit window, and the
+  *busy* time is carried in ``args.busy_s`` (= ``total_s``) together
+  with ``count`` / ``min_s`` / ``max_s`` and any span attributes;
+* grafted worker subtrees (span nodes named ``worker<N>``, produced by
+  the parallel executor) become separate ``pid`` timelines, because
+  their offsets are relative to the *worker's* run epoch, not the
+  parent's — each pid gets a ``process_name`` metadata event;
+* span nodes merged from old snapshots without offsets inherit their
+  parent's ``ts`` and use ``total_s`` as ``dur``.
+
+The exporter never mutates the spans it is given and emits plain Python
+scalars only, so its output round-trips through ``json`` untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+from . import trace as trace_mod
+
+TRACE_KIND = "repro.trace"
+
+# Span-node names the parallel executor grafts worker snapshots under;
+# these subtrees live on a different time base and get their own pid.
+_WORKER_NAME = re.compile(r"^worker(\d+)$")
+
+
+def _event(
+    node: Dict[str, Any],
+    pid: int,
+    tid: int,
+    start_s: float,
+    dur_s: float,
+) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "count": node.get("count", 0),
+        "busy_s": node.get("total_s", 0.0),
+    }
+    if "min_s" in node:
+        args["min_s"] = node["min_s"]
+        args["max_s"] = node["max_s"]
+    for key, value in node.get("attrs", {}).items():
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            value = repr(value)
+        args[key] = value
+    return {
+        "name": node.get("name", "?"),
+        "cat": "span",
+        "ph": "X",
+        "ts": round(start_s * 1e6, 3),
+        "dur": round(dur_s * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def _meta(pid: int, process_name: str) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "main"},
+        },
+    ]
+
+
+def trace_events(
+    spans: List[Dict[str, Any]], process_name: str = "repro"
+) -> List[Dict[str, Any]]:
+    """Flatten span-tree dicts into a Trace Event list.
+
+    ``spans`` is a list of ``Span.to_dict()`` trees (what
+    :func:`repro.obs.trace_snapshot` and a run report's ``spans`` section
+    hold).  Worker subtrees become separate pids; everything else lands
+    on pid 0.
+    """
+    events: List[Dict[str, Any]] = list(_meta(0, process_name))
+    next_pid = [1]  # boxed so the nested walker can allocate pids
+
+    def walk(node: Dict[str, Any], pid: int, parent_start: float) -> None:
+        match = _WORKER_NAME.match(node.get("name", ""))
+        if match:
+            # A grafted worker subtree: its own pid, worker-relative time.
+            worker_pid = next_pid[0]
+            next_pid[0] += 1
+            events.extend(_meta(worker_pid, f"{process_name}/{node['name']}"))
+            for child in node.get("children", []):
+                walk(child, worker_pid, 0.0)
+            return
+        start = node.get("start_s")
+        end = node.get("end_s")
+        if start is None:
+            start = parent_start
+            dur = node.get("total_s", 0.0)
+        else:
+            dur = (end - start) if end is not None else node.get("total_s", 0.0)
+        events.append(_event(node, pid, 0, start, max(dur, 0.0)))
+        for child in node.get("children", []):
+            walk(child, pid, start)
+
+    for top in spans:
+        walk(top, 0, 0.0)
+    return events
+
+
+def build_trace(
+    spans: Optional[List[Dict[str, Any]]] = None,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """The full Trace Event JSON document for ``spans``.
+
+    ``spans`` defaults to the calling thread's tracer snapshot.  The
+    document carries the catapult-standard ``traceEvents`` array plus
+    ``displayTimeUnit`` and an ``otherData`` stamp identifying the
+    producer, all of which viewers ignore gracefully.
+    """
+    if spans is None:
+        spans = trace_mod.trace_snapshot()
+    return {
+        "traceEvents": trace_events(spans, process_name=process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {"kind": TRACE_KIND, "producer": "repro.obs"},
+    }
+
+
+def write_trace(
+    path,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    process_name: str = "repro",
+) -> None:
+    """Write the Trace Event JSON for ``spans`` to ``path``."""
+    doc = build_trace(spans, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")

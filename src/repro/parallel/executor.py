@@ -27,11 +27,14 @@ shared value), so the executor works under the ``spawn`` start method;
 ``fork`` is preferred where available because it skips the re-import cost.
 
 **Observability.**  Each worker runs its own obs scope; at exit it ships
-its metric export and span snapshot back, and the parent reduces them
-into the calling process's registry/trace (under
-``floorplan.parallel.workerN``), so ``--report`` output is schema-v1
-compatible and the ``floorplan.efa.*`` counters aggregate across the
-whole pool.
+its metric export, span snapshot and telemetry snapshot back, and the
+parent reduces them into the calling process's registry/trace/telemetry
+(spans under ``workerN`` — rendered as separate process timelines by the
+trace exporter, since worker span offsets use the worker's own epoch).
+The parent additionally feeds a ``floorplan.parallel`` heartbeat as shard
+records arrive, records the pool-level incumbent trajectory (source
+``"pool"``, parent-epoch timestamps) and accumulates per-worker
+shard-balance gauges into the report's ``telemetry`` section (schema v2).
 """
 
 from __future__ import annotations
@@ -152,11 +155,14 @@ def resolve_start_method(start_method: Optional[str]) -> str:
 # -- worker side ------------------------------------------------------------
 
 
-def _shard_record(shard: Shard, result: FloorplanResult) -> Dict[str, Any]:
+def _shard_record(
+    shard: Shard, result: FloorplanResult, worker: int = 0
+) -> Dict[str, Any]:
     """The picklable per-shard result shipped back to the parent."""
     return {
         "kind": "shard",
         "shard": shard.index,
+        "worker": worker,
         "found": result.found,
         "est_wl": result.est_wl,
         "candidate": result.candidate,
@@ -202,7 +208,7 @@ def _worker_main(
                 incumbent=incumbent,
             )
             shards_done += 1
-            result_queue.put(_shard_record(shard, result))
+            result_queue.put(_shard_record(shard, result, worker_id))
         result_queue.put(
             {
                 "kind": "final",
@@ -210,6 +216,10 @@ def _worker_main(
                 "shards_done": shards_done,
                 "metrics": obs.export_metrics(),
                 "spans": obs.trace_snapshot(),
+                # Worker-local telemetry (incumbent trajectory, heartbeat
+                # counts); trajectory offsets are relative to the
+                # *worker's* run epoch — the parent merge tags sources.
+                "telemetry": obs.telemetry().snapshot(),
             }
         )
     except Exception as exc:  # pragma: no cover - defensive
@@ -275,6 +285,12 @@ def _run_serial(
             plus_range=(shard.plus_lo, shard.plus_hi), incumbent=incumbent
         )
         records.append(_shard_record(shard, result))
+        obs.telemetry().record_shard_balance(
+            "worker0",
+            shards=1,
+            runtime_s=result.stats.runtime_s,
+            pairs_explored=result.stats.sequence_pairs_explored,
+        )
     return records, None
 
 
@@ -395,10 +411,21 @@ def _run_pool(
     records: List[Dict[str, Any]] = []
     finals = 0
     errors: List[str] = []
+    progress = obs.Progress(
+        "floorplan.parallel", total=len(shards), unit="shards", logger=logger
+    )
+    # The pool's own incumbent-vs-time trajectory: stamped against the
+    # *parent's* run epoch (unlike worker-local points), sourced "pool".
+    pool_best = float("inf")
     while finals < workers and len(errors) == 0:
+        shared_best = incumbent.peek()
+        if shared_best < pool_best:
+            pool_best = shared_best
+            obs.record_incumbent(pool_best, source="pool")
         try:
             rec = result_queue.get(timeout=1.0)
         except queue_mod.Empty:
+            progress.update(done=len(records), best=pool_best)
             dead = [
                 p for p in procs if not p.is_alive() and p.exitcode not in (0, None)
             ]
@@ -410,12 +437,27 @@ def _run_pool(
             continue
         if rec["kind"] == "shard":
             records.append(rec)
+            obs.telemetry().record_shard_balance(
+                f"worker{rec['worker']}",
+                shards=1,
+                runtime_s=rec["stats"]["runtime_s"],
+                pairs_explored=rec["stats"]["sequence_pairs_explored"],
+            )
+            progress.update(done=len(records), best=pool_best)
         elif rec["kind"] == "final":
             finals += 1
             obs.merge_metrics(rec["metrics"])
             obs.graft_spans(rec["spans"], under=f"worker{rec['worker']}")
+            snap = rec.get("telemetry")
+            if snap:
+                obs.telemetry().merge(snap, source=f"worker{rec['worker']}")
         elif rec["kind"] == "error":
             errors.append(f"worker {rec['worker']}: {rec['error']}")
+    shared_best = incumbent.peek()
+    if shared_best < pool_best:
+        pool_best = shared_best
+        obs.record_incumbent(pool_best, source="pool")
+    progress.finish(done=len(records), best=pool_best)
 
     for p in procs:
         p.join(timeout=_JOIN_GRACE_S)

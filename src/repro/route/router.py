@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..model import Assignment, Design, Floorplan, extract_nets
 from ..mst import prim_mst_edges
-from ..obs import get_logger, metrics, span
+from ..obs import Progress, get_logger, metrics, span
 from .grid import Cell, GridConfig, RoutingGrid
 from .maze import edge_cost, maze_route
 
@@ -216,7 +216,11 @@ class GlobalRouter:
         routed: Dict[str, RoutedNet] = {
             sid: RoutedNet(sid, mst, 0.0) for sid, mst in per_net_mst.items()
         }
+        progress = Progress(
+            "route", total=len(edges), unit="edges", logger=logger
+        )
         committed: List[Tuple[str, List[Cell], bool]] = []
+        mazed = 0
         for sid, a, b, _ in edges:
             path, used_maze = self._route_edge(a, b)
             length = self._commit(path)
@@ -225,6 +229,12 @@ class GlobalRouter:
             net.routed_length += length
             net.used_maze = net.used_maze or used_maze
             committed.append((sid, path, used_maze))
+            mazed += used_maze
+            progress.update(
+                done=len(committed),
+                mazed=mazed,
+                overflow=self.grid.overflow,
+            )
 
         # Rip-up and reroute the segments crossing overflowed edges.
         rerouted = 0
@@ -249,6 +259,12 @@ class GlobalRouter:
                 committed[seg_idx] = (sid, new_path, used_maze)
                 rerouted += 1
 
+        progress.finish(
+            done=len(committed),
+            mazed=mazed,
+            rerouted=rerouted,
+            overflow=self.grid.overflow,
+        )
         return RoutingResult(
             nets=sorted(routed.values(), key=lambda n: n.signal_id),
             overflow=self.grid.overflow,

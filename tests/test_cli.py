@@ -190,7 +190,7 @@ class TestObservabilityFlags:
         )
         assert rc == 0
         report = json.loads(report_path.read_text())
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         flow = next(s for s in report["spans"] if s["name"] == "flow")
         children = {c["name"] for c in flow["children"]}
         assert {"floorplan", "assign"} <= children

@@ -1,0 +1,157 @@
+"""Unit tests for the perf-regression harness (benchmarks/harness.py).
+
+The harness lives outside ``src`` (it is an operational tool, not part of
+the package), so the tests import it by path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+HARNESS_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "harness.py"
+)
+_spec = importlib.util.spec_from_file_location("repro_harness", HARNESS_PATH)
+harness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(harness)
+
+
+def make_record(seconds, identity=None, host=None, name="spec"):
+    record = harness._record(
+        name, 3, {stage: [s] for stage, s in seconds.items()},
+        identity or {"est_wl": 1.25},
+    )
+    if host is not None:
+        record["host"] = host
+    return record
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        rec = make_record({"flow": 1.0, "flow.assign": 0.2})
+        ok, lines = harness.compare_records(rec, rec)
+        assert ok
+        assert all("REGRESSION" not in line for line in lines)
+
+    def test_two_x_slowdown_fails(self):
+        base = make_record({"flow": 1.0})
+        slow = make_record({"flow": 2.0})
+        ok, lines = harness.compare_records(slow, base)
+        assert not ok
+        assert any("REGRESSION" in line and "2.00x" in line for line in lines)
+
+    def test_abs_floor_classifies_tiny_stage_jitter_as_ok(self):
+        # 2x ratio but only +10ms: below the 50ms floor, so not gating.
+        base = make_record({"flow.evaluate": 0.010})
+        slow = make_record({"flow.evaluate": 0.020})
+        ok, lines = harness.compare_records(slow, base)
+        assert ok
+        assert any("2.00x" in line and "ok" in line for line in lines)
+
+    def test_improvement_is_labelled(self):
+        base = make_record({"flow": 2.0})
+        fast = make_record({"flow": 1.0})
+        ok, lines = harness.compare_records(fast, base)
+        assert ok
+        assert any("improved" in line for line in lines)
+
+    def test_identity_mismatch_fails_even_cross_host(self):
+        base = make_record({"flow": 1.0}, identity={"est_wl": 1.25})
+        other = make_record(
+            {"flow": 1.0}, identity={"est_wl": 9.99},
+            host={"hostname": "elsewhere"},
+        )
+        ok, lines = harness.compare_records(other, base)
+        assert not ok
+        assert any("IDENTITY MISMATCH" in line for line in lines)
+
+    def test_host_mismatch_makes_timings_advisory(self):
+        base = make_record({"flow": 1.0})
+        slow = make_record({"flow": 3.0}, host={"hostname": "elsewhere"})
+        ok, lines = harness.compare_records(slow, base)
+        assert ok  # regression reported but not gating
+        assert any("advisory" in line for line in lines)
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_strict_host_gates_cross_host_regressions(self):
+        base = make_record({"flow": 1.0})
+        slow = make_record({"flow": 3.0}, host={"hostname": "elsewhere"})
+        ok, _ = harness.compare_records(slow, base, strict_host=True)
+        assert not ok
+
+    def test_missing_stage_is_reported_not_gating(self):
+        base = make_record({"flow": 1.0, "gone": 0.5})
+        rec = make_record({"flow": 1.0})
+        ok, lines = harness.compare_records(rec, base)
+        assert ok
+        assert any("gone: missing from new record" in line for line in lines)
+
+    def test_custom_threshold(self):
+        base = make_record({"flow": 1.0})
+        slow = make_record({"flow": 1.4})
+        ok, _ = harness.compare_records(slow, base, threshold=1.5)
+        assert ok
+        ok, _ = harness.compare_records(slow, base, threshold=1.3)
+        assert not ok
+
+
+class TestRecordIO:
+    def test_record_shape_and_min_of_repeats(self):
+        record = harness._record(
+            "x", 3, {"stage": [0.3, 0.1, 0.2]}, {"est_wl": 1.0}
+        )
+        assert record["schema_version"] == harness.RECORD_SCHEMA_VERSION
+        assert record["kind"] == harness.RECORD_KIND
+        assert record["seconds"]["stage"] == 0.1
+        assert record["stage_seconds"]["stage"] == [0.3, 0.1, 0.2]
+        assert set(record["host"]) == {
+            "hostname", "machine", "system", "python", "cpu_count",
+        }
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        record = make_record({"flow": 1.0}, name="roundtrip")
+        path = harness.write_record(record, tmp_path)
+        assert path.name == "BENCH_roundtrip.json"
+        assert harness.load_record(path) == record
+
+    def test_load_rejects_wrong_kind_and_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(SystemExit, match="not a repro.bench_record"):
+            harness.load_record(path)
+        path.write_text(
+            json.dumps({"kind": harness.RECORD_KIND, "schema_version": 99})
+        )
+        with pytest.raises(SystemExit, match="schema 99"):
+            harness.load_record(path)
+
+    def test_inject_slowdown_hook(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HARNESS_INJECT_SLOWDOWN", "2")
+        assert harness._inject_factor() == 2.0
+        monkeypatch.delenv("REPRO_HARNESS_INJECT_SLOWDOWN")
+        assert harness._inject_factor() == 1.0
+
+    def test_committed_baselines_load(self):
+        for path in sorted(harness.BASELINE_DIR.glob("BENCH_*.json")):
+            record = harness.load_record(path)
+            assert record["seconds"], f"{path} has no stage seconds"
+            assert record["identity"], f"{path} has no result identity"
+
+
+class TestCompareCli:
+    def test_compare_subcommand_exit_codes(self, tmp_path, capsys):
+        base = harness.write_record(
+            make_record({"flow": 1.0}, name="base"), tmp_path
+        )
+        slow_rec = make_record({"flow": 2.0}, name="slow")
+        slow = harness.write_record(slow_rec, tmp_path)
+        assert harness.main(
+            ["compare", str(base), str(base)]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert harness.main(
+            ["compare", str(slow), str(base)]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out

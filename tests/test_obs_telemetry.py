@@ -1,0 +1,459 @@
+"""Tests for live telemetry, trace export, and cross-process merging.
+
+Covers the PR-5 observability layer: Progress heartbeats, the Telemetry
+scope behind the schema-v2 report, the Chrome trace-event exporter, and
+the merge primitives (``merge_metrics`` / ``graft_spans`` /
+``Telemetry.merge``) the parallel executor relies on.
+"""
+
+import json
+import logging
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import TRAJECTORY_CAP, Progress, Telemetry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    obs.reset_run()
+    yield
+    obs.reset_run()
+
+
+class TestProgress:
+    def _quiet_logger(self, name, level):
+        logger = logging.getLogger(f"test.progress.{name}")
+        logger.setLevel(level)
+        logger.propagate = False
+        logger.addHandler(logging.NullHandler())
+        return logger
+
+    def test_disabled_below_info(self):
+        logger = self._quiet_logger("warn", logging.WARNING)
+        prog = Progress("stage", total=10, interval_s=0.0001, logger=logger)
+        assert not prog.enabled
+        assert prog.update(done=5, best=1.0) is False
+        prog.finish(done=10)
+        # Store-always: state tracks even when emission is off.
+        assert prog.done == 10
+        assert prog.fields["best"] == 1.0
+        assert prog.emits == 0
+
+    def test_disabled_by_nonpositive_interval(self):
+        logger = self._quiet_logger("zero", logging.INFO)
+        prog = Progress("stage", interval_s=0, logger=logger)
+        assert not prog.enabled
+        assert prog.update(done=1) is False
+
+    def test_throttling_and_final_emit(self):
+        logger = self._quiet_logger("info", logging.INFO)
+        prog = Progress("stage", total=100, interval_s=3600, logger=logger)
+        assert prog.enabled
+        # Within the interval nothing emits...
+        assert prog.update(done=1) is False
+        assert prog.update(done=2) is False
+        assert prog.emits == 0
+        # ...but finish always emits one final heartbeat.
+        prog.finish(done=100, best=42.0)
+        assert prog.emits == 1
+        assert obs.telemetry().snapshot()["heartbeats"] == {"stage": 1}
+
+    def test_emitted_payload_has_eta_and_fields(self):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("test.progress.capture")
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        logger.handlers = [Capture()]
+        prog = Progress(
+            "efa", total=200, unit="pairs", interval_s=1e-9, logger=logger
+        )
+        assert prog.update(done=50, best=12.5) is True
+        payload = records[-1].heartbeat
+        assert payload["name"] == "efa"
+        assert payload["done"] == 50
+        assert payload["total"] == 200
+        assert payload["pct"] == 25.0
+        assert payload["unit"] == "pairs"
+        assert payload["best"] == 12.5
+        assert payload["eta_s"] >= 0.0
+        assert payload["final"] is False
+        prog.finish(done=200)
+        assert records[-1].heartbeat["final"] is True
+        # "eta" makes no sense on a final line.
+        assert "eta_s" not in records[-1].heartbeat
+
+
+class TestTelemetry:
+    def test_record_incumbent_trajectory(self):
+        tel = Telemetry()
+        tel.record_incumbent(10.0, source="EFA_c3")
+        tel.record_incumbent(8.5, metric="twl", source="flow")
+        snap = tel.snapshot()
+        assert [p["value"] for p in snap["trajectory"]] == [10.0, 8.5]
+        assert snap["trajectory"][0]["source"] == "EFA_c3"
+        assert snap["trajectory"][1]["metric"] == "twl"
+        assert all(p["t_s"] >= 0.0 for p in snap["trajectory"])
+        assert snap["trajectory_dropped"] == 0
+
+    def test_trajectory_cap(self):
+        tel = Telemetry()
+        for i in range(TRAJECTORY_CAP + 7):
+            tel.record_incumbent(float(i))
+        snap = tel.snapshot()
+        assert len(snap["trajectory"]) == TRAJECTORY_CAP
+        assert snap["trajectory_dropped"] == 7
+
+    def test_shard_balance_accumulates(self):
+        tel = Telemetry()
+        tel.record_shard_balance("worker0", shards=1, runtime_s=0.5)
+        tel.record_shard_balance("worker0", shards=1, runtime_s=0.25)
+        tel.record_shard_balance("worker1", shards=1, runtime_s=0.1)
+        snap = tel.snapshot()
+        assert snap["shard_balance"]["worker0"] == {
+            "shards": 2, "runtime_s": 0.75,
+        }
+        assert snap["shard_balance"]["worker1"]["shards"] == 1
+
+    def test_merge_prefixes_sources(self):
+        worker = Telemetry()
+        worker.record_incumbent(5.0, source="EFA_c3")
+        worker.record_shard_balance("self", shards=3)
+        worker.record_heartbeat("EFA_c3")
+        worker.record_heartbeat("EFA_c3")
+
+        parent = Telemetry()
+        parent.record_incumbent(6.0, source="pool")
+        parent.merge(worker.snapshot(), source="worker2")
+        snap = parent.snapshot()
+        sources = [p["source"] for p in snap["trajectory"]]
+        assert sources == ["pool", "worker2.EFA_c3"]
+        assert snap["shard_balance"] == {"worker2.self": {"shards": 3}}
+        assert snap["heartbeats"] == {"worker2.EFA_c3": 2}
+
+    def test_merge_empty_snapshot_is_noop(self):
+        parent = Telemetry()
+        parent.record_incumbent(1.0, source="x")
+        before = parent.snapshot()
+        parent.merge(Telemetry().snapshot(), source="worker0")
+        assert parent.snapshot() == before
+
+    def test_merge_propagates_dropped_and_respects_cap(self):
+        parent = Telemetry()
+        for i in range(TRAJECTORY_CAP - 1):
+            parent.record_incumbent(float(i))
+        worker = Telemetry()
+        worker.record_incumbent(1.0)
+        worker.record_incumbent(2.0)
+        snap = worker.snapshot()
+        snap["trajectory_dropped"] = 3
+        parent.merge(snap, source="w")
+        out = parent.snapshot()
+        assert len(out["trajectory"]) == TRAJECTORY_CAP
+        # One merged point overflowed the cap + 3 carried from the worker.
+        assert out["trajectory_dropped"] == 4
+
+    def test_reset_run_clears_module_scope(self):
+        obs.record_incumbent(3.0, source="t")
+        assert obs.telemetry().snapshot()["trajectory"]
+        obs.reset_run()
+        snap = obs.telemetry().snapshot()
+        assert snap["trajectory"] == []
+        assert snap["heartbeats"] == {}
+
+
+class TestTraceExport:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("flow"):
+            with tracer.span("floorplan") as ctx:
+                ctx.annotate(algorithm="EFA_c3")
+            with tracer.span("assign"):
+                pass
+        return tracer.snapshot()
+
+    def test_catapult_document_shape(self):
+        doc = obs.build_trace(self._spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        ms = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in xs} == {"flow", "floorplan", "assign"}
+        assert any(e["name"] == "process_name" for e in ms)
+        for e in xs:
+            assert isinstance(e["ts"], float) and e["ts"] >= 0.0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+            assert e["pid"] == 0
+            assert "busy_s" in e["args"] and "count" in e["args"]
+        # Attributes survive into args; children start within the parent.
+        fp = next(e for e in xs if e["name"] == "floorplan")
+        flow = next(e for e in xs if e["name"] == "flow")
+        assert fp["args"]["algorithm"] == "EFA_c3"
+        assert fp["ts"] >= flow["ts"]
+        # The whole document is already plain JSON.
+        json.loads(json.dumps(doc))
+
+    def test_worker_subtrees_get_own_pids(self):
+        spans = self._spans()
+        worker_snap = self._spans()
+        tracer = Tracer()
+        tracer.graft(worker_snap, under="worker0")
+        tracer.graft(worker_snap, under="worker1")
+        spans = spans + tracer.snapshot()
+        events = obs.trace_events(spans, process_name="repro")
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1, 2}
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"repro", "repro/worker0", "repro/worker1"}
+        # The worker0/worker1 wrapper nodes themselves emit no X event.
+        assert not any(
+            e["name"].startswith("worker") for e in events if e["ph"] == "X"
+        )
+
+    def test_offsetless_nodes_inherit_parent_start(self):
+        spans = [{
+            "name": "old", "count": 1, "total_s": 0.5,
+            "start_s": 1.0, "end_s": 2.0,
+            "children": [{"name": "legacy", "count": 2, "total_s": 0.25}],
+        }]
+        events = [e for e in obs.trace_events(spans) if e["ph"] == "X"]
+        legacy = next(e for e in events if e["name"] == "legacy")
+        assert legacy["ts"] == pytest.approx(1.0e6)
+        assert legacy["dur"] == pytest.approx(0.25e6)
+
+    def test_write_trace_roundtrip(self, tmp_path):
+        with obs.span("flow"):
+            pass
+        path = tmp_path / "trace.json"
+        obs.write_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["kind"] == "repro.trace"
+        assert any(e["name"] == "flow" for e in doc["traceEvents"])
+
+
+class TestMergeEdgeCases:
+    def test_merge_metrics_histograms_fold(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        a.histogram("h").observe(3.0)
+        b = MetricsRegistry()
+        b.histogram("h").observe(10.0)
+        b.counter("c").inc(2)
+        b.gauge("g").set(7)
+        a.merge_export(b.export())
+        snap = a.snapshot()
+        assert snap["h"]["count"] == 3
+        assert snap["h"]["min"] == 1.0
+        assert snap["h"]["max"] == 10.0
+        assert snap["h"]["sum"] == pytest.approx(14.0)
+        assert snap["c"] == 2
+        assert snap["g"] == 7
+
+    def test_merge_metrics_empty_export_is_noop(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(5)
+        a.merge_export({})
+        a.merge_export(MetricsRegistry().export())
+        assert a.snapshot() == {"c": 5}
+
+    def test_merge_metrics_empty_histogram_does_not_poison_minmax(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(2.0)
+        b = MetricsRegistry()
+        b.histogram("h")  # registered but never observed
+        a.merge_export(b.export())
+        snap = a.snapshot()["h"]
+        assert snap["count"] == 1
+        assert snap["min"] == 2.0 and snap["max"] == 2.0
+
+    def test_merge_metrics_name_collision_types_conflict(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(TypeError, match="already registered"):
+            a.merge_export(b.export())
+
+    def test_merge_metrics_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge_export(
+                {"x": {"type": "summary", "value": 1}}
+            )
+
+    def test_graft_same_name_merges_counts(self):
+        worker = Tracer()
+        with worker.span("search"):
+            pass
+        snap = worker.snapshot()
+        parent = Tracer()
+        with parent.span("pool"):
+            parent.graft(snap, under="worker0")
+            parent.graft(snap, under="worker0")  # same worker, second shard
+        tree = parent.snapshot()[0]
+        w0 = tree["children"][0]
+        assert w0["name"] == "worker0"
+        assert w0["children"][0]["name"] == "search"
+        assert w0["children"][0]["count"] == 2
+
+    def test_graft_empty_snapshot(self):
+        parent = Tracer()
+        with parent.span("pool"):
+            parent.graft([], under="worker0")
+        tree = parent.snapshot()[0]
+        # The wrapper node exists but is empty.
+        assert tree["children"][0]["name"] == "worker0"
+        assert "children" not in tree["children"][0]
+
+    def test_deep_graft_roundtrip_through_report(self):
+        worker = Tracer()
+        with worker.span("a"):
+            with worker.span("b"):
+                with worker.span("c") as ctx:
+                    ctx.annotate(depth=3)
+        snap = worker.snapshot()
+        with obs.span("pool"):
+            obs.graft_spans(snap, under="worker5")
+        report = obs.build_report()
+        text = obs.report_to_json(report)
+        back = json.loads(text)
+        node = obs.find_span(back, "pool.worker5.a.b.c")
+        assert node is not None
+        assert node["attrs"]["depth"] == 3
+        assert node["count"] == 1
+        # And the grafted tree exports to a worker pid cleanly.
+        events = obs.trace_events(back["spans"])
+        worker_meta = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and "worker5" in e["args"]["name"]
+        ]
+        assert worker_meta
+
+
+class TestFindSpanDottedNames:
+    def test_literal_dotted_name_wins(self):
+        with obs.span("floorplan.efa") as ctx:
+            ctx.annotate(cfg="c3")
+        report = obs.build_report()
+        node = obs.find_span(report, "floorplan.efa")
+        assert node is not None and node["attrs"]["cfg"] == "c3"
+        assert obs.span_seconds(report, "floorplan.efa") is not None
+
+    def test_mixed_nested_and_dotted(self):
+        with obs.span("flow"):
+            with obs.span("floorplan.efa"):
+                with obs.span("sweep"):
+                    pass
+        report = obs.build_report()
+        assert obs.find_span(report, "flow.floorplan.efa.sweep") is not None
+        assert obs.find_span(report, "flow.nothere") is None
+        assert obs.span_seconds(report, "missing.path") is None
+
+
+class TestNumpyJson:
+    """Regression: numpy scalars leaking into reports/logs must serialize."""
+
+    def test_report_to_json_with_numpy_scalars(self):
+        obs.counter("np.count").inc(int(np.int64(3)))
+        with obs.span("stage") as ctx:
+            ctx.annotate(best=np.float64(12.5), idx=np.int64(4))
+        obs.record_incumbent(np.float64(9.75), source="np")
+        report = obs.build_report(extra={"arr": np.arange(3)})
+        text = obs.report_to_json(report)
+        back = json.loads(text)
+        node = obs.find_span(back, "stage")
+        assert node["attrs"]["best"] == 12.5
+        assert node["attrs"]["idx"] == 4
+        assert back["telemetry"]["trajectory"][0]["value"] == 9.75
+
+    def test_json_log_formatter_with_numpy_extra(self):
+        from repro.obs.logging import JsonLogFormatter
+
+        formatter = JsonLogFormatter()
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "best %s",
+            (np.float64(1.5),), None,
+        )
+        record.heartbeat = {"best": np.float64(2.5), "done": np.int64(10)}
+        payload = json.loads(formatter.format(record))
+        assert payload["heartbeat"]["best"] == 2.5
+        assert payload["heartbeat"]["done"] == 10
+
+
+class TestThreadSafety:
+    def test_concurrent_registry_and_telemetry_mutation(self):
+        reg = MetricsRegistry()
+        tel = Telemetry()
+        errors = []
+
+        def hammer(i):
+            try:
+                for j in range(200):
+                    reg.counter(f"c{j % 7}").inc()
+                    tel.record_incumbent(float(j), source=f"t{i}")
+                    tel.record_shard_balance(f"worker{i % 2}", shards=1)
+                    reg.snapshot()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = reg.snapshot()
+        assert sum(snap[f"c{j}"] for j in range(7)) == 4 * 200
+        balance = tel.snapshot()["shard_balance"]
+        assert balance["worker0"]["shards"] + balance["worker1"]["shards"] \
+            == 4 * 200
+
+
+class TestCliTraceOut:
+    def test_flow_trace_out_is_perfetto_loadable(self, tmp_path):
+        from repro.cli import main
+
+        design = tmp_path / "design.json"
+        assert main(
+            ["generate", "--case", "tiny", "--dies", "3", "--signals", "8",
+             "-o", str(design)]
+        ) == 0
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        rc = main(
+            ["run", str(design), "--report", str(report),
+             "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"flow", "floorplan", "assign", "evaluate"} <= names
+        # The run report alongside is schema v2 with a telemetry section.
+        rep = json.loads(report.read_text())
+        assert rep["schema_version"] == 2
+        assert "trajectory" in rep["telemetry"]

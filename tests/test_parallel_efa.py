@@ -319,7 +319,7 @@ class TestParallelCLI:
         )
         assert rc == 0
         data = json.loads(report.read_text())
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == 2
         # Worker counters must be reduced into the parent report.
         assert data["metrics"]["floorplan.efa.sequence_pairs_explored"] > 0
 
