@@ -25,6 +25,7 @@ from common import (
     bench_cases,
     cached_case,
     emit_table,
+    maybe_write_dashboard,
     report_counter,
     report_stage_seconds,
     t2_budget,
@@ -53,6 +54,7 @@ def _run_case(name):
     rows = {}
 
     report = flow.obs_report
+    maybe_write_dashboard(report, f"flow_comparison_{name}")
     rows["ours"] = flow.twl
     rows["ours_ft"] = report_stage_seconds(report, "flow.floorplan")
     rows["ours_at"] = report_stage_seconds(report, "flow.assign")

@@ -10,6 +10,11 @@ environment variables so CI and laptops can trade time for fidelity:
   (default 60; the paper used 12 h).
 * ``REPRO_BENCH_CASES`` — comma-separated subset of testcases to run
   (default: all nine).
+* ``REPRO_BENCH_DASHBOARD`` — set to ``1`` to additionally render each
+  captured run report as a self-contained HTML dashboard under
+  ``benchmarks/out/`` (the bench scripts' ``--dashboard`` opt-in; they
+  run under pytest, so the switch is an environment variable like every
+  other bench knob).
 
 Each benchmark writes its rendered table to ``benchmarks/out/`` so the
 numbers recorded in EXPERIMENTS.md can be regenerated verbatim.
@@ -86,6 +91,28 @@ def report_stage_seconds(
 def report_counter(report: Dict[str, Any], name: str, default: int = 0):
     """A solver counter from a run report's metric snapshot."""
     return report.get("metrics", {}).get(name, default)
+
+
+def dashboard_enabled() -> bool:
+    """True when ``REPRO_BENCH_DASHBOARD`` opts benches into dashboards."""
+    return os.environ.get("REPRO_BENCH_DASHBOARD", "") not in ("", "0")
+
+
+def maybe_write_dashboard(
+    report: Dict[str, Any], name: str
+) -> Optional[Path]:
+    """Render ``report`` to ``benchmarks/out/<name>.html`` when opted in.
+
+    A no-op (returning ``None``) unless :func:`dashboard_enabled`, so
+    benches can call it unconditionally after each captured report.
+    """
+    if not dashboard_enabled():
+        return None
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / f"{name}.html"
+    obs.write_dashboard(report, path)
+    print(f"wrote dashboard {path}")
+    return path
 
 
 def emit_table(

@@ -26,9 +26,19 @@ Usage::
     python benchmarks/harness.py run --module benchmarks/bench_batch_eval.py
     python benchmarks/harness.py compare NEW.json BASELINE.json
 
-Self-test hook: ``REPRO_HARNESS_INJECT_SLOWDOWN=<factor>`` multiplies
-every measured stage time at record time; CI uses it to prove the gate
-actually fires (an injected 2x slowdown must fail ``compare`` that an
+Records additionally carry a ``quality`` section (final ``est_wl`` /
+``twl``, the certified optimality gap and the anytime-AUC, read from the
+run report's v3 ``quality`` section) and ``compare`` gates on it: a
+wirelength or gap that got *worse* than baseline fails alongside the
+timing regressions (AUC is recorded but advisory — it is
+timing-sensitive).  Schema-1 baselines without a quality section skip
+the quality gate.
+
+Self-test hooks: ``REPRO_HARNESS_INJECT_SLOWDOWN=<factor>`` multiplies
+every measured stage time at record time, and
+``REPRO_HARNESS_INJECT_WL_REGRESSION=<factor>`` multiplies the recorded
+quality wirelengths; CI uses them to prove both gates actually fire (an
+injected 2x slowdown / 1.1x wirelength must fail ``compare`` that an
 identical re-run passes).
 
 Committed baselines live in ``benchmarks/baselines/``; fresh records are
@@ -53,10 +63,16 @@ SRC = str(REPO_ROOT / "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
-RECORD_SCHEMA_VERSION = 1
+RECORD_SCHEMA_VERSION = 2
+# Older record schemas `load_record` still accepts (v1: no quality
+# section; compare simply skips the quality gate against them).
+COMPATIBLE_SCHEMA_VERSIONS = (1, 2)
 RECORD_KIND = "repro.bench_record"
 DEFAULT_THRESHOLD = 1.25
 DEFAULT_ABS_FLOOR_S = 0.05
+# Relative worsening tolerated on quality scalars before gating; the
+# solvers are deterministic, so this only absorbs float noise.
+QUALITY_REL_TOL = 1e-6
 DEFAULT_REPEATS = 3
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 OUT_DIR = Path(__file__).resolve().parent / "out"
@@ -92,15 +108,45 @@ def _inject_factor() -> float:
     return float(raw) if raw else 1.0
 
 
+def _inject_wl_factor() -> float:
+    raw = os.environ.get("REPRO_HARNESS_INJECT_WL_REGRESSION")
+    return float(raw) if raw else 1.0
+
+
+def _quality_from_report(report: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The record's ``quality`` section from a run report's v3 one.
+
+    Wirelengths and the certified gap gate the compare step; the
+    anytime-AUC rides along for trend dashboards.  The wirelength
+    self-test hook scales the wirelengths here — record time, quality
+    only — so the injected regression exercises the quality gate rather
+    than the identity check.
+    """
+    quality = (report or {}).get("quality") or {}
+    factor = _inject_wl_factor()
+
+    def scaled(key: str) -> Optional[float]:
+        value = quality.get(key)
+        return None if value is None else float(value) * factor
+
+    return {
+        "est_wl": scaled("final_est_wl"),
+        "twl": scaled("final_twl"),
+        "gap": quality.get("gap"),
+        "anytime_auc": quality.get("anytime_auc"),
+    }
+
+
 # -- built-in fast specs ------------------------------------------------------
 #
 # Each spec callable runs ONE repeat of the measured unit inside a fresh
-# obs scope and returns (stage_seconds, identity): the per-stage
-# wall-clock read from the run report's span tree, and the result
-# identity the compare step asserts on.
+# obs scope and returns (stage_seconds, identity, report): the per-stage
+# wall-clock read from the run report's span tree, the result identity
+# the compare step asserts on, and the run report itself (the quality
+# section is extracted from it).
 
 
-def _spec_efa_t4s() -> Tuple[Dict[str, float], Dict[str, Any]]:
+def _spec_efa_t4s() -> Tuple[Dict[str, float], Dict[str, Any], Dict]:
     """Serial batched EFA_c3 on t4s (the Table 2 hot path)."""
     from repro import obs
     from repro.benchgen import load_case
@@ -119,10 +165,11 @@ def _spec_efa_t4s() -> Tuple[Dict[str, float], Dict[str, Any]]:
             "est_wl": result.est_wl,
             "candidate_key": list(result.candidate_key),
         },
+        report,
     )
 
 
-def _spec_flow_t4s() -> Tuple[Dict[str, float], Dict[str, Any]]:
+def _spec_flow_t4s() -> Tuple[Dict[str, float], Dict[str, Any], Dict]:
     """The full default flow (EFA_mix + MCMF_fast + Eq. 1) on t4s."""
     from repro import obs
     from repro.benchgen import load_case
@@ -136,13 +183,19 @@ def _spec_flow_t4s() -> Tuple[Dict[str, float], Dict[str, Any]]:
         seconds = obs.span_seconds(report, path)
         if seconds is not None:
             stages[path] = seconds
-    return stages, {
-        "est_wl": result.floorplan_result.est_wl,
-        "twl": result.twl,
-    }
+    return (
+        stages,
+        {
+            "est_wl": result.floorplan_result.est_wl,
+            "twl": result.twl,
+        },
+        report,
+    )
 
 
-SPECS: Dict[str, Callable[[], Tuple[Dict[str, float], Dict[str, Any]]]] = {
+SPECS: Dict[
+    str, Callable[[], Tuple[Dict[str, float], Dict[str, Any], Dict]]
+] = {
     "efa_t4s": _spec_efa_t4s,
     "flow_t4s": _spec_flow_t4s,
 }
@@ -156,12 +209,14 @@ def run_spec(name: str, repeats: int) -> Dict[str, Any]:
     spec = SPECS[name]
     per_repeat: Dict[str, List[float]] = {}
     identity: Dict[str, Any] = {}
+    quality: Dict[str, Any] = {}
     for i in range(repeats):
-        stages, ident = spec()
+        stages, ident, report = spec()
         for stage, seconds in stages.items():
             per_repeat.setdefault(stage, []).append(float(seconds))
         if i == 0:
             identity = ident
+            quality = _quality_from_report(report)
         elif ident != identity:
             raise AssertionError(
                 f"{name}: non-deterministic result across repeats: "
@@ -173,6 +228,7 @@ def run_spec(name: str, repeats: int) -> Dict[str, Any]:
         repeats,
         {s: [v * factor for v in vals] for s, vals in per_repeat.items()},
         identity,
+        quality,
     )
 
 
@@ -198,7 +254,7 @@ def run_module(module: str, repeats: int) -> Dict[str, Any]:
         times.append(elapsed)
     factor = _inject_factor()
     return _record(
-        name, repeats, {"pytest": [t * factor for t in times]}, {}
+        name, repeats, {"pytest": [t * factor for t in times]}, {}, {}
     )
 
 
@@ -207,6 +263,7 @@ def _record(
     repeats: int,
     per_repeat: Dict[str, List[float]],
     identity: Dict[str, Any],
+    quality: Dict[str, Any],
 ) -> Dict[str, Any]:
     return {
         "schema_version": RECORD_SCHEMA_VERSION,
@@ -225,6 +282,10 @@ def _record(
             for stage, vals in sorted(per_repeat.items())
         },
         "identity": identity,
+        "quality": {
+            key: (None if value is None else round(float(value), 9))
+            for key, value in quality.items()
+        },
     }
 
 
@@ -243,10 +304,10 @@ def load_record(path: Path) -> Dict[str, Any]:
     record = json.loads(Path(path).read_text())
     if record.get("kind") != RECORD_KIND:
         raise SystemExit(f"{path}: not a {RECORD_KIND} document")
-    if record.get("schema_version") != RECORD_SCHEMA_VERSION:
+    if record.get("schema_version") not in COMPATIBLE_SCHEMA_VERSIONS:
         raise SystemExit(
-            f"{path}: record schema {record.get('schema_version')} != "
-            f"{RECORD_SCHEMA_VERSION}"
+            f"{path}: record schema {record.get('schema_version')} not in "
+            f"{COMPATIBLE_SCHEMA_VERSIONS}"
         )
     return record
 
@@ -278,6 +339,32 @@ def compare_records(
         lines.append(
             "host fingerprint differs from baseline; timing deltas are "
             "advisory" + (" (strict-host: gating anyway)" if strict_host else "")
+        )
+
+    # Quality gate: deterministic scalars, host-independent, so a worse
+    # value always gates.  Gated keys are "lower is better"; the AUC is
+    # advisory (it depends on wall-clock, which is host noise).
+    base_quality = baseline.get("quality") or {}
+    new_quality = record.get("quality") or {}
+    for key in ("est_wl", "twl", "gap"):
+        base_v = base_quality.get(key)
+        new_v = new_quality.get(key)
+        if base_v is None or new_v is None:
+            continue
+        if new_v > base_v + abs(base_v) * QUALITY_REL_TOL:
+            ok = False
+            lines.append(
+                f"QUALITY REGRESSION: {key} {new_v:.6g} vs baseline "
+                f"{base_v:.6g}"
+            )
+        else:
+            lines.append(f"quality {key}: {new_v:.6g} ok")
+    base_auc = base_quality.get("anytime_auc")
+    new_auc = new_quality.get("anytime_auc")
+    if base_auc is not None and new_auc is not None:
+        lines.append(
+            f"quality anytime_auc: {new_auc:.4g} vs baseline "
+            f"{base_auc:.4g} (advisory)"
         )
 
     regressions = 0

@@ -8,7 +8,8 @@ The flow mirrors the paper end to end:
 3. assign signals to micro-bumps and TSVs with MCMF_fast;
 4. evaluate the Eq. 1 total wirelength;
 5. write the run's observability report (span tree + solver counters)
-   as versioned JSON.
+   as versioned JSON, plus the self-contained HTML dashboard rendered
+   from it (open it in any browser — no server, no external assets).
 
 Run with::
 
@@ -65,10 +66,20 @@ def main() -> None:
     print(f"  external WL_E   = {wl.wl_external:.4f} mm")
     print(f"  TWL             = {wl.total:.4f} mm")
 
+    quality = result.obs_report.get("quality", {})
+    if quality.get("gap") is not None:
+        print(
+            f"  certified optimality gap: {quality['gap']:.2%} "
+            f"(bound {quality['certified_lower_bound']:.4f})"
+        )
+
     report_path = Path(tempfile.gettempdir()) / "repro_quickstart_report.json"
     obs.write_report(result.obs_report, report_path)
+    dashboard_path = Path(tempfile.gettempdir()) / "repro_quickstart.html"
+    obs.write_dashboard(result.obs_report, dashboard_path)
     print(f"\nSummary: {result.summary()}")
     print(f"Run report (spans + counters) written to {report_path}")
+    print(f"HTML dashboard written to {dashboard_path}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,11 @@ artifacts, so the flow can be scripted without writing Python:
 * ``repro-25d evaluate`` — score a complete solution with Eq. 1 (and
   optionally the RDL congestion estimate);
 * ``repro-25d run`` — the whole flow in one call;
-* ``repro-25d render`` — write an SVG of a (solved) layout.
+* ``repro-25d render`` — write an SVG of a (solved) layout;
+* ``repro-25d dashboard`` — render an existing run report (any schema
+  version) into the self-contained HTML dashboard;
+* ``repro-25d metrics-dump`` — OpenMetrics/Prometheus text exposition of
+  a run report's counters plus the derived quality analytics.
 
 Every command prints a short human summary to stdout and writes machine
 artifacts only where asked.  All subcommands additionally accept:
@@ -22,6 +26,9 @@ artifacts only where asked.  All subcommands additionally accept:
   trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
 * ``--heartbeat SECONDS`` — progress-heartbeat interval for the
   long-running stages (implies ``--log-level info``).
+
+``floorplan`` and ``run`` additionally accept ``--dashboard-out D.html``
+to write the HTML run dashboard next to (or instead of) the JSON report.
 
 The floorplanning commands (``floorplan``, ``run``) further accept
 ``--workers N`` (sharded multi-process EFA search, result identical to
@@ -66,17 +73,24 @@ logger = obs.get_logger("cli")
 
 
 def _maybe_write_report(args, **sections) -> None:
-    """Write the run report when ``--report`` was given.
+    """Write the run report / dashboard when their flags were given.
 
     ``sections`` are forwarded to :func:`repro.obs.build_report`; the span
-    tree and metric snapshot are always included.
+    tree and metric snapshot are always included.  ``--report`` and
+    ``--dashboard-out`` share one report build, so the dashboard always
+    renders exactly what the JSON artifact records.
     """
-    path = getattr(args, "report", None)
-    if not path:
+    report_path = getattr(args, "report", None)
+    dashboard_path = getattr(args, "dashboard_out", None)
+    if not report_path and not dashboard_path:
         return
     report = obs.build_report(command=args.command, **sections)
-    obs.write_report(report, path)
-    print(f"wrote report {path}")
+    if report_path:
+        obs.write_report(report, report_path)
+        print(f"wrote report {report_path}")
+    if dashboard_path:
+        obs.write_dashboard(report, dashboard_path)
+        print(f"wrote dashboard {dashboard_path}")
 
 
 def _load_design(path: str):
@@ -347,6 +361,44 @@ def cmd_route(args) -> int:
     return 0 if result.routable else 2
 
 
+def _load_report(path: str) -> dict:
+    """Load a run-report JSON, with a kind sanity check."""
+    import json
+
+    with open(path) as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict):
+        raise SystemExit(f"{path}: not a run report (expected an object)")
+    kind = report.get("kind")
+    if kind not in (None, obs.REPORT_KIND):
+        logger.warning(
+            "%s: kind %r is not %r; rendering anyway",
+            path, kind, obs.REPORT_KIND,
+        )
+    return report
+
+
+def cmd_dashboard(args) -> int:
+    """Handle ``repro-25d dashboard`` (report JSON -> HTML)."""
+    report = _load_report(args.report_json)
+    obs.write_dashboard(report, args.output)
+    print(f"wrote dashboard {args.output}")
+    return 0
+
+
+def cmd_metrics_dump(args) -> int:
+    """Handle ``repro-25d metrics-dump`` (report JSON -> OpenMetrics)."""
+    report = _load_report(args.report_json)
+    text = obs.render_report(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_render(args) -> int:
     """Handle ``repro-25d render``."""
     design = _load_design(args.design)
@@ -442,6 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the stochastic floorplanners (SA and the "
         "portfolio's SA entrant; default: 0)",
     )
+    # Dashboard output, shared by the commands that produce a result
+    # worth looking at (floorplan / run).
+    dashboard_common = argparse.ArgumentParser(add_help=False)
+    dashboard_common.add_argument(
+        "--dashboard-out",
+        metavar="D.html",
+        help="write the self-contained HTML run dashboard here "
+        "(floorplan SVG + trajectory + waterfall + pruning funnel)",
+    )
     parallel_common.add_argument(
         "--serial-eval",
         action="store_true",
@@ -451,7 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = add_parser(
-        "floorplan", help="floorplan a design", parents=[parallel_common]
+        "floorplan",
+        help="floorplan a design",
+        parents=[parallel_common, dashboard_common],
     )
     p.add_argument("design")
     p.add_argument("--algorithm", default="mix", choices=FLOORPLANNERS)
@@ -479,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser(
         "run",
         help="full flow: floorplan + assign + evaluate",
-        parents=[parallel_common],
+        parents=[parallel_common, dashboard_common],
     )
     p.add_argument("design")
     p.add_argument("--floorplanner", default="mix", choices=FLOORPLANNERS)
@@ -507,6 +570,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assignment")
     p.add_argument("--output", "-o", required=True)
     p.set_defaults(func=cmd_render)
+
+    p = add_parser(
+        "dashboard",
+        help="render an existing run report into the HTML dashboard",
+    )
+    p.add_argument("report_json", metavar="report.json")
+    p.add_argument("--output", "-o", required=True, metavar="D.html")
+    p.set_defaults(func=cmd_dashboard)
+
+    p = add_parser(
+        "metrics-dump",
+        help="OpenMetrics text exposition of a run report's metrics",
+    )
+    p.add_argument("report_json", metavar="report.json")
+    p.add_argument(
+        "--output", "-o", default=None,
+        help="write here instead of stdout",
+    )
+    p.set_defaults(func=cmd_metrics_dump)
 
     return parser
 

@@ -191,6 +191,7 @@ class AnnealingFloorplanner:
         sp.annotate(
             est_wl=result.est_wl if result.found else None,
             moves=result.stats.floorplans_evaluated,
+            timed_out=result.stats.timed_out,
         )
         result.stats.publish(prefix="floorplan.sa")
         return result

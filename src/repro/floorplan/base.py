@@ -106,6 +106,10 @@ class SearchStats:
     floorplans_rejected_outline: int = 0
     runtime_s: float = 0.0
     timed_out: bool = False
+    # Sequence-pair-independent certified wirelength lower bound (the
+    # interval bound of the inferior cut, relaxed over every candidate).
+    # ``None`` for algorithms that cannot certify one (the annealers).
+    certified_lower_bound: Optional[float] = None
 
     def publish(self, prefix: str = "floorplan.efa") -> None:
         """Bulk-publish these counters to the process metrics registry.
@@ -129,6 +133,10 @@ class SearchStats:
         reg.counter(f"{prefix}.lower_bound_evaluations").inc(
             self.lower_bound_evaluations
         )
+        if self.certified_lower_bound is not None:
+            reg.gauge(f"{prefix}.certified_lower_bound").set(
+                self.certified_lower_bound
+            )
 
 
 @dataclass

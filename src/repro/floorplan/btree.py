@@ -350,6 +350,7 @@ class BTreeFloorplanner:
         sp.annotate(
             est_wl=result.est_wl if result.found else None,
             moves=result.stats.floorplans_evaluated,
+            timed_out=result.stats.timed_out,
         )
         result.stats.publish(prefix="floorplan.btree_sa")
         return result

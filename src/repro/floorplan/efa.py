@@ -177,6 +177,7 @@ class EnumerativeFloorplanner:
         sp.annotate(
             est_wl=result.est_wl if result.found else None,
             timed_out=result.stats.timed_out,
+            certified_lower_bound=result.stats.certified_lower_bound,
         )
         result.stats.publish()
         return result
@@ -256,6 +257,11 @@ class EnumerativeFloorplanner:
         # cuts candidates strictly above it, so no pruning order — serial,
         # sharded, or incumbent-fed — can lose the winner or a tie.
         prune_wl = float("inf")
+        # Tightest Eq. 2 bound among *pruned* branches.  Every explored
+        # pair is evaluated exactly and every pruned one bounds its
+        # candidates from below, so min(best_wl, min_pruned_bound)
+        # certifies the whole enumerated window (see _certify_bound).
+        min_pruned_bound = float("inf")
 
         if cfg.fixed_orientations is not None:
             fixed_codes: Optional[Tuple[int, ...]] = tuple(
@@ -346,6 +352,8 @@ class EnumerativeFloorplanner:
                         bound = self._lower_bound(low_pack, thin_pack)
                         if bound > prune_wl + _EPS:
                             stats.pruned_inferior += 1
+                            if bound < min_pruned_bound:
+                                min_pruned_bound = bound
                             continue
 
                 stats.sequence_pairs_explored += 1
@@ -534,6 +542,9 @@ class EnumerativeFloorplanner:
             stats.runtime_s,
             " (budget-truncated)" if stats.timed_out else "",
         )
+        stats.certified_lower_bound = self._certify_bound(
+            best_wl, min_pruned_bound, stats.timed_out
+        )
         if best is None:
             logger.warning("%s: no legal floorplan found", cfg.name)
             return FloorplanResult(None, float("inf"), stats, cfg.name)
@@ -548,6 +559,73 @@ class EnumerativeFloorplanner:
         )
 
     # -- internals ---------------------------------------------------------------
+
+    def _certify_bound(
+        self,
+        best_wl: float,
+        min_pruned_bound: float,
+        timed_out: bool,
+    ) -> Optional[float]:
+        """Certified lower bound over the window the run enumerated.
+
+        Every sequence pair ends the run in one of four states: pruned
+        illegal (no legal candidates, cannot contain the optimum), pruned
+        inferior (all its candidates sit at or above its Eq. 2 bound),
+        fully explored (its exact minimum was evaluated, so ``best_wl``
+        already accounts for it), or — only on budget truncation —
+        unexplored, where the only thing still certifiable is the
+        sequence-pair-independent :meth:`design_lower_bound` relaxation.
+        The window's optimum therefore sits at or above the min of those
+        three certified values.  For a complete run of a certified-exact
+        variant this equals ``best_wl`` (gap 0, the Sec. 3.2 soundness
+        argument); truncated runs degrade to the looser design-wide
+        relaxation.  ``None`` when nothing is certifiable (empty window
+        with no bound evaluations).
+        """
+        bound = min(best_wl, min_pruned_bound)
+        if timed_out:
+            bound = min(bound, self.design_lower_bound())
+        return bound if math.isfinite(bound) else None
+
+    def design_lower_bound(self) -> float:
+        """Sequence-pair-*independent* certified wirelength lower bound.
+
+        The same interval relaxation as :meth:`_lower_bound`, but with the
+        per-die origin brackets widened to everything any legal candidate
+        of *any* sequence pair could realise: origins range over
+        ``[0, avail - min_extent]`` per axis, and the centring offset over
+        the outline heights ``[max_i min_height_i, avail_h]`` (mirrored in
+        x).  The result certifies the whole design — every legal candidate
+        of every sequence pair evaluates at or above it — making it the
+        fallback :meth:`_certify_bound` charges for the pairs a truncated
+        run never reached.  Usually loose (often 0 on roomy interposers):
+        the brackets admit all-terminals-coincident placements.
+        """
+        n = len(self._die_ids)
+        zeros = np.zeros(n)
+        cx, cy, half = self._center.x, self._center.y, self._half_cd
+        h_ub = self._avail_h + _EPS
+        w_ub = self._avail_w + _EPS
+        # Tightest outline any candidate can realise per axis: every die
+        # stacked would be taller, but a single row is always at least as
+        # tall as the tallest minimum extent.
+        h_lb = min(float(self._min_heights.max()), h_ub)
+        w_lb = min(float(self._min_widths.max()), w_ub)
+        die_y_max = np.maximum(zeros, h_ub - self._min_heights)
+        die_x_max = np.maximum(zeros, w_ub - self._min_widths)
+        ly_min = self.evaluator.lower_bound_vertical(
+            zeros,
+            die_y_max,
+            cy - h_ub / 2.0 + half,
+            cy - h_lb / 2.0 + half,
+        )
+        lx_min = self.evaluator.lower_bound_horizontal(
+            zeros,
+            die_x_max,
+            cx - w_ub / 2.0 + half,
+            cx - w_lb / 2.0 + half,
+        )
+        return lx_min + ly_min
 
     def _lower_bound(self, low_pack, thin_pack) -> float:
         """``L_min = LX_min + LY_min`` for a sequence pair (Section 3.2).

@@ -191,6 +191,16 @@ def run_flow(
         obs.record_incumbent(wl.total, metric="twl", source="flow.evaluate")
         flow_span.annotate(design=design.name, twl=wl.total)
     result = FlowResult(design, fp_result, asg_result, wl)
-    result.obs_report = obs.build_report(result)
+    # The schema-v3 quality section: optimality gap of the search
+    # objective vs the certified interval lower bound (None for
+    # non-enumerative floorplanners) plus anytime metrics over the whole
+    # flow's est_wl trajectory.
+    quality = obs.quality_section(
+        final_est_wl=fp_result.est_wl,
+        final_twl=wl.total,
+        certified_lower_bound=fp_result.stats.certified_lower_bound,
+        trajectory=obs.telemetry().snapshot().get("trajectory"),
+    )
+    result.obs_report = obs.build_report(result, quality=quality)
     logger.info("flow done: %s", result.summary())
     return result

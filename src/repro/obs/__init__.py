@@ -14,7 +14,16 @@ The pieces compose into one instrumentation story for the flow:
 * :mod:`repro.obs.trace_export` — Chrome trace-event rendering of the
   span tree (:func:`write_trace`, the CLI's ``--trace-out``);
 * :mod:`repro.obs.report` — a versioned JSON run-report document bundling
-  results + span tree + metric snapshot + telemetry (schema v2).
+  results + span tree + metric snapshot + telemetry + quality (schema v3);
+* :mod:`repro.obs.analytics` — derived search-quality analytics over
+  reports (optimality gap, pruning funnel, anytime AUC, shard imbalance,
+  span hotspots);
+* :mod:`repro.obs.dashboard` — a self-contained HTML run dashboard
+  (:func:`render_dashboard`, the CLI's ``repro dashboard`` /
+  ``--dashboard-out``);
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
+  of the metrics registry and the analytics gauges
+  (:func:`render_registry`, the CLI's ``repro metrics-dump``).
 
 :func:`reset_run` clears the trace tree, metric registry and telemetry
 scope; the flow entry points call it so every run's report is
@@ -22,6 +31,17 @@ self-contained, and every spawned worker process must call it at entry
 (see the threading/spawn contract in :mod:`repro.obs.metrics`).
 """
 
+from .analytics import (
+    analyze_report,
+    anytime_metrics,
+    hotspot_table,
+    optimality_gap,
+    pruning_funnel,
+    quality_section,
+    report_quality,
+    shard_imbalance,
+)
+from .dashboard import render_dashboard, write_dashboard
 from .logging import configure_logging, get_logger, json_default
 from .metrics import (
     Counter,
@@ -44,11 +64,17 @@ from .progress import (
     reset_telemetry,
     telemetry,
 )
+from .openmetrics import (
+    parse_exposition,
+    render_registry,
+    render_report,
+)
 from .report import (
     REPORT_KIND,
     REPORT_SCHEMA_VERSION,
     build_report,
     find_span,
+    layout_section,
     report_to_json,
     span_seconds,
     write_report,
@@ -84,6 +110,8 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "analyze_report",
+    "anytime_metrics",
     "build_report",
     "build_trace",
     "configure_logging",
@@ -95,11 +123,22 @@ __all__ = [
     "get_logger",
     "graft_spans",
     "histogram",
+    "hotspot_table",
     "json_default",
+    "layout_section",
     "merge_metrics",
+    "optimality_gap",
+    "parse_exposition",
+    "pruning_funnel",
+    "quality_section",
     "record_incumbent",
     "registry",
+    "render_dashboard",
+    "render_registry",
+    "render_report",
+    "report_quality",
     "report_to_json",
+    "shard_imbalance",
     "reset_metrics",
     "reset_run",
     "reset_telemetry",
@@ -111,6 +150,7 @@ __all__ = [
     "trace_events",
     "trace_snapshot",
     "tracer",
+    "write_dashboard",
     "write_report",
     "write_trace",
 ]

@@ -1,0 +1,437 @@
+"""Derived search-quality analytics over run reports.
+
+Layer two of the observability stack: :mod:`repro.obs.report` records
+what a run *did* (spans, counters, trajectory); this module turns that
+record into the numbers one actually asks about a search:
+
+* :func:`optimality_gap` — how far the final wirelength sits above the
+  certified interval lower bound of the Eq. 2 machinery (PR 2), i.e. a
+  proof-backed "at most this much left on the table";
+* :func:`pruning_funnel` — the pairs-total -> pruned_illegal ->
+  pruned_inferior -> explored -> evaluated funnel with per-cut
+  efficiency, built from the ``floorplan`` stats (or the metric
+  counters when only those survived);
+* :func:`anytime_metrics` — normalized area-under-curve and
+  time-to-within-{10,5,1}% of final from the incumbent trajectory, the
+  standard anytime-quality framing of GPU-placement and large-scale
+  chiplet-arrangement work;
+* :func:`shard_imbalance` — max/mean ratio and Gini coefficient of the
+  per-worker ``shard_balance`` gauges, feeding the work-stealing
+  roadmap item;
+* :func:`hotspot_table` — self-time attribution per span (total minus
+  children), feeding the kernel-speed roadmap item;
+* :func:`quality_section` — the schema-v3 ``quality`` report section
+  (final wirelengths, certified bound, gap, anytime metrics) written by
+  :mod:`repro.flow`;
+* :func:`analyze_report` — all of the above from one report dict.
+
+Everything here is a pure function of JSON-ready dicts: no registry
+access, no I/O, no numpy — so the dashboard, the OpenMetrics exporter,
+the perf harness and the future job server can all share it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+# Relative thresholds reported by time-to-quality (fractions above the
+# final value): reaching within 10%, 5% and 1% of the final wirelength.
+TIME_TO_QUALITY_LEVELS = (0.10, 0.05, 0.01)
+
+# Ordered funnel stages; each entry is (stage key, stats field).
+FUNNEL_STAGES = (
+    ("pairs_total", "sequence_pairs_total"),
+    ("pruned_illegal", "pruned_illegal"),
+    ("pruned_inferior", "pruned_inferior"),
+    ("explored", "sequence_pairs_explored"),
+    ("evaluated", "floorplans_evaluated"),
+)
+
+
+def _finite(value: Any) -> Optional[float]:
+    """``value`` as a finite float, else ``None``."""
+    if value is None or isinstance(value, bool):
+        return None
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        return None
+    return out if math.isfinite(out) else None
+
+
+# -- optimality gap ----------------------------------------------------------
+
+
+def optimality_gap(
+    final_wl: Optional[float], lower_bound: Optional[float]
+) -> Optional[float]:
+    """Relative gap ``(final - bound) / bound`` of a wirelength.
+
+    Returns ``None`` when either side is missing/non-finite or the bound
+    is non-positive (a zero bound certifies nothing about the ratio).
+    The certified interval bound can never exceed the true optimum, so a
+    negative gap indicates inconsistent inputs and also maps to ``None``.
+    """
+    wl = _finite(final_wl)
+    lb = _finite(lower_bound)
+    if wl is None or lb is None or lb <= 0.0:
+        return None
+    gap = (wl - lb) / lb
+    return gap if gap >= 0.0 else None
+
+
+# -- pruning funnel ----------------------------------------------------------
+
+
+def pruning_funnel(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The pruning funnel of an enumerative floorplanning run.
+
+    Reads the ``floorplan.stats`` section of a report (any schema
+    version), falling back to the merged ``floorplan.efa.*`` metric
+    counters when only those survived.  Returns the ordered ``stages``
+    (count plus fraction of pairs_total), the per-cut efficiency —
+    what fraction of the *candidates it saw* each cut removed — and the
+    overall ``explored_fraction``.  All fractions are ``None`` when the
+    run recorded no pairs total (e.g. a pure SA run).
+    """
+    stats = (report.get("floorplan") or {}).get("stats") or {}
+    if not isinstance(stats, dict) or "sequence_pairs_total" not in stats:
+        metrics = report.get("metrics") or {}
+        stats = {
+            "sequence_pairs_total": metrics.get(
+                "floorplan.efa.sequence_pairs_total", 0
+            ),
+            "pruned_illegal": metrics.get("floorplan.efa.pruned_illegal", 0),
+            "pruned_inferior": metrics.get(
+                "floorplan.efa.pruned_inferior", 0
+            ),
+            "sequence_pairs_explored": metrics.get(
+                "floorplan.efa.sequence_pairs_explored", 0
+            ),
+            "floorplans_evaluated": metrics.get(
+                "floorplan.efa.floorplans_evaluated", 0
+            ),
+            "floorplans_rejected_outline": metrics.get(
+                "floorplan.efa.rejected_outline", 0
+            ),
+            "lower_bound_evaluations": metrics.get(
+                "floorplan.efa.lower_bound_evaluations", 0
+            ),
+        }
+
+    def count(field: str) -> int:
+        value = stats.get(field, 0)
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            return 0
+
+    total = count("sequence_pairs_total")
+    stages = []
+    for key, field in FUNNEL_STAGES:
+        n = count(field)
+        stages.append(
+            {
+                "stage": key,
+                "count": n,
+                "fraction": (n / total) if total > 0 else None,
+            }
+        )
+    pruned_illegal = count("pruned_illegal")
+    pruned_inferior = count("pruned_inferior")
+    explored = count("sequence_pairs_explored")
+    bound_evals = count("lower_bound_evaluations")
+    # Cut efficiency: of the pairs each cut inspected, how many it
+    # removed.  The illegal cut sees every pair; the inferior cut sees
+    # only its lower-bound evaluations (pairs the illegal cut let
+    # through *and* a finite incumbent existed for).
+    efficiency = {
+        "illegal_cut": (pruned_illegal / total) if total > 0 else None,
+        "inferior_cut": (
+            pruned_inferior / bound_evals if bound_evals > 0 else None
+        ),
+    }
+    return {
+        "stages": stages,
+        "cut_efficiency": efficiency,
+        "explored_fraction": (explored / total) if total > 0 else None,
+        "rejected_outline": count("floorplans_rejected_outline"),
+        "lower_bound_evaluations": bound_evals,
+    }
+
+
+# -- anytime quality ---------------------------------------------------------
+
+
+def _monotone_trajectory(
+    trajectory: Sequence[Dict[str, Any]], metric: Optional[str]
+) -> List[Dict[str, float]]:
+    """Time-sorted, strictly-improving ``{t_s, value}`` points.
+
+    Filters to one ``metric`` (default: the first point's metric), drops
+    non-finite values, sorts by time and keeps only improvements — merged
+    worker points ride worker-relative clocks and can interleave
+    non-monotonically, but the *incumbent* curve is by definition the
+    running minimum.
+    """
+    points = []
+    for p in trajectory or []:
+        value = _finite(p.get("value"))
+        t_s = _finite(p.get("t_s"))
+        if value is None or t_s is None:
+            continue
+        points.append((t_s, value, str(p.get("metric", ""))))
+    if not points:
+        return []
+    if metric is None:
+        metric = points[0][2]
+    points = sorted(
+        (p for p in points if p[2] == metric), key=lambda p: (p[0], p[1])
+    )
+    out: List[Dict[str, float]] = []
+    best = math.inf
+    for t_s, value, _ in points:
+        if value < best:
+            best = value
+            out.append({"t_s": t_s, "value": value})
+    return out
+
+
+def anytime_metrics(
+    trajectory: Sequence[Dict[str, Any]],
+    *,
+    metric: Optional[str] = None,
+    end_t_s: Optional[float] = None,
+    levels: Sequence[float] = TIME_TO_QUALITY_LEVELS,
+) -> Dict[str, Any]:
+    """Anytime-quality metrics of an incumbent-vs-time trajectory.
+
+    ``auc`` is the normalized area under the excess-over-final curve:
+    with ``v(t)`` the incumbent value (a step function of the improving
+    points) and ``first``/``final`` the first and last incumbents,
+
+        auc = integral of (v(t) - final) / (first - final) dt / duration
+
+    over ``[t_first, end]`` (``end_t_s`` defaults to the last point's
+    time, making the last-improvement AUC 0.0).  0 means the final
+    quality was reached instantly; 1 means the search sat at the first
+    incumbent until the very end.  ``time_to_within`` maps each level
+    (e.g. ``"5%"``) to the earliest ``t_s`` whose incumbent is within
+    that fraction above the final value.
+
+    Returns ``points``, ``first``/``final`` values, ``auc`` and
+    ``time_to_within``; all ``None``/empty when the trajectory has no
+    usable points (the metrics degrade, they never raise).
+    """
+    points = _monotone_trajectory(trajectory, metric)
+    result: Dict[str, Any] = {
+        "points": len(points),
+        "first": None,
+        "final": None,
+        "auc": None,
+        "time_to_within": {},
+    }
+    if not points:
+        return result
+    first = points[0]["value"]
+    final = points[-1]["value"]
+    t0 = points[0]["t_s"]
+    end = end_t_s if end_t_s is not None else points[-1]["t_s"]
+    end = max(end, points[-1]["t_s"])
+    result["first"] = first
+    result["final"] = final
+
+    duration = end - t0
+    if duration > 0 and first > final:
+        area = 0.0
+        for i, p in enumerate(points):
+            t_next = points[i + 1]["t_s"] if i + 1 < len(points) else end
+            area += (p["value"] - final) * (t_next - p["t_s"])
+        result["auc"] = area / ((first - final) * duration)
+    elif duration >= 0:
+        # A single point, or no improvement after the first incumbent:
+        # the final quality was available from t0 on.
+        result["auc"] = 0.0
+
+    for level in levels:
+        key = f"{level * 100:g}%"
+        threshold = final * (1.0 + level) if final >= 0 else final
+        hit = next((p["t_s"] for p in points if p["value"] <= threshold), None)
+        result["time_to_within"][key] = hit
+    return result
+
+
+# -- shard imbalance ---------------------------------------------------------
+
+
+def _gini(values: Sequence[float]) -> Optional[float]:
+    """Gini coefficient of non-negative loads (0 = perfectly even)."""
+    vals = sorted(v for v in values if v is not None and v >= 0)
+    n = len(vals)
+    total = sum(vals)
+    if n == 0 or total <= 0:
+        return None
+    # Standard sorted-rank formula: G = (2 * sum(i * x_i) / (n * sum(x)))
+    # - (n + 1) / n, with 1-based ranks over ascending values.
+    weighted = sum((i + 1) * v for i, v in enumerate(vals))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def shard_imbalance(
+    shard_balance: Dict[str, Dict[str, Any]],
+    field: str = "pairs_explored",
+) -> Dict[str, Any]:
+    """Imbalance summary of the per-worker ``shard_balance`` gauges.
+
+    ``field`` picks the load measure (``pairs_explored`` by default;
+    ``runtime_s`` is the wall-clock view).  ``max_over_mean`` is 1.0 for
+    a perfectly balanced pool and grows with the worst straggler; the
+    Gini coefficient summarizes the whole distribution.  Returns
+    ``workers: 0`` and ``None`` metrics for empty/serial telemetry.
+    """
+    loads = {
+        worker: _finite(fields.get(field))
+        for worker, fields in (shard_balance or {}).items()
+        if isinstance(fields, dict)
+    }
+    loads = {w: v for w, v in loads.items() if v is not None}
+    result: Dict[str, Any] = {
+        "field": field,
+        "workers": len(loads),
+        "max_over_mean": None,
+        "gini": None,
+        "per_worker": dict(sorted(loads.items())),
+    }
+    if not loads:
+        return result
+    mean = sum(loads.values()) / len(loads)
+    if mean > 0:
+        result["max_over_mean"] = max(loads.values()) / mean
+    result["gini"] = _gini(list(loads.values()))
+    return result
+
+
+# -- span hotspots -----------------------------------------------------------
+
+
+def hotspot_table(
+    spans: Sequence[Dict[str, Any]], limit: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Self-time attribution per span node, hottest first.
+
+    ``self_s`` is the node's ``total_s`` minus its direct children's —
+    the time spent in the stage's own code rather than delegated to a
+    sub-stage (clamped at 0: aggregated re-entrant spans can overlap).
+    ``share`` is ``self_s`` over the sum of all self times, i.e. the
+    fraction of attributed wall-clock the profile assigns to the node.
+    Worker-grafted subtrees participate like any other node (their
+    clocks differ but their durations are real).
+    """
+    rows: List[Dict[str, Any]] = []
+
+    def visit(node: Dict[str, Any], prefix: str) -> None:
+        name = str(node.get("name", "?"))
+        path = f"{prefix}.{name}" if prefix else name
+        total = _finite(node.get("total_s")) or 0.0
+        children = node.get("children") or []
+        child_total = sum(
+            _finite(c.get("total_s")) or 0.0 for c in children
+        )
+        rows.append(
+            {
+                "path": path,
+                "count": int(node.get("count", 1) or 1),
+                "total_s": total,
+                "self_s": max(0.0, total - child_total),
+            }
+        )
+        for child in children:
+            visit(child, path)
+
+    for node in spans or []:
+        visit(node, "")
+    attributed = sum(r["self_s"] for r in rows)
+    for r in rows:
+        r["share"] = (r["self_s"] / attributed) if attributed > 0 else None
+    rows.sort(key=lambda r: (-r["self_s"], r["path"]))
+    return rows[:limit] if limit is not None else rows
+
+
+# -- schema-v3 quality section ----------------------------------------------
+
+
+def quality_section(
+    *,
+    final_est_wl: Optional[float] = None,
+    final_twl: Optional[float] = None,
+    certified_lower_bound: Optional[float] = None,
+    trajectory: Optional[Sequence[Dict[str, Any]]] = None,
+    trajectory_metric: Optional[str] = "est_wl",
+    end_t_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble the schema-v3 ``quality`` report section.
+
+    The gap compares the floorplanner's objective (``est_wl``, the
+    estimator HPWL) against the certified interval lower bound from the
+    PR-2 Eq. 2 machinery — both live in estimator units, unlike the
+    post-assignment ``twl``.  Anytime metrics come from the ``est_wl``
+    trajectory by default.  Missing inputs degrade to ``None`` fields so
+    SA/portfolio runs (no bound) still get a quality section.
+    """
+    anytime = anytime_metrics(
+        trajectory or [], metric=trajectory_metric, end_t_s=end_t_s
+    )
+    return {
+        "final_est_wl": _finite(final_est_wl),
+        "final_twl": _finite(final_twl),
+        "certified_lower_bound": _finite(certified_lower_bound),
+        "gap": optimality_gap(final_est_wl, certified_lower_bound),
+        "anytime_auc": anytime["auc"],
+        "time_to_within": anytime["time_to_within"],
+        "trajectory_points": anytime["points"],
+    }
+
+
+def report_quality(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``quality`` section of a report, computed if absent.
+
+    Schema-v3 reports carry it; for v1/v2 (or partial) reports it is
+    derived from the floorplan/wirelength sections and the telemetry
+    trajectory, so every consumer sees one shape.
+    """
+    existing = report.get("quality")
+    if isinstance(existing, dict):
+        return existing
+    fp = report.get("floorplan") or {}
+    stats = fp.get("stats") or {}
+    wl = report.get("wirelength") or {}
+    telemetry = report.get("telemetry") or {}
+    return quality_section(
+        final_est_wl=fp.get("est_wl"),
+        final_twl=wl.get("total"),
+        certified_lower_bound=stats.get("certified_lower_bound")
+        if isinstance(stats, dict)
+        else None,
+        trajectory=telemetry.get("trajectory"),
+    )
+
+
+def analyze_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Every derived analytic of a run report, in one dict.
+
+    Works on any report schema version: sections missing from older
+    reports degrade to ``None``-valued analytics instead of raising.
+    Keys: ``quality``, ``funnel``, ``anytime``, ``shards``,
+    ``hotspots``.
+    """
+    telemetry = report.get("telemetry") or {}
+    return {
+        "quality": report_quality(report),
+        "funnel": pruning_funnel(report),
+        "anytime": anytime_metrics(
+            telemetry.get("trajectory") or [], metric=None
+        ),
+        "shards": shard_imbalance(telemetry.get("shard_balance") or {}),
+        "hotspots": hotspot_table(report.get("spans") or []),
+    }

@@ -1,0 +1,619 @@
+"""Self-contained HTML run dashboard.
+
+Renders one run report (schema v1/v2/v3) into a single HTML file with
+zero external fetches — every style, chart and drawing is inline, so the
+file can be attached to a CI run, mailed, or opened from disk years
+later and still work:
+
+* header tiles — final wirelengths, certified bound, optimality gap,
+  anytime AUC, worker count;
+* an inline-SVG floorplan — interposer outline, die rectangles with
+  orientation marks, escape points and the signal-bump overlay — from
+  the schema-v3 ``layout`` section;
+* the incumbent-vs-time trajectory chart, one series per source (pool,
+  workers, stages);
+* a stage waterfall from the span tree's monotonic offsets;
+* pruning-funnel bars and the analytics tables (per-cut efficiency,
+  shard balance, span hotspots) of :mod:`repro.obs.analytics`.
+
+Sections degrade individually: a report with no telemetry (schema v1),
+an empty trajectory, or no layout geometry renders the remaining
+sections plus an explanatory placeholder instead of failing — the
+dashboard of a broken run is exactly what one wants to look at.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .analytics import analyze_report
+
+# Categorical series colours (dashboard-local; chosen for contrast on
+# the light background and distinguishable in grayscale print).
+_SERIES_COLOURS = (
+    "#3a6ea5", "#a53a3a", "#2f7d32", "#9c6b1e",
+    "#6a4fa3", "#20808d", "#b0538f", "#5a5a5a",
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 24px;
+       color: #1d2129; background: #fbfaf8; }
+h1 { font-size: 20px; margin-bottom: 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; border-bottom: 1px solid #d8d4cc;
+     padding-bottom: 4px; }
+.meta { color: #5f6673; font-size: 12px; margin-bottom: 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { background: #fff; border: 1px solid #e2ded6; border-radius: 6px;
+        padding: 10px 14px; min-width: 120px; }
+.tile .v { font-size: 18px; font-weight: 600; }
+.tile .k { font-size: 11px; color: #5f6673; text-transform: uppercase;
+           letter-spacing: 0.04em; }
+table { border-collapse: collapse; font-size: 12.5px; background: #fff; }
+th, td { border: 1px solid #e2ded6; padding: 4px 9px; text-align: right; }
+th { background: #f1eee8; font-weight: 600; }
+td.l, th.l { text-align: left; }
+.placeholder { color: #8a8f98; font-style: italic; font-size: 13px;
+               padding: 12px; background: #fff; border: 1px dashed #d8d4cc;
+               border-radius: 6px; }
+.caption { color: #5f6673; font-size: 11.5px; margin-top: 4px; }
+svg text { font-family: -apple-system, 'Segoe UI', sans-serif; }
+.row { display: flex; flex-wrap: wrap; gap: 28px; align-items: flex-start; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _num(value: Any, digits: int = 4) -> str:
+    """Human-format a number; dashes for missing values."""
+    if value is None or isinstance(value, bool):
+        return "–"
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return _esc(value)
+    if not math.isfinite(number):
+        return "–"
+    if number == int(number) and abs(number) < 1e15:
+        return f"{int(number):,}"
+    return f"{number:.{digits}g}"
+
+
+def _pct(value: Any) -> str:
+    if value is None:
+        return "–"
+    try:
+        return f"{float(value) * 100:.2f}%"
+    except (TypeError, ValueError):
+        return "–"
+
+
+def _placeholder(text: str) -> str:
+    return f'<div class="placeholder">{_esc(text)}</div>'
+
+
+# -- floorplan SVG -----------------------------------------------------------
+
+
+def _orientation_mark(
+    x: float, y: float, w: float, h: float, orientation: str
+) -> str:
+    """A corner tick marking the die's local origin after rotation.
+
+    The mark sits at the corner the die's *local* (0, 0) maps to: R0 ->
+    lower-left, R90 -> lower-right, R180 -> upper-right, R270 ->
+    upper-left (y still in world coordinates; the caller flips).
+    """
+    corner = {
+        "R0": (x, y), "R90": (x + w, y),
+        "R180": (x + w, y + h), "R270": (x, y + h),
+    }.get(orientation, (x, y))
+    cx, cy = corner
+    size = min(w, h) * 0.22
+    dx = size if cx == x else -size
+    dy = size if cy == y else -size
+    return (
+        f'<path d="M {cx:.3f} {cy:.3f} l {dx:.3f} 0 l {-dx:.3f} {dy:.3f} z" '
+        f'fill="#9c6b1e" fill-opacity="0.85"/>'
+    )
+
+
+def floorplan_svg(layout: Dict[str, Any], width_px: float = 520.0) -> str:
+    """Inline SVG of a schema-v3 ``layout`` section.
+
+    Draws in world (mm) coordinates inside a y-flipping group transform,
+    so rect/circle maths stay in layout units; stroke widths are
+    compensated by the scale factor.
+    """
+    frame = layout.get("package") or layout.get("interposer")
+    if not frame:
+        return _placeholder("report carries no layout geometry")
+    pad = 0.05 * max(frame["w"], frame["h"])
+    x0, y0 = frame["x"] - pad, frame["y"] - pad
+    world_w, world_h = frame["w"] + 2 * pad, frame["h"] + 2 * pad
+    scale = width_px / world_w
+    height_px = world_h * scale
+    sw = 1.2 / scale  # 1.2 px strokes regardless of world scale
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0f}" '
+        f'height="{height_px:.0f}" '
+        f'viewBox="0 0 {width_px:.2f} {height_px:.2f}" '
+        'role="img" aria-label="floorplan">',
+        # Flip y: world (x, y) -> ((x - x0) * s, (y0 + world_h - y) * s).
+        f'<g transform="scale({scale:.4f},{-scale:.4f}) '
+        f'translate({-x0:.4f},{-(y0 + world_h):.4f})">',
+    ]
+
+    def rect(r: Dict[str, Any], fill: str, stroke: str) -> str:
+        return (
+            f'<rect x="{r["x"]:.4f}" y="{r["y"]:.4f}" '
+            f'width="{r["w"]:.4f}" height="{r["h"]:.4f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{sw:.4f}"/>'
+        )
+
+    if layout.get("package"):
+        parts.append(rect(layout["package"], "#f4f1ea", "#888"))
+    if layout.get("interposer"):
+        parts.append(rect(layout["interposer"], "#dde7f0", "#567"))
+    for die in layout.get("dies") or []:
+        parts.append(rect(die, "#ffd9a0", "#9c6b1e"))
+        parts.append(
+            _orientation_mark(
+                die["x"], die["y"], die["w"], die["h"],
+                str(die.get("orientation", "R0")),
+            )
+        )
+    for point in layout.get("bumps") or []:
+        fill = "#a53a3a" if point.get("kind") == "tsv" else "#5a5a5a"
+        radius = (3.0 if point.get("kind") == "tsv" else 2.0) / scale
+        parts.append(
+            f'<circle cx="{point["x"]:.4f}" cy="{point["y"]:.4f}" '
+            f'r="{radius:.4f}" fill="{fill}"/>'
+        )
+    for point in layout.get("escapes") or []:
+        parts.append(
+            f'<circle cx="{point["x"]:.4f}" cy="{point["y"]:.4f}" '
+            f'r="{3.0 / scale:.4f}" fill="#2f7d32"/>'
+        )
+    parts.append("</g>")
+    # Labels go outside the flipped group so text renders upright.
+    for die in layout.get("dies") or []:
+        cx = (die["x"] + die["w"] / 2 - x0) * scale
+        cy = (y0 + world_h - (die["y"] + die["h"] / 2)) * scale
+        label = f'{die.get("id", "?")} ({die.get("orientation", "?")})'
+        parts.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="11" '
+            f'text-anchor="middle">{_esc(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- trajectory chart --------------------------------------------------------
+
+
+def _series_key(source: str) -> str:
+    """Group a trajectory point's source into a chart series.
+
+    Worker-merged points (``workerN.…``) keep the worker prefix so each
+    worker gets its own line; everything else groups by the raw source.
+    """
+    if source.startswith("worker"):
+        return source.split(".", 1)[0]
+    return source or "run"
+
+
+def trajectory_svg(
+    trajectory: Sequence[Dict[str, Any]],
+    width_px: float = 520.0,
+    height_px: float = 230.0,
+) -> str:
+    """Incumbent-vs-time chart, one step-line per source series."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in trajectory or []:
+        try:
+            t_s = float(point["t_s"])
+            value = float(point["value"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if not (math.isfinite(t_s) and math.isfinite(value)):
+            continue
+        series.setdefault(
+            _series_key(str(point.get("source", ""))), []
+        ).append((t_s, value))
+    if not series:
+        return _placeholder(
+            "no incumbent trajectory in this report (schema v1, or the "
+            "search recorded no improvements)"
+        )
+    all_points = [p for pts in series.values() for p in pts]
+    t_max = max(p[0] for p in all_points) or 1e-9
+    v_min = min(p[1] for p in all_points)
+    v_max = max(p[1] for p in all_points)
+    if v_max <= v_min:
+        v_max = v_min + max(abs(v_min), 1.0) * 0.05
+    pad_l, pad_r, pad_t, pad_b = 58.0, 10.0, 8.0, 26.0
+    plot_w = width_px - pad_l - pad_r
+    plot_h = height_px - pad_t - pad_b
+
+    def sx(t: float) -> float:
+        return pad_l + (t / t_max) * plot_w
+
+    def sy(v: float) -> float:
+        return pad_t + (v_max - v) / (v_max - v_min) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0f}" '
+        f'height="{height_px:.0f}" role="img" aria-label="trajectory">'
+    ]
+    # Axes and four ticks per axis.
+    parts.append(
+        f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w:.1f}" '
+        f'height="{plot_h:.1f}" fill="#fff" stroke="#d8d4cc"/>'
+    )
+    for i in range(5):
+        v = v_min + (v_max - v_min) * i / 4
+        y = sy(v)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{pad_l + plot_w:.1f}" '
+            f'y2="{y:.1f}" stroke="#efece6"/>'
+            f'<text x="{pad_l - 5}" y="{y + 3:.1f}" font-size="9.5" '
+            f'text-anchor="end" fill="#5f6673">{_num(v, 4)}</text>'
+        )
+        t = t_max * i / 4
+        x = sx(t)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height_px - 8:.1f}" font-size="9.5" '
+            f'text-anchor="middle" fill="#5f6673">{t:.3g}s</text>'
+        )
+    legend_x = pad_l + 6.0
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        colour = _SERIES_COLOURS[idx % len(_SERIES_COLOURS)]
+        pts = sorted(pts)
+        # Step-after polyline: the incumbent holds its value until the
+        # next improvement.
+        coords: List[str] = []
+        prev_v: Optional[float] = None
+        for t, v in pts:
+            if prev_v is not None:
+                coords.append(f"{sx(t):.1f},{sy(prev_v):.1f}")
+            coords.append(f"{sx(t):.1f},{sy(v):.1f}")
+            prev_v = v
+        if prev_v is not None:
+            coords.append(f"{sx(t_max):.1f},{sy(prev_v):.1f}")
+        parts.append(
+            f'<polyline points="{" ".join(coords)}" fill="none" '
+            f'stroke="{colour}" stroke-width="1.6"/>'
+        )
+        for t, v in pts:
+            parts.append(
+                f'<circle cx="{sx(t):.1f}" cy="{sy(v):.1f}" r="2.2" '
+                f'fill="{colour}"/>'
+            )
+        parts.append(
+            f'<rect x="{legend_x:.1f}" y="{pad_t + 4 + idx * 14:.1f}" '
+            f'width="9" height="9" fill="{colour}"/>'
+            f'<text x="{legend_x + 13:.1f}" y="{pad_t + 12 + idx * 14:.1f}" '
+            f'font-size="10">{_esc(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- stage waterfall ---------------------------------------------------------
+
+
+def _flatten_spans(
+    spans: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Depth-first span rows with depth, keeping only offset-bearing nodes."""
+    rows: List[Dict[str, Any]] = []
+
+    def visit(node: Dict[str, Any], depth: int, worker: str) -> None:
+        name = str(node.get("name", "?"))
+        is_wrapper = name.startswith("worker") and depth == 0
+        start = node.get("start_s")
+        end = node.get("end_s")
+        if start is not None and end is not None and not is_wrapper:
+            rows.append(
+                {
+                    "name": name,
+                    "depth": depth,
+                    "start_s": float(start),
+                    "end_s": float(end),
+                    "count": int(node.get("count", 1) or 1),
+                    "worker": worker,
+                }
+            )
+        for child in node.get("children") or []:
+            visit(
+                child,
+                depth + (0 if is_wrapper else 1),
+                name if is_wrapper else worker,
+            )
+
+    for node in spans or []:
+        visit(node, 0, "")
+    return rows
+
+
+def waterfall_svg(
+    spans: Sequence[Dict[str, Any]], width_px: float = 640.0
+) -> str:
+    """Stage waterfall from span ``start_s``/``end_s`` offsets.
+
+    Worker-grafted subtrees are drawn in a muted shade — their offsets
+    ride the worker's own clock, so bars align only within one worker.
+    """
+    rows = _flatten_spans(spans)
+    if not rows:
+        return _placeholder(
+            "spans carry no monotonic offsets (schema v1 report)"
+        )
+    t_max = max(r["end_s"] for r in rows) or 1e-9
+    row_h, gap = 18.0, 3.0
+    label_w = 220.0
+    plot_w = width_px - label_w - 60.0
+    height_px = len(rows) * (row_h + gap) + 24.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0f}" '
+        f'height="{height_px:.0f}" role="img" aria-label="waterfall">'
+    ]
+    for i, r in enumerate(rows):
+        y = 6 + i * (row_h + gap)
+        x = label_w + (r["start_s"] / t_max) * plot_w
+        w = max(1.5, (r["end_s"] - r["start_s"]) / t_max * plot_w)
+        colour = "#9db7d2" if r["worker"] else "#3a6ea5"
+        label = (" " * r["depth"]) + r["name"]
+        if r["worker"]:
+            label += f" [{r['worker']}]"
+        parts.append(
+            f'<text x="{label_w - 6:.1f}" y="{y + 13:.1f}" font-size="11" '
+            f'text-anchor="end">{_esc(label)}</text>'
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{row_h:.1f}" fill="{colour}" rx="2"/>'
+            f'<text x="{x + w + 5:.1f}" y="{y + 13:.1f}" font-size="10" '
+            f'fill="#5f6673">{r["end_s"] - r["start_s"]:.3g}s'
+            + (f' ×{r["count"]}' if r["count"] > 1 else "")
+            + "</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- funnel ------------------------------------------------------------------
+
+
+def funnel_svg(funnel: Dict[str, Any], width_px: float = 520.0) -> str:
+    """Horizontal pruning-funnel bars with counts and fractions."""
+    stages = funnel.get("stages") or []
+    if not stages or all(s["count"] == 0 for s in stages):
+        return _placeholder(
+            "no enumeration counters in this report (non-EFA run)"
+        )
+    top = max(s["count"] for s in stages) or 1
+    label_w, row_h, gap = 130.0, 20.0, 5.0
+    plot_w = width_px - label_w - 150.0
+    height_px = len(stages) * (row_h + gap) + 10.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0f}" '
+        f'height="{height_px:.0f}" role="img" aria-label="funnel">'
+    ]
+    colours = {
+        "pairs_total": "#8a8f98",
+        "pruned_illegal": "#a53a3a",
+        "pruned_inferior": "#9c6b1e",
+        "explored": "#3a6ea5",
+        "evaluated": "#2f7d32",
+    }
+    for i, stage in enumerate(stages):
+        y = 4 + i * (row_h + gap)
+        w = max(1.5, stage["count"] / top * plot_w)
+        frac = stage.get("fraction")
+        note = f'{_num(stage["count"])}' + (
+            f" ({_pct(frac)})" if frac is not None else ""
+        )
+        parts.append(
+            f'<text x="{label_w - 6:.1f}" y="{y + 14:.1f}" font-size="11" '
+            f'text-anchor="end">{_esc(stage["stage"])}</text>'
+            f'<rect x="{label_w:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{row_h:.1f}" rx="2" '
+            f'fill="{colours.get(stage["stage"], "#5a5a5a")}"/>'
+            f'<text x="{label_w + w + 6:.1f}" y="{y + 14:.1f}" '
+            f'font-size="10.5" fill="#5f6673">{note}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- tables ------------------------------------------------------------------
+
+
+def _table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    left_cols: int = 1,
+) -> str:
+    head = "".join(
+        f'<th class="{"l" if i < left_cols else ""}">{_esc(h)}</th>'
+        for i, h in enumerate(headers)
+    )
+    body = "".join(
+        "<tr>"
+        + "".join(
+            f'<td class="{"l" if i < left_cols else ""}">'
+            + (cell if isinstance(cell, str) else _num(cell))
+            + "</td>"
+            for i, cell in enumerate(row)
+        )
+        + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+# -- the document ------------------------------------------------------------
+
+
+def render_dashboard(report: Dict[str, Any]) -> str:
+    """Render one run report into a self-contained HTML document."""
+    analytics = analyze_report(report)
+    quality = analytics["quality"]
+    funnel = analytics["funnel"]
+    shards = analytics["shards"]
+    telemetry = report.get("telemetry") or {}
+    design = report.get("design") or {}
+    fp = report.get("floorplan") or {}
+
+    title = f"repro run — {design.get('name', 'unnamed design')}"
+    meta_bits = [
+        f"schema v{report.get('schema_version', '?')}",
+        f"command: {report.get('command', '(library)')}",
+    ]
+    if report.get("created_unix_s"):
+        meta_bits.append(f"created_unix_s: {report['created_unix_s']}")
+    if fp.get("algorithm"):
+        meta_bits.append(f"floorplanner: {fp['algorithm']}")
+
+    tiles = [
+        ("est WL", _num(quality.get("final_est_wl"))),
+        ("TWL (Eq. 1)", _num(quality.get("final_twl"))),
+        ("certified bound", _num(quality.get("certified_lower_bound"))),
+        ("optimality gap", _pct(quality.get("gap"))),
+        ("anytime AUC", _num(quality.get("anytime_auc"), 3)),
+        ("workers", _num(shards.get("workers") or None)),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{v}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for k, v in tiles
+    )
+
+    ttw = quality.get("time_to_within") or {}
+    quality_rows = [
+        ["final est_wl", _num(quality.get("final_est_wl"))],
+        ["final TWL", _num(quality.get("final_twl"))],
+        ["certified lower bound",
+         _num(quality.get("certified_lower_bound"))],
+        ["optimality gap", _pct(quality.get("gap"))],
+        ["anytime AUC (0 = instant)", _num(quality.get("anytime_auc"), 4)],
+        ["trajectory points", _num(quality.get("trajectory_points"))],
+    ] + [
+        [f"time to within {level}",
+         "–" if ttw[level] is None else f"{ttw[level]:.4g}s"]
+        for level in sorted(ttw)
+    ]
+
+    efficiency = funnel.get("cut_efficiency") or {}
+    funnel_rows = [
+        ["illegal cut efficiency", _pct(efficiency.get("illegal_cut"))],
+        ["inferior cut efficiency", _pct(efficiency.get("inferior_cut"))],
+        ["explored fraction", _pct(funnel.get("explored_fraction"))],
+        ["outline-rejected candidates",
+         _num(funnel.get("rejected_outline"))],
+        ["lower-bound evaluations",
+         _num(funnel.get("lower_bound_evaluations"))],
+    ]
+
+    shard_table = _placeholder("no per-worker shard telemetry (serial run)")
+    balance = telemetry.get("shard_balance") or {}
+    if balance:
+        fields = sorted({k for v in balance.values() for k in v})
+        shard_table = _table(
+            ["worker"] + fields,
+            [
+                [worker] + [balance[worker].get(f) for f in fields]
+                for worker in sorted(balance)
+            ],
+        ) + (
+            '<div class="caption">imbalance: max/mean '
+            f"{_num(shards.get('max_over_mean'), 3)}, Gini "
+            f"{_num(shards.get('gini'), 3)}</div>"
+        )
+
+    hotspots = analytics["hotspots"][:12]
+    hotspot_table_html = (
+        _table(
+            ["span path", "count", "total s", "self s", "share"],
+            [
+                [r["path"], r["count"], _num(r["total_s"], 4),
+                 _num(r["self_s"], 4), _pct(r.get("share"))]
+                for r in hotspots
+            ],
+        )
+        if hotspots
+        else _placeholder("report carries no span tree")
+    )
+
+    layout = report.get("layout") or {}
+    layout_html = (
+        floorplan_svg(layout)
+        if layout
+        else _placeholder(
+            "no layout geometry in this report (pre-v3 schema, or the "
+            "run produced no floorplan)"
+        )
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+<div class="meta">{_esc(" · ".join(meta_bits))}</div>
+<div class="tiles">{tiles_html}</div>
+
+<div class="row">
+<div>
+<h2>Floorplan</h2>
+{layout_html}
+</div>
+<div>
+<h2>Incumbent trajectory</h2>
+{trajectory_svg(telemetry.get("trajectory") or [])}
+<div class="caption">worker series ride worker-relative clocks;
+the pool series uses the parent epoch</div>
+</div>
+</div>
+
+<h2>Stage waterfall</h2>
+{waterfall_svg(report.get("spans") or [])}
+
+<div class="row">
+<div>
+<h2>Pruning funnel</h2>
+{funnel_svg(funnel)}
+{_table(["cut", "value"], funnel_rows)}
+</div>
+<div>
+<h2>Search quality</h2>
+{_table(["metric", "value"], quality_rows)}
+</div>
+</div>
+
+<div class="row">
+<div>
+<h2>Shard balance</h2>
+{shard_table}
+</div>
+<div>
+<h2>Span hotspots (self time)</h2>
+{hotspot_table_html}
+</div>
+</div>
+</body>
+</html>
+"""
+
+
+def write_dashboard(report: Dict[str, Any], path) -> None:
+    """Render ``report`` and write the HTML document to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_dashboard(report))

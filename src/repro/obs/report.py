@@ -8,19 +8,30 @@ from :mod:`repro.obs.metrics`).  Benchmarks and external tooling consume
 this document instead of scraping stdout or re-timing stages.
 
 The schema is versioned via ``schema_version`` (currently
-``REPORT_SCHEMA_VERSION`` = 2); consumers should check it.  Top-level keys
-of a version-2 report:
+``REPORT_SCHEMA_VERSION`` = 3); consumers should check it.  Top-level keys
+of a version-3 report:
 
 ``schema_version``, ``kind`` (``"repro.run_report"``), ``created_unix_s``,
 ``command`` (optional, the CLI invocation), ``design``, ``floorplan``,
-``assignment``, ``wirelength``, ``spans``, ``metrics``, ``telemetry``.
+``assignment``, ``wirelength``, ``layout``, ``quality``, ``spans``,
+``metrics``, ``metrics_types``, ``telemetry``.
 
-Version 2 adds (a) the ``telemetry`` section — the incumbent-vs-time
+Version 2 added (a) the ``telemetry`` section — the incumbent-vs-time
 ``trajectory``, per-worker ``shard_balance`` gauges and ``heartbeats``
 counts from :mod:`repro.obs.progress` — and (b) monotonic
 ``start_s``/``end_s`` offsets on every span node (consumed by
-:mod:`repro.obs.trace_export`).  Version-1 consumers reading only the
-v1 keys keep working; strict ones must accept 2.
+:mod:`repro.obs.trace_export`).
+
+Version 3 adds (a) the ``quality`` section — final wirelengths, the
+certified lower bound, the optimality gap and the anytime metrics of
+:mod:`repro.obs.analytics` — (b) the ``layout`` section embedding the
+floorplan geometry (interposer/package rects, die rects with
+orientations, escape points, assigned bump/TSV sites) so the HTML
+dashboard can draw the result from the JSON alone, and (c) the
+``metrics_types`` map (``name -> "counter"|"gauge"|"histogram"``) that
+lets :mod:`repro.obs.openmetrics` type its exposition from a report.
+Additive only: version-1/2 consumers reading their keys keep working;
+strict ones must accept 3.
 
 This module depends only on the model/result dataclasses it serializes
 (duck-typed, to stay import-cycle-free with :mod:`repro.flow`).
@@ -38,7 +49,7 @@ from . import progress as progress_mod
 from . import trace as trace_mod
 from .logging import json_default
 
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 REPORT_KIND = "repro.run_report"
 
 
@@ -83,6 +94,55 @@ def floorplan_section(fp_result) -> Dict[str, Any]:
     }
 
 
+def _rect_dict(rect) -> Dict[str, float]:
+    return {
+        "x": float(rect.x), "y": float(rect.y),
+        "w": float(rect.width), "h": float(rect.height),
+    }
+
+
+def layout_section(floorplan, assignment=None) -> Dict[str, Any]:
+    """The ``layout`` section: the placed geometry, in world (mm) units.
+
+    Everything the dashboard's floorplan SVG needs, resolvable from the
+    report alone: the package frame and interposer outline, one rect per
+    placed die (with its orientation name), the escape points, and —
+    when an assignment is given — the *used* bump and TSV sites as an
+    overlay (``kind`` is ``"bump"`` or ``"tsv"``).
+    """
+    design = floorplan.design
+    section: Dict[str, Any] = {
+        "interposer": _rect_dict(design.interposer.outline),
+        "package": _rect_dict(design.package.frame),
+        "dies": [
+            {
+                "id": die.id,
+                **_rect_dict(floorplan.die_rect(die.id)),
+                "orientation": floorplan.placement(die.id).orientation.name,
+            }
+            for die in design.dies
+        ],
+        "escapes": [
+            {"id": e.id, "x": e.position.x, "y": e.position.y}
+            for e in design.package.escape_points
+        ],
+    }
+    if assignment is not None:
+        bumps: List[Dict[str, Any]] = []
+        for bump_id in sorted(assignment.buffer_to_bump.values()):
+            pos = floorplan.bump_position(bump_id)
+            bumps.append(
+                {"id": bump_id, "x": pos.x, "y": pos.y, "kind": "bump"}
+            )
+        for tsv_id in sorted(set(assignment.escape_to_tsv.values())):
+            pos = design.tsv(tsv_id).position
+            bumps.append(
+                {"id": tsv_id, "x": pos.x, "y": pos.y, "kind": "tsv"}
+            )
+        section["bumps"] = bumps
+    return section
+
+
 def assignment_section(asg_result) -> Dict[str, Any]:
     """The ``assignment`` section from an :class:`AssignmentRunResult`."""
     return {
@@ -112,9 +172,10 @@ def build_report(
     metric_values: Optional[Dict[str, Any]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     command: Optional[str] = None,
+    quality: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble a version-2 run report.
+    """Assemble a version-3 run report.
 
     Either pass a complete ``flow_result`` (a :class:`repro.flow.FlowResult`)
     or any subset of the individual sections.  ``spans``,
@@ -122,6 +183,12 @@ def build_report(
     thread's tracer, the default metrics registry and the process
     telemetry scope, so the usual call site is simply
     ``build_report(flow_result)`` right after the instrumented run.
+
+    ``quality`` is the pre-computed v3 quality section (see
+    :func:`repro.obs.analytics.quality_section`); when omitted it is
+    derived here from whatever sections are present.  The ``layout``
+    section is embedded automatically whenever the floorplan result
+    carries a realized floorplan.
     """
     if flow_result is not None:
         design = design or flow_result.design
@@ -145,6 +212,11 @@ def build_report(
         report["assignment"] = assignment_section(assignment_result)
     if wirelength is not None:
         report["wirelength"] = wirelength_section(wirelength)
+    if floorplan_result is not None and floorplan_result.found:
+        report["layout"] = layout_section(
+            floorplan_result.floorplan,
+            getattr(assignment_result, "assignment", None),
+        )
     report["spans"] = (
         spans if spans is not None else trace_mod.trace_snapshot()
     )
@@ -152,10 +224,23 @@ def build_report(
         metric_values if metric_values is not None
         else metrics_mod.snapshot()
     )
+    if metric_values is None:
+        report["metrics_types"] = {
+            name: entry["type"]
+            for name, entry in metrics_mod.export_metrics().items()
+        }
     report["telemetry"] = (
         telemetry if telemetry is not None
         else progress_mod.telemetry().snapshot()
     )
+    if quality is None:
+        # Imported lazily: analytics consumes reports, so a module-level
+        # import would be circular.
+        from .analytics import report_quality
+
+        quality = report_quality(report)
+    if quality:
+        report["quality"] = _jsonable(quality)
     if extra:
         report.update(_jsonable(extra))
     return report

@@ -236,6 +236,25 @@ def _worker_main(
 # -- parent side ------------------------------------------------------------
 
 
+def _balance_fields(stats: Dict[str, Any]) -> Dict[str, float]:
+    """Per-worker shard-balance gauges derived from one shard's stats.
+
+    Beyond the load measures (runtime, pairs explored) this carries the
+    pruning attribution — which cut did the work *on which worker* — so
+    sharded runs keep the per-shard funnel the work-stealing analysis
+    needs; the merged pool totals alone cannot recover it.
+    """
+    return {
+        "runtime_s": stats["runtime_s"],
+        "pairs_explored": stats["sequence_pairs_explored"],
+        "pruned_illegal": stats["pruned_illegal"],
+        "pruned_inferior": stats["pruned_inferior"],
+        "lower_bound_evaluations": stats["lower_bound_evaluations"],
+        "floorplans_evaluated": stats["floorplans_evaluated"],
+        "rejected_outline": stats["floorplans_rejected_outline"],
+    }
+
+
 def _merge_stats(
     shard_stats: List[Dict[str, Any]], sequence_pairs_total: int
 ) -> SearchStats:
@@ -251,6 +270,15 @@ def _merge_stats(
             "floorplans_rejected_outline"
         ]
         merged.timed_out = merged.timed_out or s["timed_out"]
+        # The design-wide certified bound is shard-independent, but keep
+        # the min defensively (shards of a future heterogeneous pool may
+        # certify differently); older records may lack the key entirely.
+        bound = s.get("certified_lower_bound")
+        if bound is not None and (
+            merged.certified_lower_bound is None
+            or bound < merged.certified_lower_bound
+        ):
+            merged.certified_lower_bound = bound
     return merged
 
 
@@ -286,10 +314,7 @@ def _run_serial(
         )
         records.append(_shard_record(shard, result))
         obs.telemetry().record_shard_balance(
-            "worker0",
-            shards=1,
-            runtime_s=result.stats.runtime_s,
-            pairs_explored=result.stats.sequence_pairs_explored,
+            "worker0", shards=1, **_balance_fields(asdict(result.stats))
         )
     return records, None
 
@@ -440,8 +465,7 @@ def _run_pool(
             obs.telemetry().record_shard_balance(
                 f"worker{rec['worker']}",
                 shards=1,
-                runtime_s=rec["stats"]["runtime_s"],
-                pairs_explored=rec["stats"]["sequence_pairs_explored"],
+                **_balance_fields(rec["stats"]),
             )
             progress.update(done=len(records), best=pool_best)
         elif rec["kind"] == "final":

@@ -190,7 +190,7 @@ class TestObservabilityFlags:
         )
         assert rc == 0
         report = json.loads(report_path.read_text())
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         flow = next(s for s in report["spans"] if s["name"] == "flow")
         children = {c["name"] for c in flow["children"]}
         assert {"floorplan", "assign"} <= children
@@ -214,6 +214,28 @@ class TestObservabilityFlags:
         assert report["command"] == "floorplan"
         assert report["floorplan"]["algorithm"] == "EFA_c3"
 
+    def test_report_carries_quality_and_layout(
+        self, tmp_path, design_path
+    ):
+        report_path = tmp_path / "report.json"
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "c3",
+             "--report", str(report_path)]
+        )
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        quality = report["quality"]
+        # EFA_c3 completes exhaustively on the tiny case, so the
+        # certified bound equals the optimum and the gap is exactly 0.
+        assert quality["certified_lower_bound"] == quality["final_est_wl"]
+        assert quality["gap"] == 0.0
+        layout = report["layout"]
+        assert len(layout["dies"]) == 3
+        assert {"interposer", "package", "escapes", "bumps"} <= set(layout)
+        assert report["metrics_types"][
+            "floorplan.efa.pruned_illegal"
+        ] == "counter"
+
     def test_log_json_mode(self, tmp_path, design_path, capsys):
         fp = tmp_path / "fp.json"
         rc = main(
@@ -227,3 +249,67 @@ class TestObservabilityFlags:
         assert err_lines
         payload = json.loads(err_lines[-1])
         assert payload["level"] in ("ERROR", "WARNING")
+
+
+class TestDashboardAndMetricsCommands:
+    @pytest.fixture()
+    def report_path(self, tmp_path, design_path):
+        path = tmp_path / "report.json"
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "c3",
+             "--report", str(path)]
+        )
+        assert rc == 0
+        return path
+
+    def test_run_dashboard_out_writes_self_contained_html(
+        self, tmp_path, design_path
+    ):
+        dash = tmp_path / "dash.html"
+        rc = main(
+            ["run", str(design_path), "--floorplanner", "c3",
+             "--dashboard-out", str(dash)]
+        )
+        assert rc == 0
+        html = dash.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "https://" not in html and "<script" not in html
+
+    def test_floorplan_dashboard_out(self, tmp_path, design_path):
+        fp = tmp_path / "fp.json"
+        dash = tmp_path / "fp.html"
+        rc = main(
+            ["floorplan", str(design_path), "--algorithm", "c3",
+             "-o", str(fp), "--dashboard-out", str(dash)]
+        )
+        assert rc == 0
+        assert "<svg" in dash.read_text()
+
+    def test_dashboard_subcommand_from_existing_report(
+        self, tmp_path, report_path
+    ):
+        dash = tmp_path / "from_report.html"
+        rc = main(["dashboard", str(report_path), "-o", str(dash)])
+        assert rc == 0
+        html = dash.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Pruning funnel" in html
+
+    def test_metrics_dump_emits_parsable_openmetrics(
+        self, report_path, capsys
+    ):
+        from repro.obs import parse_exposition
+
+        rc = main(["metrics-dump", str(report_path)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        families = parse_exposition(text)
+        assert "repro_floorplan_efa_pruned_illegal" in families
+        assert "repro_quality_gap" in families
+
+    def test_metrics_dump_to_file(self, tmp_path, report_path):
+        out = tmp_path / "metrics.txt"
+        rc = main(["metrics-dump", str(report_path), "-o", str(out)])
+        assert rc == 0
+        assert out.read_text().rstrip().endswith("# EOF")

@@ -18,10 +18,12 @@ harness = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(harness)
 
 
-def make_record(seconds, identity=None, host=None, name="spec"):
+def make_record(seconds, identity=None, host=None, name="spec",
+                quality=None):
     record = harness._record(
         name, 3, {stage: [s] for stage, s in seconds.items()},
         identity or {"est_wl": 1.25},
+        quality if quality is not None else {},
     )
     if host is not None:
         record["host"] = host
@@ -97,18 +99,120 @@ class TestCompareRecords:
         assert not ok
 
 
+QUALITY = {"est_wl": 119.05, "twl": 141.40, "gap": 0.0,
+           "anytime_auc": 0.2}
+
+
+class TestQualityGate:
+    def test_identical_quality_passes(self):
+        rec = make_record({"flow": 1.0}, quality=QUALITY)
+        ok, lines = harness.compare_records(rec, rec)
+        assert ok
+        assert any("quality est_wl" in l and "ok" in l for l in lines)
+        assert all("QUALITY REGRESSION" not in l for l in lines)
+
+    def test_worse_wirelength_fails(self):
+        base = make_record({"flow": 1.0}, quality=QUALITY)
+        worse = make_record(
+            {"flow": 1.0}, quality={**QUALITY, "est_wl": 119.05 * 1.1}
+        )
+        ok, lines = harness.compare_records(worse, base)
+        assert not ok
+        assert any(
+            "QUALITY REGRESSION" in l and "est_wl" in l for l in lines
+        )
+
+    def test_worse_gap_fails(self):
+        base = make_record({"flow": 1.0}, quality=QUALITY)
+        worse = make_record({"flow": 1.0}, quality={**QUALITY, "gap": 0.05})
+        ok, lines = harness.compare_records(worse, base)
+        assert not ok
+        assert any("QUALITY REGRESSION" in l and "gap" in l for l in lines)
+
+    def test_better_quality_passes(self):
+        base = make_record({"flow": 1.0}, quality=QUALITY)
+        better = make_record(
+            {"flow": 1.0}, quality={**QUALITY, "twl": 140.0}
+        )
+        ok, _ = harness.compare_records(better, base)
+        assert ok
+
+    def test_quality_gates_even_cross_host(self):
+        # Timings become advisory across hosts; quality is deterministic
+        # and host-independent, so it still gates.
+        base = make_record({"flow": 1.0}, quality=QUALITY)
+        worse = make_record(
+            {"flow": 1.0}, quality={**QUALITY, "est_wl": 130.0},
+            host={"hostname": "elsewhere"},
+        )
+        ok, lines = harness.compare_records(worse, base)
+        assert not ok
+        assert any("QUALITY REGRESSION" in l for l in lines)
+
+    def test_v1_baseline_without_quality_skips_the_gate(self):
+        base = make_record({"flow": 1.0})
+        base.pop("quality")  # as loaded from a schema-1 baseline
+        rec = make_record({"flow": 1.0}, quality=QUALITY)
+        ok, lines = harness.compare_records(rec, base)
+        assert ok
+        assert all("QUALITY" not in l for l in lines)
+
+    def test_auc_is_advisory_not_gating(self):
+        base = make_record({"flow": 1.0}, quality=QUALITY)
+        slower_auc = make_record(
+            {"flow": 1.0}, quality={**QUALITY, "anytime_auc": 0.9}
+        )
+        ok, lines = harness.compare_records(slower_auc, base)
+        assert ok
+        assert any(
+            "anytime_auc" in l and "advisory" in l for l in lines
+        )
+
+    def test_inject_wl_regression_hook(self, monkeypatch):
+        report = {
+            "quality": {
+                "final_est_wl": 100.0, "final_twl": 120.0,
+                "gap": 0.0, "anytime_auc": 0.1,
+            }
+        }
+        assert harness._quality_from_report(report)["est_wl"] == 100.0
+        monkeypatch.setenv("REPRO_HARNESS_INJECT_WL_REGRESSION", "1.1")
+        scaled = harness._quality_from_report(report)
+        assert scaled["est_wl"] == pytest.approx(110.0)
+        assert scaled["twl"] == pytest.approx(132.0)
+        # The hook scales wirelengths only: gap/AUC stay as reported.
+        assert scaled["gap"] == 0.0
+        assert scaled["anytime_auc"] == 0.1
+
+    def test_missing_report_yields_none_quality(self):
+        quality = harness._quality_from_report(None)
+        assert quality == {
+            "est_wl": None, "twl": None, "gap": None, "anytime_auc": None,
+        }
+
+
 class TestRecordIO:
     def test_record_shape_and_min_of_repeats(self):
         record = harness._record(
-            "x", 3, {"stage": [0.3, 0.1, 0.2]}, {"est_wl": 1.0}
+            "x", 3, {"stage": [0.3, 0.1, 0.2]}, {"est_wl": 1.0},
+            {"est_wl": 1.0000000001234, "gap": None},
         )
         assert record["schema_version"] == harness.RECORD_SCHEMA_VERSION
         assert record["kind"] == harness.RECORD_KIND
         assert record["seconds"]["stage"] == 0.1
         assert record["stage_seconds"]["stage"] == [0.3, 0.1, 0.2]
+        assert record["quality"]["est_wl"] == round(1.0000000001234, 9)
+        assert record["quality"]["gap"] is None
         assert set(record["host"]) == {
             "hostname", "machine", "system", "python", "cpu_count",
         }
+
+    def test_load_accepts_schema_1_records(self, tmp_path):
+        record = make_record({"flow": 1.0}, name="old")
+        record["schema_version"] = 1
+        del record["quality"]
+        path = harness.write_record(record, tmp_path)
+        assert harness.load_record(path)["schema_version"] == 1
 
     def test_write_and_load_roundtrip(self, tmp_path):
         record = make_record({"flow": 1.0}, name="roundtrip")

@@ -1,0 +1,310 @@
+"""Unit tests for the derived search-quality analytics (repro.obs.analytics).
+
+Everything here is hand-computed: the analytics are pure functions of
+JSON-ready dicts, so every expected gap, AUC, funnel fraction and Gini
+coefficient below can be verified with pencil and paper.
+"""
+
+import pytest
+
+from repro.obs.analytics import (
+    analyze_report,
+    anytime_metrics,
+    hotspot_table,
+    optimality_gap,
+    pruning_funnel,
+    quality_section,
+    report_quality,
+    shard_imbalance,
+)
+
+
+class TestOptimalityGap:
+    def test_hand_computed_gap(self):
+        assert optimality_gap(110.0, 100.0) == pytest.approx(0.10)
+        assert optimality_gap(100.0, 100.0) == 0.0
+
+    def test_missing_or_nonpositive_bound_is_none(self):
+        assert optimality_gap(110.0, None) is None
+        assert optimality_gap(None, 100.0) is None
+        assert optimality_gap(110.0, 0.0) is None
+        assert optimality_gap(110.0, -5.0) is None
+
+    def test_nonfinite_inputs_are_none(self):
+        assert optimality_gap(float("inf"), 100.0) is None
+        assert optimality_gap(110.0, float("nan")) is None
+
+    def test_inconsistent_negative_gap_is_none(self):
+        # A certified bound can never exceed the optimum, so wl < bound
+        # means the inputs are inconsistent, not that the gap is negative.
+        assert optimality_gap(90.0, 100.0) is None
+
+
+STATS = {
+    "sequence_pairs_total": 100,
+    "pruned_illegal": 40,
+    "pruned_inferior": 30,
+    "sequence_pairs_explored": 30,
+    "floorplans_evaluated": 120,
+    "lower_bound_evaluations": 60,
+    "floorplans_rejected_outline": 5,
+}
+
+
+class TestPruningFunnel:
+    def test_stages_and_fractions(self):
+        funnel = pruning_funnel({"floorplan": {"stats": dict(STATS)}})
+        stages = {s["stage"]: s for s in funnel["stages"]}
+        assert [s["stage"] for s in funnel["stages"]] == [
+            "pairs_total", "pruned_illegal", "pruned_inferior",
+            "explored", "evaluated",
+        ]
+        assert stages["pairs_total"]["count"] == 100
+        assert stages["pruned_illegal"]["fraction"] == pytest.approx(0.40)
+        assert stages["explored"]["fraction"] == pytest.approx(0.30)
+        assert stages["evaluated"]["count"] == 120
+
+    def test_cut_efficiency_denominators(self):
+        funnel = pruning_funnel({"floorplan": {"stats": dict(STATS)}})
+        eff = funnel["cut_efficiency"]
+        # The illegal cut inspects every pair; the inferior cut inspects
+        # only the pairs it computed a lower bound for.
+        assert eff["illegal_cut"] == pytest.approx(40 / 100)
+        assert eff["inferior_cut"] == pytest.approx(30 / 60)
+        assert funnel["explored_fraction"] == pytest.approx(0.30)
+        assert funnel["rejected_outline"] == 5
+        assert funnel["lower_bound_evaluations"] == 60
+
+    def test_metric_counter_fallback(self):
+        report = {
+            "metrics": {
+                "floorplan.efa.sequence_pairs_total": 10,
+                "floorplan.efa.pruned_illegal": 4,
+                "floorplan.efa.sequence_pairs_explored": 6,
+            }
+        }
+        funnel = pruning_funnel(report)
+        stages = {s["stage"]: s["count"] for s in funnel["stages"]}
+        assert stages["pairs_total"] == 10
+        assert stages["pruned_illegal"] == 4
+        assert funnel["cut_efficiency"]["illegal_cut"] == pytest.approx(0.4)
+
+    def test_empty_run_degrades_to_none_fractions(self):
+        funnel = pruning_funnel({})
+        assert all(s["count"] == 0 for s in funnel["stages"])
+        assert all(s["fraction"] is None for s in funnel["stages"])
+        assert funnel["cut_efficiency"] == {
+            "illegal_cut": None, "inferior_cut": None,
+        }
+        assert funnel["explored_fraction"] is None
+
+
+def _traj(points, metric="est_wl", source="run"):
+    return [
+        {"t_s": t, "value": v, "metric": metric, "source": source}
+        for t, v in points
+    ]
+
+
+class TestAnytimeMetrics:
+    def test_hand_computed_auc_and_time_to_within(self):
+        # Incumbents: 10 @ t=0, 5.4 @ t=1, 5 @ t=3.  Excess-over-final
+        # area = 5*1 + 0.4*2 = 5.8; normalizer = (10-5) * 3 = 15.
+        out = anytime_metrics(_traj([(0, 10.0), (1, 5.4), (3, 5.0)]))
+        assert out["points"] == 3
+        assert out["first"] == 10.0 and out["final"] == 5.0
+        assert out["auc"] == pytest.approx(5.8 / 15.0)
+        # Thresholds over final=5: 10% -> 5.5 (hit at t=1), 5% -> 5.25
+        # and 1% -> 5.05 (both only at t=3).
+        assert out["time_to_within"]["10%"] == 1
+        assert out["time_to_within"]["5%"] == 3
+        assert out["time_to_within"]["1%"] == 3
+
+    def test_end_time_extends_the_integral(self):
+        # Same trajectory held to t=6: area unchanged after the last
+        # improvement (excess 0), but the normalizer doubles.
+        out = anytime_metrics(
+            _traj([(0, 10.0), (1, 5.4), (3, 5.0)]), end_t_s=6.0
+        )
+        assert out["auc"] == pytest.approx(5.8 / 30.0)
+
+    def test_non_monotone_points_are_filtered(self):
+        # A worse merged-worker point arriving later is not an incumbent.
+        out = anytime_metrics(
+            _traj([(0, 10.0), (1, 5.0), (2, 7.0), (3, 5.0)])
+        )
+        assert out["points"] == 2
+        assert out["final"] == 5.0
+
+    def test_other_metrics_are_ignored(self):
+        trajectory = _traj([(0, 10.0), (1, 5.0)]) + _traj(
+            [(0.5, 99.0)], metric="twl"
+        )
+        out = anytime_metrics(trajectory, metric="est_wl")
+        assert out["points"] == 2
+        assert out["final"] == 5.0
+
+    def test_single_point_means_instant_final_quality(self):
+        out = anytime_metrics(_traj([(2.0, 7.0)]))
+        assert out["first"] == out["final"] == 7.0
+        assert out["auc"] == 0.0
+
+    def test_empty_trajectory_degrades(self):
+        out = anytime_metrics([])
+        assert out == {
+            "points": 0, "first": None, "final": None, "auc": None,
+            "time_to_within": {},
+        }
+
+
+class TestShardImbalance:
+    def test_perfectly_balanced_pool(self):
+        out = shard_imbalance(
+            {
+                "worker0": {"pairs_explored": 2},
+                "worker1": {"pairs_explored": 2},
+                "worker2": {"pairs_explored": 2},
+            }
+        )
+        assert out["workers"] == 3
+        assert out["max_over_mean"] == pytest.approx(1.0)
+        assert out["gini"] == pytest.approx(0.0)
+
+    def test_hand_computed_imbalance(self):
+        # Loads [1, 3]: mean 2, max/mean 1.5.  Gini (sorted-rank form):
+        # 2*(1*1 + 2*3) / (2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        out = shard_imbalance(
+            {
+                "worker0": {"pairs_explored": 3, "runtime_s": 0.5},
+                "worker1": {"pairs_explored": 1, "runtime_s": 0.5},
+            }
+        )
+        assert out["max_over_mean"] == pytest.approx(1.5)
+        assert out["gini"] == pytest.approx(0.25)
+        assert out["per_worker"] == {"worker0": 3.0, "worker1": 1.0}
+
+    def test_alternate_load_field(self):
+        out = shard_imbalance(
+            {"worker0": {"runtime_s": 1.0}, "worker1": {"runtime_s": 3.0}},
+            field="runtime_s",
+        )
+        assert out["field"] == "runtime_s"
+        assert out["max_over_mean"] == pytest.approx(1.5)
+
+    def test_empty_telemetry(self):
+        out = shard_imbalance({})
+        assert out["workers"] == 0
+        assert out["max_over_mean"] is None
+        assert out["gini"] is None
+
+
+class TestHotspotTable:
+    SPANS = [
+        {
+            "name": "flow", "count": 1, "total_s": 1.0,
+            "children": [
+                {"name": "floorplan", "count": 1, "total_s": 0.7,
+                 "children": []},
+            ],
+        }
+    ]
+
+    def test_self_time_is_total_minus_children(self):
+        rows = hotspot_table(self.SPANS)
+        by_path = {r["path"]: r for r in rows}
+        assert by_path["flow"]["self_s"] == pytest.approx(0.3)
+        assert by_path["flow.floorplan"]["self_s"] == pytest.approx(0.7)
+        assert by_path["flow"]["share"] == pytest.approx(0.3)
+        assert by_path["flow.floorplan"]["share"] == pytest.approx(0.7)
+
+    def test_sorted_hottest_first_and_limited(self):
+        rows = hotspot_table(self.SPANS, limit=1)
+        assert [r["path"] for r in rows] == ["flow.floorplan"]
+
+    def test_overlapping_reentrant_spans_clamp_at_zero(self):
+        spans = [
+            {
+                "name": "outer", "count": 1, "total_s": 1.0,
+                "children": [
+                    {"name": "a", "count": 3, "total_s": 0.8,
+                     "children": []},
+                    {"name": "b", "count": 3, "total_s": 0.6,
+                     "children": []},
+                ],
+            }
+        ]
+        rows = {r["path"]: r for r in hotspot_table(spans)}
+        assert rows["outer"]["self_s"] == 0.0
+
+
+class TestQualitySection:
+    def test_assembles_gap_and_anytime(self):
+        section = quality_section(
+            final_est_wl=110.0,
+            final_twl=130.0,
+            certified_lower_bound=100.0,
+            trajectory=_traj([(0, 10.0), (1, 5.0)]),
+        )
+        assert section["final_est_wl"] == 110.0
+        assert section["final_twl"] == 130.0
+        assert section["gap"] == pytest.approx(0.10)
+        # Two points with the improvement at the very end: the search sat
+        # at the first incumbent for the whole window, i.e. AUC = 1.
+        assert section["anytime_auc"] == pytest.approx(1.0)
+        assert section["trajectory_points"] == 2
+
+    def test_missing_inputs_degrade_to_none(self):
+        section = quality_section()
+        assert section["gap"] is None
+        assert section["certified_lower_bound"] is None
+        assert section["anytime_auc"] is None
+
+    def test_report_quality_prefers_embedded_section(self):
+        embedded = {"gap": 0.5, "final_est_wl": 1.0}
+        assert report_quality({"quality": embedded}) is embedded
+
+    def test_report_quality_derives_from_v2_sections(self):
+        report = {
+            "floorplan": {
+                "est_wl": 110.0,
+                "stats": {"certified_lower_bound": 100.0},
+            },
+            "wirelength": {"total": 130.0},
+        }
+        quality = report_quality(report)
+        assert quality["gap"] == pytest.approx(0.10)
+        assert quality["final_twl"] == 130.0
+
+
+class TestAnalyzeReport:
+    def test_all_sections_present_on_empty_report(self):
+        out = analyze_report({})
+        assert set(out) == {
+            "quality", "funnel", "anytime", "shards", "hotspots",
+        }
+        assert out["quality"]["gap"] is None
+        assert out["shards"]["workers"] == 0
+        assert out["hotspots"] == []
+
+    def test_full_synthetic_report(self):
+        report = {
+            "floorplan": {
+                "est_wl": 110.0,
+                "stats": {**STATS, "certified_lower_bound": 100.0},
+            },
+            "wirelength": {"total": 130.0},
+            "telemetry": {
+                "trajectory": _traj([(0, 10.0), (1, 5.0)]),
+                "shard_balance": {
+                    "worker0": {"pairs_explored": 3},
+                    "worker1": {"pairs_explored": 1},
+                },
+            },
+            "spans": TestHotspotTable.SPANS,
+        }
+        out = analyze_report(report)
+        assert out["quality"]["gap"] == pytest.approx(0.10)
+        assert out["funnel"]["explored_fraction"] == pytest.approx(0.30)
+        assert out["anytime"]["final"] == 5.0
+        assert out["shards"]["max_over_mean"] == pytest.approx(1.5)
+        assert out["hotspots"][0]["path"] == "flow.floorplan"

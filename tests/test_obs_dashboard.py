@@ -1,0 +1,160 @@
+"""Smoke tests for the self-contained HTML dashboard (repro.obs.dashboard).
+
+The contract under test: one run report in, one HTML document out, with
+every asset inline (no external fetches) and each section degrading to a
+placeholder — never an exception — when its data is missing.
+"""
+
+import pytest
+
+from repro import load_tiny, obs, run_flow
+from repro.obs.dashboard import (
+    floorplan_svg,
+    funnel_svg,
+    render_dashboard,
+    trajectory_svg,
+    waterfall_svg,
+    write_dashboard,
+)
+
+
+@pytest.fixture(scope="module")
+def flow_report():
+    obs.reset_run()
+    result = run_flow(load_tiny(die_count=3, signal_count=10))
+    report = result.obs_report
+    obs.reset_run()
+    return report
+
+
+class TestFullReport:
+    def test_is_a_single_self_contained_document(self, flow_report):
+        html = render_dashboard(flow_report)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        # Self-contained: nothing the browser would fetch.
+        assert "https://" not in html
+        assert "<script" not in html
+        assert "<link" not in html
+        assert "src=" not in html
+
+    def test_embeds_every_section(self, flow_report):
+        html = render_dashboard(flow_report)
+        assert "<svg" in html
+        for heading in (
+            "Floorplan", "Incumbent trajectory", "Stage waterfall",
+            "Pruning funnel", "Search quality", "Shard balance",
+            "Span hotspots",
+        ):
+            assert heading in html
+        assert flow_report["design"]["name"] in html
+
+    def test_floorplan_svg_draws_each_die(self, flow_report):
+        html = render_dashboard(flow_report)
+        for die in flow_report["layout"]["dies"]:
+            assert f'{die["id"]} ({die["orientation"]})' in html
+
+    def test_quality_tiles_show_certified_gap(self, flow_report):
+        # A completed EFA run certifies a gap (0.00% for exact search).
+        assert flow_report["quality"]["gap"] is not None
+        html = render_dashboard(flow_report)
+        assert "optimality gap" in html
+        assert f'{flow_report["quality"]["gap"] * 100:.2f}%' in html
+
+    def test_write_dashboard(self, tmp_path, flow_report):
+        path = tmp_path / "dash.html"
+        write_dashboard(flow_report, path)
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestDegradation:
+    def test_empty_report_renders_placeholders(self):
+        html = render_dashboard({})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "no layout geometry" in html
+        assert "no incumbent trajectory" in html
+        assert "placeholder" in html
+
+    def test_schema_v1_report_without_offsets_or_telemetry(self):
+        report = {
+            "schema_version": 1,
+            "kind": "repro.run_report",
+            "spans": [
+                {"name": "flow", "count": 1, "total_s": 1.0,
+                 "children": []},
+            ],
+            "metrics": {"floorplan.efa.pruned_illegal": 2},
+        }
+        html = render_dashboard(report)
+        # No start_s/end_s offsets -> waterfall placeholder, but the
+        # hotspot table still attributes the span's self time.
+        assert "schema v1" in html
+        assert "flow" in html
+
+    def test_empty_trajectory_placeholder(self):
+        assert "no incumbent trajectory" in trajectory_svg([])
+
+    def test_funnel_placeholder_for_non_efa_run(self):
+        funnel = {"stages": [{"stage": "pairs_total", "count": 0,
+                              "fraction": None}]}
+        assert "no enumeration counters" in funnel_svg(funnel)
+
+    def test_waterfall_placeholder_without_offsets(self):
+        spans = [{"name": "flow", "count": 1, "total_s": 1.0,
+                  "children": []}]
+        assert "schema v1" in waterfall_svg(spans)
+
+
+class TestSvgPieces:
+    LAYOUT = {
+        "interposer": {"x": 0.0, "y": 0.0, "w": 3.0, "h": 2.0},
+        "package": {"x": -0.5, "y": -0.5, "w": 4.0, "h": 3.0},
+        "dies": [
+            {"id": "d1", "x": 0.2, "y": 0.2, "w": 1.0, "h": 1.0,
+             "orientation": "R90"},
+        ],
+        "escapes": [{"id": "e1", "x": -0.5, "y": 0.0}],
+        "bumps": [
+            {"id": "m1", "x": 0.5, "y": 0.5, "kind": "bump"},
+            {"id": "t1", "x": 1.5, "y": 1.0, "kind": "tsv"},
+        ],
+    }
+
+    def test_floorplan_svg_marks_and_overlay(self):
+        svg = floorplan_svg(self.LAYOUT)
+        assert svg.startswith("<svg")
+        assert "d1 (R90)" in svg
+        # One die rect + interposer + package.
+        assert svg.count("<rect") == 3
+        # Orientation corner tick plus three circles (escape, bump, TSV).
+        assert svg.count("<path") == 1
+        assert svg.count("<circle") == 3
+
+    def test_waterfall_tints_worker_subtrees(self):
+        spans = [
+            {"name": "flow", "count": 1, "total_s": 1.0,
+             "start_s": 0.0, "end_s": 1.0, "children": []},
+            {"name": "worker1", "count": 1, "total_s": 0.5,
+             "start_s": 0.0, "end_s": 0.5,
+             "children": [
+                 {"name": "floorplan.efa", "count": 1, "total_s": 0.5,
+                  "start_s": 0.0, "end_s": 0.5, "children": []},
+             ]},
+        ]
+        svg = waterfall_svg(spans)
+        # The depth-0 worker wrapper is skipped; its child is drawn in
+        # the muted worker shade and tagged with the worker name.
+        assert "worker1]" in svg
+        assert "#9db7d2" in svg and "#3a6ea5" in svg
+
+    def test_trajectory_groups_worker_series(self):
+        trajectory = [
+            {"t_s": 0.0, "value": 10.0, "source": "worker0.efa"},
+            {"t_s": 1.0, "value": 8.0, "source": "worker0.efa"},
+            {"t_s": 0.5, "value": 9.0, "source": "worker1.efa"},
+            {"t_s": 2.0, "value": 7.0, "source": "pool"},
+        ]
+        svg = trajectory_svg(trajectory)
+        assert svg.count("<polyline") == 3
+        for name in ("worker0", "worker1", "pool"):
+            assert name in svg

@@ -1,0 +1,245 @@
+"""Tests for the OpenMetrics text exposition (repro.obs.openmetrics).
+
+The format-lint tests enforce the exposition invariants CI relies on:
+every sample is preceded by its family's ``# TYPE`` line, label values
+are escaped per the spec, and the document terminates with ``# EOF`` —
+checked both by hand-scanning the lines and by round-tripping through
+the strict :func:`parse_exposition` self-check parser.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    ExpositionBuilder,
+    escape_label_value,
+    parse_exposition,
+    render_registry,
+    render_report,
+    sanitize_name,
+)
+
+# A synthetic schema-v3 report exercising every exposition branch:
+# typed counters, a histogram summary, quality/funnel/shard analytics.
+REPORT = {
+    "schema_version": 3,
+    "kind": "repro.run_report",
+    "metrics": {
+        "floorplan.efa.pruned_illegal": 3,
+        "floorplan.efa.sequence_pairs_total": 10,
+        "assign.mcmf.augmenting_paths": 7,
+        "eval.batch_sizes": {
+            "count": 2, "sum": 6.0, "min": 2.0, "max": 4.0, "mean": 3.0,
+        },
+    },
+    "metrics_types": {
+        "floorplan.efa.pruned_illegal": "counter",
+        "floorplan.efa.sequence_pairs_total": "counter",
+        "assign.mcmf.augmenting_paths": "counter",
+        "eval.batch_sizes": "histogram",
+    },
+    "floorplan": {
+        "est_wl": 110.0,
+        "stats": {
+            "sequence_pairs_total": 10,
+            "pruned_illegal": 3,
+            "pruned_inferior": 2,
+            "sequence_pairs_explored": 5,
+            "floorplans_evaluated": 20,
+            "lower_bound_evaluations": 4,
+            "floorplans_rejected_outline": 1,
+            "certified_lower_bound": 100.0,
+        },
+    },
+    "wirelength": {"total": 130.0},
+    "telemetry": {
+        "trajectory": [
+            {"t_s": 0.0, "value": 10.0, "metric": "est_wl", "source": "run"},
+            {"t_s": 1.0, "value": 5.0, "metric": "est_wl", "source": "run"},
+        ],
+        "shard_balance": {
+            "worker0": {"pairs_explored": 3},
+            "worker1": {"pairs_explored": 7},
+        },
+    },
+    "spans": [
+        {"name": "flow", "count": 1, "total_s": 1.0, "children": []},
+    ],
+}
+
+
+def lint_exposition(text: str) -> None:
+    """Hand-rolled format lint, independent of parse_exposition."""
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    declared = set()
+    for line in lines[:-1]:
+        assert line.strip(), "blank line inside the exposition"
+        if line.startswith("# TYPE "):
+            declared.add(line.split()[2])
+            continue
+        if line.startswith("# HELP "):
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        name = line.split("{")[0].split()[0]
+        base = name[:-len("_total")] if name.endswith("_total") else name
+        assert name in declared or base in declared, (
+            f"sample {name!r} not preceded by its # TYPE line"
+        )
+
+
+class TestBuilderGolden:
+    def test_exact_exposition_text(self):
+        builder = ExpositionBuilder()
+        builder.add(
+            "floorplan.efa.pruned_illegal", "counter", 3,
+            help_text="Pairs cut",
+        )
+        builder.add("quality.gap", "gauge", 0.1)
+        name = sanitize_name("shard.load")
+        builder.family(name, "gauge", "Per-worker load")
+        builder.sample(name, 5, {"worker": "worker0"})
+        assert builder.render() == (
+            "# HELP repro_floorplan_efa_pruned_illegal Pairs cut\n"
+            "# TYPE repro_floorplan_efa_pruned_illegal counter\n"
+            "repro_floorplan_efa_pruned_illegal_total 3\n"
+            "# TYPE repro_quality_gap gauge\n"
+            "repro_quality_gap 0.1\n"
+            "# HELP repro_shard_load Per-worker load\n"
+            "# TYPE repro_shard_load gauge\n"
+            'repro_shard_load{worker="worker0"} 5\n'
+            "# EOF\n"
+        )
+
+    def test_none_values_are_skipped_not_nan(self):
+        builder = ExpositionBuilder()
+        builder.add("quality.gap", "gauge", None)
+        text = builder.render()
+        assert "# TYPE repro_quality_gap gauge" in text
+        assert "NaN" not in text and "None" not in text
+
+    def test_conflicting_family_kind_raises(self):
+        builder = ExpositionBuilder()
+        builder.add("x", "counter", 1)
+        with pytest.raises(ValueError, match="both counter and gauge"):
+            builder.add("x", "gauge", 1)
+
+
+class TestNamesAndLabels:
+    def test_sanitize_folds_dots_and_dashes(self):
+        assert (
+            sanitize_name("floorplan.efa.pruned_illegal")
+            == "repro_floorplan_efa_pruned_illegal"
+        )
+        assert sanitize_name("a-b c") == "repro_a_b_c"
+
+    def test_label_escaping_round_trips(self):
+        raw = 'a"b\\c\nd'
+        assert escape_label_value(raw) == 'a\\"b\\\\c\\nd'
+        builder = ExpositionBuilder()
+        builder.add("weird", "gauge", 1.0, labels={"path": raw})
+        families = parse_exposition(builder.render())
+        ((_, labels, value),) = families["repro_weird"]["samples"]
+        assert labels["path"] == raw
+        assert value == 1.0
+
+    def test_illegal_label_name_raises(self):
+        builder = ExpositionBuilder()
+        with pytest.raises(ValueError, match="illegal label name"):
+            builder.add("m", "gauge", 1.0, labels={"bad-name": "x"})
+
+
+class TestRenderReport:
+    def test_format_lint_passes(self):
+        text = render_report(REPORT)
+        lint_exposition(text)
+        parse_exposition(text)  # The strict parser agrees.
+
+    def test_typed_counters_get_total_suffix(self):
+        text = render_report(REPORT)
+        assert "repro_floorplan_efa_pruned_illegal_total 3" in text
+        assert "repro_assign_mcmf_augmenting_paths_total 7" in text
+        assert "# TYPE repro_floorplan_efa_pruned_illegal counter" in text
+
+    def test_histogram_expands_to_count_sum_min_max(self):
+        families = parse_exposition(render_report(REPORT))
+        assert families["repro_eval_batch_sizes_count"]["type"] == "counter"
+        samples = {
+            name: value
+            for fam in families.values()
+            for name, _, value in fam["samples"]
+        }
+        assert samples["repro_eval_batch_sizes_count_total"] == 2
+        assert samples["repro_eval_batch_sizes_sum_total"] == 6.0
+        assert samples["repro_eval_batch_sizes_min"] == 2.0
+        assert samples["repro_eval_batch_sizes_max"] == 4.0
+
+    def test_analytics_gauges_exposed(self):
+        families = parse_exposition(render_report(REPORT))
+        gap = families["repro_quality_gap"]["samples"]
+        assert gap == [("repro_quality_gap", {}, pytest.approx(0.1))]
+        loads = {
+            labels["worker"]: value
+            for _, labels, value in families["repro_shard_load"]["samples"]
+        }
+        assert loads == {"worker0": 3.0, "worker1": 7.0}
+        stages = {
+            labels["stage"]: value
+            for _, labels, value in families["repro_funnel_stage"]["samples"]
+        }
+        assert stages["pairs_total"] == 10
+        assert stages["pruned_inferior"] == 2
+
+    def test_untyped_report_infers_dict_as_histogram(self):
+        report = {
+            "metrics": {"plain": 4, "hist": {"count": 1, "sum": 2.0}},
+        }
+        text = render_report(report)
+        # No metrics_types: scalars become gauges (no _total suffix).
+        assert "\nrepro_plain 4\n" in text
+        assert "repro_hist_count_total 1" in text
+
+    def test_unknown_declared_type_raises(self):
+        report = {"metrics": {"x": 1}, "metrics_types": {"x": "bogus"}}
+        with pytest.raises(ValueError, match="unknown type"):
+            render_report(report)
+
+
+class TestRenderRegistry:
+    def test_live_registry_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(1.0)
+        reg.histogram("h").observe(3.0)
+        families = parse_exposition(render_registry(reg))
+        assert families["repro_c"]["type"] == "counter"
+        assert families["repro_c"]["samples"] == [("repro_c_total", {}, 2.0)]
+        assert families["repro_g"]["samples"] == [("repro_g", {}, 1.5)]
+        assert families["repro_h_count"]["samples"] == [
+            ("repro_h_count_total", {}, 2.0)
+        ]
+
+
+class TestParserStrictness:
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            parse_exposition("repro_x 1\n# EOF\n")
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="# EOF"):
+            parse_exposition("# TYPE repro_x gauge\nrepro_x 1\n")
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(ValueError, match="after # EOF"):
+            parse_exposition("# EOF\nrepro_x 1\n")
+
+    def test_repeated_family_rejected(self):
+        with pytest.raises(ValueError, match="repeated"):
+            parse_exposition(
+                "# TYPE repro_x gauge\n# TYPE repro_x gauge\n# EOF\n"
+            )
+
+    def test_blank_line_rejected(self):
+        with pytest.raises(ValueError, match="blank line"):
+            parse_exposition("# TYPE repro_x gauge\n\n# EOF\n")

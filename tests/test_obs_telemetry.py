@@ -453,7 +453,7 @@ class TestCliTraceOut:
             e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
         }
         assert {"flow", "floorplan", "assign", "evaluate"} <= names
-        # The run report alongside is schema v2 with a telemetry section.
+        # The run report alongside is schema v3 with a telemetry section.
         rep = json.loads(report.read_text())
-        assert rep["schema_version"] == 2
+        assert rep["schema_version"] == 3
         assert "trajectory" in rep["telemetry"]

@@ -200,6 +200,74 @@ class TestParallelDeterminism:
         assert not par.found
 
 
+class TestShardTelemetryAndCertification:
+    """Per-worker pruning attribution and the merged certified bound."""
+
+    CUT_CFG = EFAConfig(illegal_cut=True, inferior_cut=True)
+
+    def test_merged_stats_carry_certified_bound(self, design3):
+        par = run_parallel_efa(
+            design3, ParallelEFAConfig(workers=2, efa=self.CUT_CFG)
+        )
+        bound = par.stats.certified_lower_bound
+        assert bound is not None
+        # The pool completed the whole space, so the certificate is
+        # tight: nothing cheaper than the returned optimum exists.
+        assert bound == pytest.approx(par.est_wl)
+        serial = run_efa(design3, self.CUT_CFG)
+        assert bound == pytest.approx(
+            serial.stats.certified_lower_bound
+        )
+
+    def test_per_worker_pruning_counters_survive_the_merge(self, design3):
+        from repro import obs
+
+        obs.reset_run()
+        try:
+            par = run_parallel_efa(
+                design3, ParallelEFAConfig(workers=2, efa=self.CUT_CFG)
+            )
+            balance = obs.telemetry().snapshot()["shard_balance"]
+        finally:
+            obs.reset_run()
+        assert balance
+        assert set(balance) <= {"worker0", "worker1"}
+        stats = par.stats
+        # The per-worker gauges partition the merged pool totals: the
+        # funnel attribution is not lost in the shard reduce.
+        for field, total in (
+            ("pairs_explored", stats.sequence_pairs_explored),
+            ("pruned_illegal", stats.pruned_illegal),
+            ("pruned_inferior", stats.pruned_inferior),
+            ("lower_bound_evaluations", stats.lower_bound_evaluations),
+            ("floorplans_evaluated", stats.floorplans_evaluated),
+            ("rejected_outline", stats.floorplans_rejected_outline),
+        ):
+            assert sum(
+                w[field] for w in balance.values()
+            ) == total, field
+
+    def test_serial_path_records_worker0_balance(self, design3):
+        from repro import obs
+
+        obs.reset_run()
+        try:
+            run_parallel_efa(
+                design3, ParallelEFAConfig(workers=1, efa=self.CUT_CFG)
+            )
+            balance = obs.telemetry().snapshot()["shard_balance"]
+        finally:
+            obs.reset_run()
+        assert "worker0" in balance
+        assert balance["worker0"]["pairs_explored"] > 0
+
+    def test_annealers_do_not_certify(self, design3):
+        from repro.floorplan import SAConfig, run_sa
+
+        result = run_sa(design3, SAConfig(seed=3, time_budget_s=2))
+        assert result.stats.certified_lower_bound is None
+
+
 class TestTieBreakRegression:
     """Equal-wirelength candidates must resolve by enumeration rank."""
 
@@ -319,7 +387,7 @@ class TestParallelCLI:
         )
         assert rc == 0
         data = json.loads(report.read_text())
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         # Worker counters must be reduced into the parent report.
         assert data["metrics"]["floorplan.efa.sequence_pairs_explored"] > 0
 
