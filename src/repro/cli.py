@@ -13,7 +13,13 @@ artifacts, so the flow can be scripted without writing Python:
 * ``repro-25d dashboard`` — render an existing run report (any schema
   version) into the self-contained HTML dashboard;
 * ``repro-25d metrics-dump`` — OpenMetrics/Prometheus text exposition of
-  a run report's counters plus the derived quality analytics.
+  a run report's counters plus the derived quality analytics;
+* ``repro-25d serve`` — the async job server of :mod:`repro.service`
+  (submit/poll/stream over HTTP, content-addressed result cache,
+  checkpoint/resume);
+* ``repro-25d submit`` — post a design to a running server (optionally
+  following the live event stream until the job finishes);
+* ``repro-25d job`` — inspect, cancel or download one server-side job.
 
 Every command prints a short human summary to stdout and writes machine
 artifacts only where asked.  All subcommands additionally accept:
@@ -107,6 +113,13 @@ def _save_design(design, path: str) -> None:
         json_io.save_design(design, path)
 
 
+def _batch_eval_mode(args) -> "bool | str":
+    """Resolve ``--batch-eval``/--serial-eval into an EFAConfig value."""
+    if args.serial_eval:
+        return False
+    return {"on": True, "off": False, "auto": "auto"}[args.batch_eval]
+
+
 def _run_floorplanner(
     design,
     algorithm: str,
@@ -114,7 +127,7 @@ def _run_floorplanner(
     workers: int = 1,
     seed: int = 0,
     portfolio: bool = False,
-    serial_eval: bool = False,
+    batch_eval: "bool | str" = True,
 ):
     if portfolio:
         from .parallel import PortfolioConfig, run_portfolio
@@ -127,7 +140,7 @@ def _run_floorplanner(
             design,
             time_budget_s=budget,
             workers=workers,
-            batch_eval=not serial_eval,
+            batch_eval=batch_eval,
         )
     if algorithm == "dop":
         return run_efa_dop(design, time_budget_s=budget)
@@ -143,7 +156,7 @@ def _run_floorplanner(
         illegal_cut=algorithm in ("c1", "c3"),
         inferior_cut=algorithm in ("c2", "c3"),
         time_budget_s=budget,
-        batch_eval=not serial_eval,
+        batch_eval=batch_eval,
     )
     if workers > 1:
         from .parallel import ParallelEFAConfig, run_parallel_efa
@@ -189,7 +202,7 @@ def cmd_floorplan(args) -> int:
         workers=args.workers,
         seed=args.seed,
         portfolio=args.portfolio,
-        serial_eval=args.serial_eval,
+        batch_eval=_batch_eval_mode(args),
     )
     if not result.found:
         logger.error("no legal floorplan found")
@@ -285,6 +298,7 @@ def cmd_run(args) -> int:
             FlowConfig(
                 post_optimize=args.post_optimize,
                 floorplan_workers=args.workers,
+                floorplan_batch_eval=_batch_eval_mode(args),
                 portfolio=args.portfolio,
                 seed=args.seed,
             ),
@@ -295,7 +309,7 @@ def cmd_run(args) -> int:
                 workers=args.workers,
                 seed=args.seed,
                 portfolio=args.portfolio,
-                serial_eval=args.serial_eval,
+                batch_eval=_batch_eval_mode(args),
             ),
             assigner=_make_assigner(args.assigner, args.budget),
         )
@@ -414,6 +428,119 @@ def cmd_render(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Handle ``repro-25d serve`` (the async job server)."""
+    from .service import FloorplanService
+
+    service = FloorplanService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_workers=args.job_workers,
+        cache_entries=args.cache_entries,
+        default_timeout_s=args.job_timeout,
+    )
+    print(f"serving on {service.url} (data dir: {args.data_dir})")
+    service.serve_forever()
+    return 0
+
+
+def _print_event(event: dict) -> None:
+    import json
+
+    print(json.dumps(event, sort_keys=True))
+
+
+def cmd_submit(args) -> int:
+    """Handle ``repro-25d submit`` (post a design to a running server)."""
+    import json
+
+    from .flow import FlowConfig, flow_config_to_dict
+    from .service import ServiceClient, ServiceError
+
+    design = _load_design(args.design)
+    config = flow_config_to_dict(
+        FlowConfig(
+            floorplan_budget_s=args.budget,
+            post_optimize=args.post_optimize,
+            floorplan_workers=args.workers,
+            floorplan_batch_eval=_batch_eval_mode(args),
+            portfolio=args.portfolio,
+            seed=args.seed,
+        )
+    )
+    client = ServiceClient(args.url)
+    try:
+        view = client.submit(
+            json_io.design_to_dict(design),
+            config=config,
+            timeout_s=args.job_timeout,
+        )
+        job_id = view["id"]
+        print(
+            f"job {job_id}: {view['state']}"
+            + (" (cache hit)" if view.get("cached") else "")
+        )
+        if args.no_wait:
+            return 0
+        if args.follow and view["state"] not in (
+            "DONE", "FAILED", "CANCELLED",
+        ):
+            for event in client.stream_events(job_id):
+                _print_event(event)
+        final = client.wait(job_id, timeout_s=args.wait_timeout)
+        if final["state"] != "DONE":
+            logger.error(
+                "job %s %s: %s", job_id, final["state"], final.get("error")
+            )
+            return 1
+        result = client.result(job_id)
+    except ServiceError as exc:
+        logger.error("service error: %s", exc)
+        return 1
+    print(result["summary"])
+    if args.result_out:
+        with open(args.result_out, "w") as handle:
+            json.dump(result, handle)
+        print(f"wrote result {args.result_out}")
+    return 0
+
+
+def cmd_job(args) -> int:
+    """Handle ``repro-25d job`` (inspect/cancel/download one job)."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.cancel:
+            view = client.cancel(args.job_id)
+        elif args.events:
+            for event in client.stream_events(args.job_id):
+                _print_event(event)
+            view = client.status(args.job_id)
+        else:
+            view = client.status(args.job_id)
+        print(json.dumps(view, sort_keys=True))
+        if args.result_out:
+            with open(args.result_out, "w") as handle:
+                json.dump(client.result(args.job_id), handle)
+            print(f"wrote result {args.result_out}")
+        if args.report_out:
+            with open(args.report_out, "w") as handle:
+                json.dump(client.report(args.job_id), handle)
+            print(f"wrote report {args.report_out}")
+        if args.dashboard_out:
+            with open(args.dashboard_out, "w") as handle:
+                handle.write(client.dashboard(args.job_id))
+            print(f"wrote dashboard {args.dashboard_out}")
+    except ServiceError as exc:
+        logger.error("service error: %s", exc)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -508,7 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the batched orientation-sweep evaluation and score "
         "candidates one at a time (same winner; for benchmarking and "
-        "cross-checks)",
+        "cross-checks; equivalent to --batch-eval off)",
+    )
+    parallel_common.add_argument(
+        "--batch-eval",
+        default="on",
+        choices=["on", "off", "auto"],
+        help="batched orientation-sweep evaluation: on (default), off, "
+        "or auto (pick per design from its die/terminal counts; the "
+        "winner is bit-identical either way)",
     )
 
     p = add_parser(
@@ -589,6 +724,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="write here instead of stdout",
     )
     p.set_defaults(func=cmd_metrics_dump)
+
+    p = add_parser("serve", help="run the async floorplanning job server")
+    p.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for job state, checkpoints and the result cache",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8025,
+        help="listen port (0 = ephemeral; default: 8025)",
+    )
+    p.add_argument(
+        "--job-workers", type=int, default=2,
+        help="concurrent flow jobs (each runs in its own process; "
+        "default: 2)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="LRU bound on cached results (default: 256)",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job wall-clock timeout in seconds "
+        "(default: none)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    # Client-side flags shared by submit/job.
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument(
+        "--url", default="http://127.0.0.1:8025",
+        help="base URL of a running server (default: %(default)s)",
+    )
+
+    p = add_parser(
+        "submit",
+        help="submit a design to a running job server",
+        parents=[parallel_common, client_common],
+    )
+    p.add_argument("design")
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--post-optimize", action="store_true")
+    p.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    p.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting",
+    )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's NDJSON events (heartbeats, incumbent "
+        "improvements, state changes) while waiting",
+    )
+    p.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="give up waiting after this many seconds (job keeps running)",
+    )
+    p.add_argument(
+        "--result-out", metavar="OUT.json",
+        help="write the finished result document here",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = add_parser(
+        "job",
+        help="inspect, cancel or download one server-side job",
+        parents=[client_common],
+    )
+    p.add_argument("job_id")
+    p.add_argument("--cancel", action="store_true")
+    p.add_argument(
+        "--events", action="store_true",
+        help="follow the job's NDJSON event stream until it ends",
+    )
+    p.add_argument("--result-out", metavar="OUT.json")
+    p.add_argument("--report-out", metavar="OUT.json")
+    p.add_argument(
+        "--dashboard-out", metavar="D.html",
+        help="write the finished job's HTML dashboard here",
+    )
+    p.set_defaults(func=cmd_job)
 
     return parser
 

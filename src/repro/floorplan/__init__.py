@@ -16,7 +16,12 @@ from .btree import (
     run_btree_sa,
 )
 from .dop import run_efa_dop
-from .efa import EFAConfig, EnumerativeFloorplanner, run_efa
+from .efa import (
+    EFAConfig,
+    EnumerativeFloorplanner,
+    resolve_batch_eval,
+    run_efa,
+)
 from .estimator import (
     FastHpwlEvaluator,
     greedy_assignment_est_wl,
@@ -58,6 +63,7 @@ __all__ = [
     "orientation_code",
     "orientation_from_code",
     "predetermine_orientations",
+    "resolve_batch_eval",
     "run_efa",
     "run_efa_dop",
     "run_efa_mix",

@@ -61,6 +61,38 @@ _EPS = 1e-9
 # sweep never materializes an unbounded batch on terminal-heavy designs.
 _BATCH_TARGET_ELEMS = 1 << 20
 
+# ``batch_eval="auto"`` thresholds.  BENCH_batch_eval.json: the batched
+# kernel loses only on small-sweep, terminal-heavy designs (t4b: n=4 so
+# B=256 rows to amortize over, 713 terminals making each hpwl_batch
+# memory-bound — 0.90x vs serial), while every n>=6 case wins 13-37x
+# (B>=4096 amortizes the numpy dispatch regardless of terminal count)
+# and t4m (376 terminals) still wins 1.47x.  Auto therefore picks the
+# scalar loop exactly when the sweep is small AND the terminal table is
+# large, and the batched path everywhere else.
+AUTO_SERIAL_MAX_DIES = 4
+AUTO_SERIAL_MIN_TERMINALS = 512
+
+
+def resolve_batch_eval(
+    batch_eval, die_count: int, terminal_count: int
+) -> bool:
+    """Resolve an ``EFAConfig.batch_eval`` value to a concrete bool.
+
+    ``True``/``False`` pass through; ``"auto"`` picks per design (see the
+    threshold constants above).  Either way the chosen path returns the
+    bit-identical winner — auto only trades wall-clock.
+    """
+    if batch_eval == "auto":
+        return not (
+            die_count <= AUTO_SERIAL_MAX_DIES
+            and terminal_count >= AUTO_SERIAL_MIN_TERMINALS
+        )
+    if isinstance(batch_eval, bool):
+        return batch_eval
+    raise ValueError(
+        f"batch_eval must be True, False or 'auto', got {batch_eval!r}"
+    )
+
 logger = get_logger("floorplan.efa")
 # Progress log cadence: every this-many candidates at the existing
 # periodic budget-check site, so the hot loop gains no extra branches.
@@ -84,8 +116,11 @@ class EFAConfig:
     time_budget_s: Optional[float] = None
     # Score each sequence pair's whole 4^n orientation sweep in one
     # batched pack + hpwl_batch pass (bit-identical result; see
-    # repro.floorplan.batch).  Off = the scalar per-combination loop.
-    batch_eval: bool = True
+    # repro.floorplan.batch).  False = the scalar per-combination loop;
+    # "auto" = pick per design via :func:`resolve_batch_eval` (serial
+    # only on small-sweep, terminal-heavy designs where the batched
+    # kernel is memory-bound).
+    batch_eval: "bool | str" = True
     # Optional enumeration window: restrict gamma_plus / gamma_minus to
     # lexicographic rank intervals [lo, hi).  None = the full n! range.
     # Windows compose with the parallel sharder (shards partition the
@@ -274,7 +309,11 @@ class EnumerativeFloorplanner:
         # amortize over (EFA_dop has one combination per sequence pair),
         # and only while the (n, 4^n) sweep tables stay small.
         use_batch = (
-            cfg.batch_eval and fixed_codes is None and n <= MAX_SWEEP_DIES
+            resolve_batch_eval(
+                cfg.batch_eval, n, evaluator.terminal_count
+            )
+            and fixed_codes is None
+            and n <= MAX_SWEEP_DIES
         )
         sweep = OrientationSweep(self._dims_by_code) if use_batch else None
         if fixed_codes is not None:

@@ -43,12 +43,121 @@ class FlowConfig:
     # 1 = serial; >1 shards EFA_mix's enumeration arm across a process
     # pool with a guaranteed-identical result.
     floorplan_workers: int = 1
+    # Batched orientation-sweep evaluation for the EFA arm: True, False,
+    # or "auto" (pick per design; bit-identical winner either way — see
+    # repro.floorplan.resolve_batch_eval).
+    floorplan_batch_eval: "bool | str" = True
     # Race EFA_c3 / EFA_dop / SA on the pool instead of running EFA_mix;
     # the best legal floorplan wins.  Overrides floorplan_workers.
     portfolio: bool = False
     # Seed for the stochastic floorplanners (today: the SA entrant of the
     # portfolio).  Plumbed end-to-end so portfolio races are reproducible.
     seed: int = 0
+
+
+# Version tag of the flow-config wire format below; bumped whenever a
+# field changes meaning (the service folds it into cache keys, so a bump
+# invalidates stale cached results instead of mis-serving them).
+FLOW_CONFIG_SCHEMA_VERSION = 1
+
+# Fields that change *how fast* the flow runs but provably not *what* it
+# returns: worker count (the sharded search is bit-identical to serial
+# for any pool size) and the batched-vs-scalar evaluation path (same
+# winner by construction).  The service's cache key drops them so that
+# e.g. a 4-worker resubmission of a design solved serially is a hit.
+_RESULT_INVARIANT_FIELDS = ("floorplan_workers", "floorplan_batch_eval")
+
+
+def flow_config_to_dict(cfg: FlowConfig) -> Dict[str, Any]:
+    """Serialize a :class:`FlowConfig` to a plain JSON-ready dict.
+
+    ``reset_observability`` is deliberately excluded: it steers process
+    instrumentation scope, never the solution, and must not distinguish
+    otherwise-identical configs.
+    """
+    return {
+        "schema": FLOW_CONFIG_SCHEMA_VERSION,
+        "floorplan_budget_s": cfg.floorplan_budget_s,
+        "post_optimize": cfg.post_optimize,
+        "floorplan_workers": cfg.floorplan_workers,
+        "floorplan_batch_eval": cfg.floorplan_batch_eval,
+        "portfolio": cfg.portfolio,
+        "seed": cfg.seed,
+        "assigner": {
+            "window_matching": cfg.assigner.window_matching,
+            "window_slack": cfg.assigner.window_slack,
+            "die_order": cfg.assigner.die_order,
+            "order_seed": cfg.assigner.order_seed,
+            "time_budget_s": cfg.assigner.time_budget_s,
+            "max_window_retries": cfg.assigner.max_window_retries,
+            "max_edges_per_sub_sap": cfg.assigner.max_edges_per_sub_sap,
+        },
+    }
+
+
+def flow_config_from_dict(data: Dict[str, Any]) -> FlowConfig:
+    """Rebuild a :class:`FlowConfig` from :func:`flow_config_to_dict`.
+
+    Strict about both the schema tag and unknown keys — a config that
+    silently dropped a field would be cached under the wrong key.
+    """
+    if data.get("schema") != FLOW_CONFIG_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported flow-config schema {data.get('schema')!r}; "
+            f"expected {FLOW_CONFIG_SCHEMA_VERSION}"
+        )
+    known = {
+        "schema",
+        "floorplan_budget_s",
+        "post_optimize",
+        "floorplan_workers",
+        "floorplan_batch_eval",
+        "portfolio",
+        "seed",
+        "assigner",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown flow-config keys: {sorted(unknown)}"
+        )
+    asg = dict(data.get("assigner") or {})
+    unknown_asg = set(asg) - {
+        "window_matching",
+        "window_slack",
+        "die_order",
+        "order_seed",
+        "time_budget_s",
+        "max_window_retries",
+        "max_edges_per_sub_sap",
+    }
+    if unknown_asg:
+        raise ValueError(
+            f"unknown assigner-config keys: {sorted(unknown_asg)}"
+        )
+    budget = data.get("floorplan_budget_s")
+    return FlowConfig(
+        floorplan_budget_s=None if budget is None else float(budget),
+        assigner=MCMFAssignerConfig(**asg),
+        post_optimize=bool(data.get("post_optimize", False)),
+        floorplan_workers=int(data.get("floorplan_workers", 1)),
+        floorplan_batch_eval=data.get("floorplan_batch_eval", True),
+        portfolio=bool(data.get("portfolio", False)),
+        seed=int(data.get("seed", 0)),
+    )
+
+
+def flow_config_cache_dict(cfg: FlowConfig) -> Dict[str, Any]:
+    """The config's contribution to a content-addressed cache key.
+
+    :func:`flow_config_to_dict` minus the result-invariant fields (see
+    ``_RESULT_INVARIANT_FIELDS``), so submissions differing only in pool
+    size or evaluation path share one cache entry.
+    """
+    data = flow_config_to_dict(cfg)
+    for field_name in _RESULT_INVARIANT_FIELDS:
+        data.pop(field_name, None)
+    return data
 
 
 @dataclass
@@ -132,6 +241,7 @@ def run_flow(
                     design,
                     time_budget_s=cfg.floorplan_budget_s,
                     workers=cfg.floorplan_workers,
+                    batch_eval=cfg.floorplan_batch_eval,
                 )
             if not fp_result.found:
                 logger.error(

@@ -7,7 +7,9 @@ so future format changes stay detectable.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -243,6 +245,91 @@ def assignment_from_dict(data: Dict[str, Any]) -> Assignment:
         buffer_to_bump=dict(data["buffer_to_bump"]),
         escape_to_tsv=dict(data["escape_to_tsv"]),
     )
+
+
+# -- canonical encoding and content hashing ----------------------------------------
+#
+# The service layer (repro.service) keys its result cache and checkpoint
+# fingerprints on the *content* of a design/config, so the encoding must
+# be a function of the value alone: key order, float spelling, tuple vs
+# list, and whatever dict-insertion history produced the object must all
+# wash out.  ``canonical_json`` guarantees that by normalizing every
+# value before a key-sorted, minimal-separator dump; ``content_hash`` is
+# the SHA-256 of the UTF-8 canonical text.
+
+HASH_PREFIX = "sha256:"
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize a JSON-ready value into its canonical form.
+
+    * dict keys must be strings (anything else is a hard error — silent
+      coercion would make two distinct objects collide);
+    * tuples become lists;
+    * floats are normalized by value, so every textual spelling of the
+      same double (``0.1`` vs ``0.10000000000000001``) and the negative
+      zero collapse to one representation; integral floats *stay* floats
+      (``1.0`` and ``1`` are different canonical values, matching what a
+      JSON round-trip preserves);
+    * non-finite floats are rejected: they are not JSON and would make
+      the hash transport-dependent.
+    """
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite float {value!r} has no canonical JSON form"
+            )
+        # Collapse -0.0 to 0.0: they compare equal but repr differently.
+        return value + 0.0 if value == 0.0 else value
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical JSON requires string keys, got {key!r}"
+                )
+            out[key] = canonicalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    raise TypeError(
+        f"value of type {type(value).__name__} is not canonically "
+        f"JSON-serializable: {value!r}"
+    )
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic, key-sorted, compact JSON encoding of ``data``.
+
+    Two structurally equal values produce byte-identical text regardless
+    of dict insertion order or how their floats were originally spelled;
+    see :func:`canonicalize` for the normalization rules.
+    """
+    return json.dumps(
+        canonicalize(data),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_hash(data: Any) -> str:
+    """``sha256:<hex>`` content hash of ``data``'s canonical encoding."""
+    digest = hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+    return HASH_PREFIX + digest
+
+
+def design_hash(design: Design) -> str:
+    """Stable content hash of a design (its :func:`design_to_dict` form).
+
+    Invariant under re-serialization, dict reordering, float re-spelling
+    and process restarts — the identity the service's result cache and
+    the executor's checkpoint fingerprints are keyed on.
+    """
+    return content_hash(design_to_dict(design))
 
 
 # -- file helpers ----------------------------------------------------------------------

@@ -60,7 +60,9 @@ from .metrics import (
 from .progress import (
     Progress,
     Telemetry,
+    add_event_listener,
     record_incumbent,
+    remove_event_listener,
     reset_telemetry,
     telemetry,
 )
@@ -110,6 +112,7 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "add_event_listener",
     "analyze_report",
     "anytime_metrics",
     "build_report",
@@ -132,6 +135,7 @@ __all__ = [
     "pruning_funnel",
     "quality_section",
     "record_incumbent",
+    "remove_event_listener",
     "registry",
     "render_dashboard",
     "render_registry",

@@ -51,6 +51,49 @@ DEFAULT_INTERVAL_S = 2.0
 # are counted in ``trajectory_dropped`` instead of stored.
 TRAJECTORY_CAP = 4096
 
+# -- live event fan-out ------------------------------------------------------
+#
+# The service layer (repro.service) streams a running solver's heartbeats
+# and incumbent improvements over the wire.  Rather than teach every
+# solver about sockets, subscribers register a callback here and the two
+# existing emission sites (Progress heartbeats, telemetry incumbent
+# recording) publish a small event dict through it.  The no-listener
+# fast path is a single truthiness check, so solvers pay nothing when
+# nobody is streaming.
+
+_event_listeners: List[Any] = []
+_listener_logger = get_logger("obs.events")
+
+
+def add_event_listener(listener) -> None:
+    """Subscribe ``listener(event: dict)`` to live progress events.
+
+    Events are plain dicts with a ``type`` key (``"heartbeat"`` or
+    ``"incumbent"``) plus the emission payload.  Listeners run on the
+    emitting thread and must be fast and non-raising; exceptions are
+    swallowed (logged at DEBUG) so a broken subscriber cannot kill a
+    search.
+    """
+    _event_listeners.append(listener)
+
+
+def remove_event_listener(listener) -> None:
+    """Unsubscribe a listener; unknown listeners are ignored."""
+    try:
+        _event_listeners.remove(listener)
+    except ValueError:
+        pass
+
+
+def _publish_event(event: Dict[str, Any]) -> None:
+    for listener in list(_event_listeners):
+        try:
+            listener(event)
+        except Exception:  # noqa: BLE001 - subscriber bugs stay local
+            _listener_logger.debug(
+                "event listener %r failed", listener, exc_info=True
+            )
+
 
 def heartbeat_interval_s(override: Optional[float] = None) -> float:
     """The effective heartbeat interval (explicit > env > default)."""
@@ -91,18 +134,21 @@ class Telemetry:
     ) -> None:
         """Append one point to the incumbent-vs-time trajectory."""
         t_s = time.perf_counter() - self._epoch
+        point = {
+            "t_s": round(t_s, 6),
+            "value": float(value),
+            "metric": metric,
+            "source": source,
+        }
+        if _event_listeners:
+            # Streamed even past the trajectory cap: live consumers want
+            # every improvement, the report just stops storing them.
+            _publish_event({"type": "incumbent", **point})
         with self._lock:
             if len(self._trajectory) >= TRAJECTORY_CAP:
                 self._dropped += 1
                 return
-            self._trajectory.append(
-                {
-                    "t_s": round(t_s, 6),
-                    "value": float(value),
-                    "metric": metric,
-                    "source": source,
-                }
-            )
+            self._trajectory.append(point)
 
     def record_shard_balance(self, worker: str, **fields: float) -> None:
         """Accumulate per-worker load-balance gauges (numeric adds)."""
@@ -213,8 +259,12 @@ class Progress:
         self.emits = 0
         self._logger = logger or get_logger(name)
         self._interval = heartbeat_interval_s(interval_s)
-        self._enabled = self._interval > 0 and self._logger.isEnabledFor(
-            logging_mod.INFO
+        # A registered event listener (the service's job streamer) keeps
+        # heartbeats flowing even when INFO logging is off — the log call
+        # itself is then a cheap no-op inside _emit.
+        self._enabled = self._interval > 0 and (
+            bool(_event_listeners)
+            or self._logger.isEnabledFor(logging_mod.INFO)
         )
         self._start = time.perf_counter()
         self._last_emit = self._start
@@ -267,15 +317,25 @@ class Progress:
             "final": final,
         }
         parts = [f"{self.done}"]
-        if self.total:
-            pct = 100.0 * self.done / self.total
+        if self.total is not None:
+            # ``total == 0`` is a *known-empty* stage, not an unknown
+            # total: report it as 100% done with a zero ETA instead of
+            # falling back to the bare count (or dividing by zero).
+            pct = (
+                100.0
+                if self.total == 0
+                else 100.0 * self.done / self.total
+            )
             payload["total"] = self.total
             payload["pct"] = round(pct, 2)
             parts = [f"{self.done}/{self.total}", f"{pct:.1f}%"]
-            if rate > 0 and not final:
-                eta = max(0.0, (self.total - self.done) / rate)
-                payload["eta_s"] = round(eta, 1)
-                parts.append(f"eta {eta:.0f}s")
+            if not final:
+                if self.total == 0:
+                    payload["eta_s"] = 0.0
+                elif rate > 0:
+                    eta = max(0.0, (self.total - self.done) / rate)
+                    payload["eta_s"] = round(eta, 1)
+                    parts.append(f"eta {eta:.0f}s")
         if rate > 0:
             parts.append(f"{rate:.0f} {self.unit}/s")
         if self.fields:
@@ -289,6 +349,8 @@ class Progress:
             extra={"heartbeat": payload},
         )
         _telemetry.record_heartbeat(self.name)
+        if _event_listeners:
+            _publish_event({"type": "heartbeat", **payload})
 
 
 def _fmt(value: Any) -> str:

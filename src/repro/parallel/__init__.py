@@ -20,10 +20,13 @@ exchange only ever prunes strictly-inferior branches.
 from .executor import (
     LocalIncumbent,
     ParallelEFAConfig,
+    SHARD_GINI_WARN_DEFAULT,
     SharedIncumbent,
+    checkpoint_fingerprint,
     resolve_start_method,
     resolve_workers,
     run_parallel_efa,
+    shard_gini_threshold,
 )
 from .portfolio import (
     DEFAULT_STRATEGIES,
@@ -38,9 +41,12 @@ __all__ = [
     "LocalIncumbent",
     "ParallelEFAConfig",
     "PortfolioConfig",
+    "SHARD_GINI_WARN_DEFAULT",
     "Shard",
     "SharedIncumbent",
+    "checkpoint_fingerprint",
     "make_shards",
+    "shard_gini_threshold",
     "resolve_start_method",
     "resolve_workers",
     "run_parallel_efa",

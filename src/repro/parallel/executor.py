@@ -59,13 +59,22 @@ logger = obs.get_logger("parallel.executor")
 # escalating to terminate().
 _JOIN_GRACE_S = 10.0
 
+# End-of-run shard-imbalance warning: when the per-worker pairs_explored
+# Gini coefficient exceeds this, the executor logs a structured warning
+# so imbalance is visible without opening the dashboard.  Override with
+# $REPRO_SHARD_GINI_WARN (<= 0 disables the check).
+SHARD_GINI_WARN_DEFAULT = 0.4
+
 __all__ = [
     "LocalIncumbent",
     "ParallelEFAConfig",
+    "SHARD_GINI_WARN_DEFAULT",
     "SharedIncumbent",
+    "checkpoint_fingerprint",
     "resolve_start_method",
     "resolve_workers",
     "run_parallel_efa",
+    "shard_gini_threshold",
 ]
 
 
@@ -233,6 +242,83 @@ def _worker_main(
         raise
 
 
+# -- checkpoint/resume -------------------------------------------------------
+#
+# ``run_parallel_efa`` optionally persists completed-shard records through
+# a duck-typed *checkpoint store* (``open_run(fingerprint) -> records``,
+# ``record(rec)``, ``flush()`` — implemented by
+# :class:`repro.service.CheckpointStore`).  Because the search result is
+# a pure merge of per-shard winners, replaying stored records and running
+# only the remaining shards provably reproduces the uninterrupted run:
+# the merge is order-independent and the incumbent seed can only tighten
+# pruning of strictly-worse candidates.  Only *complete* shard records
+# are stored — a budget-truncated shard may have skipped candidates and
+# must be re-run, not replayed.
+
+
+def checkpoint_fingerprint(
+    design: Design, efa_cfg: EFAConfig, shards: List[Shard]
+) -> Dict[str, Any]:
+    """The identity a shard checkpoint is only valid against.
+
+    Covers everything that gives a stored shard record its meaning: the
+    design content, the result-affecting EFA switches, and the exact
+    shard boundaries (a different worker/chunk layout re-partitions the
+    rank space, so index ``i`` would name a different interval).
+    """
+    from ..io import design_hash
+
+    fixed = efa_cfg.fixed_orientations
+    return {
+        "design": design_hash(design),
+        "efa": {
+            "illegal_cut": efa_cfg.illegal_cut,
+            "inferior_cut": efa_cfg.inferior_cut,
+            "fixed_orientations": None
+            if fixed is None
+            else {die: o.value for die, o in sorted(fixed.items())},
+            "plus_range": None
+            if efa_cfg.plus_range is None
+            else list(efa_cfg.plus_range),
+            "minus_range": None
+            if efa_cfg.minus_range is None
+            else list(efa_cfg.minus_range),
+        },
+        "shards": [[s.plus_lo, s.plus_hi] for s in shards],
+    }
+
+
+def _normalize_resumed(
+    records: Optional[List[Dict[str, Any]]], shard_count: int
+) -> List[Dict[str, Any]]:
+    """Sanitize checkpointed records (JSON round-trips lists for tuples).
+
+    Drops records with out-of-range or duplicate shard indices and
+    re-tuples ``candidate`` / ``candidate_key`` so resumed records merge
+    and tie-break exactly like freshly computed ones.
+    """
+    out: List[Dict[str, Any]] = []
+    seen: set = set()
+    for rec in records or []:
+        idx = rec.get("shard")
+        if not isinstance(idx, int) or not 0 <= idx < shard_count:
+            continue
+        if idx in seen or rec.get("stats", {}).get("timed_out"):
+            continue
+        seen.add(idx)
+        rec = dict(rec)
+        if rec.get("candidate") is not None:
+            rec["candidate"] = tuple(
+                tuple(int(v) for v in part) for part in rec["candidate"]
+            )
+        if rec.get("candidate_key") is not None:
+            rec["candidate_key"] = tuple(
+                int(v) for v in rec["candidate_key"]
+            )
+        out.append(rec)
+    return out
+
+
 # -- parent side ------------------------------------------------------------
 
 
@@ -292,12 +378,61 @@ def _pick_winner(
     return min(found, key=lambda r: (r["est_wl"], r["candidate_key"]))
 
 
+def shard_gini_threshold() -> float:
+    """The Gini level above which the imbalance warning fires (env-able)."""
+    raw = os.environ.get("REPRO_SHARD_GINI_WARN")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return SHARD_GINI_WARN_DEFAULT
+
+
+def _warn_on_imbalance(
+    records: List[Dict[str, Any]], workers: int
+) -> None:
+    """Structured end-of-run warning when shard load skewed badly.
+
+    Derives the per-worker balance from this run's fresh records (never
+    resumed ones — they did no work now) and pushes it through
+    :func:`repro.obs.analytics.shard_imbalance`, the same summary the
+    dashboard renders, so the log line and the dashboard agree.
+    """
+    threshold = shard_gini_threshold()
+    if threshold <= 0 or workers <= 1:
+        return
+    balance: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        entry = balance.setdefault(f"worker{rec.get('worker', 0)}", {})
+        entry["shards"] = entry.get("shards", 0) + 1
+        for key, value in _balance_fields(rec["stats"]).items():
+            entry[key] = entry.get(key, 0) + value
+    imbalance = obs.shard_imbalance(balance)
+    gini = imbalance.get("gini")
+    if gini is None or gini <= threshold:
+        return
+    logger.warning(
+        "shard imbalance: pairs_explored gini %.3f exceeds %.2f "
+        "(max/mean %.2f across %d workers)",
+        gini,
+        threshold,
+        imbalance.get("max_over_mean") or float("nan"),
+        imbalance.get("workers", 0),
+        extra={"shard_imbalance": imbalance},
+    )
+
+
 def _run_serial(
-    design: Design, config: EFAConfig, shards: List[Shard]
-) -> Tuple[List[Dict[str, Any]], None]:
+    design: Design,
+    config: EFAConfig,
+    shards: List[Shard],
+    seed_wl: float = float("inf"),
+    checkpoint=None,
+) -> List[Dict[str, Any]]:
     """Single-process fallback walking the identical shard sequence."""
     planner = EnumerativeFloorplanner(design, config)
-    incumbent = LocalIncumbent()
+    incumbent = LocalIncumbent(seed_wl)
     records = []
     deadline = (
         None
@@ -312,22 +447,32 @@ def _run_serial(
         result = planner.run(
             plus_range=(shard.plus_lo, shard.plus_hi), incumbent=incumbent
         )
-        records.append(_shard_record(shard, result))
+        rec = _shard_record(shard, result)
+        records.append(rec)
+        if checkpoint is not None and not rec["stats"]["timed_out"]:
+            checkpoint.record(rec)
         obs.telemetry().record_shard_balance(
             "worker0", shards=1, **_balance_fields(asdict(result.stats))
         )
-    return records, None
+    return records
 
 
 def run_parallel_efa(
     design: Design,
     config: Optional[ParallelEFAConfig] = None,
+    checkpoint=None,
 ) -> FloorplanResult:
     """Sharded multi-process EFA; deterministic for any worker count.
 
     Returns a merged :class:`FloorplanResult` whose stats are the pool
     totals and whose floorplan is re-materialized in the parent from the
     winning candidate's enumeration indices.
+
+    ``checkpoint`` (duck-typed, see the checkpoint/resume section above)
+    persists completed-shard records as they arrive and replays them on
+    the next run with the same fingerprint, so an interrupted search
+    resumes instead of recomputing — with a result identical to the
+    uninterrupted one.
     """
     cfg = config or ParallelEFAConfig()
     efa_cfg = cfg.efa
@@ -343,7 +488,28 @@ def run_parallel_efa(
     shards = make_shards(
         n, workers, cfg.chunks_per_worker, plus_range=efa_cfg.plus_range
     )
-    workers = max(1, min(workers, len(shards)))
+    resumed: List[Dict[str, Any]] = []
+    if checkpoint is not None:
+        resumed = _normalize_resumed(
+            checkpoint.open_run(
+                checkpoint_fingerprint(design, efa_cfg, shards)
+            ),
+            len(shards),
+        )
+        if resumed:
+            logger.info(
+                "resuming from checkpoint: %d/%d shards already complete",
+                len(resumed),
+                len(shards),
+            )
+    done_idx = {r["shard"] for r in resumed}
+    todo = [s for s in shards if s.index not in done_idx]
+    # The best replayed wirelength seeds the incumbent so the remaining
+    # shards prune against everything the interrupted run already knew.
+    seed_wl = min(
+        (r["est_wl"] for r in resumed if r["found"]), default=float("inf")
+    )
+    workers = max(1, min(workers, len(todo) or 1))
     start = time.monotonic()
 
     with obs.span(
@@ -351,11 +517,22 @@ def run_parallel_efa(
         variant=efa_cfg.name,
         workers=workers,
         shards=len(shards),
+        resumed=len(resumed),
     ) as sp:
-        if workers <= 1:
-            records, _ = _run_serial(design, efa_cfg, shards)
+        if not todo:
+            new_records: List[Dict[str, Any]] = []
+        elif workers <= 1:
+            new_records = _run_serial(
+                design, efa_cfg, todo, seed_wl, checkpoint
+            )
         else:
-            records = _run_pool(design, efa_cfg, shards, workers, cfg)
+            new_records = _run_pool(
+                design, efa_cfg, shards, todo, workers, cfg,
+                seed_wl, checkpoint,
+            )
+        if checkpoint is not None:
+            checkpoint.flush()
+        records = resumed + new_records
 
         merged = _merge_stats([r["stats"] for r in records], pairs_total)
         merged.runtime_s = time.monotonic() - start
@@ -364,6 +541,7 @@ def run_parallel_efa(
             est_wl=None if winner is None else winner["est_wl"],
             timed_out=merged.timed_out,
         )
+    _warn_on_imbalance(new_records, workers)
 
     algorithm = f"{efa_cfg.name}[x{workers}]"
     logger.info(
@@ -395,20 +573,30 @@ def _run_pool(
     design: Design,
     efa_cfg: EFAConfig,
     shards: List[Shard],
+    todo: List[Shard],
     workers: int,
     cfg: ParallelEFAConfig,
+    seed_wl: float = float("inf"),
+    checkpoint=None,
 ) -> List[Dict[str, Any]]:
-    """Spawn the pool, feed shards, collect records, reduce obs."""
+    """Spawn the pool, feed the remaining shards, collect records.
+
+    ``shards`` is the full partition (workers index into it); ``todo``
+    the subset actually enqueued — they differ only when a checkpoint
+    replayed completed shards.
+    """
     ctx = mp.get_context(resolve_start_method(cfg.start_method))
     task_queue = ctx.Queue()
     result_queue = ctx.Queue()
     incumbent = SharedIncumbent(ctx)
+    if seed_wl < float("inf"):
+        incumbent.offer(seed_wl)
     deadline = (
         None
         if efa_cfg.time_budget_s is None
         else time.monotonic() + efa_cfg.time_budget_s
     )
-    for shard in shards:
+    for shard in todo:
         task_queue.put(shard.index)
     for _ in range(workers):
         task_queue.put(None)
@@ -437,7 +625,7 @@ def _run_pool(
     finals = 0
     errors: List[str] = []
     progress = obs.Progress(
-        "floorplan.parallel", total=len(shards), unit="shards", logger=logger
+        "floorplan.parallel", total=len(todo), unit="shards", logger=logger
     )
     # The pool's own incumbent-vs-time trajectory: stamped against the
     # *parent's* run epoch (unlike worker-local points), sourced "pool".
@@ -462,6 +650,8 @@ def _run_pool(
             continue
         if rec["kind"] == "shard":
             records.append(rec)
+            if checkpoint is not None and not rec["stats"]["timed_out"]:
+                checkpoint.record(rec)
             obs.telemetry().record_shard_balance(
                 f"worker{rec['worker']}",
                 shards=1,
@@ -492,9 +682,9 @@ def _run_pool(
         raise RuntimeError(
             "parallel EFA failed: " + "; ".join(errors)
         )
-    if len(records) != len(shards):
+    if len(records) != len(todo):
         raise RuntimeError(
             f"parallel EFA lost shards: got {len(records)} of "
-            f"{len(shards)} records"
+            f"{len(todo)} records"
         )
     return records

@@ -1,0 +1,159 @@
+"""Content-addressed, disk-backed result cache with an LRU size bound.
+
+The service keys finished flow results on the *content* of what was
+solved: ``design content hash + result-affecting flow config + solver
+schema`` (see :func:`repro.service.jobs.cache_key`).  Identical
+re-submissions are then served in microseconds with **zero** floorplans
+evaluated — the stored schema-v3 report is returned verbatim, so a cache
+hit is bit-identical to the original response.
+
+Layout: one ``<sha256-hex>.json`` file per entry under the cache root,
+each wrapping the payload with its full key for verification.  Recency
+is tracked with file mtimes (touched on every hit), so the LRU bound
+survives process restarts without a separate index file; eviction keeps
+the ``max_entries`` most recently used entries.  Corrupt or foreign
+files in the cache directory are treated as misses, never as errors — a
+cache must degrade, not fail the request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .. import obs
+from ..io import HASH_PREFIX
+
+logger = obs.get_logger("service.cache")
+
+DEFAULT_MAX_ENTRIES = 256
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "ResultCache"]
+
+
+class ResultCache:
+    """A bounded key → JSON-payload store addressed by content hash."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core protocol -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None on a miss.
+
+        A hit touches the entry's mtime (it becomes most-recently-used).
+        Corrupt entries and key mismatches (hash collisions in the file
+        name, manual tampering) count as misses and are removed.
+        """
+        path = self._entry_path(key)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            logger.warning("%s: corrupt cache entry; dropping", path)
+            self._remove(path)
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            logger.warning("%s: cache entry key mismatch; dropping", path)
+            self._remove(path)
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Store ``payload`` under ``key`` (atomically), then evict LRU."""
+        path = self._entry_path(key)
+        entry = {
+            "key": key,
+            "stored_unix_s": round(time.time(), 3),
+            "payload": payload,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(entry, default=obs.json_default))
+        os.replace(tmp, path)
+        self._evict()
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep running)."""
+        for path in self._entries():
+            self._remove(path)
+
+    def _entry_path(self, key: str) -> Path:
+        # Keys are "sha256:<hex>"; the hex part alone is a safe filename.
+        name = key[len(HASH_PREFIX):] if key.startswith(HASH_PREFIX) else key
+        if not name or any(c not in "0123456789abcdef" for c in name):
+            raise ValueError(f"not a content-hash cache key: {key!r}")
+        return self.root / f"{name}.json"
+
+    def _entries(self) -> List[Path]:
+        return [
+            p
+            for p in self.root.glob("*.json")
+            if not p.name.endswith(".tmp")
+        ]
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        entries.sort(key=mtime)
+        for path in entries[: len(entries) - self.max_entries]:
+            self._remove(path)
+            self.evictions += 1
+            logger.info("evicted LRU cache entry %s", path.name)
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

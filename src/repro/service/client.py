@@ -1,0 +1,166 @@
+"""A stdlib (urllib) client for the floorplanning service API.
+
+Mirrors the server's ``/api/v1`` surface one method per endpoint, plus
+:meth:`ServiceClient.wait` (poll until terminal) and
+:meth:`ServiceClient.stream_events` (follow the NDJSON stream as an
+iterator) — the two idioms the CLI and the tests are built from.  Errors
+come back as :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from .server import API_PREFIX
+
+DEFAULT_TIMEOUT_S = 30.0
+
+__all__ = ["DEFAULT_TIMEOUT_S", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An API call the server answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one running :class:`repro.service.FloorplanService`."""
+
+    def __init__(self, base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- raw request plumbing ------------------------------------------------
+
+    def _url(self, path: str) -> str:
+        return f"{self.base_url}{API_PREFIX}{path}"
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self._url(path),
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """GET ``/healthz``."""
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """GET ``/stats``."""
+        return self._request("/stats")
+
+    def submit(
+        self,
+        design: Dict[str, Any],
+        config: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """POST a job; returns its status view (maybe already DONE/cached)."""
+        body: Dict[str, Any] = {"design": design}
+        if config is not None:
+            body["config"] = config
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("/jobs", method="POST", body=body)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """GET the status views of every job the server knows."""
+        return self._request("/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """GET one job's status view."""
+        return self._request(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """POST a cancellation request."""
+        return self._request(f"/jobs/{job_id}/cancel", method="POST")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """GET the finished job's full result document."""
+        return self._request(f"/jobs/{job_id}/result")
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        """GET the finished job's schema-v3 run report."""
+        return self._request(f"/jobs/{job_id}/report")
+
+    def dashboard(self, job_id: str) -> str:
+        """GET the finished job's dashboard HTML."""
+        req = urllib.request.Request(self._url(f"/jobs/{job_id}/dashboard"))
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc)) from None
+
+    def stream_events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Follow the job's NDJSON event stream until it closes.
+
+        Yields each event dict as it arrives; the iterator ends when the
+        job reaches a terminal state (the server closes the stream).  No
+        read timeout is applied — a healthy stream heartbeats, and a
+        dead server surfaces as a connection error.
+        """
+        req = urllib.request.Request(self._url(f"/jobs/{job_id}/events"))
+        try:
+            resp = urllib.request.urlopen(req)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc)) from None
+        with resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    # -- conveniences --------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final status view.
+
+        Raises ``TimeoutError`` if the deadline passes first (the job
+        keeps running server-side — pair with :meth:`cancel` if not).
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            view = self.status(job_id)
+            if view["state"] in ("DONE", "FAILED", "CANCELLED"):
+                return view
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)

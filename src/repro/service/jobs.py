@@ -1,0 +1,737 @@
+"""The asynchronous job manager behind the floorplanning service.
+
+Submissions become *jobs*: one flow run each, executed in its own child
+process by a bounded pool of runner threads.  A job walks the lifecycle
+
+    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+
+(with a RUNNING -> QUEUED back-edge when a crashed attempt is requeued to
+resume from its checkpoint); DESIGN.md carries the full transition
+diagram.
+
+Why a process per job rather than a thread: ``run_flow`` resets the
+process-global observability scope at entry, so two concurrent in-process
+runs would stomp each other's traces and reports — and a process gives
+cancel/timeout an honest ``terminate()`` instead of cooperative polling.
+Each child registers an :mod:`repro.obs` event listener that forwards
+heartbeat/incumbent events over an ``mp.Queue``, which the owning runner
+thread pumps into the job's in-memory event log (the server's NDJSON
+stream reads it), and runs a parent-pid watchdog so a SIGKILLed server
+never leaks orphaned solver processes.
+
+Results are content-addressed: :func:`cache_key` hashes the design
+content plus the result-affecting flow config (see
+:func:`repro.flow.flow_config_cache_dict`), so an identical re-submission
+is answered from :class:`repro.service.ResultCache` as an instantly-DONE
+job with ``cached=True`` and **zero** floorplans evaluated.  EFA jobs
+additionally journal completed shards through
+:class:`repro.service.CheckpointStore`; a crashed or restarted job
+resumes the search instead of recomputing, with a provably identical
+result (see :mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import obs
+from ..flow import (
+    FlowConfig,
+    flow_config_cache_dict,
+    flow_config_from_dict,
+    flow_config_to_dict,
+    run_flow,
+)
+from ..io import (
+    assignment_to_dict,
+    content_hash,
+    design_from_dict,
+    design_to_dict,
+    floorplan_to_dict,
+)
+from ..model import Design
+from .cache import DEFAULT_MAX_ENTRIES, ResultCache
+from .checkpoint import CheckpointStore
+
+logger = obs.get_logger("service.jobs")
+
+# Job lifecycle states.
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+RESULT_KIND = "repro.service.result"
+RESULT_SCHEMA_VERSION = 1
+
+# Solver identity folded into every cache key.  Bump whenever the flow's
+# result *semantics* change without a flow-config schema bump (a new
+# default pruning rule, a changed tie-break), so stale cached results are
+# missed instead of mis-served.
+SOLVER_CACHE_TAG = "repro-flow-v1"
+
+# Crashed attempts requeued (resuming from checkpoint) before FAILED.
+DEFAULT_CRASH_RETRIES = 1
+
+# Test hook: when set to N > 0, the job child calls os._exit after N
+# checkpoint records — once per job directory — so crash/resume tests are
+# deterministic instead of racing a SIGKILL against the search.
+TEST_EXIT_ENV = "REPRO_SERVICE_TEST_EXIT_AFTER_SHARDS"
+
+_JOIN_GRACE_S = 10.0
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_CRASH_RETRIES",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobManager",
+    "QUEUED",
+    "RESULT_KIND",
+    "RESULT_SCHEMA_VERSION",
+    "RUNNING",
+    "SOLVER_CACHE_TAG",
+    "TERMINAL_STATES",
+    "TEST_EXIT_ENV",
+    "cache_key",
+]
+
+
+def cache_key(design: Design, cfg: FlowConfig) -> str:
+    """The content hash a finished flow result is cached under.
+
+    ``sha256(canonical_json({design, result-affecting config, solver
+    tag}))`` — invariant to dict ordering, float spelling, worker count
+    and the batched-vs-scalar evaluation path.
+    """
+    return content_hash(
+        {
+            "design": design_to_dict(design),
+            "config": flow_config_cache_dict(cfg),
+            "solver": SOLVER_CACHE_TAG,
+        }
+    )
+
+
+def _write_json_atomic(path: Path, data: Dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, default=obs.json_default))
+    os.replace(tmp, path)
+
+
+# -- child process -----------------------------------------------------------
+
+
+def _start_parent_watchdog(parent_pid: int, poll_s: float = 1.0) -> None:
+    """Exit hard if the server process disappears (job gets reparented)."""
+
+    def watch() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(3)
+            time.sleep(poll_s)
+
+    threading.Thread(
+        target=watch, daemon=True, name="parent-watchdog"
+    ).start()
+
+
+class _ExitingCheckpoint(CheckpointStore):
+    """:data:`TEST_EXIT_ENV` hook: die mid-search, exactly once per job.
+
+    After ``exit_after`` recorded shards the store flushes, drops a
+    marker file beside the checkpoint and ``os._exit``\\ s — so the
+    requeued attempt (same job directory, marker present) runs to
+    completion from the journal instead of crash-looping.
+    """
+
+    def __init__(self, path: Union[str, Path], exit_after: int):
+        super().__init__(path)
+        self._exit_after = exit_after
+        self._marker = self.path.with_name(self.path.name + ".crashed")
+        self._armed = not self._marker.exists()
+
+    def record(self, rec: Dict[str, Any]) -> None:
+        super().record(rec)
+        self._exit_after -= 1
+        if self._armed and self._exit_after <= 0:
+            self.flush()
+            self._marker.write_text("crashed\n")
+            os._exit(42)
+
+
+def _open_checkpoint(path: Path) -> CheckpointStore:
+    raw = os.environ.get(TEST_EXIT_ENV)
+    if raw:
+        try:
+            exit_after = int(raw)
+        except ValueError:
+            exit_after = 0
+        if exit_after > 0:
+            return _ExitingCheckpoint(path, exit_after)
+    return CheckpointStore(path)
+
+
+def _mix_floorplanner(cfg: FlowConfig, checkpoint: CheckpointStore):
+    """The EFA_c3 arm of EFA_mix, run through the checkpointing executor.
+
+    Identity with the stock flow path is inherited from
+    :func:`repro.parallel.run_parallel_efa`'s any-worker-count guarantee
+    (``workers=1`` walks the same shards serially).
+    """
+    from ..floorplan import EFAConfig
+    from ..parallel import ParallelEFAConfig, run_parallel_efa
+
+    def floorplanner(design: Design):
+        workers = max(1, cfg.floorplan_workers)
+        efa_cfg = EFAConfig(
+            illegal_cut=True,
+            inferior_cut=True,
+            time_budget_s=cfg.floorplan_budget_s,
+            batch_eval=cfg.floorplan_batch_eval,
+        )
+        result = run_parallel_efa(
+            design,
+            ParallelEFAConfig(workers=workers, efa=efa_cfg),
+            checkpoint=checkpoint,
+        )
+        result.algorithm = (
+            f"EFA_mix(c3[x{workers}])" if workers > 1 else "EFA_mix(c3)"
+        )
+        return result
+
+    return floorplanner
+
+
+def _result_payload(design: Design, result) -> Dict[str, Any]:
+    """The JSON result document a finished job stores (and caches)."""
+    wl = result.wirelength
+    return {
+        "kind": RESULT_KIND,
+        "schema": RESULT_SCHEMA_VERSION,
+        "design_name": design.name,
+        "summary": result.summary(),
+        "est_wl": result.floorplan_result.est_wl,
+        "twl": wl.total,
+        "wirelength": {
+            "wl_intra_die": wl.wl_intra_die,
+            "wl_internal": wl.wl_internal,
+            "wl_external": wl.wl_external,
+            "total": wl.total,
+        },
+        "floorplan": floorplan_to_dict(result.floorplan),
+        "assignment": assignment_to_dict(result.assignment),
+        "report": result.obs_report,
+    }
+
+
+def _job_worker_main(job_dir: str, parent_pid: int, event_queue) -> None:
+    """Job-process entry point (module-level, spawn-safe).
+
+    Reads ``spec.json``, runs the flow (checkpointed when the design
+    takes the enumerative EFA_c3 arm), and leaves exactly one verdict
+    file behind: ``result.json`` on success, ``error.json`` on a flow
+    exception.  A crash leaves neither — that absence is what tells the
+    parent to requeue-and-resume.
+    """
+    _start_parent_watchdog(parent_pid)
+    job_path = Path(job_dir)
+
+    def forward(event: Dict[str, Any]) -> None:
+        event_queue.put(event)
+
+    obs.add_event_listener(forward)
+    try:
+        spec = json.loads((job_path / "spec.json").read_text())
+        design = design_from_dict(spec["design"])
+        cfg = flow_config_from_dict(spec["config"])
+        floorplanner = None
+        checkpoint: Optional[CheckpointStore] = None
+        from ..floorplan.mix import DEFAULT_DIE_THRESHOLD
+
+        if not cfg.portfolio and len(design.dies) <= DEFAULT_DIE_THRESHOLD:
+            checkpoint = _open_checkpoint(job_path / "checkpoint.json")
+            floorplanner = _mix_floorplanner(cfg, checkpoint)
+        result = run_flow(design, cfg, floorplanner=floorplanner)
+        _write_json_atomic(
+            job_path / "result.json", _result_payload(design, result)
+        )
+        if checkpoint is not None:
+            checkpoint.discard()
+    except Exception as exc:  # noqa: BLE001 - verdict file, then exit
+        _write_json_atomic(
+            job_path / "error.json",
+            {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            },
+        )
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One submission's in-memory record (persisted view: ``state.json``)."""
+
+    id: str
+    dir: Path
+    design_name: str
+    cache_key: str
+    state: str = QUEUED
+    cached: bool = False
+    error: Optional[str] = None
+    timeout_s: Optional[float] = None
+    attempts: int = 0
+    created_unix_s: float = 0.0
+    started_unix_s: Optional[float] = None
+    finished_unix_s: Optional[float] = None
+    cancel_requested: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    proc: Optional[Any] = None
+
+    def view(self) -> Dict[str, Any]:
+        """The JSON-ready status snapshot the API returns."""
+        return {
+            "id": self.id,
+            "design": self.design_name,
+            "state": self.state,
+            "cached": self.cached,
+            "error": self.error,
+            "cache_key": self.cache_key,
+            "attempts": self.attempts,
+            "timeout_s": self.timeout_s,
+            "created_unix_s": self.created_unix_s,
+            "started_unix_s": self.started_unix_s,
+            "finished_unix_s": self.finished_unix_s,
+            "events": len(self.events),
+        }
+
+
+class JobManager:
+    """Bounded async execution of flow jobs with cache and resume.
+
+    ``max_workers`` runner threads each own at most one child process at
+    a time, so at most ``max_workers`` flows run concurrently; further
+    submissions wait in FIFO order.  All public methods are thread-safe
+    (the HTTP server calls them from handler threads).
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        max_workers: int = 2,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        default_timeout_s: Optional[float] = None,
+        crash_retries: int = DEFAULT_CRASH_RETRIES,
+        start_method: Optional[str] = None,
+    ):
+        self.data_dir = Path(data_dir)
+        self.jobs_dir = self.data_dir / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.data_dir / "cache", cache_entries)
+        self.default_timeout_s = default_timeout_s
+        self.crash_retries = max(0, crash_retries)
+        self.start_method = start_method
+        self.max_workers = max(1, max_workers)
+        self._jobs: Dict[str, Job] = {}
+        self._events = threading.Condition()
+        self._queue: "queue_mod.Queue[Optional[str]]" = queue_mod.Queue()
+        self._stop = threading.Event()
+        self._recover()
+        self._threads = [
+            threading.Thread(
+                target=self._runner_loop, name=f"job-runner-{i}", daemon=True
+            )
+            for i in range(self.max_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self,
+        design: Union[Design, Dict[str, Any]],
+        config: Union[FlowConfig, Dict[str, Any], None] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Register one flow run; return its status view immediately.
+
+        Invalid designs/configs raise ``ValueError``/``KeyError`` here,
+        before a job exists (the server maps that to a 400).  A cache
+        hit yields an instantly-DONE job with ``cached=True`` — the
+        stored result document is served verbatim, no process spawned.
+        """
+        design_obj = (
+            design if isinstance(design, Design) else design_from_dict(design)
+        )
+        if config is None:
+            cfg = FlowConfig()
+        elif isinstance(config, FlowConfig):
+            cfg = config
+        else:
+            cfg = flow_config_from_dict(config)
+        key = cache_key(design_obj, cfg)
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            dir=self.jobs_dir / "",
+            design_name=design_obj.name,
+            cache_key=key,
+            timeout_s=(
+                self.default_timeout_s if timeout_s is None else timeout_s
+            ),
+            created_unix_s=round(time.time(), 3),
+        )
+        job.dir = self.jobs_dir / job.id
+        job.dir.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(
+            job.dir / "spec.json",
+            {
+                "design": design_to_dict(design_obj),
+                "config": flow_config_to_dict(cfg),
+                "timeout_s": job.timeout_s,
+            },
+        )
+        cached_payload = self.cache.get(key)
+        with self._events:
+            self._jobs[job.id] = job
+            if cached_payload is not None:
+                job.cached = True
+                job.started_unix_s = job.created_unix_s
+                _write_json_atomic(job.dir / "result.json", cached_payload)
+                self._transition(job, DONE)
+                logger.info(
+                    "job %s (%s): cache hit %s", job.id, job.design_name, key
+                )
+            else:
+                self._transition(job, QUEUED)
+                self._queue.put(job.id)
+                logger.info(
+                    "job %s (%s): queued (cache miss %s)",
+                    job.id,
+                    job.design_name,
+                    key,
+                )
+            return job.view()
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's current status view (raises ``KeyError`` if unknown)."""
+        with self._events:
+            return self._jobs[job_id].view()
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Status views of every known job, oldest first."""
+        with self._events:
+            jobs = sorted(
+                self._jobs.values(), key=lambda j: (j.created_unix_s, j.id)
+            )
+            return [j.view() for j in jobs]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; terminal jobs are returned unchanged."""
+        with self._events:
+            job = self._jobs[job_id]
+            if job.state not in TERMINAL_STATES:
+                job.cancel_requested = True
+                if job.state == QUEUED:
+                    self._transition(job, CANCELLED)
+            return job.view()
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's result document.
+
+        Raises ``LookupError`` unless the job is DONE.
+        """
+        with self._events:
+            job = self._jobs[job_id]
+            if job.state != DONE:
+                raise LookupError(
+                    f"job {job_id} has no result (state {job.state})"
+                )
+        return json.loads((job.dir / "result.json").read_text())
+
+    def events(
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Events with ``seq > after``, plus an end-of-stream flag.
+
+        Blocks up to ``timeout`` seconds for news when nothing is
+        pending.  The flag is True once the job is terminal *and* every
+        event has been delivered — the NDJSON stream's stop condition.
+        """
+        with self._events:
+            job = self._jobs[job_id]
+            if (
+                timeout
+                and len(job.events) <= after
+                and job.state not in TERMINAL_STATES
+            ):
+                self._events.wait(timeout)
+            new = [dict(e) for e in job.events[after:]]
+            done = (
+                job.state in TERMINAL_STATES
+                and len(job.events) == after + len(new)
+            )
+            return new, done
+
+    def stats(self) -> Dict[str, Any]:
+        """Manager-level counters for the ``/stats`` endpoint."""
+        with self._events:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": dict(sorted(by_state.items())),
+            "queued": self._queue.qsize(),
+            "workers": self.max_workers,
+            "cache": self.cache.stats(),
+        }
+
+    def shutdown(self) -> None:
+        """Stop the runner threads and terminate any running children."""
+        self._stop.set()
+        with self._events:
+            procs = [j.proc for j in self._jobs.values() if j.proc is not None]
+            self._events.notify_all()
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already-dead process
+                pass
+        for t in self._threads:
+            t.join(timeout=_JOIN_GRACE_S)
+
+    # -- internals -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Reload persisted jobs; requeue anything the crash interrupted.
+
+        A job found QUEUED or RUNNING on disk did not finish — its child
+        died with the old server (parent watchdog) — so it re-enters the
+        queue and resumes from its checkpoint.  A RUNNING job whose
+        ``result.json`` already landed is promoted straight to DONE.
+        """
+        for state_path in sorted(self.jobs_dir.glob("*/state.json")):
+            try:
+                data = json.loads(state_path.read_text())
+            except ValueError:
+                logger.warning("%s: corrupt job state; skipping", state_path)
+                continue
+            if not isinstance(data, dict) or "id" not in data:
+                continue
+            job = Job(
+                id=str(data["id"]),
+                dir=state_path.parent,
+                design_name=str(data.get("design", "?")),
+                cache_key=str(data.get("cache_key", "")),
+                state=str(data.get("state", FAILED)),
+                cached=bool(data.get("cached", False)),
+                error=data.get("error"),
+                timeout_s=data.get("timeout_s"),
+                attempts=int(data.get("attempts", 0)),
+                created_unix_s=float(data.get("created_unix_s") or 0.0),
+                started_unix_s=data.get("started_unix_s"),
+                finished_unix_s=data.get("finished_unix_s"),
+            )
+            self._jobs[job.id] = job
+            if job.state in TERMINAL_STATES:
+                continue
+            if (job.dir / "result.json").exists():
+                job.state = DONE
+                self._persist(job)
+                continue
+            job.events.append(
+                {
+                    "seq": 1,
+                    "type": "recovered",
+                    "note": "requeued after server restart",
+                }
+            )
+            job.state = QUEUED
+            self._persist(job)
+            self._queue.put(job.id)
+            logger.info("job %s: requeued after restart", job.id)
+
+    def _transition(self, job: Job, state: str) -> None:
+        """Move ``job`` to ``state`` (lock held), persist, notify."""
+        job.state = state
+        now = round(time.time(), 3)
+        if state == RUNNING and job.started_unix_s is None:
+            job.started_unix_s = now
+        if state in TERMINAL_STATES:
+            job.finished_unix_s = now
+        event: Dict[str, Any] = {"type": "state", "state": state}
+        if job.cached:
+            event["cached"] = True
+        if job.error:
+            event["error"] = job.error
+        self._append_event_locked(job, event)
+        self._persist(job)
+
+    def _persist(self, job: Job) -> None:
+        _write_json_atomic(job.dir / "state.json", job.view())
+
+    def _append_event_locked(self, job: Job, event: Dict[str, Any]) -> None:
+        entry = {"seq": len(job.events) + 1, **event}
+        job.events.append(entry)
+        self._events.notify_all()
+
+    def _append_event(self, job: Job, event: Dict[str, Any]) -> None:
+        with self._events:
+            self._append_event_locked(job, event)
+
+    def _runner_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if job_id is None:
+                continue
+            with self._events:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != QUEUED:
+                    continue  # cancelled while queued, or stale entry
+                self._transition(job, RUNNING)
+                job.attempts += 1
+            try:
+                self._run_job(job)
+            except Exception:  # noqa: BLE001 - runner must survive
+                logger.exception("job %s: runner thread error", job.id)
+                with self._events:
+                    job.error = "internal runner error"
+                    self._transition(job, FAILED)
+
+    def _run_job(self, job: Job) -> None:
+        """Own one RUNNING job: spawn, pump events, judge the outcome."""
+        from ..parallel import resolve_start_method
+
+        ctx = mp.get_context(resolve_start_method(self.start_method))
+        event_queue = ctx.Queue()
+        proc = ctx.Process(
+            target=_job_worker_main,
+            args=(str(job.dir), os.getpid(), event_queue),
+            daemon=True,
+        )
+        job.proc = proc
+        proc.start()
+        deadline = (
+            None
+            if job.timeout_s is None
+            else time.monotonic() + job.timeout_s
+        )
+        outcome: Optional[str] = None
+        while not self._stop.is_set():
+            if job.cancel_requested:
+                outcome = "cancelled"
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                outcome = "timeout"
+                break
+            try:
+                self._append_event(job, event_queue.get(timeout=0.1))
+                continue
+            except queue_mod.Empty:
+                pass
+            if not proc.is_alive():
+                break
+        if outcome is not None or self._stop.is_set():
+            proc.terminate()
+        proc.join(timeout=_JOIN_GRACE_S)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=_JOIN_GRACE_S)
+        exitcode = proc.exitcode
+        while True:
+            try:
+                self._append_event(job, event_queue.get_nowait())
+            except queue_mod.Empty:
+                break
+        job.proc = None
+
+        if outcome == "cancelled":
+            with self._events:
+                self._transition(job, CANCELLED)
+            return
+        if outcome == "timeout":
+            with self._events:
+                job.error = (
+                    f"job exceeded its timeout of {job.timeout_s:g}s"
+                )
+                self._transition(job, FAILED)
+            return
+        if self._stop.is_set():
+            return  # shutdown mid-run; job stays RUNNING on disk -> requeued
+
+        result_path = job.dir / "result.json"
+        error_path = job.dir / "error.json"
+        if result_path.exists():
+            try:
+                payload = json.loads(result_path.read_text())
+            except ValueError:
+                payload = None
+            if isinstance(payload, dict):
+                self.cache.put(job.cache_key, payload)
+                with self._events:
+                    self._transition(job, DONE)
+                logger.info(
+                    "job %s (%s): done, cached as %s",
+                    job.id,
+                    job.design_name,
+                    job.cache_key,
+                )
+                return
+        if error_path.exists():
+            try:
+                error = json.loads(error_path.read_text())
+            except ValueError:
+                error = {}
+            with self._events:
+                job.error = str(error.get("error", "flow failed"))
+                self._transition(job, FAILED)
+            return
+        # No verdict file: the child crashed (or was killed).  Requeue to
+        # resume from the checkpoint while retries remain.
+        with self._events:
+            if job.attempts <= self.crash_retries:
+                logger.warning(
+                    "job %s: process died (exit %s) without a verdict; "
+                    "requeueing to resume from checkpoint (attempt %d)",
+                    job.id,
+                    exitcode,
+                    job.attempts + 1,
+                )
+                self._append_event_locked(
+                    job,
+                    {
+                        "type": "retry",
+                        "attempt": job.attempts,
+                        "exitcode": exitcode,
+                    },
+                )
+                self._transition(job, QUEUED)
+                self._queue.put(job.id)
+            else:
+                job.error = (
+                    f"job process died (exit {exitcode}) with no result "
+                    f"after {job.attempts} attempts"
+                )
+                self._transition(job, FAILED)

@@ -325,3 +325,53 @@ class TestEnumerationWindows:
         design = load_tiny(die_count=3, signal_count=8)
         with pytest.raises(ValueError):
             run_efa(design, EFAConfig(plus_range=window))
+
+
+class TestAutoBatchEval:
+    """``batch_eval="auto"``: per-design path selection, same winner."""
+
+    @pytest.mark.parametrize(
+        "dies,terminals,expected",
+        [
+            # Few dies but terminal-heavy: per-candidate numpy batches
+            # stay small while each scalar pack is cheap -> serial wins.
+            (4, 713, False),
+            (4, 512, False),  # threshold boundary is inclusive
+            # Terminal-light: batching amortizes the python loop.
+            (4, 376, True),
+            (4, 511, True),
+            # Many dies: the combination axis explodes, batch always.
+            (6, 800, True),
+            (5, 10_000, True),
+        ],
+    )
+    def test_auto_resolution(self, dies, terminals, expected):
+        from repro.floorplan import resolve_batch_eval
+
+        assert resolve_batch_eval("auto", dies, terminals) is expected
+
+    @pytest.mark.parametrize("value", [True, False])
+    def test_bools_pass_through(self, value):
+        from repro.floorplan import resolve_batch_eval
+
+        assert resolve_batch_eval(value, 3, 100) is value
+
+    @pytest.mark.parametrize("bad", ["yes", 1, None, "AUTO"])
+    def test_invalid_values_rejected(self, bad):
+        from repro.floorplan import resolve_batch_eval
+
+        with pytest.raises(ValueError):
+            resolve_batch_eval(bad, 3, 100)
+
+    def test_auto_matches_explicit_paths_exactly(self):
+        design = load_tiny(die_count=3, signal_count=8)
+        explicit = run_efa(design, EFAConfig(batch_eval=True))
+        auto = run_efa(design, EFAConfig(batch_eval="auto"))
+        assert auto.est_wl == explicit.est_wl
+        assert auto.candidate == explicit.candidate
+        assert auto.candidate_key == explicit.candidate_key
+        assert auto.floorplan.placements == explicit.floorplan.placements
+        assert (
+            auto.stats.floorplans_evaluated
+            == explicit.stats.floorplans_evaluated
+        )

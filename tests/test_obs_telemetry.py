@@ -457,3 +457,108 @@ class TestCliTraceOut:
         rep = json.loads(report.read_text())
         assert rep["schema_version"] == 3
         assert "trajectory" in rep["telemetry"]
+
+
+class TestProgressEta:
+    """ETA math around unknown and zero totals (the service streams
+    these payloads, so a NaN/divide-by-zero here reaches clients)."""
+
+    def _capture(self):
+        events = []
+        obs.add_event_listener(events.append)
+        return events
+
+    def test_zero_total_reports_complete_with_zero_eta(self):
+        events = self._capture()
+        try:
+            prog = Progress("empty", total=0, interval_s=1e-9)
+            prog.update(done=0)
+            prog.finish()
+        finally:
+            obs.remove_event_listener(events.append)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert beats
+        assert beats[0]["pct"] == 100.0
+        assert beats[0]["eta_s"] == 0.0
+        assert beats[-1]["final"] is True
+
+    def test_unknown_total_has_no_pct_or_eta(self):
+        events = self._capture()
+        try:
+            prog = Progress("open-ended", total=None, interval_s=1e-9)
+            prog.update(done=5)
+        finally:
+            obs.remove_event_listener(events.append)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert beats
+        assert "pct" not in beats[0]
+        assert "eta_s" not in beats[0]
+        assert "total" not in beats[0]
+
+    def test_eta_shrinks_toward_zero(self):
+        events = self._capture()
+        try:
+            prog = Progress("work", total=100, interval_s=1e-9)
+            prog.update(done=50)
+            prog.update(done=99)
+        finally:
+            obs.remove_event_listener(events.append)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert len(beats) >= 2
+        assert beats[-1]["eta_s"] <= beats[0]["eta_s"]
+        assert beats[-1]["eta_s"] >= 0.0
+
+
+class TestEventListeners:
+    """The obs event bus the service's job streamer subscribes to."""
+
+    def test_listener_enables_heartbeats_despite_quiet_logging(self):
+        # INFO logging off would normally disable Progress entirely; a
+        # registered listener (a streaming client) keeps events flowing.
+        quiet = logging.getLogger("test.progress.listener")
+        quiet.setLevel(logging.WARNING)
+        quiet.propagate = False
+        quiet.addHandler(logging.NullHandler())
+        events = []
+        obs.add_event_listener(events.append)
+        try:
+            prog = Progress(
+                "stage", total=4, interval_s=1e-9, logger=quiet
+            )
+            assert prog.enabled
+            prog.update(done=2)
+        finally:
+            obs.remove_event_listener(events.append)
+        assert any(e["type"] == "heartbeat" for e in events)
+
+    def test_listener_exceptions_are_swallowed(self):
+        def broken(event):
+            raise RuntimeError("subscriber bug")
+
+        events = []
+        obs.add_event_listener(broken)
+        obs.add_event_listener(events.append)
+        try:
+            obs.telemetry().record_incumbent(12.5, source="test")
+        finally:
+            obs.remove_event_listener(broken)
+            obs.remove_event_listener(events.append)
+        # The broken listener did not stop delivery to the healthy one.
+        assert [e["type"] for e in events] == ["incumbent"]
+        assert events[0]["value"] == 12.5
+
+    def test_incumbents_stream_past_trajectory_cap(self):
+        tel = obs.telemetry()
+        events = []
+        obs.add_event_listener(events.append)
+        try:
+            for i in range(TRAJECTORY_CAP + 5):
+                tel.record_incumbent(float(i))
+        finally:
+            obs.remove_event_listener(events.append)
+        # The stored trajectory saturates; the stream sees every point.
+        assert len(tel.snapshot()["trajectory"]) == TRAJECTORY_CAP
+        assert len(events) == TRAJECTORY_CAP + 5
+
+    def test_remove_unknown_listener_is_a_noop(self):
+        obs.remove_event_listener(lambda e: None)

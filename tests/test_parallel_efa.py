@@ -6,6 +6,7 @@ search returns *exactly* the serial result — same placements, same
 """
 
 import json
+import logging
 from itertools import permutations, product
 
 import pytest
@@ -438,3 +439,105 @@ class TestWindowedParallel:
         )
         assert not result.found
         assert result.stats.sequence_pairs_total == 0
+
+
+class TestShardImbalanceWarning:
+    """End-of-run structured warning when shard load skews badly.
+
+    Captured with a handler attached directly to the executor logger —
+    the repro hierarchy may run with ``propagate=False`` when earlier
+    tests configured CLI logging, which would bypass caplog's
+    root-logger handler.
+    """
+
+    class _Capture(logging.Handler):
+        def __init__(self):
+            super().__init__(level=logging.WARNING)
+            self.records = []
+
+        def emit(self, record):
+            self.records.append(record)
+
+    @pytest.fixture()
+    def captured(self):
+        handler = self._Capture()
+        logger = logging.getLogger("repro.parallel.executor")
+        old_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+        try:
+            yield handler.records
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+
+    @staticmethod
+    def _rec(worker, pairs, runtime_s=0.1):
+        return {
+            "worker": worker,
+            "stats": {
+                "runtime_s": runtime_s,
+                "sequence_pairs_explored": pairs,
+                "pruned_illegal": 0,
+                "pruned_inferior": 0,
+                "lower_bound_evaluations": pairs,
+                "floorplans_evaluated": pairs,
+                "floorplans_rejected_outline": 0,
+            },
+        }
+
+    @staticmethod
+    def _warnings(records):
+        return [r for r in records if "shard imbalance" in r.getMessage()]
+
+    def test_skewed_load_warns_with_structured_extra(self, captured):
+        from repro.parallel.executor import _warn_on_imbalance
+
+        _warn_on_imbalance([self._rec(0, 1000), self._rec(1, 10)], workers=2)
+        warnings = self._warnings(captured)
+        assert len(warnings) == 1
+        extra = warnings[0].shard_imbalance
+        assert extra["field"] == "pairs_explored"
+        assert extra["workers"] == 2
+        assert extra["gini"] > 0.4
+        assert extra["per_worker"]["worker0"] == 1000
+
+    def test_balanced_load_is_silent(self, captured):
+        from repro.parallel.executor import _warn_on_imbalance
+
+        _warn_on_imbalance([self._rec(0, 500), self._rec(1, 500)], workers=2)
+        assert not self._warnings(captured)
+
+    def test_serial_pool_never_warns(self, captured):
+        from repro.parallel.executor import _warn_on_imbalance
+
+        _warn_on_imbalance([self._rec(0, 1000)], workers=1)
+        assert not self._warnings(captured)
+
+    def test_threshold_env_override(self, captured, monkeypatch):
+        from repro.parallel.executor import (
+            _warn_on_imbalance,
+            shard_gini_threshold,
+        )
+
+        monkeypatch.setenv("REPRO_SHARD_GINI_WARN", "0.05")
+        assert shard_gini_threshold() == 0.05
+        # A mild skew clears the default 0.4 bar but trips the tight one.
+        _warn_on_imbalance([self._rec(0, 700), self._rec(1, 300)], workers=2)
+        assert self._warnings(captured)
+
+    def test_zero_threshold_disables(self, captured, monkeypatch):
+        from repro.parallel.executor import _warn_on_imbalance
+
+        monkeypatch.setenv("REPRO_SHARD_GINI_WARN", "0")
+        _warn_on_imbalance([self._rec(0, 1000), self._rec(1, 0)], workers=2)
+        assert not self._warnings(captured)
+
+    def test_bad_env_value_falls_back_to_default(self, monkeypatch):
+        from repro.parallel.executor import (
+            SHARD_GINI_WARN_DEFAULT,
+            shard_gini_threshold,
+        )
+
+        monkeypatch.setenv("REPRO_SHARD_GINI_WARN", "not-a-float")
+        assert shard_gini_threshold() == SHARD_GINI_WARN_DEFAULT

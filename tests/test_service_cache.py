@@ -1,0 +1,135 @@
+"""Tests for the content-addressed, LRU-bounded result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.io import content_hash
+from repro.service import ResultCache
+
+
+def key_for(i):
+    return content_hash({"entry": i})
+
+
+PAYLOAD = {"kind": "x", "twl": 1.25, "nested": {"a": [1, 2]}}
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_for(0)
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_get_returns_parsed_json_not_live_object(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_for(0)
+        cache.put(key, PAYLOAD)
+        first = cache.get(key)
+        first["nested"]["a"].append(99)
+        assert cache.get(key) == PAYLOAD
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(key_for(1)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_survives_reopen(self, tmp_path):
+        key = key_for(0)
+        ResultCache(tmp_path).put(key, PAYLOAD)
+        assert ResultCache(tmp_path).get(key) == PAYLOAD
+
+    def test_lru_eviction_by_mtime(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [key_for(i) for i in range(3)]
+        for i, key in enumerate(keys[:2]):
+            path = cache.put(key, {"i": i})
+            # Deterministic recency without sleeping: stamp mtimes.
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        cache.put(keys[2], {"i": 2})
+        assert cache.get(keys[0]) is None  # oldest entry evicted
+        assert cache.get(keys[1]) == {"i": 1}
+        assert cache.get(keys[2]) == {"i": 2}
+        assert cache.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [key_for(i) for i in range(3)]
+        paths = {}
+        for i, key in enumerate(keys[:2]):
+            paths[key] = cache.put(key, {"i": i})
+            os.utime(paths[key], (1000.0 + i, 1000.0 + i))
+        assert cache.get(keys[0]) == {"i": 0}  # touch: now most recent
+        os.utime(paths[keys[0]], (2000.0, 2000.0))
+        cache.put(keys[2], {"i": 2})
+        assert cache.get(keys[0]) == {"i": 0}
+        assert cache.get(keys[1]) is None  # the untouched one went
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_for(0)
+        path = cache.put(key, PAYLOAD)
+        path.write_text("{broken")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_key_mismatch_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a, key_b = key_for(0), key_for(1)
+        path_a = cache.put(key_a, PAYLOAD)
+        # Simulate a renamed/tampered entry: file named for key_b but
+        # recording key_a.
+        path_b = tmp_path / (key_b.split(":", 1)[1] + ".json")
+        path_b.write_text(path_a.read_text())
+        assert cache.get(key_b) is None
+        assert not path_b.exists()
+
+    def test_rejects_non_hash_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.put("not-a-hash!", {})
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(key_for(i), {"i": i})
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=7)
+        cache.put(key_for(0), PAYLOAD)
+        cache.get(key_for(0))
+        cache.get(key_for(1))
+        assert cache.stats() == {
+            "entries": 1,
+            "max_entries": 7,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_min_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_no_tmp_files_left(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(key_for(0), PAYLOAD)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_bit_identical_reserialization(self, tmp_path):
+        # Two gets of the same entry serialize identically — the service
+        # serves cache hits byte-for-byte.
+        cache = ResultCache(tmp_path)
+        key = key_for(0)
+        cache.put(key, PAYLOAD)
+        a = json.dumps(cache.get(key), sort_keys=True)
+        b = json.dumps(cache.get(key), sort_keys=True)
+        assert a == b

@@ -1,0 +1,252 @@
+"""Tests for the async job manager (no HTTP; the manager API directly)."""
+
+import json
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.flow import FlowConfig, flow_config_to_dict, run_flow
+from repro.io import (
+    assignment_to_dict,
+    design_to_dict,
+    floorplan_to_dict,
+)
+from repro.service import JobManager, cache_key
+from repro.service.jobs import TEST_EXIT_ENV
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_tiny(die_count=4, signal_count=16)
+
+
+@pytest.fixture(scope="module")
+def direct(design):
+    return run_flow(design, FlowConfig())
+
+
+def wait_terminal(manager, job_id, timeout_s=120.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = manager.status(job_id)
+        if view["state"] in ("DONE", "FAILED", "CANCELLED"):
+            return view
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal: {view}")
+
+
+class TestJobLifecycle:
+    def test_submit_run_result_identity(self, design, direct, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            assert view["state"] in ("QUEUED", "RUNNING")
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "DONE", final
+            assert final["cached"] is False
+            result = manager.result(view["id"])
+            assert result["est_wl"] == direct.floorplan_result.est_wl
+            assert result["twl"] == direct.twl
+            assert result["floorplan"] == json.loads(
+                json.dumps(floorplan_to_dict(direct.floorplan))
+            )
+            assert result["assignment"] == json.loads(
+                json.dumps(assignment_to_dict(direct.assignment))
+            )
+            assert result["report"]["kind"] == "repro.run_report"
+        finally:
+            manager.shutdown()
+
+    def test_resubmission_hits_cache(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            first = manager.submit(design_to_dict(design))
+            wait_terminal(manager, first["id"])
+            result1 = manager.result(first["id"])
+            second = manager.submit(design_to_dict(design))
+            # Instantly DONE, no process spawned, zero attempts.
+            assert second["state"] == "DONE"
+            assert second["cached"] is True
+            assert second["attempts"] == 0
+            result2 = manager.result(second["id"])
+            assert json.dumps(result2, sort_keys=True) == json.dumps(
+                result1, sort_keys=True
+            )
+            assert manager.cache.stats()["hits"] >= 1
+        finally:
+            manager.shutdown()
+
+    def test_worker_count_does_not_split_the_cache(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            serial = manager.submit(
+                design_to_dict(design),
+                config=flow_config_to_dict(FlowConfig(floorplan_workers=1)),
+            )
+            wait_terminal(manager, serial["id"])
+            pooled = manager.submit(
+                design_to_dict(design),
+                config=flow_config_to_dict(FlowConfig(floorplan_workers=4)),
+            )
+            assert pooled["cached"] is True
+            assert pooled["cache_key"] == serial["cache_key"]
+        finally:
+            manager.shutdown()
+
+    def test_invalid_design_rejected_before_job_exists(self, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            with pytest.raises((ValueError, KeyError)):
+                manager.submit({"schema": 1, "nonsense": True})
+            assert manager.list_jobs() == []
+        finally:
+            manager.shutdown()
+
+    def test_failed_flow_reports_error(self, tmp_path):
+        # A boundary clearance no die can satisfy: no legal floorplan.
+        design = load_tiny(die_count=3, signal_count=6)
+        data = design_to_dict(design)
+        data["spacing"]["die_to_boundary"] = 100.0
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(data)
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "FAILED"
+            assert "no legal floorplan" in final["error"]
+            with pytest.raises(LookupError):
+                manager.result(view["id"])
+        finally:
+            manager.shutdown()
+
+    def test_cancel_queued_job(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            # Occupy the single runner slot, then cancel the queued job
+            # behind it before it ever starts.
+            first = manager.submit(design_to_dict(design))
+            data = design_to_dict(design)
+            data["name"] = "variant"  # distinct cache key
+            second = manager.submit(data)
+            cancelled = manager.cancel(second["id"])
+            assert cancelled["state"] in ("CANCELLED", "RUNNING")
+            final = wait_terminal(manager, second["id"])
+            if cancelled["state"] == "CANCELLED":
+                assert final["state"] == "CANCELLED"
+                assert final["attempts"] == 0
+            wait_terminal(manager, first["id"])
+        finally:
+            manager.shutdown()
+
+    def test_events_cover_lifecycle(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            wait_terminal(manager, view["id"])
+            events, done = manager.events(view["id"])
+            assert done is True
+            types = [e["type"] for e in events]
+            assert types[0] == "state"  # QUEUED
+            assert "incumbent" in types  # streamed from the child
+            states = [e["state"] for e in events if e["type"] == "state"]
+            assert states == ["QUEUED", "RUNNING", "DONE"]
+            assert [e["seq"] for e in events] == list(
+                range(1, len(events) + 1)
+            )
+        finally:
+            manager.shutdown()
+
+
+class TestCrashResume:
+    def test_crash_retries_and_resumes(
+        self, design, direct, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_EXIT_ENV, "2")
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "DONE", final
+            assert final["attempts"] == 2
+            events, _ = manager.events(view["id"])
+            retries = [e for e in events if e["type"] == "retry"]
+            assert len(retries) == 1
+            assert retries[0]["exitcode"] == 42
+            result = manager.result(view["id"])
+            assert result["est_wl"] == direct.floorplan_result.est_wl
+            assert result["twl"] == direct.twl
+        finally:
+            manager.shutdown()
+
+    def test_repeated_crash_exhausts_retries(
+        self, design, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_EXIT_ENV, "2")
+        manager = JobManager(tmp_path, max_workers=1, crash_retries=0)
+        try:
+            view = manager.submit(design_to_dict(design))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "FAILED"
+            assert "died" in final["error"]
+        finally:
+            manager.shutdown()
+
+    def test_restart_recovery_requeues_and_finishes(
+        self, design, direct, tmp_path
+    ):
+        # Simulate a server killed mid-job: fabricate the on-disk layout
+        # a RUNNING job leaves behind, then boot a fresh manager over it.
+        manager = JobManager(tmp_path, max_workers=1)
+        manager.shutdown()
+        job_dir = tmp_path / "jobs" / "deadbeef0000"
+        job_dir.mkdir(parents=True)
+        cfg = FlowConfig()
+        (job_dir / "spec.json").write_text(
+            json.dumps(
+                {
+                    "design": design_to_dict(design),
+                    "config": flow_config_to_dict(cfg),
+                    "timeout_s": None,
+                }
+            )
+        )
+        (job_dir / "state.json").write_text(
+            json.dumps(
+                {
+                    "id": "deadbeef0000",
+                    "design": design.name,
+                    "state": "RUNNING",
+                    "cache_key": cache_key(design, cfg),
+                    "attempts": 1,
+                    "created_unix_s": 1.0,
+                }
+            )
+        )
+        revived = JobManager(tmp_path, max_workers=1)
+        try:
+            view = revived.status("deadbeef0000")
+            assert view["state"] in ("QUEUED", "RUNNING", "DONE")
+            final = wait_terminal(revived, "deadbeef0000")
+            assert final["state"] == "DONE"
+            result = revived.result("deadbeef0000")
+            assert result["est_wl"] == direct.floorplan_result.est_wl
+            assert result["twl"] == direct.twl
+            events, _ = revived.events("deadbeef0000")
+            assert events[0]["type"] == "recovered"
+        finally:
+            revived.shutdown()
+
+
+class TestTimeout:
+    def test_timeout_fails_the_job(self, tmp_path):
+        # A 5-die full enumeration takes far longer than 0.5 s.
+        design = load_tiny(die_count=5, signal_count=20)
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design), timeout_s=0.5)
+            final = wait_terminal(manager, view["id"], timeout_s=60.0)
+            assert final["state"] == "FAILED"
+            assert "timeout" in final["error"]
+        finally:
+            manager.shutdown()
