@@ -4,6 +4,8 @@ Exposes the library's main entry points as subcommands operating on JSON
 artifacts, so the flow can be scripted without writing Python:
 
 * ``repro-25d generate`` — build a suite/tiny testcase, write design JSON;
+* ``repro-25d validate`` — lint a design document and print the
+  machine-readable diagnostics (exit 1 on any error-severity finding);
 * ``repro-25d floorplan`` — run a floorplanner on a design JSON;
 * ``repro-25d assign`` — run a signal assigner on design + floorplan;
 * ``repro-25d evaluate`` — score a complete solution with Eq. 1 (and
@@ -39,8 +41,10 @@ to write the HTML run dashboard next to (or instead of) the JSON report.
 The floorplanning commands (``floorplan``, ``run``) further accept
 ``--workers N`` (sharded multi-process EFA search, result identical to
 serial for any ``N``), ``--portfolio`` (race EFA_c3 / EFA_dop / SA and
-keep the best legal floorplan) and ``--seed`` (reproducibility of the
-stochastic floorplanners); see :mod:`repro.parallel`.
+keep the best legal floorplan), ``--seed`` (reproducibility of the
+stochastic floorplanners) and ``--verify`` (independently re-derive the
+result's claims with :mod:`repro.validate.verify_result`; any mismatch
+fails the command); see :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
@@ -78,19 +82,23 @@ ASSIGNERS = ("mcmf-fast", "mcmf-ori", "greedy", "bipartite")
 logger = obs.get_logger("cli")
 
 
-def _maybe_write_report(args, **sections) -> None:
+def _maybe_write_report(args, verification=None, **sections) -> None:
     """Write the run report / dashboard when their flags were given.
 
     ``sections`` are forwarded to :func:`repro.obs.build_report`; the span
     tree and metric snapshot are always included.  ``--report`` and
     ``--dashboard-out`` share one report build, so the dashboard always
-    renders exactly what the JSON artifact records.
+    renders exactly what the JSON artifact records.  ``verification`` (a
+    diagnostic list from ``--verify``) is recorded on the report when
+    given — including an empty list, which marks the run verified-clean.
     """
     report_path = getattr(args, "report", None)
     dashboard_path = getattr(args, "dashboard_out", None)
     if not report_path and not dashboard_path:
         return
     report = obs.build_report(command=args.command, **sections)
+    if verification is not None:
+        obs.attach_verification(report, verification)
     if report_path:
         obs.write_report(report, report_path)
         print(f"wrote report {report_path}")
@@ -100,10 +108,20 @@ def _maybe_write_report(args, **sections) -> None:
 
 
 def _load_design(path: str):
-    """Load a design, dispatching on the file extension (.25d = text)."""
-    if str(path).endswith(".25d"):
-        return json_io.load_design_text(path)
-    return json_io.load_design(path)
+    """Load a design, dispatching on the file extension (.25d = text).
+
+    Malformed documents exit with the first constructor error and a
+    pointer at ``repro-25d validate``, which reports *all* problems.
+    """
+    try:
+        if str(path).endswith(".25d"):
+            return json_io.load_design_text(path)
+        return json_io.load_design(path)
+    except ValueError as exc:
+        raise SystemExit(
+            f"{path}: {exc}\n(run `repro-25d validate {path}` for the "
+            f"full diagnostic list)"
+        ) from exc
 
 
 def _save_design(design, path: str) -> None:
@@ -167,6 +185,26 @@ def _run_floorplanner(
     return run_efa(design, config)
 
 
+def _report_verification(diagnostics) -> bool:
+    """Print the ``--verify`` verdict; returns True when it passed.
+
+    Every diagnostic goes to the log (errors as errors, the rest as
+    warnings); the one-line verdict goes to stdout with the results.
+    """
+    errors = 0
+    for diag in diagnostics:
+        if diag.severity == "error":
+            errors += 1
+            logger.error("%s", diag)
+        else:
+            logger.warning("%s", diag)
+    if errors:
+        print(f"verification FAILED: {errors} error(s) (see log)")
+        return False
+    print("verification OK (independent recomputation matches)")
+    return True
+
+
 def _make_assigner(algorithm: str, budget: Optional[float]):
     if algorithm == "mcmf-fast":
         return MCMFAssigner(MCMFAssignerConfig(time_budget_s=budget))
@@ -190,6 +228,53 @@ def cmd_generate(args) -> int:
     print(f"wrote {args.output}: {design.name} {stats}")
     _maybe_write_report(args, design=design)
     return 0
+
+
+def cmd_validate(args) -> int:
+    """Handle ``repro-25d validate`` (lint a design, JSON diagnostics).
+
+    Lints the *raw* document (not a built :class:`Design`), so every
+    problem is reported at once instead of dying on the first
+    constructor error.  Prints one JSON diagnostics document to stdout
+    (or ``--output``); the exit code is 0 only when no error-severity
+    diagnostics were found.
+    """
+    import json
+
+    from .validate import Diagnostic, ERROR, lint_design
+
+    path = str(args.design)
+    data = None
+    try:
+        if path.endswith(".25d"):
+            # The text format has no raw-dict form: parse it, then lint
+            # the JSON-shaped serialization of what it described.
+            data = json_io.design_to_dict(json_io.load_design_text(path))
+        else:
+            data = json_io.load_json(path)
+    except OSError as exc:
+        diagnostics = [Diagnostic("io.read", ERROR, path, str(exc))]
+    except ValueError as exc:
+        diagnostics = [Diagnostic("schema.parse", ERROR, path, str(exc))]
+    if data is not None:
+        diagnostics = lint_design(data)
+    errors = sum(1 for d in diagnostics if d.severity == ERROR)
+    document = {
+        "kind": "repro.lint_report",
+        "design": path,
+        "ok": errors == 0,
+        "errors": errors,
+        "warnings": len(diagnostics) - errors,
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    text = json.dumps(document, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote lint report {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0 if errors == 0 else 1
 
 
 def cmd_floorplan(args) -> int:
@@ -226,8 +311,22 @@ def cmd_floorplan(args) -> int:
         f"{result.stats.runtime_s:.2f}s"
         + (" (budget-truncated)" if result.stats.timed_out else "")
     )
-    _maybe_write_report(args, design=design, floorplan_result=result)
-    return 0
+    verification = None
+    verified_ok = True
+    if args.verify:
+        from .validate import verify_floorplan
+
+        verification = verify_floorplan(
+            design, floorplan, claimed_est_wl=result.est_wl
+        )
+        verified_ok = _report_verification(verification)
+    _maybe_write_report(
+        args,
+        design=design,
+        floorplan_result=result,
+        verification=verification,
+    )
+    return 0 if verified_ok else 1
 
 
 def cmd_assign(args) -> int:
@@ -290,6 +389,7 @@ def cmd_run(args) -> int:
     JSON run report all come from the same machinery library users get.
     """
     from .flow import FlowConfig, run_flow
+    from .validate import DesignLintError
 
     design = _load_design(args.design)
     try:
@@ -313,6 +413,14 @@ def cmd_run(args) -> int:
             ),
             assigner=_make_assigner(args.assigner, args.budget),
         )
+    except DesignLintError as exc:
+        for diag in exc.diagnostics:
+            logger.error("%s", diag)
+        logger.error(
+            "design rejected: %s (run `repro-25d validate` for the "
+            "JSON diagnostic document)", exc,
+        )
+        return 1
     except RuntimeError as exc:
         # run_flow already logged the stage-level diagnostics.
         logger.error("flow failed: %s", exc)
@@ -323,8 +431,17 @@ def cmd_run(args) -> int:
         json_io.save_floorplan(result.floorplan, args.floorplan_out)
     if args.assignment_out:
         json_io.save_assignment(result.assignment, args.assignment_out)
-    _maybe_write_report(args, flow_result=result)
-    return 0
+    verification = None
+    verified_ok = True
+    if args.verify:
+        from .validate import verify_flow_result
+
+        verification = verify_flow_result(design, result)
+        verified_ok = _report_verification(verification)
+        if result.obs_report is not None:
+            obs.attach_verification(result.obs_report, verification)
+    _maybe_write_report(args, flow_result=result, verification=verification)
+    return 0 if verified_ok else 1
 
 
 def cmd_route(args) -> int:
@@ -432,6 +549,9 @@ def cmd_serve(args) -> int:
     """Handle ``repro-25d serve`` (the async job server)."""
     from .service import FloorplanService
 
+    manager_kwargs = {}
+    if args.max_terminal_jobs is not None:
+        manager_kwargs["max_terminal_jobs"] = args.max_terminal_jobs
     service = FloorplanService(
         args.data_dir,
         host=args.host,
@@ -439,6 +559,7 @@ def cmd_serve(args) -> int:
         max_workers=args.job_workers,
         cache_entries=args.cache_entries,
         default_timeout_s=args.job_timeout,
+        **manager_kwargs,
     )
     print(f"serving on {service.url} (data dir: {args.data_dir})")
     service.serve_forever()
@@ -647,9 +768,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = add_parser(
+        "validate",
+        help="lint a design and print machine-readable diagnostics",
+    )
+    p.add_argument("design")
+    p.add_argument(
+        "--output", "-o", default=None,
+        help="write the JSON lint report here instead of stdout",
+    )
+    p.set_defaults(func=cmd_validate)
+
+    # --verify, shared by the commands that produce a checkable result.
+    verify_common = argparse.ArgumentParser(add_help=False)
+    verify_common.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently re-derive the result's claims (legality, "
+        "wirelengths, bound arithmetic) and fail on any mismatch",
+    )
+
+    p = add_parser(
         "floorplan",
         help="floorplan a design",
-        parents=[parallel_common, dashboard_common],
+        parents=[parallel_common, dashboard_common, verify_common],
     )
     p.add_argument("design")
     p.add_argument("--algorithm", default="mix", choices=FLOORPLANNERS)
@@ -677,7 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser(
         "run",
         help="full flow: floorplan + assign + evaluate",
-        parents=[parallel_common, dashboard_common],
+        parents=[parallel_common, dashboard_common, verify_common],
     )
     p.add_argument("design")
     p.add_argument("--floorplanner", default="mix", choices=FLOORPLANNERS)
@@ -749,6 +890,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None,
         help="default per-job wall-clock timeout in seconds "
         "(default: none)",
+    )
+    p.add_argument(
+        "--max-terminal-jobs", type=int, default=None,
+        help="finished (DONE/FAILED/CANCELLED) jobs kept on disk before "
+        "the oldest are garbage-collected (default: 512; 0 keeps none)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -212,10 +212,17 @@ def run_flow(
     default EFA_mix + MCMF_fast stages — the CLI uses this to run alternate
     variants through the same instrumented flow.
 
-    Raises ``RuntimeError`` when the floorplanner finds no legal floorplan
-    and :class:`~repro.assign.AssignmentError` when the SAP fails; partial
-    results are never silently scored.
+    Raises :class:`~repro.validate.DesignLintError` when the design fails
+    the pre-flight lint (a provably-infeasible input must never start a
+    search), ``RuntimeError`` when the floorplanner finds no legal
+    floorplan and :class:`~repro.assign.AssignmentError` when the SAP
+    fails; partial results are never silently scored.
     """
+    from .validate.lint import DesignLintError, ERROR, lint_design
+
+    lint_errors = [d for d in lint_design(design) if d.severity == ERROR]
+    if lint_errors:
+        raise DesignLintError(lint_errors)
     cfg = config or FlowConfig()
     if cfg.reset_observability:
         obs.reset_run()

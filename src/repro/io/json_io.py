@@ -114,7 +114,25 @@ def design_to_dict(design: Design) -> Dict[str, Any]:
 
 
 def design_from_dict(data: Dict[str, Any]) -> Design:
-    """Rebuild a design from :func:`design_to_dict` output."""
+    """Rebuild a design from :func:`design_to_dict` output.
+
+    Structural problems — missing keys, wrong shapes — surface as
+    ``ValueError`` with the offending access named, never as a bare
+    ``KeyError``/``TypeError`` from deep inside the parse: callers (the
+    service's submit path, the CLI) route ``ValueError`` to the user as
+    a bad-input report, and :func:`repro.validate.lint_design` can give
+    the full diagnostic list for the same dict.
+    """
+    try:
+        return _design_from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"malformed design dict ({type(exc).__name__}: {exc}); run "
+            f"the design linter for the full diagnostic list"
+        ) from exc
+
+
+def _design_from_dict(data: Dict[str, Any]) -> Design:
     if data.get("schema") != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported design schema {data.get('schema')!r}; "

@@ -74,6 +74,7 @@ from .openmetrics import (
 from .report import (
     REPORT_KIND,
     REPORT_SCHEMA_VERSION,
+    attach_verification,
     build_report,
     find_span,
     layout_section,
@@ -115,6 +116,7 @@ __all__ = [
     "add_event_listener",
     "analyze_report",
     "anytime_metrics",
+    "attach_verification",
     "build_report",
     "build_trace",
     "configure_logging",

@@ -246,6 +246,27 @@ def build_report(
     return report
 
 
+def attach_verification(
+    report: Dict[str, Any], diagnostics: List[Any]
+) -> Dict[str, Any]:
+    """Record an independent-verification outcome on a report (in place).
+
+    ``diagnostics`` are :class:`repro.validate.Diagnostic` records (or
+    their dict form) from :mod:`repro.validate.verify_result`; an empty
+    list marks the run verified-clean.  Additive — consumers of reports
+    without a ``verification`` section are unaffected.
+    """
+    items = [
+        d.to_dict() if hasattr(d, "to_dict") else dict(d)
+        for d in diagnostics
+    ]
+    report["verification"] = {
+        "ok": not any(i.get("severity") == "error" for i in items),
+        "diagnostics": items,
+    }
+    return report
+
+
 def report_to_json(report: Dict[str, Any], indent: int = 2) -> str:
     """Serialize a report dict to JSON text.
 

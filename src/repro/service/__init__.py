@@ -26,6 +26,7 @@ from .checkpoint import (
 from .client import ServiceClient, ServiceError
 from .jobs import (
     CANCELLED,
+    DEFAULT_MAX_TERMINAL_JOBS,
     DONE,
     FAILED,
     Job,
@@ -47,6 +48,7 @@ __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointStore",
     "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_MAX_TERMINAL_JOBS",
     "DONE",
     "FAILED",
     "FloorplanService",

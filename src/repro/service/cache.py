@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from .. import obs
 from ..io import HASH_PREFIX
+from ..validate import faults
 
 logger = obs.get_logger("service.cache")
 
@@ -66,6 +67,9 @@ class ResultCache:
         except (FileNotFoundError, OSError):
             self.misses += 1
             return None
+        if faults.should_fire("cache_read_corrupt"):
+            # Chaos: behave as if the read returned a torn entry.
+            raw = raw[: max(1, len(raw) // 2)]
         try:
             entry = json.loads(raw)
         except ValueError:
@@ -85,8 +89,13 @@ class ResultCache:
         self.hits += 1
         return entry.get("payload")
 
-    def put(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Store ``payload`` under ``key`` (atomically), then evict LRU."""
+    def put(self, key: str, payload: Dict[str, Any]) -> Optional[Path]:
+        """Store ``payload`` under ``key`` (atomically), then evict LRU.
+
+        Returns ``None`` when the write fails: a cache that cannot
+        persist an entry degrades to not caching it — the result the
+        caller already holds must still be served.
+        """
         path = self._entry_path(key)
         entry = {
             "key": key,
@@ -94,10 +103,30 @@ class ResultCache:
             "payload": payload,
         }
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(entry, default=obs.json_default))
-        os.replace(tmp, path)
+        try:
+            faults.fire("cache_write_io", lambda: OSError("injected cache write failure"))
+            tmp.write_text(json.dumps(entry, default=obs.json_default))
+            os.replace(tmp, path)
+        except OSError as exc:
+            logger.warning("%s: cache write failed (%s); not caching", path, exc)
+            self._remove(tmp)
+            return None
         self._evict()
         return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop the entry stored under ``key``; True when one existed.
+
+        The job manager calls this when a cached payload fails result
+        verification — the poisoned entry must not answer the next
+        identical submission.
+        """
+        path = self._entry_path(key)
+        existed = path.exists()
+        self._remove(path)
+        if existed:
+            logger.warning("invalidated cache entry %s", path.name)
+        return existed
 
     def __contains__(self, key: str) -> bool:
         return self._entry_path(key).exists()

@@ -29,8 +29,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+import math
+
 from .. import obs
 from ..io import canonical_json
+from ..validate import faults
 
 logger = obs.get_logger("service.checkpoint")
 
@@ -38,6 +41,37 @@ CHECKPOINT_KIND = "repro.checkpoint"
 CHECKPOINT_SCHEMA_VERSION = 1
 
 __all__ = ["CHECKPOINT_KIND", "CHECKPOINT_SCHEMA_VERSION", "CheckpointStore"]
+
+
+def _valid_record(rec: Any) -> bool:
+    """Structural sanity of one replayed shard record.
+
+    A torn or tampered record must not reach the executor: resume
+    consumers index ``rec["shard"]`` / ``rec["est_wl"]`` / ``rec["stats"]``
+    directly, and a half-written dict would crash the resumed search
+    instead of degrading it.  Dropping the record is always safe — the
+    executor simply re-searches that shard (the degradation contract).
+    """
+    if not isinstance(rec, dict):
+        return False
+    if not isinstance(rec.get("shard"), int) or isinstance(
+        rec.get("shard"), bool
+    ):
+        return False
+    found = rec.get("found")
+    if not isinstance(found, bool):
+        return False
+    if found:
+        est = rec.get("est_wl")
+        if (
+            isinstance(est, bool)
+            or not isinstance(est, (int, float))
+            or not math.isfinite(float(est))
+        ):
+            return False
+    if not isinstance(rec.get("stats"), dict):
+        return False
+    return True
 
 
 class CheckpointStore:
@@ -91,7 +125,24 @@ class CheckpointStore:
         records = stored.get("records")
         if not isinstance(records, list):
             return []
-        self._records = [r for r in records if isinstance(r, dict)]
+        if records and faults.should_fire("checkpoint_corrupt"):
+            # Chaos: replay one torn record — everything but the shard
+            # index lost, as a kill mid-write without the atomic-replace
+            # guarantee would leave it.
+            torn = records[0]
+            records = [
+                {"shard": torn.get("shard") if isinstance(torn, dict) else 0}
+            ] + records[1:]
+        kept = [r for r in records if _valid_record(r)]
+        dropped = len(records) - len(kept)
+        if dropped:
+            logger.warning(
+                "%s: dropped %d torn/invalid checkpoint record(s); the "
+                "affected shard(s) will be re-searched",
+                self.path,
+                dropped,
+            )
+        self._records = kept
         return list(self._records)
 
     def record(self, rec: Dict[str, Any]) -> None:
@@ -109,7 +160,13 @@ class CheckpointStore:
             self.flush()
 
     def flush(self) -> None:
-        """Persist the journal atomically (no-op when nothing changed)."""
+        """Persist the journal atomically (no-op when nothing changed).
+
+        A failed write is survivable — the journal stays dirty and the
+        next :meth:`record`/:meth:`flush` retries, so one transient I/O
+        error costs at most the progress a crash in that window would
+        have lost anyway, never the run.
+        """
         if not self._dirty:
             return
         document = {
@@ -118,10 +175,24 @@ class CheckpointStore:
             "fingerprint": self._fingerprint,
             "records": self._records,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(document))
-        os.replace(tmp, self.path)
+        try:
+            faults.fire(
+                "checkpoint_write_io",
+                lambda: OSError("injected checkpoint write failure"),
+            )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(document))
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            logger.warning(
+                "%s: checkpoint flush failed (%s); journal stays dirty "
+                "and will be retried",
+                self.path,
+                exc,
+            )
+            self._last_flush = time.monotonic()
+            return
         self._dirty = False
         self._last_flush = time.monotonic()
 

@@ -6,21 +6,53 @@ Mirrors the server's ``/api/v1`` surface one method per endpoint, plus
 iterator) — the two idioms the CLI and the tests are built from.  Errors
 come back as :class:`ServiceError` carrying the HTTP status and the
 server's ``error`` message.
+
+Transport faults are retried, not surfaced: connection resets and
+refusals on idempotent GETs back off exponentially (with jitter, so a
+fleet of pollers does not stampede a restarting server), and a job
+submission that dies mid-POST is re-sent with ``dedupe: true`` — the
+server answers with the already-registered job for the same design+
+config content hash instead of queueing a duplicate, making the retry
+idempotent even when the first attempt actually landed.  HTTP *error
+statuses* are never retried; the server answered, the answer is final.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional
 
+from .. import obs
+from ..validate import faults
 from .server import API_PREFIX
+
+logger = obs.get_logger("service.client")
 
 DEFAULT_TIMEOUT_S = 30.0
 
-__all__ = ["DEFAULT_TIMEOUT_S", "ServiceClient", "ServiceError"]
+# Bounded exponential backoff: DEFAULT_RETRIES extra attempts, sleeping
+# BACKOFF_BASE_S * 2^attempt plus up to 100% jitter before each.
+DEFAULT_RETRIES = 3
+BACKOFF_BASE_S = 0.05
+BACKOFF_MAX_S = 2.0
+
+# The transport errors worth retrying: the request may never have
+# reached the server (refused, reset, timeout), so re-sending is safe
+# for GETs and made safe for POST /jobs by the dedupe handshake.
+_RETRYABLE = (ConnectionError, TimeoutError, urllib.error.URLError, OSError)
+
+__all__ = [
+    "BACKOFF_BASE_S",
+    "BACKOFF_MAX_S",
+    "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT_S",
+    "ServiceClient",
+    "ServiceError",
+]
 
 
 class ServiceError(RuntimeError):
@@ -35,21 +67,34 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Talk to one running :class:`repro.service.FloorplanService`."""
 
-    def __init__(self, base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        # Seeded per-instance so tests can assert deterministic backoff;
+        # distinct instances still jitter independently.
+        self._jitter = random.Random()
 
     # -- raw request plumbing ------------------------------------------------
 
     def _url(self, path: str) -> str:
         return f"{self.base_url}{API_PREFIX}{path}"
 
-    def _request(
+    def _request_once(
         self,
         path: str,
         method: str = "GET",
         body: Optional[Dict[str, Any]] = None,
     ) -> Any:
+        faults.fire(
+            "client_http",
+            lambda: ConnectionResetError("injected connection reset"),
+        )
         data = None if body is None else json.dumps(body).encode()
         req = urllib.request.Request(
             self._url(path),
@@ -62,10 +107,56 @@ class ServiceClient:
                 return json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                payload = json.loads(exc.read())
             except ValueError:
-                message = str(exc)
-            raise ServiceError(exc.code, message) from None
+                payload = {}
+            message = (
+                payload.get("error", str(exc))
+                if isinstance(payload, dict)
+                else str(exc)
+            )
+            err = ServiceError(exc.code, message)
+            if isinstance(payload, dict) and "diagnostics" in payload:
+                err.diagnostics = payload["diagnostics"]
+            raise err from None
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(BACKOFF_MAX_S, BACKOFF_BASE_S * (2.0 ** attempt))
+        time.sleep(delay * (1.0 + self._jitter.random()))
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        body: Optional[Dict[str, Any]] = None,
+        retryable: Optional[bool] = None,
+    ) -> Any:
+        """One API call with bounded-backoff retries on transport faults.
+
+        GETs retry by default (idempotent); POSTs only when the caller
+        says the request is safe to re-send (``retryable=True`` — the
+        submit path, which re-sends with the dedupe flag set).
+        """
+        if retryable is None:
+            retryable = method == "GET"
+        attempts = 1 + (self.retries if retryable else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, method=method, body=body)
+            except urllib.error.HTTPError:
+                raise  # defensive: _request_once already converts these
+            except _RETRYABLE as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                logger.warning(
+                    "%s %s: transport fault (%s); retry %d/%d",
+                    method,
+                    path,
+                    exc,
+                    attempt + 1,
+                    attempts - 1,
+                )
+                self._backoff(attempt)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -83,13 +174,37 @@ class ServiceClient:
         config: Optional[Dict[str, Any]] = None,
         timeout_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """POST a job; returns its status view (maybe already DONE/cached)."""
+        """POST a job; returns its status view (maybe already DONE/cached).
+
+        Idempotent under transport faults: a retried submission carries
+        ``dedupe: true``, so if the lost first attempt actually reached
+        the server, the retry returns that already-registered job (the
+        server matches on the design+config content hash) instead of
+        queueing the flow twice.
+        """
         body: Dict[str, Any] = {"design": design}
         if config is not None:
             body["config"] = config
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
-        return self._request("/jobs", method="POST", body=body)
+        try:
+            return self._request(
+                "/jobs", method="POST", body=body, retryable=False
+            )
+        except _RETRYABLE as exc:
+            if self.retries < 1:
+                raise
+            logger.warning(
+                "POST /jobs: transport fault (%s); retrying with dedupe",
+                exc,
+            )
+            self._backoff(0)
+            return self._request(
+                "/jobs",
+                method="POST",
+                body={**body, "dedupe": True},
+                retryable=True,
+            )
 
     def list_jobs(self) -> List[Dict[str, Any]]:
         """GET the status views of every job the server knows."""

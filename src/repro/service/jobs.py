@@ -36,6 +36,7 @@ import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import shutil
 import threading
 import time
 import traceback
@@ -60,6 +61,9 @@ from ..io import (
     floorplan_to_dict,
 )
 from ..model import Design
+from ..validate import faults
+from ..validate.lint import DesignLintError, ERROR, check_design
+from ..validate.verify_result import verify_result_payload
 from .cache import DEFAULT_MAX_ENTRIES, ResultCache
 from .checkpoint import CheckpointStore
 
@@ -85,6 +89,11 @@ SOLVER_CACHE_TAG = "repro-flow-v1"
 # Crashed attempts requeued (resuming from checkpoint) before FAILED.
 DEFAULT_CRASH_RETRIES = 1
 
+# Terminal (DONE/FAILED/CANCELLED) job directories kept on disk; older
+# ones are garbage-collected so a long-lived server's footprint stays
+# bounded.
+DEFAULT_MAX_TERMINAL_JOBS = 512
+
 # Test hook: when set to N > 0, the job child calls os._exit after N
 # checkpoint records — once per job directory — so crash/resume tests are
 # deterministic instead of racing a SIGKILL against the search.
@@ -95,6 +104,7 @@ _JOIN_GRACE_S = 10.0
 __all__ = [
     "CANCELLED",
     "DEFAULT_CRASH_RETRIES",
+    "DEFAULT_MAX_TERMINAL_JOBS",
     "DONE",
     "FAILED",
     "Job",
@@ -266,9 +276,13 @@ def _job_worker_main(job_dir: str, parent_pid: int, event_queue) -> None:
             checkpoint = _open_checkpoint(job_path / "checkpoint.json")
             floorplanner = _mix_floorplanner(cfg, checkpoint)
         result = run_flow(design, cfg, floorplanner=floorplanner)
-        _write_json_atomic(
-            job_path / "result.json", _result_payload(design, result)
-        )
+        payload = _result_payload(design, result)
+        if faults.should_fire("verify_tamper"):
+            # Chaos: misreport the achieved wirelength, the way a solver
+            # bookkeeping bug would.  The parent's verification gate
+            # must catch this and fail the job.
+            payload["est_wl"] = float(payload["est_wl"]) * 1.001 + 1.0
+        _write_json_atomic(job_path / "result.json", payload)
         if checkpoint is not None:
             checkpoint.discard()
     except Exception as exc:  # noqa: BLE001 - verdict file, then exit
@@ -339,6 +353,7 @@ class JobManager:
         default_timeout_s: Optional[float] = None,
         crash_retries: int = DEFAULT_CRASH_RETRIES,
         start_method: Optional[str] = None,
+        max_terminal_jobs: int = DEFAULT_MAX_TERMINAL_JOBS,
     ):
         self.data_dir = Path(data_dir)
         self.jobs_dir = self.data_dir / "jobs"
@@ -346,6 +361,7 @@ class JobManager:
         self.cache = ResultCache(self.data_dir / "cache", cache_entries)
         self.default_timeout_s = default_timeout_s
         self.crash_retries = max(0, crash_retries)
+        self.max_terminal_jobs = max(0, max_terminal_jobs)
         self.start_method = start_method
         self.max_workers = max(1, max_workers)
         self._jobs: Dict[str, Job] = {}
@@ -369,17 +385,24 @@ class JobManager:
         design: Union[Design, Dict[str, Any]],
         config: Union[FlowConfig, Dict[str, Any], None] = None,
         timeout_s: Optional[float] = None,
+        dedupe: bool = False,
     ) -> Dict[str, Any]:
         """Register one flow run; return its status view immediately.
 
-        Invalid designs/configs raise ``ValueError``/``KeyError`` here,
-        before a job exists (the server maps that to a 400).  A cache
-        hit yields an instantly-DONE job with ``cached=True`` — the
-        stored result document is served verbatim, no process spawned.
+        Designs are linted first: a provably-bad input raises
+        :class:`~repro.validate.DesignLintError` (carrying the full
+        diagnostic list) before a job exists — the server maps that to a
+        400 with diagnostics JSON.  A cache hit is *verified* before it
+        is served: a poisoned entry is evicted and the job queued as a
+        miss, so the hit path can never return a wrong result.
+
+        ``dedupe=True`` is the idempotent-resubmission handshake the
+        retrying client uses: when a live (non-FAILED/CANCELLED) job
+        with the same cache key already exists, its view is returned
+        instead of a duplicate being queued — a retried POST whose first
+        attempt actually landed does not run the flow twice.
         """
-        design_obj = (
-            design if isinstance(design, Design) else design_from_dict(design)
-        )
+        design_obj = check_design(design)
         if config is None:
             cfg = FlowConfig()
         elif isinstance(config, FlowConfig):
@@ -387,6 +410,23 @@ class JobManager:
         else:
             cfg = flow_config_from_dict(config)
         key = cache_key(design_obj, cfg)
+        if dedupe:
+            with self._events:
+                for existing in sorted(
+                    self._jobs.values(),
+                    key=lambda j: (j.created_unix_s, j.id),
+                    reverse=True,
+                ):
+                    if (
+                        existing.cache_key == key
+                        and existing.state not in (FAILED, CANCELLED)
+                    ):
+                        logger.info(
+                            "job %s: deduplicated resubmission of %s",
+                            existing.id,
+                            key,
+                        )
+                        return existing.view()
         job = Job(
             id=uuid.uuid4().hex[:12],
             dir=self.jobs_dir / "",
@@ -408,6 +448,25 @@ class JobManager:
             },
         )
         cached_payload = self.cache.get(key)
+        if cached_payload is not None:
+            # Trust-but-verify: a cached result is re-checked against the
+            # submitted design before it is served.  Failure means the
+            # entry is poisoned (tampering, a stale solver bug) — evict
+            # it and fall through to a normal queued recompute.
+            bad = [
+                d
+                for d in verify_result_payload(design_obj, cached_payload)
+                if d.severity == ERROR
+            ]
+            if bad:
+                logger.warning(
+                    "cache entry %s failed verification (%s); evicting "
+                    "and recomputing",
+                    key,
+                    "; ".join(str(d) for d in bad[:3]),
+                )
+                self.cache.invalidate(key)
+                cached_payload = None
         with self._events:
             self._jobs[job.id] = job
             if cached_payload is not None:
@@ -528,18 +587,48 @@ class JobManager:
         died with the old server (parent watchdog) — so it re-enters the
         queue and resumes from its checkpoint.  A RUNNING job whose
         ``result.json`` already landed is promoted straight to DONE.
+        A torn ``state.json`` (the crash hit mid-persist on a filesystem
+        without atomic replace) is *salvaged* from ``spec.json`` and the
+        job requeued — boot-time recovery never abandons a job a client
+        is still polling just because one status snapshot tore.
         """
-        for state_path in sorted(self.jobs_dir.glob("*/state.json")):
+        for job_dir in sorted(
+            p for p in self.jobs_dir.iterdir() if p.is_dir()
+        ):
+            state_path = job_dir / "state.json"
+            data: Any = None
             try:
                 data = json.loads(state_path.read_text())
-            except ValueError:
-                logger.warning("%s: corrupt job state; skipping", state_path)
-                continue
+            except (OSError, ValueError):
+                data = None
             if not isinstance(data, dict) or "id" not in data:
+                logger.warning(
+                    "%s: torn or missing job state; salvaging from spec",
+                    state_path,
+                )
+                job = self._salvage_job(job_dir)
+                if job is None:
+                    continue
+                self._jobs[job.id] = job
+                if (job.dir / "result.json").exists():
+                    job.state = DONE
+                    self._persist(job)
+                    continue
+                job.events.append(
+                    {
+                        "seq": 1,
+                        "type": "recovered",
+                        "note": "state salvaged from spec; requeued",
+                    }
+                )
+                job.state = QUEUED
+                self._persist(job)
+                self._queue.put(job.id)
+                logger.info("job %s: salvaged and requeued", job.id)
                 continue
             job = Job(
                 id=str(data["id"]),
-                dir=state_path.parent,
+                dir=job_dir,
                 design_name=str(data.get("design", "?")),
                 cache_key=str(data.get("cache_key", "")),
                 state=str(data.get("state", FAILED)),
@@ -569,6 +658,68 @@ class JobManager:
             self._persist(job)
             self._queue.put(job.id)
             logger.info("job %s: requeued after restart", job.id)
+        self._gc_terminal_locked()
+
+    def _salvage_job(self, job_dir: Path) -> Optional[Job]:
+        """Rebuild a job record from ``spec.json`` when state.json tore.
+
+        The spec carries everything needed to re-derive identity (the
+        cache key from design + config) and re-run; only the event
+        history and timestamps of the torn snapshot are lost.  Returns
+        ``None`` when the spec itself is unusable — then the directory
+        is genuinely unrecoverable and is left for inspection.
+        """
+        try:
+            spec = json.loads((job_dir / "spec.json").read_text())
+            design = design_from_dict(spec["design"])
+            cfg = flow_config_from_dict(spec["config"])
+        except Exception as exc:  # noqa: BLE001 - any spec problem ends salvage
+            logger.warning(
+                "%s: unrecoverable job directory (unusable spec: %s); "
+                "skipping",
+                job_dir,
+                exc,
+            )
+            return None
+        try:
+            created = round(
+                (job_dir / "spec.json").stat().st_mtime, 3
+            )
+        except OSError:
+            created = round(time.time(), 3)
+        return Job(
+            id=job_dir.name,
+            dir=job_dir,
+            design_name=design.name,
+            cache_key=cache_key(design, cfg),
+            timeout_s=spec.get("timeout_s"),
+            created_unix_s=created,
+        )
+
+    def _gc_terminal_locked(self) -> None:
+        """Prune terminal job directories beyond ``max_terminal_jobs``.
+
+        Oldest-finished first, so recently completed jobs stay pollable;
+        live (QUEUED/RUNNING) jobs are never touched.
+        """
+        terminal = [
+            j for j in self._jobs.values() if j.state in TERMINAL_STATES
+        ]
+        excess = len(terminal) - self.max_terminal_jobs
+        if excess <= 0:
+            return
+        terminal.sort(
+            key=lambda j: (
+                j.finished_unix_s or j.created_unix_s or 0.0,
+                j.id,
+            )
+        )
+        for job in terminal[:excess]:
+            shutil.rmtree(job.dir, ignore_errors=True)
+            del self._jobs[job.id]
+            logger.info(
+                "gc: pruned terminal job %s (%s)", job.id, job.state
+            )
 
     def _transition(self, job: Job, state: str) -> None:
         """Move ``job`` to ``state`` (lock held), persist, notify."""
@@ -585,9 +736,26 @@ class JobManager:
             event["error"] = job.error
         self._append_event_locked(job, event)
         self._persist(job)
+        if state in TERMINAL_STATES:
+            self._gc_terminal_locked()
 
     def _persist(self, job: Job) -> None:
-        _write_json_atomic(job.dir / "state.json", job.view())
+        try:
+            faults.fire(
+                "state_write_io",
+                lambda: OSError("injected state write failure"),
+            )
+            _write_json_atomic(job.dir / "state.json", job.view())
+        except OSError as exc:
+            # The in-memory record stays authoritative; the next
+            # transition re-persists.  Worst case a crash in this window
+            # loses one snapshot — which boot-time salvage handles.
+            logger.warning(
+                "job %s: state persist failed (%s); continuing with "
+                "in-memory state",
+                job.id,
+                exc,
+            )
 
     def _append_event_locked(self, job: Job, event: Dict[str, Any]) -> None:
         entry = {"seq": len(job.events) + 1, **event}
@@ -619,6 +787,32 @@ class JobManager:
                 with self._events:
                     job.error = "internal runner error"
                     self._transition(job, FAILED)
+
+    def _verify_payload(self, job: Job, payload: Dict[str, Any]) -> List[Any]:
+        """Error diagnostics from independently verifying a job's result.
+
+        Fails closed: when the spec the result must be checked against
+        cannot be reloaded, that inability *is* the diagnostic.
+        """
+        from ..validate.lint import Diagnostic
+
+        try:
+            spec = json.loads((job.dir / "spec.json").read_text())
+            design = design_from_dict(spec["design"])
+        except Exception as exc:  # noqa: BLE001 - unverifiable == failed
+            return [
+                Diagnostic(
+                    "verify.schema",
+                    ERROR,
+                    "spec.json",
+                    f"cannot reload the job spec to verify against: {exc}",
+                )
+            ]
+        return [
+            d
+            for d in verify_result_payload(design, payload)
+            if d.severity == ERROR
+        ]
 
     def _run_job(self, job: Job) -> None:
         """Own one RUNNING job: spawn, pump events, judge the outcome."""
@@ -689,11 +883,45 @@ class JobManager:
             except ValueError:
                 payload = None
             if isinstance(payload, dict):
+                # Mandatory verification gate: a job only reaches DONE
+                # (and the cache) when every claim in its result is
+                # independently re-derived.  A failure is a FAILED job
+                # with the diagnostic list — never a silently-wrong
+                # DONE.
+                diagnostics = self._verify_payload(job, payload)
+                if diagnostics:
+                    with self._events:
+                        job.error = (
+                            "result failed verification: "
+                            + "; ".join(str(d) for d in diagnostics[:5])
+                        )
+                        self._append_event_locked(
+                            job,
+                            {
+                                "type": "verification",
+                                "ok": False,
+                                "diagnostics": [
+                                    d.to_dict() for d in diagnostics
+                                ],
+                            },
+                        )
+                        self._transition(job, FAILED)
+                    logger.error(
+                        "job %s (%s): result failed verification with "
+                        "%d diagnostic(s)",
+                        job.id,
+                        job.design_name,
+                        len(diagnostics),
+                    )
+                    return
                 self.cache.put(job.cache_key, payload)
                 with self._events:
+                    self._append_event_locked(
+                        job, {"type": "verification", "ok": True}
+                    )
                     self._transition(job, DONE)
                 logger.info(
-                    "job %s (%s): done, cached as %s",
+                    "job %s (%s): done (verified), cached as %s",
                     job.id,
                     job.design_name,
                     job.cache_key,

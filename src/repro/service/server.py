@@ -33,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import obs
+from ..validate.lint import DesignLintError
 from .jobs import JobManager
 
 logger = obs.get_logger("service.server")
@@ -76,6 +77,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _try_send_error(self, status: int, message: str) -> None:
+        """Best-effort error response — headers may already be gone."""
+        try:
+            self._send_error_json(status, message)
+        except Exception:  # noqa: BLE001 - nothing left to tell the client
+            pass
+
     def _send_html(self, status: int, html: str) -> None:
         body = html.encode()
         self.send_response(status)
@@ -85,13 +93,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValueError("Content-Length is not an integer") from None
         if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            raise ValueError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
-        data = json.loads(raw)
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise ValueError(f"malformed request JSON: {exc}") from None
         if not isinstance(data, dict):
             raise ValueError("request body must be a JSON object")
         return data
@@ -150,6 +167,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such job: {job_id}")
         except LookupError as exc:
             self._send_error_json(409, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 - a handler must answer
+            logger.exception("GET %s: internal error", self.path)
+            self._try_send_error(500, f"internal error: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
@@ -168,9 +190,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     design,
                     config=body.get("config"),
                     timeout_s=body.get("timeout_s"),
+                    dedupe=bool(body.get("dedupe")),
                 )
+            except DesignLintError as exc:
+                # Linted rejection: the full machine-readable diagnostic
+                # list rides along so clients can pinpoint every problem
+                # without re-running the linter locally.
+                self._send_json(
+                    400,
+                    {
+                        "error": (
+                            f"design failed lint with "
+                            f"{len(exc.diagnostics)} error(s)"
+                        ),
+                        "diagnostics": [
+                            d.to_dict() for d in exc.diagnostics
+                        ],
+                    },
+                )
+                return
             except (ValueError, KeyError, TypeError) as exc:
                 self._send_error_json(400, f"invalid submission: {exc}")
+                return
+            except Exception as exc:  # noqa: BLE001 - a handler must answer
+                logger.exception("POST %s: internal error", self.path)
+                self._try_send_error(500, f"internal error: {exc}")
                 return
             self._send_json(201, view)
         elif collection == "jobs" and action == "cancel":

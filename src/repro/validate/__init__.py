@@ -1,0 +1,48 @@
+"""Trust boundary around the solver: lint inputs, verify outputs, inject faults.
+
+Three pieces, one theme — never trust, always check:
+
+* :mod:`repro.validate.lint` rejects bad designs *before* any search
+  runs, with machine-readable diagnostics;
+* :mod:`repro.validate.verify_result` independently re-derives every
+  number a finished result claims;
+* :mod:`repro.validate.faults` deterministically injects the disk and
+  network failures the hardened service paths must degrade through.
+"""
+
+from . import faults
+from .faults import FAULTS_ENV, FaultRegistry, FaultSpecError, KNOWN_SITES
+from .lint import (
+    Diagnostic,
+    DesignLintError,
+    ERROR,
+    WARNING,
+    check_design,
+    lint_design,
+)
+from .verify_result import (
+    VERIFY_REL_TOL,
+    verify_floorplan,
+    verify_flow_result,
+    verify_report,
+    verify_result_payload,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DesignLintError",
+    "ERROR",
+    "FAULTS_ENV",
+    "FaultRegistry",
+    "FaultSpecError",
+    "KNOWN_SITES",
+    "VERIFY_REL_TOL",
+    "WARNING",
+    "check_design",
+    "faults",
+    "lint_design",
+    "verify_floorplan",
+    "verify_flow_result",
+    "verify_report",
+    "verify_result_payload",
+]

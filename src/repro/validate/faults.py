@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the service trust boundary.
+
+The service treats disk state and the network as hostile: cached bytes
+may be torn, checkpoints may be corrupt, ``state.json`` writes may fail,
+connections may reset.  Each hardened site asks this module — *once per
+potential failure* — whether it should fail right now, so tests and the
+CI chaos job can schedule exactly the faults they want and assert the
+degradation contract (see DESIGN.md §8) instead of hoping a real fault
+shows up.
+
+Faults are named *sites* with integer budgets.  A spec string
+
+    cache_read_corrupt:1,checkpoint_corrupt:1,client_http:2
+
+arms ``cache_read_corrupt`` to fire once, ``checkpoint_corrupt`` once
+and ``client_http`` twice; a bare name means ``:1``.  The registry is
+process-global and lazily configured from ``$REPRO_FAULTS`` on first
+use, so spawned job children inherit the armed faults through the
+environment with fresh per-process budgets.  With no spec configured
+every ``should_fire`` call is a cheap dict miss — production runs pay
+one lock acquisition per guarded failure point, nothing more.
+
+Injection sites wired through the stack:
+
+======================  =====================================================
+``cache_read_corrupt``  :meth:`repro.service.ResultCache.get` sees a
+                        truncated (torn) entry read
+``cache_write_io``      :meth:`repro.service.ResultCache.put` write fails
+                        with ``OSError``
+``checkpoint_corrupt``  :meth:`repro.service.CheckpointStore.open_run`
+                        replays a journal with one torn record
+``checkpoint_write_io`` :meth:`repro.service.CheckpointStore.flush` fails
+                        with ``OSError``
+``state_write_io``      ``JobManager`` persisting ``state.json`` fails with
+                        ``OSError``
+``client_http``         :class:`repro.service.ServiceClient` transport
+                        raises ``ConnectionResetError``
+``verify_tamper``       the job child perturbs its reported wirelengths
+                        before writing ``result.json`` (the verification
+                        gate must catch it)
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Optional
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+# The sites the service arms (kept in one tuple so tests and docs can
+# enumerate them; configure() accepts unknown names too, for forward
+# compatibility of spec strings with older servers).
+KNOWN_SITES = (
+    "cache_read_corrupt",
+    "cache_write_io",
+    "checkpoint_corrupt",
+    "checkpoint_write_io",
+    "state_write_io",
+    "client_http",
+    "verify_tamper",
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultRegistry",
+    "FaultSpecError",
+    "KNOWN_SITES",
+    "configure",
+    "fire",
+    "fired",
+    "registry",
+    "remaining",
+    "reset",
+    "should_fire",
+]
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec string that cannot be parsed."""
+
+
+def parse_spec(spec: str) -> Dict[str, int]:
+    """Parse ``"site:count,site2"`` into a budget map (bare name = 1)."""
+    budgets: Dict[str, int] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, count_text = chunk.partition(":")
+        name = name.strip()
+        if not name:
+            raise FaultSpecError(f"empty fault name in spec {spec!r}")
+        if sep:
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"fault {name!r}: count {count_text!r} is not an integer"
+                ) from None
+            if count < 0:
+                raise FaultSpecError(
+                    f"fault {name!r}: count must be >= 0, got {count}"
+                )
+        else:
+            count = 1
+        budgets[name] = budgets.get(name, 0) + count
+    return budgets
+
+
+class FaultRegistry:
+    """Process-global armed-fault budgets plus fired counters.
+
+    Thread-safe: the job manager's runner threads and the HTTP handler
+    threads consult the same registry concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._budgets: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._configured = False
+
+    def configure(self, spec: Optional[str] = None) -> None:
+        """Arm faults from a spec string (default: ``$REPRO_FAULTS``).
+
+        Replaces any previous configuration and zeroes the fired
+        counters; an empty/absent spec disarms everything.
+        """
+        if spec is None:
+            spec = os.environ.get(FAULTS_ENV, "")
+        budgets = parse_spec(spec)
+        with self._lock:
+            self._budgets = budgets
+            self._fired = {}
+            self._configured = True
+
+    def reset(self) -> None:
+        """Disarm everything and forget the configuration.
+
+        The next :meth:`should_fire` re-reads ``$REPRO_FAULTS`` — the
+        hook tests use between cases so env changes take effect.
+        """
+        with self._lock:
+            self._budgets = {}
+            self._fired = {}
+            self._configured = False
+
+    def should_fire(self, site: str) -> bool:
+        """True (and one budget unit consumed) when ``site`` must fail now."""
+        if not self._configured:
+            # Racing threads both parse the same env spec; the second
+            # configure is an idempotent overwrite, never a double-arm.
+            # A malformed env spec must not crash a production path that
+            # merely consulted the registry — disarm and warn instead.
+            try:
+                self.configure()
+            except FaultSpecError as exc:
+                import logging
+
+                logging.getLogger("repro.validate.faults").warning(
+                    "ignoring malformed $%s: %s", FAULTS_ENV, exc
+                )
+                with self._lock:
+                    self._budgets = {}
+                    self._fired = {}
+                    self._configured = True
+        with self._lock:
+            left = self._budgets.get(site, 0)
+            if left <= 0:
+                return False
+            self._budgets[site] = left - 1
+            self._fired[site] = self._fired.get(site, 0) + 1
+            return True
+
+    def fire(
+        self, site: str, exc_factory: Callable[[], BaseException]
+    ) -> None:
+        """Raise ``exc_factory()`` when ``site`` is armed; no-op otherwise."""
+        if self.should_fire(site):
+            raise exc_factory()
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` actually fired."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+    def remaining(self, site: str) -> int:
+        """How many more times ``site`` will fire."""
+        with self._lock:
+            return self._budgets.get(site, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """The current budgets and fired counters (for diagnostics)."""
+        with self._lock:
+            return {
+                "budgets": dict(self._budgets),
+                "fired": dict(self._fired),
+            }
+
+
+_REGISTRY = FaultRegistry()
+
+
+def registry() -> FaultRegistry:
+    """The process-global fault registry."""
+    return _REGISTRY
+
+
+def configure(spec: Optional[str] = None) -> None:
+    """Arm the process registry (see :meth:`FaultRegistry.configure`)."""
+    _REGISTRY.configure(spec)
+
+
+def reset() -> None:
+    """Disarm the process registry (see :meth:`FaultRegistry.reset`)."""
+    _REGISTRY.reset()
+
+
+def should_fire(site: str) -> bool:
+    """Consume one budget unit of ``site`` when armed."""
+    return _REGISTRY.should_fire(site)
+
+
+def fire(site: str, exc_factory: Callable[[], BaseException]) -> None:
+    """Raise ``exc_factory()`` when ``site`` is armed."""
+    _REGISTRY.fire(site, exc_factory)
+
+
+def fired(site: str) -> int:
+    """How many times ``site`` fired in this process."""
+    return _REGISTRY.fired(site)
+
+
+def remaining(site: str) -> int:
+    """How many more times ``site`` will fire in this process."""
+    return _REGISTRY.remaining(site)

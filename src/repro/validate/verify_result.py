@@ -1,0 +1,550 @@
+"""Independent re-verification of solver results.
+
+The flow's value proposition is *provable* optimality (EFA enumerates,
+the interval bound certifies), so the repo should never have to trust
+the solver's own bookkeeping: everything a result claims can be
+re-derived from the design plus the reported placement and assignment,
+cheaply, by code that shares none of the search machinery.
+
+What the verifier **recomputes** (trusting only the design and the
+claimed geometry/assignment):
+
+* floorplan legality — every die rect inside the interposer with the
+  boundary clearance, pairwise separation ``c_d``, via
+  :meth:`repro.model.Floorplan.legality_violations`;
+* assignment validity — same-die bump service, at most one signal per
+  bump/TSV, completeness, via :meth:`repro.model.Assignment.violations`;
+* ``est_wl`` — :func:`repro.eval.hpwl_estimate` from scratch;
+* ``twl`` and its breakdown — :func:`repro.eval.total_wirelength` from
+  scratch;
+* layout-section geometry — in-bounds, pairwise non-overlap,
+  orientation-consistent dimensions re-derived from the die catalog;
+* bound/gap arithmetic — ``certified_lower_bound <= est_wl`` and the
+  reported gap against :func:`repro.obs.analytics.optimality_gap`.
+
+What it **trusts**: the design itself (the linter's job — see
+:mod:`repro.validate.lint`), and the claim that the search explored what
+it says it explored (re-running the search is the only way to check
+that, and :mod:`repro.parallel` already proves shard/serial identity).
+
+Numeric comparisons use a relative tolerance of ``1e-6`` — wide enough
+for summation-order noise, narrow enough that any real bookkeeping bug
+(or the ``verify_tamper`` chaos fault) trips it.
+
+Everything returns the same :class:`~repro.validate.lint.Diagnostic`
+records the linter uses (codes under ``verify.*``); callers gate on
+``severity == "error"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from ..eval import hpwl_estimate, total_wirelength
+from ..geometry import Orientation
+from ..io import assignment_from_dict, floorplan_from_dict
+from ..model import Assignment, Design, Floorplan
+from ..obs.analytics import optimality_gap
+from .lint import Diagnostic, ERROR, WARNING
+
+# Relative tolerance for recomputed-vs-reported wirelengths and bounds:
+# |a - b| <= tol * max(1, |a|, |b|).
+VERIFY_REL_TOL = 1e-6
+
+# Geometric slack for layout-section cross-checks, matching the legality
+# predicates' epsilon.
+GEOM_EPS = 1e-9
+
+__all__ = [
+    "GEOM_EPS",
+    "VERIFY_REL_TOL",
+    "verify_floorplan",
+    "verify_flow_result",
+    "verify_report",
+    "verify_result_payload",
+]
+
+
+def _close(a: float, b: float, tol: float = VERIFY_REL_TOL) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def _num(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    val = float(value)
+    return val if math.isfinite(val) else None
+
+
+def _err(code: str, where: str, message: str) -> Diagnostic:
+    return Diagnostic(code, ERROR, where, message)
+
+
+def _warn(code: str, where: str, message: str) -> Diagnostic:
+    return Diagnostic(code, WARNING, where, message)
+
+
+# -- floorplan + wirelength recomputation ------------------------------------
+
+
+def verify_floorplan(
+    design: Design,
+    floorplan: Floorplan,
+    claimed_est_wl: Optional[float] = None,
+) -> List[Diagnostic]:
+    """Legality plus (optionally) the claimed estimator wirelength."""
+    out: List[Diagnostic] = []
+    for problem in floorplan.legality_violations():
+        out.append(_err("verify.layout.illegal", "floorplan", problem))
+    if claimed_est_wl is not None:
+        claimed = _num(claimed_est_wl)
+        if claimed is None:
+            out.append(
+                _err(
+                    "verify.wl.est", "est_wl",
+                    f"claimed est_wl {claimed_est_wl!r} is not a finite "
+                    f"number",
+                )
+            )
+        else:
+            actual = hpwl_estimate(design, floorplan)
+            if not _close(actual, claimed):
+                out.append(
+                    _err(
+                        "verify.wl.est", "est_wl",
+                        f"claimed est_wl {claimed!r} but independent "
+                        f"recomputation gives {actual!r} "
+                        f"(rel tol {VERIFY_REL_TOL:g})",
+                    )
+                )
+    return out
+
+
+def _verify_assignment(
+    design: Design,
+    assignment: Assignment,
+    *,
+    expect_complete: bool = True,
+) -> List[Diagnostic]:
+    """Assignment validity; completeness downgraded when not claimed."""
+    out: List[Diagnostic] = []
+    for problem in assignment.violations(design):
+        if "left unassigned" in problem:
+            if expect_complete:
+                out.append(
+                    _err("verify.assign.incomplete", "assignment", problem)
+                )
+            else:
+                out.append(
+                    _warn("verify.assign.incomplete", "assignment", problem)
+                )
+        else:
+            out.append(_err("verify.assign.invalid", "assignment", problem))
+    return out
+
+
+def _verify_wirelength(
+    design: Design,
+    floorplan: Floorplan,
+    assignment: Assignment,
+    claimed_twl: Any,
+    claimed_breakdown: Optional[Dict[str, Any]],
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    actual = total_wirelength(design, floorplan, assignment)
+    claimed = _num(claimed_twl)
+    if claimed is None:
+        out.append(
+            _err(
+                "verify.wl.twl", "twl",
+                f"claimed twl {claimed_twl!r} is not a finite number",
+            )
+        )
+    elif not _close(actual.total, claimed):
+        out.append(
+            _err(
+                "verify.wl.twl", "twl",
+                f"claimed twl {claimed!r} but independent recomputation "
+                f"gives {actual.total!r} (rel tol {VERIFY_REL_TOL:g})",
+            )
+        )
+    if isinstance(claimed_breakdown, dict):
+        for key, actual_part in (
+            ("wl_intra_die", actual.wl_intra_die),
+            ("wl_internal", actual.wl_internal),
+            ("wl_external", actual.wl_external),
+            ("total", actual.total),
+        ):
+            part = _num(claimed_breakdown.get(key))
+            if part is None or not _close(actual_part, part):
+                out.append(
+                    _err(
+                        "verify.wl.breakdown", f"wirelength.{key}",
+                        f"claimed {claimed_breakdown.get(key)!r} but "
+                        f"recomputation gives {actual_part!r}",
+                    )
+                )
+    return out
+
+
+def _verify_quality(
+    quality: Dict[str, Any],
+    recomputed_est_wl: Optional[float],
+    where: str = "report.quality",
+) -> List[Diagnostic]:
+    """Bound/gap arithmetic of a quality section.
+
+    ``recomputed_est_wl`` (when available) anchors the bound check to the
+    *independently recomputed* wirelength, so a tampered
+    ``final_est_wl`` cannot hide a bound violation.
+    """
+    out: List[Diagnostic] = []
+    final_est = _num(quality.get("final_est_wl"))
+    clb = _num(quality.get("certified_lower_bound"))
+    anchor = recomputed_est_wl if recomputed_est_wl is not None else final_est
+    if clb is not None and anchor is not None:
+        if clb > anchor and not _close(clb, anchor):
+            out.append(
+                _err(
+                    "verify.bound.exceeds",
+                    f"{where}.certified_lower_bound",
+                    f"certified lower bound {clb!r} exceeds the achieved "
+                    f"wirelength {anchor!r} — the certificate is "
+                    f"inconsistent",
+                )
+            )
+    if (
+        recomputed_est_wl is not None
+        and final_est is not None
+        and not _close(recomputed_est_wl, final_est)
+    ):
+        out.append(
+            _err(
+                "verify.wl.est", f"{where}.final_est_wl",
+                f"quality section claims final_est_wl {final_est!r} but "
+                f"recomputation gives {recomputed_est_wl!r}",
+            )
+        )
+    claimed_gap = _num(quality.get("gap"))
+    expected_gap = optimality_gap(final_est, clb)
+    if claimed_gap is not None:
+        if expected_gap is None:
+            out.append(
+                _err(
+                    "verify.bound.gap", f"{where}.gap",
+                    f"gap {claimed_gap!r} reported but est_wl/bound "
+                    f"({final_est!r}/{clb!r}) do not define one",
+                )
+            )
+        elif not _close(claimed_gap, expected_gap, tol=1e-9):
+            out.append(
+                _err(
+                    "verify.bound.gap", f"{where}.gap",
+                    f"reported gap {claimed_gap!r} != (wl - lb) / lb = "
+                    f"{expected_gap!r}",
+                )
+            )
+    elif expected_gap is not None and expected_gap > VERIFY_REL_TOL:
+        out.append(
+            _err(
+                "verify.bound.gap", f"{where}.gap",
+                f"est_wl/bound define a gap of {expected_gap!r} but the "
+                f"quality section reports none",
+            )
+        )
+    return out
+
+
+# -- layout-section cross-check (report-only geometry) -----------------------
+
+
+def _layout_rect(entry: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    vals = {k: _num(entry.get(k)) for k in ("x", "y", "w", "h")}
+    if any(v is None for v in vals.values()):
+        return None
+    return vals  # type: ignore[return-value]
+
+
+def _verify_layout_section(
+    layout: Dict[str, Any], design: Optional[Design]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    inter = layout.get("interposer")
+    inter_rect = _layout_rect(inter) if isinstance(inter, dict) else None
+    if inter_rect is None:
+        out.append(
+            _err(
+                "verify.schema", "report.layout.interposer",
+                "layout section has no usable interposer rect",
+            )
+        )
+    dies = layout.get("dies")
+    if not isinstance(dies, list):
+        out.append(
+            _err(
+                "verify.schema", "report.layout.dies",
+                "layout section has no die list",
+            )
+        )
+        return out
+    rects: List[Any] = []
+    seen_ids: Dict[Any, int] = {}
+    for entry in dies:
+        if not isinstance(entry, dict):
+            out.append(
+                _err(
+                    "verify.schema", "report.layout.dies",
+                    "die entries must be objects",
+                )
+            )
+            continue
+        die_id = entry.get("id")
+        where = f"report.layout.dies[{die_id}]"
+        seen_ids[die_id] = seen_ids.get(die_id, 0) + 1
+        rect = _layout_rect(entry)
+        if rect is None:
+            out.append(
+                _err(
+                    "verify.schema", where,
+                    "die rect is missing finite x/y/w/h",
+                )
+            )
+            continue
+        if rect["w"] <= 0 or rect["h"] <= 0:
+            out.append(
+                _err(
+                    "verify.layout.degenerate", where,
+                    f"degenerate die rect {rect['w']:g}x{rect['h']:g}",
+                )
+            )
+            continue
+        if inter_rect is not None:
+            if (
+                rect["x"] < inter_rect["x"] - GEOM_EPS
+                or rect["y"] < inter_rect["y"] - GEOM_EPS
+                or rect["x"] + rect["w"]
+                > inter_rect["x"] + inter_rect["w"] + GEOM_EPS
+                or rect["y"] + rect["h"]
+                > inter_rect["y"] + inter_rect["h"] + GEOM_EPS
+            ):
+                out.append(
+                    _err(
+                        "verify.layout.out-of-bounds", where,
+                        f"die rect at ({rect['x']:g}, {rect['y']:g}) size "
+                        f"{rect['w']:g}x{rect['h']:g} leaves the "
+                        f"interposer",
+                    )
+                )
+        if design is not None:
+            try:
+                die = design.die(die_id)
+            except KeyError:
+                out.append(
+                    _err(
+                        "verify.layout.mismatch", where,
+                        f"layout places unknown die {die_id!r}",
+                    )
+                )
+                die = None
+            orient_name = entry.get("orientation")
+            if die is not None and isinstance(orient_name, str):
+                try:
+                    orient = Orientation[orient_name]
+                except KeyError:
+                    out.append(
+                        _err(
+                            "verify.layout.orientation", where,
+                            f"unknown orientation {orient_name!r}",
+                        )
+                    )
+                else:
+                    exp_w, exp_h = orient.rotated_dims(
+                        die.width, die.height
+                    )
+                    if not (
+                        _close(rect["w"], exp_w, tol=GEOM_EPS)
+                        and _close(rect["h"], exp_h, tol=GEOM_EPS)
+                    ):
+                        out.append(
+                            _err(
+                                "verify.layout.orientation", where,
+                                f"rect {rect['w']:g}x{rect['h']:g} does "
+                                f"not match die {die_id!r} "
+                                f"({die.width:g}x{die.height:g}) under "
+                                f"{orient_name}",
+                            )
+                        )
+        rects.append((die_id, rect))
+    for die_id, count in seen_ids.items():
+        if count > 1:
+            out.append(
+                _err(
+                    "verify.layout.mismatch",
+                    f"report.layout.dies[{die_id}]",
+                    f"die {die_id!r} placed {count} times",
+                )
+            )
+    if design is not None:
+        placed = set(seen_ids)
+        for die in design.dies:
+            if die.id not in placed:
+                out.append(
+                    _err(
+                        "verify.layout.mismatch",
+                        f"report.layout.dies[{die.id}]",
+                        f"design die {die.id!r} missing from the layout",
+                    )
+                )
+    for i in range(len(rects)):
+        id_a, a = rects[i]
+        for j in range(i + 1, len(rects)):
+            id_b, b = rects[j]
+            overlap_w = min(a["x"] + a["w"], b["x"] + b["w"]) - max(
+                a["x"], b["x"]
+            )
+            overlap_h = min(a["y"] + a["h"], b["y"] + b["h"]) - max(
+                a["y"], b["y"]
+            )
+            if overlap_w > GEOM_EPS and overlap_h > GEOM_EPS:
+                out.append(
+                    _err(
+                        "verify.layout.overlap",
+                        f"report.layout.dies[{id_a}]",
+                        f"die rects {id_a!r} and {id_b!r} overlap by "
+                        f"{overlap_w:g}x{overlap_h:g}",
+                    )
+                )
+    return out
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def verify_report(
+    report: Dict[str, Any], design: Optional[Design] = None
+) -> List[Diagnostic]:
+    """Cross-check a run report from its own sections alone.
+
+    Works on any report dict with ``layout``/``quality`` sections
+    (schema v3); with a ``design`` it additionally checks that each die
+    rect matches the catalog dimensions under the named orientation.
+    Sections that are absent are skipped, not failed — older reports
+    simply have less to verify.
+    """
+    if not isinstance(report, dict):
+        return [
+            _err("verify.schema", "report", "report must be a JSON object")
+        ]
+    out: List[Diagnostic] = []
+    layout = report.get("layout")
+    if isinstance(layout, dict):
+        out.extend(_verify_layout_section(layout, design))
+    quality = report.get("quality")
+    if isinstance(quality, dict):
+        out.extend(_verify_quality(quality, None))
+    return out
+
+
+def verify_result_payload(
+    design: Design, payload: Dict[str, Any]
+) -> List[Diagnostic]:
+    """Re-derive and cross-check everything a job result claims.
+
+    ``payload`` is the ``result.json`` document the job store writes
+    (see ``repro.service.jobs._result_payload``): the floorplan and
+    assignment are rebuilt against ``design`` and every number —
+    legality, assignment validity, ``est_wl``, ``twl`` + breakdown, the
+    report's layout geometry and bound/gap arithmetic — is recomputed
+    independently and compared at ``1e-6`` relative tolerance.
+    """
+    if not isinstance(payload, dict):
+        return [
+            _err("verify.schema", "result", "result must be a JSON object")
+        ]
+    out: List[Diagnostic] = []
+    try:
+        floorplan = floorplan_from_dict(payload["floorplan"], design)
+    except Exception as exc:  # noqa: BLE001 - any rebuild failure is a finding
+        out.append(
+            _err(
+                "verify.schema", "result.floorplan",
+                f"floorplan does not rebuild against the design: {exc}",
+            )
+        )
+        floorplan = None
+    try:
+        assignment = assignment_from_dict(payload["assignment"])
+    except Exception as exc:  # noqa: BLE001
+        out.append(
+            _err(
+                "verify.schema", "result.assignment",
+                f"assignment does not rebuild: {exc}",
+            )
+        )
+        assignment = None
+    report = payload.get("report")
+    expect_complete = True
+    if isinstance(report, dict):
+        asg_section = report.get("assignment")
+        if isinstance(asg_section, dict):
+            expect_complete = bool(asg_section.get("complete", True))
+
+    recomputed_est: Optional[float] = None
+    if floorplan is not None:
+        out.extend(
+            verify_floorplan(
+                design, floorplan, claimed_est_wl=payload.get("est_wl")
+            )
+        )
+        recomputed_est = hpwl_estimate(design, floorplan)
+    if assignment is not None:
+        out.extend(
+            _verify_assignment(
+                design, assignment, expect_complete=expect_complete
+            )
+        )
+    if floorplan is not None and assignment is not None:
+        out.extend(
+            _verify_wirelength(
+                design,
+                floorplan,
+                assignment,
+                payload.get("twl"),
+                payload.get("wirelength"),
+            )
+        )
+    if isinstance(report, dict):
+        layout = report.get("layout")
+        if isinstance(layout, dict):
+            out.extend(_verify_layout_section(layout, design))
+        quality = report.get("quality")
+        if isinstance(quality, dict):
+            out.extend(_verify_quality(quality, recomputed_est))
+    return out
+
+
+def verify_flow_result(design: Design, result: Any) -> List[Diagnostic]:
+    """Verify an in-memory :class:`~repro.flow.FlowResult`.
+
+    Serializes the result into the same shape the job store persists and
+    runs :func:`verify_result_payload`, so the CLI ``--verify`` flag and
+    the service gate apply the identical checks.
+    """
+    from ..io import assignment_to_dict, floorplan_to_dict
+
+    wl = result.wirelength
+    payload = {
+        "est_wl": result.floorplan_result.est_wl,
+        "twl": wl.total,
+        "wirelength": {
+            "wl_intra_die": wl.wl_intra_die,
+            "wl_internal": wl.wl_internal,
+            "wl_external": wl.wl_external,
+            "total": wl.total,
+        },
+        "floorplan": floorplan_to_dict(result.floorplan),
+        "assignment": assignment_to_dict(result.assignment),
+        "report": result.obs_report,
+    }
+    return verify_result_payload(design, payload)

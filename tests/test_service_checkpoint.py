@@ -42,8 +42,12 @@ class TestCheckpointStore:
         path = tmp_path / "ckpt.json"
         store = CheckpointStore(path)
         store.open_run(FINGERPRINT)
-        store.record({"shard": 0, "found": True, "est_wl": 1.5})
-        store.record({"shard": 1, "found": False, "est_wl": None})
+        store.record(
+            {"shard": 0, "found": True, "est_wl": 1.5, "stats": {}}
+        )
+        store.record(
+            {"shard": 1, "found": False, "est_wl": None, "stats": {}}
+        )
         assert path.exists()
         replayed = CheckpointStore(path).open_run(FINGERPRINT)
         assert [r["shard"] for r in replayed] == [0, 1]
@@ -69,7 +73,7 @@ class TestCheckpointStore:
         path = tmp_path / "ckpt.json"
         store = CheckpointStore(path)
         store.open_run(FINGERPRINT)
-        store.record({"shard": 0})
+        store.record({"shard": 0, "found": False, "stats": {}})
         reordered = {k: FINGERPRINT[k] for k in reversed(list(FINGERPRINT))}
         assert len(CheckpointStore(path).open_run(reordered)) == 1
 

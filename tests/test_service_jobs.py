@@ -105,10 +105,12 @@ class TestJobLifecycle:
             manager.shutdown()
 
     def test_failed_flow_reports_error(self, tmp_path):
-        # A boundary clearance no die can satisfy: no legal floorplan.
+        # A pairwise clearance no two dies can satisfy: every die fits
+        # the interposer alone (so the submit-time linter passes), but
+        # no packing exists — the failure must surface at runtime.
         design = load_tiny(die_count=3, signal_count=6)
         data = design_to_dict(design)
-        data["spacing"]["die_to_boundary"] = 100.0
+        data["spacing"]["die_to_die"] = 100.0
         manager = JobManager(tmp_path, max_workers=1)
         try:
             view = manager.submit(data)
@@ -234,6 +236,130 @@ class TestCrashResume:
             assert result["twl"] == direct.twl
             events, _ = revived.events("deadbeef0000")
             assert events[0]["type"] == "recovered"
+        finally:
+            revived.shutdown()
+
+
+class TestStateSalvage:
+    def test_torn_state_json_is_salvaged_from_spec(
+        self, design, direct, tmp_path
+    ):
+        # The state snapshot is torn (half-written at crash time) but the
+        # spec survived: recovery must rebuild the job from the spec and
+        # requeue it rather than abandon the directory.
+        manager = JobManager(tmp_path, max_workers=1)
+        manager.shutdown()
+        job_dir = tmp_path / "jobs" / "torn00000000"
+        job_dir.mkdir(parents=True)
+        (job_dir / "spec.json").write_text(
+            json.dumps(
+                {
+                    "design": design_to_dict(design),
+                    "config": flow_config_to_dict(FlowConfig()),
+                    "timeout_s": None,
+                }
+            )
+        )
+        (job_dir / "state.json").write_text('{"id": "torn0000')
+        revived = JobManager(tmp_path, max_workers=1)
+        try:
+            final = wait_terminal(revived, "torn00000000")
+            assert final["state"] == "DONE"
+            result = revived.result("torn00000000")
+            assert result["est_wl"] == direct.floorplan_result.est_wl
+            events, _ = revived.events("torn00000000")
+            assert events[0]["type"] == "recovered"
+        finally:
+            revived.shutdown()
+
+
+class TestDedupeSubmit:
+    def test_dedupe_returns_the_registered_job(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            first = manager.submit(design_to_dict(design))
+            again = manager.submit(design_to_dict(design), dedupe=True)
+            assert again["id"] == first["id"]
+            assert len(manager.list_jobs()) == 1
+            wait_terminal(manager, first["id"])
+        finally:
+            manager.shutdown()
+
+    def test_dedupe_without_a_match_submits_normally(
+        self, design, tmp_path
+    ):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design), dedupe=True)
+            assert wait_terminal(manager, view["id"])["state"] == "DONE"
+        finally:
+            manager.shutdown()
+
+
+class TestTerminalGC:
+    def test_oldest_terminal_jobs_are_pruned(self, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1, max_terminal_jobs=2)
+        try:
+            ids = []
+            for i in range(4):
+                data = design_to_dict(
+                    load_tiny(die_count=3, signal_count=6)
+                )
+                data["name"] = f"gc-variant-{i}"
+                view = manager.submit(data)
+                wait_terminal(manager, view["id"])
+                ids.append(view["id"])
+            survivors = {j["id"] for j in manager.list_jobs()}
+            assert survivors == set(ids[-2:])
+            for pruned in ids[:2]:
+                assert not (tmp_path / "jobs" / pruned).exists()
+                with pytest.raises(LookupError):
+                    manager.status(pruned)
+        finally:
+            manager.shutdown()
+
+    def test_max_terminal_zero_keeps_no_history(self, tmp_path):
+        # max_terminal_jobs=0 prunes each job the moment it finishes;
+        # the cached result proves it ran to completion, and GC never
+        # touched it while QUEUED/RUNNING.
+        import time
+
+        manager = JobManager(tmp_path, max_workers=1, max_terminal_jobs=0)
+        try:
+            data = design_to_dict(load_tiny(die_count=3, signal_count=6))
+            view = manager.submit(data)
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                try:
+                    state = manager.status(view["id"])["state"]
+                except LookupError:
+                    break  # finished and pruned
+                assert state in ("QUEUED", "RUNNING", "DONE")
+                time.sleep(0.05)
+            else:
+                raise AssertionError("job neither finished nor pruned")
+            assert view["cache_key"] in manager.cache
+            assert manager.list_jobs() == []
+        finally:
+            manager.shutdown()
+
+    def test_gc_applies_on_recovery_scan(self, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            ids = []
+            for i in range(3):
+                data = design_to_dict(
+                    load_tiny(die_count=3, signal_count=6)
+                )
+                data["name"] = f"recovery-gc-{i}"
+                view = manager.submit(data)
+                wait_terminal(manager, view["id"])
+                ids.append(view["id"])
+        finally:
+            manager.shutdown()
+        revived = JobManager(tmp_path, max_workers=1, max_terminal_jobs=1)
+        try:
+            assert len(revived.list_jobs()) == 1
         finally:
             revived.shutdown()
 

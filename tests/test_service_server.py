@@ -89,6 +89,83 @@ class TestEndpoints:
         assert err.value.code == 404
 
 
+class TestMalformedRequests:
+    def test_malformed_json_body_is_400_json(self, service):
+        req = urllib.request.Request(
+            service.url + "/api/v1/jobs",
+            data=b"{not json at all",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert "error" in body and "JSON" in body["error"]
+
+    def test_oversize_body_is_400_not_a_hang(self, service):
+        # Claim a body past the cap; the server must answer 400 from the
+        # headers alone instead of buffering 33 MiB.
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/api/v1/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(33 * 1024 * 1024))
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            body = json.loads(resp.read())
+            assert "limit" in body["error"]
+        finally:
+            conn.close()
+
+    def test_bad_content_length_is_400(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/api/v1/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+    def test_lint_rejection_carries_diagnostics(self, client, design):
+        # A constructible but infeasible design: the linter's findings
+        # must come back in the 400 body, machine-readable.
+        bad = design_to_dict(design)
+        bad["dies"][0]["width"] = 10.0 * bad["interposer"]["width"]
+        with pytest.raises(ServiceError) as err:
+            client.submit(bad)
+        assert err.value.status == 400
+        assert "lint" in str(err.value)
+        diags = getattr(err.value, "diagnostics", None)
+        assert isinstance(diags, list) and diags
+        assert all(
+            {"code", "severity", "where", "message"} <= set(d) for d in diags
+        )
+        assert any(d["code"] == "fit.die-oversize" for d in diags)
+
+    def test_corrupt_result_on_disk_is_500_json(self, service, client):
+        small = load_tiny(die_count=3, signal_count=6)
+        view = client.submit(design_to_dict(small))
+        client.wait(view["id"], timeout_s=120)
+        result_path = service.manager.jobs_dir / view["id"] / "result.json"
+        result_path.write_text("{torn")
+        with pytest.raises(ServiceError) as err:
+            client.result(view["id"])
+        assert err.value.status == 500
+
+
 class TestSubmitStreamFetch:
     def test_e2e_identity_and_cache(self, client, design, direct):
         # Submit, follow the live stream to completion.

@@ -1,0 +1,320 @@
+"""Tests for deterministic fault injection and the degradation contracts.
+
+Each hardened site is armed via the registry and must degrade exactly as
+DESIGN.md §8 promises: corrupt cache reads become misses, failed cache
+writes skip caching, torn checkpoint records drop only their shard,
+failed state persists keep the in-memory job authoritative, and client
+transport faults retry (GETs) or resubmit with dedupe (POSTs).  The
+chaos capstone: a crash *plus* a torn checkpoint record still resumes to
+the byte-identical result.
+"""
+
+import json
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.flow import FlowConfig, run_flow
+from repro.io import design_to_dict, floorplan_to_dict
+from repro.service import (
+    CheckpointStore,
+    FloorplanService,
+    JobManager,
+    ResultCache,
+    ServiceClient,
+)
+from repro.service.jobs import TEST_EXIT_ENV
+from repro.validate import FAULTS_ENV, FaultRegistry, FaultSpecError, faults
+from repro.validate.faults import parse_spec
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_tiny(die_count=4, signal_count=16)
+
+
+@pytest.fixture(scope="module")
+def direct(design):
+    return run_flow(design, FlowConfig())
+
+
+def wait_terminal(manager, job_id, timeout_s=180.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = manager.status(job_id)
+        if view["state"] in ("DONE", "FAILED", "CANCELLED"):
+            return view
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal: {view}")
+
+
+class TestSpecParsing:
+    def test_bare_name_means_one(self):
+        assert parse_spec("client_http") == {"client_http": 1}
+
+    def test_counts_and_accumulation(self):
+        assert parse_spec("a:2,b,a:3") == {"a": 5, "b": 1}
+
+    def test_empty_spec_disarms(self):
+        assert parse_spec("") == {}
+        assert parse_spec(" , ,") == {}
+
+    def test_bad_count_raises(self):
+        with pytest.raises(FaultSpecError):
+            parse_spec("a:x")
+
+    def test_negative_count_raises(self):
+        with pytest.raises(FaultSpecError):
+            parse_spec("a:-1")
+
+    def test_empty_name_raises(self):
+        with pytest.raises(FaultSpecError):
+            parse_spec(":2")
+
+
+class TestRegistry:
+    def test_budget_consumption(self):
+        reg = FaultRegistry()
+        reg.configure("site:2")
+        assert reg.should_fire("site") is True
+        assert reg.should_fire("site") is True
+        assert reg.should_fire("site") is False
+        assert reg.fired("site") == 2
+        assert reg.remaining("site") == 0
+
+    def test_unarmed_site_never_fires(self):
+        reg = FaultRegistry()
+        reg.configure("")
+        assert reg.should_fire("anything") is False
+
+    def test_fire_raises_the_factory_exception(self):
+        reg = FaultRegistry()
+        reg.configure("boom:1")
+        with pytest.raises(OSError):
+            reg.fire("boom", lambda: OSError("injected"))
+        reg.fire("boom", lambda: OSError("injected"))  # budget spent: no-op
+
+    def test_lazy_env_configuration(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "lazy_site:1")
+        reg = FaultRegistry()
+        assert reg.should_fire("lazy_site") is True
+        assert reg.should_fire("lazy_site") is False
+
+    def test_malformed_env_disarms_instead_of_crashing(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "broken::spec:::")
+        reg = FaultRegistry()
+        # A production path consulting the registry must not die on a
+        # typo in the env; it warns once and runs fault-free.
+        assert reg.should_fire("anything") is False
+
+    def test_reset_forgets_configuration(self, monkeypatch):
+        reg = FaultRegistry()
+        reg.configure("a:1")
+        reg.reset()
+        monkeypatch.setenv(FAULTS_ENV, "b:1")
+        assert reg.should_fire("a") is False
+        assert reg.should_fire("b") is True
+
+    def test_snapshot_shape(self):
+        reg = FaultRegistry()
+        reg.configure("a:2")
+        reg.should_fire("a")
+        snap = reg.snapshot()
+        assert snap == {"budgets": {"a": 1}, "fired": {"a": 1}}
+
+
+class TestCacheDegradation:
+    def test_corrupt_read_is_a_miss_and_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "sha256:" + "ab" * 32
+        assert cache.put(key, {"value": 42}) is not None
+        faults.configure("cache_read_corrupt:1")
+        assert cache.get(key) is None  # torn read -> miss, entry dropped
+        assert key not in cache
+        # Re-populated, the next read (fault budget spent) serves fine.
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+
+    def test_failed_write_degrades_to_not_caching(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "sha256:" + "cd" * 32
+        faults.configure("cache_write_io:1")
+        assert cache.put(key, {"value": 1}) is None
+        assert key not in cache
+        assert list(tmp_path.glob("*.tmp")) == []  # no torn temp left
+        assert cache.put(key, {"value": 1}) is not None
+        assert cache.get(key) == {"value": 1}
+
+
+FINGERPRINT = {"design": "sha256:abc", "efa": {"x": 1}, "shards": [[0, 4]]}
+
+
+class TestCheckpointDegradation:
+    def test_torn_record_drops_only_that_shard(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = CheckpointStore(path)
+        store.open_run(FINGERPRINT)
+        store.record({"shard": 0, "found": True, "est_wl": 1.5, "stats": {}})
+        store.record({"shard": 1, "found": False, "est_wl": None, "stats": {}})
+        faults.configure("checkpoint_corrupt:1")
+        replayed = CheckpointStore(path).open_run(FINGERPRINT)
+        # The torn first record is dropped; the second survives intact.
+        assert [r["shard"] for r in replayed] == [1]
+
+    def test_hand_torn_record_is_also_dropped(self, tmp_path):
+        # Same contract without injection: a half-written record on disk
+        # (no found/stats) must not reach the executor.
+        path = tmp_path / "ckpt.json"
+        store = CheckpointStore(path)
+        store.open_run(FINGERPRINT)
+        store.record({"shard": 0, "found": True, "est_wl": 2.0, "stats": {}})
+        doc = json.loads(path.read_text())
+        doc["records"].append({"shard": 1})
+        doc["records"].append("not even a dict")
+        path.write_text(json.dumps(doc))
+        replayed = CheckpointStore(path).open_run(FINGERPRINT)
+        assert [r["shard"] for r in replayed] == [0]
+
+    def test_failed_flush_keeps_journal_dirty_and_retries(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = CheckpointStore(path)
+        store.open_run(FINGERPRINT)
+        faults.configure("checkpoint_write_io:1")
+        store.record({"shard": 0, "found": False, "stats": {}})  # flush fails
+        assert not path.exists()
+        store.flush()  # budget spent: retry lands the full journal
+        doc = json.loads(path.read_text())
+        assert len(doc["records"]) == 1
+
+
+class TestStateWriteDegradation:
+    def test_job_completes_despite_failed_state_persist(self, tmp_path):
+        # A 3-die job is quick; the first persist (QUEUED) fails and the
+        # manager must carry on with in-memory state.
+        small = load_tiny(die_count=3, signal_count=6)
+        faults.configure("state_write_io:1")
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(small))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "DONE"
+            assert faults.fired("state_write_io") == 1
+            # Later transitions re-persisted: the snapshot caught up.
+            state = json.loads(
+                (tmp_path / "jobs" / view["id"] / "state.json").read_text()
+            )
+            assert state["state"] == "DONE"
+        finally:
+            manager.shutdown()
+
+
+class TestClientDegradation:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        with FloorplanService(tmp_path, port=0, max_workers=1) as svc:
+            yield svc
+
+    def test_get_retries_through_connection_resets(self, service):
+        faults.configure("client_http:3")
+        client = ServiceClient(service.url, retries=3)
+        assert client.health() == {"ok": True}
+        assert faults.fired("client_http") == 3
+
+    def test_retries_are_bounded(self, service):
+        faults.configure("client_http:4")
+        client = ServiceClient(service.url, retries=3)
+        with pytest.raises(ConnectionResetError):
+            client.health()
+
+    def test_no_retries_surfaces_the_fault(self, service):
+        faults.configure("client_http:1")
+        client = ServiceClient(service.url, retries=0)
+        with pytest.raises(ConnectionResetError):
+            client.health()
+
+    def test_submit_resubmits_with_dedupe(self, service):
+        # The POST dies in transport; the retry carries dedupe=true and
+        # exactly one job exists afterwards.
+        small = load_tiny(die_count=3, signal_count=6)
+        faults.configure("client_http:1")
+        client = ServiceClient(service.url, retries=3)
+        view = client.submit(design_to_dict(small))
+        assert view["state"] in ("QUEUED", "RUNNING", "DONE")
+        jobs = client.list_jobs()
+        assert len(jobs) == 1
+        client.wait(view["id"], timeout_s=120)
+
+    def test_dedupe_does_not_duplicate_a_landed_submission(self, service):
+        # First attempt lands, *response* is lost, client resubmits with
+        # dedupe: the server answers with the registered job.
+        small = load_tiny(die_count=3, signal_count=6)
+        client = ServiceClient(service.url, retries=3)
+        first = client.submit(design_to_dict(small))
+        second = client._request(
+            "/jobs",
+            method="POST",
+            body={"design": design_to_dict(small), "dedupe": True},
+            retryable=False,
+        )
+        assert second["id"] == first["id"]
+        client.wait(first["id"], timeout_s=120)
+
+
+class TestChaosIdentity:
+    def test_crash_plus_torn_checkpoint_resumes_identically(
+        self, design, direct, tmp_path, monkeypatch
+    ):
+        # The worst credible storm: the child dies mid-search after two
+        # journaled shards AND the resumed attempt replays a torn
+        # checkpoint record.  The dropped shard is re-searched and the
+        # final result must equal the undisturbed direct run exactly.
+        monkeypatch.setenv(TEST_EXIT_ENV, "2")
+        monkeypatch.setenv(FAULTS_ENV, "checkpoint_corrupt:1")
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "DONE", final
+            assert final["attempts"] == 2  # one crash, one resume
+            result = manager.result(view["id"])
+            assert result["est_wl"] == direct.floorplan_result.est_wl
+            assert result["twl"] == direct.twl
+            assert result["floorplan"] == json.loads(
+                json.dumps(floorplan_to_dict(direct.floorplan))
+            )
+        finally:
+            manager.shutdown()
+
+    def test_cache_write_fault_still_serves_the_result(
+        self, tmp_path, monkeypatch
+    ):
+        # The finished job's cache write fails; the job is still DONE
+        # and a re-submission simply recomputes (cache miss) with the
+        # identical outcome.
+        small = load_tiny(die_count=3, signal_count=6)
+        monkeypatch.setenv(FAULTS_ENV, "cache_write_io:1")
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            first = manager.submit(design_to_dict(small))
+            final = wait_terminal(manager, first["id"])
+            assert final["state"] == "DONE"
+            result1 = manager.result(first["id"])
+            assert first["cache_key"] not in manager.cache
+            second = manager.submit(design_to_dict(small))
+            assert second["cached"] is False
+            wait_terminal(manager, second["id"])
+            result2 = manager.result(second["id"])
+            assert result1["est_wl"] == result2["est_wl"]
+            assert result1["twl"] == result2["twl"]
+        finally:
+            manager.shutdown()

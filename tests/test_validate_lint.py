@@ -1,0 +1,247 @@
+"""Tests for the design linter (machine-readable input diagnostics).
+
+The linter's contract: every problem in a design dict comes back as a
+structured :class:`Diagnostic` — all of them at once, not just the first
+constructor error — and a clean design yields no error-severity findings.
+"""
+
+import math
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.flow import FlowConfig, run_flow
+from repro.io import design_from_dict, design_to_dict
+from repro.validate import (
+    DesignLintError,
+    Diagnostic,
+    ERROR,
+    WARNING,
+    check_design,
+    lint_design,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_tiny(die_count=3, signal_count=8)
+
+
+@pytest.fixture()
+def data(design):
+    # design_to_dict builds fresh nested dicts each call, so every test
+    # gets its own mutable copy.
+    return design_to_dict(design)
+
+
+def errors_of(diagnostics):
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+def codes_of(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestDiagnostic:
+    def test_to_dict_and_str(self):
+        d = Diagnostic("fit.die-oversize", ERROR, "dies[d1]", "too big")
+        assert d.to_dict() == {
+            "code": "fit.die-oversize",
+            "severity": "error",
+            "where": "dies[d1]",
+            "message": "too big",
+        }
+        assert str(d) == "[error] fit.die-oversize at dies[d1]: too big"
+
+
+class TestCleanDesigns:
+    def test_clean_dict_has_no_errors(self, data):
+        assert errors_of(lint_design(data)) == []
+
+    def test_clean_design_object_has_no_errors(self, design):
+        assert errors_of(lint_design(design)) == []
+
+    def test_check_design_builds_the_design(self, data):
+        built = check_design(data)
+        assert built.name == data["name"]
+        assert len(built.dies) == len(data["dies"])
+
+    def test_check_design_passes_through_design(self, design):
+        assert check_design(design) is design
+
+    def test_rejects_non_design_argument(self):
+        with pytest.raises(TypeError):
+            lint_design(["not", "a", "design"])
+
+
+class TestSchemaChecks:
+    def test_wrong_schema_version(self, data):
+        data["schema"] = 99
+        assert "schema.version" in codes_of(lint_design(data))
+
+    def test_missing_name(self, data):
+        data["name"] = ""
+        assert "schema.missing" in codes_of(lint_design(data))
+
+    def test_missing_top_level_objects(self):
+        diagnostics = lint_design({"schema": 1, "name": "x"})
+        wheres = {d.where for d in errors_of(diagnostics)}
+        for missing in ("weights", "spacing", "interposer", "package"):
+            assert missing in wheres
+
+    def test_non_numeric_field(self, data):
+        data["dies"][0]["width"] = "wide"
+        diags = errors_of(lint_design(data))
+        assert any(
+            d.code == "schema.missing" and "width" in d.where for d in diags
+        )
+
+
+class TestGeometryChecks:
+    def test_nan_width_is_nonfinite(self, data):
+        data["dies"][0]["width"] = math.nan
+        assert "geometry.nonfinite" in codes_of(lint_design(data))
+
+    def test_infinite_interposer(self, data):
+        data["interposer"]["width"] = math.inf
+        assert "geometry.nonfinite" in codes_of(lint_design(data))
+
+    def test_nonpositive_die(self, data):
+        data["dies"][0]["height"] = 0.0
+        assert "geometry.nonpositive" in codes_of(lint_design(data))
+
+    def test_negative_weight(self, data):
+        data["weights"]["alpha"] = -1.0
+        assert "geometry.negative" in codes_of(lint_design(data))
+
+    def test_negative_spacing(self, data):
+        data["spacing"]["die_to_die"] = -0.5
+        assert "geometry.negative" in codes_of(lint_design(data))
+
+
+class TestFitChecks:
+    def test_oversize_die_under_all_orientations(self, data):
+        data["dies"][0]["width"] = 10.0 * data["interposer"]["width"]
+        assert "fit.die-oversize" in codes_of(lint_design(data))
+
+    def test_rotated_fit_is_accepted(self, data):
+        # Tall-and-thin beyond the interposer height fits rotated: only
+        # the R90 footprint works, and that must be enough.
+        iw = data["interposer"]["width"]
+        data["dies"][0]["width"] = 0.9 * iw
+        data["dies"][0]["height"] = 0.05
+        codes = codes_of(lint_design(data))
+        assert "fit.die-oversize" not in codes
+
+    def test_area_overflow(self, data):
+        for die in data["dies"]:
+            die["width"] = 0.7 * data["interposer"]["width"]
+            die["height"] = 0.7 * data["interposer"]["height"]
+        assert "fit.area-overflow" in codes_of(lint_design(data))
+
+    def test_area_tight_is_a_warning(self, data):
+        # Scale the dies so their total area lands between the tight
+        # threshold and overflow.
+        iw = data["interposer"]["width"]
+        ih = data["interposer"]["height"]
+        c_b = data["spacing"]["die_to_boundary"]
+        usable = (iw - 2 * c_b) * (ih - 2 * c_b)
+        per_die = 0.9 * usable / len(data["dies"])
+        for die in data["dies"]:
+            die["width"] = per_die / die["height"]
+        diags = lint_design(data)
+        tight = [d for d in diags if d.code == "fit.area-tight"]
+        assert tight and tight[0].severity == WARNING
+        assert errors_of(diags) == []
+
+    def test_package_frame_must_enclose_interposer(self, data):
+        data["package"]["frame"] = [0.0, 0.0, 0.01, 0.01]
+        assert "fit.package-frame" in codes_of(lint_design(data))
+
+
+class TestReferenceChecks:
+    def test_duplicate_die_id(self, data):
+        data["dies"][1]["id"] = data["dies"][0]["id"]
+        assert "id.duplicate" in codes_of(lint_design(data))
+
+    def test_duplicate_tsv_id(self, data):
+        tsvs = data["interposer"]["tsvs"]
+        tsvs[1]["id"] = tsvs[0]["id"]
+        assert "id.duplicate" in codes_of(lint_design(data))
+
+    def test_tsv_outside_interposer(self, data):
+        data["interposer"]["tsvs"][0]["position"] = {"x": -5.0, "y": 0.0}
+        assert "tsv.outside-interposer" in codes_of(lint_design(data))
+
+    def test_buffer_outside_die(self, data):
+        data["dies"][0]["buffers"][0]["position"] = {"x": 1e6, "y": 0.0}
+        assert "pad.outside-die" in codes_of(lint_design(data))
+
+    def test_unknown_buffer_reference(self, data):
+        data["signals"][0]["buffer_ids"] = ["no-such-buffer"]
+        assert "ref.unknown" in codes_of(lint_design(data))
+
+    def test_unknown_escape_reference(self, data):
+        data["signals"][0]["escape_id"] = "no-such-escape"
+        assert "ref.unknown" in codes_of(lint_design(data))
+
+    def test_degenerate_signal(self, data):
+        data["signals"][0]["buffer_ids"] = []
+        data["signals"][0]["escape_id"] = None
+        assert "net.degenerate" in codes_of(lint_design(data))
+
+    def test_repeated_terminal(self, data):
+        sig = data["signals"][0]
+        sig["buffer_ids"] = list(sig["buffer_ids"]) + [sig["buffer_ids"][0]]
+        assert "net.duplicate-terminal" in codes_of(lint_design(data))
+
+    def test_buffer_claimed_by_two_signals(self, data):
+        data["signals"][1]["buffer_ids"] = list(
+            data["signals"][0]["buffer_ids"]
+        )
+        assert "ref.conflict" in codes_of(lint_design(data))
+
+    def test_capacity_bumps(self, data):
+        data["dies"][0]["bumps"] = data["dies"][0]["bumps"][:0]
+        assert "capacity.bumps" in codes_of(lint_design(data))
+
+    def test_capacity_tsvs(self, data):
+        data["interposer"]["tsvs"] = []
+        assert "capacity.tsvs" in codes_of(lint_design(data))
+
+
+class TestLintErrorAndGates:
+    def test_check_design_raises_with_all_diagnostics(self, data):
+        data["dies"][0]["width"] = -1.0
+        data["weights"]["beta"] = -1.0
+        with pytest.raises(DesignLintError) as err:
+            check_design(data)
+        assert len(err.value.diagnostics) >= 2
+        assert all(d.severity == ERROR for d in err.value.diagnostics)
+        assert "design failed lint" in str(err.value)
+
+    def test_lint_error_is_a_value_error(self):
+        assert issubclass(DesignLintError, ValueError)
+
+    def test_run_flow_refuses_linted_rejects(self, data):
+        # Constructible (positive dims) but provably infeasible: the
+        # flow must refuse before any search starts.
+        data["dies"][0]["width"] = 10.0 * data["interposer"]["width"]
+        doomed = design_from_dict(data)
+        with pytest.raises(DesignLintError):
+            run_flow(doomed, FlowConfig())
+
+    def test_collects_many_problems_in_one_pass(self, data):
+        data["schema"] = 2
+        data["dies"][0]["width"] = math.nan
+        data["signals"][0]["buffer_ids"] = ["ghost"]
+        data["interposer"]["tsvs"][0]["id"] = data["interposer"]["tsvs"][1][
+            "id"
+        ]
+        codes = codes_of(errors_of(lint_design(data)))
+        assert {
+            "schema.version",
+            "geometry.nonfinite",
+            "ref.unknown",
+            "id.duplicate",
+        } <= codes

@@ -1,0 +1,284 @@
+"""Tests for independent result verification (the output trust boundary).
+
+The verifier re-derives every number a result claims from the design
+plus the reported placement/assignment alone; these tests tamper with
+each claim in turn and assert the right ``verify.*`` diagnostic fires —
+and that the service's mandatory verification gate turns tampering into
+a FAILED job rather than a silently wrong DONE.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.flow import FlowConfig, run_flow
+from repro.io import (
+    assignment_to_dict,
+    design_to_dict,
+    floorplan_to_dict,
+)
+from repro.service import JobManager
+from repro.validate import (
+    ERROR,
+    faults,
+    verify_floorplan,
+    verify_flow_result,
+    verify_report,
+    verify_result_payload,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_tiny(die_count=3, signal_count=8)
+
+
+@pytest.fixture(scope="module")
+def flow_result(design):
+    return run_flow(design, FlowConfig())
+
+
+@pytest.fixture(scope="module")
+def payload(design, flow_result):
+    wl = flow_result.wirelength
+    return {
+        "est_wl": flow_result.floorplan_result.est_wl,
+        "twl": wl.total,
+        "wirelength": {
+            "wl_intra_die": wl.wl_intra_die,
+            "wl_internal": wl.wl_internal,
+            "wl_external": wl.wl_external,
+            "total": wl.total,
+        },
+        "floorplan": floorplan_to_dict(flow_result.floorplan),
+        "assignment": assignment_to_dict(flow_result.assignment),
+        "report": json.loads(
+            json.dumps(flow_result.obs_report, default=str)
+        ),
+    }
+
+
+def errors_of(diagnostics):
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+def codes_of(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def wait_terminal(manager, job_id, timeout_s=120.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = manager.status(job_id)
+        if view["state"] in ("DONE", "FAILED", "CANCELLED"):
+            return view
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal: {view}")
+
+
+class TestVerifyFloorplan:
+    def test_clean_floorplan_verifies(self, design, flow_result):
+        diags = verify_floorplan(
+            design,
+            flow_result.floorplan,
+            claimed_est_wl=flow_result.floorplan_result.est_wl,
+        )
+        assert errors_of(diags) == []
+
+    def test_tampered_est_wl_is_caught(self, design, flow_result):
+        claimed = flow_result.floorplan_result.est_wl * 1.001 + 1.0
+        diags = verify_floorplan(
+            design, flow_result.floorplan, claimed_est_wl=claimed
+        )
+        assert "verify.wl.est" in codes_of(errors_of(diags))
+
+    def test_non_finite_claim_is_caught(self, design, flow_result):
+        diags = verify_floorplan(
+            design, flow_result.floorplan, claimed_est_wl=float("nan")
+        )
+        assert "verify.wl.est" in codes_of(errors_of(diags))
+
+
+class TestVerifyPayload:
+    def test_clean_payload_verifies(self, design, payload):
+        assert errors_of(verify_result_payload(design, payload)) == []
+
+    def test_clean_flow_result_verifies(self, design, flow_result):
+        assert errors_of(verify_flow_result(design, flow_result)) == []
+
+    def test_tampered_twl(self, design, payload):
+        bad = copy.deepcopy(payload)
+        bad["twl"] = bad["twl"] * 2.0 + 1.0
+        assert "verify.wl.twl" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+    def test_tampered_breakdown(self, design, payload):
+        bad = copy.deepcopy(payload)
+        bad["wirelength"]["wl_external"] += 1.0
+        assert "verify.wl.breakdown" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+    def test_moved_die_breaks_wirelengths(self, design, payload):
+        # Shift one die: either the layout becomes illegal or the
+        # claimed wirelengths stop matching — both are verify errors.
+        bad = copy.deepcopy(payload)
+        placements = bad["floorplan"]["placements"]
+        first = next(iter(placements.values()))
+        first["position"]["x"] += 0.5
+        codes = codes_of(errors_of(verify_result_payload(design, bad)))
+        assert codes & {
+            "verify.layout.illegal",
+            "verify.wl.est",
+            "verify.wl.twl",
+            "verify.layout.orientation",
+            "verify.layout.out-of-bounds",
+            "verify.layout.overlap",
+        }
+
+    def test_swapped_assignment_is_caught(self, design, payload):
+        bad = copy.deepcopy(payload)
+        b2b = bad["assignment"]["buffer_to_bump"]
+        keys = sorted(b2b)
+        # Point two buffers at the same bump: an invalid assignment.
+        b2b[keys[0]] = b2b[keys[1]]
+        assert "verify.assign.invalid" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+    def test_unbuildable_floorplan_is_schema_error(self, design, payload):
+        bad = copy.deepcopy(payload)
+        bad["floorplan"] = {"schema": 1, "placements": {"ghost-die": {}}}
+        assert "verify.schema" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+    def test_non_dict_payload(self, design):
+        assert "verify.schema" in codes_of(
+            errors_of(verify_result_payload(design, "not a dict"))
+        )
+
+
+class TestVerifyReportSections:
+    def test_clean_report_verifies(self, design, payload):
+        assert errors_of(verify_report(payload["report"], design)) == []
+
+    def test_tampered_layout_rect(self, design, payload):
+        report = copy.deepcopy(payload["report"])
+        report["layout"]["dies"][0]["w"] *= 3.0
+        codes = codes_of(errors_of(verify_report(report, design)))
+        assert codes & {
+            "verify.layout.orientation",
+            "verify.layout.out-of-bounds",
+            "verify.layout.overlap",
+        }
+
+    def test_unknown_die_in_layout(self, design, payload):
+        report = copy.deepcopy(payload["report"])
+        report["layout"]["dies"][0]["id"] = "ghost"
+        codes = codes_of(errors_of(verify_report(report, design)))
+        assert "verify.layout.mismatch" in codes
+
+    def test_inconsistent_bound_is_caught(self, design, payload):
+        # A certified lower bound above the achieved wirelength is a
+        # broken certificate, full stop.
+        bad = copy.deepcopy(payload)
+        quality = bad["report"].get("quality")
+        assert isinstance(quality, dict), "flow report should carry quality"
+        quality["certified_lower_bound"] = float(bad["est_wl"]) * 2.0 + 1.0
+        quality.pop("gap", None)
+        assert "verify.bound.exceeds" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+    def test_tampered_gap_arithmetic(self, design, payload):
+        bad = copy.deepcopy(payload)
+        quality = bad["report"].get("quality")
+        assert isinstance(quality, dict)
+        quality["gap"] = 0.25
+        assert "verify.bound.gap" in codes_of(
+            errors_of(verify_result_payload(design, bad))
+        )
+
+
+class TestServiceVerificationGate:
+    def test_verify_tamper_fault_fails_the_job(
+        self, design, tmp_path, monkeypatch
+    ):
+        # The child process misreports est_wl (the verify_tamper chaos
+        # fault); the parent's mandatory gate must FAIL the job and
+        # attach the diagnostics — never serve the wrong number.
+        monkeypatch.setenv(faults.FAULTS_ENV, "verify_tamper:1")
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "FAILED"
+            assert "failed verification" in final["error"]
+            events, _ = manager.events(view["id"])
+            gate = [e for e in events if e["type"] == "verification"]
+            assert gate and gate[0]["ok"] is False
+            assert any(
+                d["code"].startswith("verify.")
+                for d in gate[0]["diagnostics"]
+            )
+            with pytest.raises(LookupError):
+                manager.result(view["id"])
+            # Nothing poisoned reached the cache.
+            assert view["cache_key"] not in manager.cache
+        finally:
+            manager.shutdown()
+
+    def test_done_jobs_record_a_verification_event(self, design, tmp_path):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            view = manager.submit(design_to_dict(design))
+            final = wait_terminal(manager, view["id"])
+            assert final["state"] == "DONE"
+            events, _ = manager.events(view["id"])
+            gate = [e for e in events if e["type"] == "verification"]
+            assert gate and gate[0]["ok"] is True
+        finally:
+            manager.shutdown()
+
+    def test_poisoned_cache_entry_is_evicted_and_recomputed(
+        self, design, tmp_path
+    ):
+        manager = JobManager(tmp_path, max_workers=1)
+        try:
+            first = manager.submit(design_to_dict(design))
+            wait_terminal(manager, first["id"])
+            result1 = manager.result(first["id"])
+
+            # Poison the cached entry on disk the way a stale-solver bug
+            # or tampering would.
+            entry_path = manager.cache._entry_path(first["cache_key"])
+            entry = json.loads(entry_path.read_text())
+            entry["payload"]["est_wl"] = (
+                float(entry["payload"]["est_wl"]) * 1.5 + 1.0
+            )
+            entry_path.write_text(json.dumps(entry))
+
+            second = manager.submit(design_to_dict(design))
+            # Not served from the poisoned entry: evicted, recomputed.
+            assert second["cached"] is False
+            final = wait_terminal(manager, second["id"])
+            assert final["state"] == "DONE"
+            result2 = manager.result(second["id"])
+            assert result2["est_wl"] == result1["est_wl"]
+            assert result2["twl"] == result1["twl"]
+        finally:
+            manager.shutdown()
