@@ -193,11 +193,47 @@ def _spec_flow_t4s() -> Tuple[Dict[str, float], Dict[str, Any], Dict]:
     )
 
 
+def _spec_sa_t4m() -> Tuple[Dict[str, float], Dict[str, Any], Dict]:
+    """SA move loop on t4m (the delta-HPWL hot path).
+
+    Identity pins the accepted-cost trajectory, not just the winner:
+    ``floorplans_evaluated`` is the move count and ``est_wl`` the final
+    cost — both must be bit-identical whether delta evaluation is on,
+    off (``SAConfig.incremental=False``) or force-disabled via
+    ``REPRO_SA_FULL_EVAL=1``.  Only the ``floorplan.sa`` stage time may
+    move, which is exactly what the compare gate watches: running this
+    spec under ``REPRO_SA_FULL_EVAL=1`` against a delta-eval baseline
+    must FAIL timing compare on the same host (see the harness
+    self-test in tests/test_harness.py).
+    """
+    from repro import obs
+    from repro.benchgen import load_case
+    from repro.floorplan import SAConfig, run_sa
+
+    design = load_case("t4m")
+    obs.reset_run()
+    result = run_sa(
+        design,
+        SAConfig(seed=7, cooling=0.9, moves_per_temperature=120),
+    )
+    report = obs.build_report(floorplan_result=result)
+    assert result.found, "sa_t4m found no floorplan"
+    return (
+        {"floorplan.sa": obs.span_seconds(report, "floorplan.sa")},
+        {
+            "est_wl": result.est_wl,
+            "moves": result.stats.floorplans_evaluated,
+        },
+        report,
+    )
+
+
 SPECS: Dict[
     str, Callable[[], Tuple[Dict[str, float], Dict[str, Any], Dict]]
 ] = {
     "efa_t4s": _spec_efa_t4s,
     "flow_t4s": _spec_flow_t4s,
+    "sa_t4m": _spec_sa_t4m,
 }
 
 

@@ -23,10 +23,18 @@ from .efa import (
     run_efa,
 )
 from .estimator import (
+    DEFAULT_BATCH_CHUNK_BYTES,
     FastHpwlEvaluator,
+    batch_chunk_bytes,
     greedy_assignment_est_wl,
     orientation_code,
     orientation_from_code,
+)
+from .incremental import (
+    DEFAULT_CROSS_CHECK_EVERY,
+    IncrementalHpwl,
+    full_eval_forced,
+    resolve_cross_check_every,
 )
 from .greedy_packing import (
     GreedyPacker,
@@ -41,8 +49,14 @@ __all__ = [
     "BStarTree",
     "BTreeFloorplanner",
     "BTreeSAConfig",
+    "DEFAULT_BATCH_CHUNK_BYTES",
+    "DEFAULT_CROSS_CHECK_EVERY",
     "DEFAULT_DIE_THRESHOLD",
+    "IncrementalHpwl",
+    "batch_chunk_bytes",
+    "full_eval_forced",
     "pack_btree",
+    "resolve_cross_check_every",
     "run_btree_sa",
     "EFAConfig",
     "EnumerativeFloorplanner",

@@ -32,15 +32,57 @@ from .base import (
 )
 from .batch import pack_indices
 from .estimator import FastHpwlEvaluator, orientation_code
+from .incremental import (
+    DEFAULT_CROSS_CHECK_EVERY,
+    IncrementalHpwl,
+    full_eval_forced,
+    resolve_cross_check_every,
+)
 
 _EPS = 1e-9
 
-# Entries kept in the packed-result cache before it is wiped; SA only
-# needs the current state's packing (an orientation flip re-derives the
-# same key), so a small bound keeps lookups O(1) and memory flat.
-_PACK_CACHE_LIMIT = 64
+# Entries kept in the packed-result cache.  SA revisits states far
+# beyond its immediate neighborhood (a few-die design has only hundreds
+# to thousands of distinct (sequence pair, shape) keys, and the anneal
+# crosses them repeatedly), and an entry is just a key plus two tiny
+# arrays, so the bound is sized for whole-run reuse rather than a single
+# neighborhood.  At the limit the *oldest* entry is evicted — dict order
+# is insertion order — so the hot recent states survive instead of
+# being wiped wholesale mid-anneal.
+_PACK_CACHE_LIMIT = 4096
+
+# Orientation vectors seen recently, mapped to their (codes array,
+# shape key) pair so the hot move loop never rebuilds either from enum
+# lookups.  Same bounded oldest-first policy as the pack cache.
+_ORIENT_CACHE_LIMIT = 256
+
+# For the rotate move: every orientation except the current one.
+_OTHER_ORIENTS = {
+    o: tuple(p for p in ALL_ORIENTATIONS if p is not o)
+    for o in ALL_ORIENTATIONS
+}
 
 logger = get_logger("floorplan.sa")
+
+
+def _rand_index(rng: random.Random, n: int) -> int:
+    """Uniform index in ``[0, n)`` via one C-level ``random()`` draw.
+
+    ``rng.randrange`` burns several Python frames per call
+    (``_randbelow`` and friends), which is measurable at SA move rates;
+    ``int(random() * n)`` is exact for the die counts involved (the
+    product stays far below 2**53, and ``random() < 1``).
+    """
+    return int(rng.random() * n)
+
+
+def _distinct_pair(rng: random.Random, n: int) -> Tuple[int, int]:
+    """Uniform ordered pair of distinct indices in ``[0, n)``."""
+    i = _rand_index(rng, n)
+    j = _rand_index(rng, n - 1)
+    if j >= i:
+        j += 1
+    return i, j
 
 
 @dataclass
@@ -54,6 +96,13 @@ class SAConfig:
     min_temperature_ratio: float = 1e-4
     time_budget_s: Optional[float] = None
     overflow_penalty: float = 1e6
+    # Delta (dirty-net) HPWL evaluation; bit-identical to full
+    # re-evaluation, so this only moves wall-clock.  Overridden off by
+    # REPRO_SA_FULL_EVAL=1 (see repro.floorplan.incremental).
+    incremental: bool = True
+    # Verify the delta result against a from-scratch evaluation every
+    # this-many proposals (0 disables; REPRO_SA_CROSS_CHECK overrides).
+    cross_check_every: int = DEFAULT_CROSS_CHECK_EVERY
 
     def __post_init__(self) -> None:
         validate_sa_schedule(
@@ -64,6 +113,11 @@ class SAConfig:
             min_temperature_ratio=self.min_temperature_ratio,
             overflow_penalty=self.overflow_penalty,
         )
+        if self.cross_check_every < 0:
+            raise ValueError(
+                "SAConfig.cross_check_every must be >= 0, got "
+                f"{self.cross_check_every!r}"
+            )
 
 
 class AnnealingFloorplanner:
@@ -101,22 +155,39 @@ class AnnealingFloorplanner:
             for d in self._die_ids
         ]
         self._pack_cache: dict = {}
+        self._orient_cache: dict = {}
         self.pack_cache_hits = 0
         self.pack_cache_misses = 0
+        # Delta HPWL evaluation (bit-identical; see incremental.py).
+        self._inc: Optional[IncrementalHpwl] = None
+        if (
+            self.config.incremental
+            and not full_eval_forced()
+            and self.evaluator.supports_incremental
+        ):
+            self._inc = IncrementalHpwl(
+                self.evaluator,
+                resolve_cross_check_every(self.config.cross_check_every),
+            )
 
     # -- state evaluation ---------------------------------------------------------
 
     def _packed(
         self, sp: SequencePair, shape_key: Tuple[int, ...]
-    ) -> Tuple[List[float], List[float], float, float]:
-        """Pack a state, reusing the cached result when only shapes match.
+    ) -> Tuple[np.ndarray, np.ndarray, float, float]:
+        """Pack and centre a state, reusing the cached result when only
+        shapes match.
 
         A 180-degree orientation flip changes terminal positions but not
         the die footprint, so the longest-path packing — the expensive
         half of a move evaluation — is keyed by the sequence pair plus
         each die's shape class (``orientation_code & 1``), not the full
         orientation vector.  SA's rotate move therefore re-scores HPWL
-        without re-packing half the time.
+        without re-packing half the time.  The cached entry holds the
+        *centred* global die-origin arrays (the centring offset is a pure
+        function of the packed extent), so cache hits hand the evaluator
+        the very same array objects — which the incremental evaluator's
+        identity fast path recognizes as unmoved dies.
         """
         key = (sp.plus, sp.minus, shape_key)
         cached = self._pack_cache.get(key)
@@ -131,32 +202,58 @@ class AnnealingFloorplanner:
         dims = [
             self._shape_dims[i][s] for i, s in enumerate(shape_key)
         ]
-        packed = pack_indices(minus, rank_plus, dims)
+        xs, ys, width, height = pack_indices(minus, rank_plus, dims)
+        off_x = self._center.x - width / 2.0 + self._half_cd
+        off_y = self._center.y - height / 2.0 + self._half_cd
+        entry = (
+            np.asarray(xs) + off_x,
+            np.asarray(ys) + off_y,
+            width,
+            height,
+        )
         if len(self._pack_cache) >= _PACK_CACHE_LIMIT:
-            self._pack_cache.clear()
-        self._pack_cache[key] = packed
-        return packed
+            # Bounded oldest-first eviction (insertion order): keeps the
+            # hot recent neighborhood instead of clearing wholesale.
+            self._pack_cache.pop(next(iter(self._pack_cache)))
+        self._pack_cache[key] = entry
+        return entry
+
+    def _orient_entry(
+        self, orient_vec: Tuple[Orientation, ...]
+    ) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """(codes array, shape key) of an orientation vector, cached."""
+        entry = self._orient_cache.get(orient_vec)
+        if entry is None:
+            codes = np.asarray(
+                [orientation_code(o) for o in orient_vec], dtype=np.int64
+            )
+            entry = (codes, tuple(int(c) & 1 for c in codes))
+            if len(self._orient_cache) >= _ORIENT_CACHE_LIMIT:
+                self._orient_cache.pop(next(iter(self._orient_cache)))
+            self._orient_cache[orient_vec] = entry
+        return entry
 
     def _evaluate(
         self, sp: SequencePair, orient_vec: Tuple[Orientation, ...]
     ) -> Tuple[float, bool]:
         """(cost, legal) of one state; cost folds in outline overflow."""
-        codes = np.asarray(
-            [orientation_code(o) for o in orient_vec], dtype=np.int64
-        )
-        xs, ys, width, height = self._packed(
-            sp, tuple(int(c) & 1 for c in codes)
-        )
+        codes, shape_key = self._orient_entry(orient_vec)
+        die_x, die_y, width, height = self._packed(sp, shape_key)
         overflow = max(width - self._avail_w, 0.0) + max(
             height - self._avail_h, 0.0
         )
-        off_x = self._center.x - width / 2.0 + self._half_cd
-        off_y = self._center.y - height / 2.0 + self._half_cd
-        die_x = np.asarray(xs) + off_x
-        die_y = np.asarray(ys) + off_y
-        wl = self.evaluator.hpwl(die_x, die_y, codes)
+        if self._inc is not None:
+            wl = self._inc.propose(die_x, die_y, codes)
+        else:
+            wl = self.evaluator.hpwl(die_x, die_y, codes)
         legal = overflow <= _EPS
         return wl + self.config.overflow_penalty * overflow, legal
+
+    def _commit(self) -> None:
+        """Adopt the last evaluated candidate as the delta-eval reference
+        (no-op under full evaluation)."""
+        if self._inc is not None:
+            self._inc.accept()
 
     def _neighbor(
         self,
@@ -165,22 +262,25 @@ class AnnealingFloorplanner:
         orient_vec: Tuple[Orientation, ...],
     ) -> Tuple[SequencePair, Tuple[Orientation, ...]]:
         n = len(self._die_ids)
-        move = rng.randrange(4) if n > 1 else 3
+        move = _rand_index(rng, 4) if n > 1 else 3
+        if move == 3:
+            # Rotate one die: the sequence pair is untouched, so return
+            # the same object — downstream caches key on it by identity.
+            i = _rand_index(rng, n)
+            orients = list(orient_vec)
+            others = _OTHER_ORIENTS[orients[i]]
+            orients[i] = others[_rand_index(rng, 3)]
+            return sp, tuple(orients)
         plus: List[str] = list(sp.plus)
         minus: List[str] = list(sp.minus)
-        orients = list(orient_vec)
         if move in (0, 2):
-            i, j = rng.sample(range(n), 2)
+            i, j = _distinct_pair(rng, n)
             plus[i], plus[j] = plus[j], plus[i]
         if move in (1, 2):
-            i, j = rng.sample(range(n), 2)
+            i, j = _distinct_pair(rng, n)
             minus[i], minus[j] = minus[j], minus[i]
-        if move == 3:
-            i = rng.randrange(n)
-            orients[i] = rng.choice(
-                [o for o in ALL_ORIENTATIONS if o is not orients[i]]
-            )
-        return SequencePair(tuple(plus), tuple(minus)), tuple(orients)
+        # Swaps of a valid pair stay valid: skip the permutation checks.
+        return SequencePair.unchecked(tuple(plus), tuple(minus)), orient_vec
 
     # -- driver ---------------------------------------------------------------------
 
@@ -209,6 +309,7 @@ class AnnealingFloorplanner:
             Orientation.R0 for _ in ids
         )
         cost, legal = self._evaluate(sp, orient_vec)
+        self._commit()
         stats.floorplans_evaluated += 1
 
         best_state = (sp, orient_vec) if legal else None
@@ -217,12 +318,16 @@ class AnnealingFloorplanner:
         # Calibrate the initial temperature from a random walk so the
         # configured initial acceptance probability holds for average
         # uphill moves.  Probes are schedule calibration, not search, so
-        # they are excluded from ``stats.floorplans_evaluated``.
+        # they are excluded from ``stats.floorplans_evaluated``.  Every
+        # probe advances the walk, so each one commits as the delta-eval
+        # reference; the first real move then diffs against the walk's
+        # end state, which is just another valid reference.
         deltas = []
         probe_sp, probe_vec, probe_cost = sp, orient_vec, cost
         for _ in range(30):
             cand_sp, cand_vec = self._neighbor(rng, probe_sp, probe_vec)
             cand_cost, _ = self._evaluate(cand_sp, cand_vec)
+            self._commit()
             deltas.append(abs(cand_cost - probe_cost))
             probe_sp, probe_vec, probe_cost = cand_sp, cand_vec, cand_cost
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
@@ -265,6 +370,7 @@ class AnnealingFloorplanner:
                 if delta <= 0 or rng.random() < math.exp(
                     -delta / temperature
                 ):
+                    self._commit()
                     sp, orient_vec, cost = cand_sp, cand_vec, cand_cost
                     if cand_legal and cand_cost < best_cost:
                         best_cost = cand_cost
@@ -280,6 +386,12 @@ class AnnealingFloorplanner:
             )
         stats.timed_out = budget.expired
         stats.runtime_s = time.monotonic() - start
+        if self._inc is not None:
+            stats.incremental_proposals = self._inc.proposals
+            stats.incremental_dirty_signals = self._inc.dirty_signals
+            stats.incremental_signals_total = self._inc.signals_total
+            stats.incremental_full_rescores = self._inc.full_rescores
+            stats.incremental_cross_checks = self._inc.cross_checks
         progress.finish(
             done=level, best=best_cost, moves=stats.floorplans_evaluated
         )
@@ -303,13 +415,11 @@ class AnnealingFloorplanner:
         shape_key = tuple(
             orientation_code(o) & 1 for o in orient_vec
         )
-        xs, ys, width, height = self._packed(sp, shape_key)
-        off_x = self._center.x - width / 2.0 + self._half_cd
-        off_y = self._center.y - height / 2.0 + self._half_cd
+        die_x, die_y, _width, _height = self._packed(sp, shape_key)
         placements = {}
         for i, (d, o) in enumerate(zip(self._die_ids, orient_vec)):
             placements[d] = Placement(
-                Point(xs[i] + off_x, ys[i] + off_y), o
+                Point(float(die_x[i]), float(die_y[i])), o
             )
         return Floorplan(self.design, placements)
 

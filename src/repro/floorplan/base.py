@@ -110,6 +110,16 @@ class SearchStats:
     # interval bound of the inferior cut, relaxed over every candidate).
     # ``None`` for algorithms that cannot certify one (the annealers).
     certified_lower_bound: Optional[float] = None
+    # Delta-evaluation bookkeeping (the SA engines with incremental
+    # HPWL; all zero for full-evaluation runs and the enumerators).
+    # ``incremental_dirty_signals / incremental_signals_total`` is the
+    # mean dirty-net ratio — the fraction of per-signal bounding boxes
+    # each move actually recomputed.
+    incremental_proposals: int = 0
+    incremental_dirty_signals: int = 0
+    incremental_signals_total: int = 0
+    incremental_full_rescores: int = 0
+    incremental_cross_checks: int = 0
 
     def publish(self, prefix: str = "floorplan.efa") -> None:
         """Bulk-publish these counters to the process metrics registry.
@@ -137,6 +147,24 @@ class SearchStats:
             reg.gauge(f"{prefix}.certified_lower_bound").set(
                 self.certified_lower_bound
             )
+        if self.incremental_proposals:
+            reg.counter(f"{prefix}.incremental_proposals").inc(
+                self.incremental_proposals
+            )
+            reg.counter(f"{prefix}.incremental_dirty_signals").inc(
+                self.incremental_dirty_signals
+            )
+            reg.counter(f"{prefix}.incremental_full_rescores").inc(
+                self.incremental_full_rescores
+            )
+            reg.counter(f"{prefix}.incremental_cross_checks").inc(
+                self.incremental_cross_checks
+            )
+            if self.incremental_signals_total:
+                reg.gauge(f"{prefix}.incremental_dirty_ratio").set(
+                    self.incremental_dirty_signals
+                    / self.incremental_signals_total
+                )
 
 
 @dataclass

@@ -39,15 +39,37 @@ from .base import (
     validate_sa_schedule,
 )
 from .estimator import FastHpwlEvaluator, orientation_code
+from .incremental import (
+    DEFAULT_CROSS_CHECK_EVERY,
+    IncrementalHpwl,
+    full_eval_forced,
+    resolve_cross_check_every,
+)
 
 _EPS = 1e-9
 
-# See annealing._PACK_CACHE_LIMIT: the cache only ever needs to hold the
-# neighborhood of the current SA state, so keep it small and wipe on
-# overflow instead of tracking LRU order.
-_PACK_CACHE_LIMIT = 64
+# See annealing._PACK_CACHE_LIMIT: sized for whole-run state reuse (an
+# entry is a key plus two tiny arrays); at the limit the oldest entry
+# (dict insertion order) is evicted, keeping the hot recent states
+# resident.
+_PACK_CACHE_LIMIT = 4096
+
+# Orientation-code vectors seen recently -> (codes array, shape key);
+# same bounded oldest-first policy as the pack cache.
+_CODE_CACHE_LIMIT = 256
+
+# For the rotate move: every orientation code except the current one.
+_OTHER_CODES = {
+    c: tuple(x for x in range(4) if x != c) for c in range(4)
+}
 
 logger = get_logger("floorplan.btree")
+
+
+def _rand_index(rng: random.Random, n: int) -> int:
+    """Uniform index in ``[0, n)`` via one C-level ``random()`` draw
+    (see annealing._rand_index)."""
+    return int(rng.random() * n)
 
 
 class BStarTree:
@@ -231,6 +253,12 @@ class BTreeSAConfig:
     min_temperature_ratio: float = 1e-4
     time_budget_s: Optional[float] = None
     overflow_penalty: float = 1e6
+    # Delta (dirty-net) HPWL evaluation; bit-identical to full
+    # re-evaluation (REPRO_SA_FULL_EVAL=1 forces it off).
+    incremental: bool = True
+    # Cross-check cadence in proposals (0 disables;
+    # REPRO_SA_CROSS_CHECK overrides).
+    cross_check_every: int = DEFAULT_CROSS_CHECK_EVERY
 
     def __post_init__(self) -> None:
         validate_sa_schedule(
@@ -241,6 +269,11 @@ class BTreeSAConfig:
             min_temperature_ratio=self.min_temperature_ratio,
             overflow_penalty=self.overflow_penalty,
         )
+        if self.cross_check_every < 0:
+            raise ValueError(
+                "BTreeSAConfig.cross_check_every must be >= 0, got "
+                f"{self.cross_check_every!r}"
+            )
 
 
 class BTreeFloorplanner:
@@ -265,17 +298,33 @@ class BTreeFloorplanner:
             self._dims_by_code.append(per_code)
         self._center = design.interposer.center
         self._pack_cache: Dict[tuple, tuple] = {}
+        self._code_cache: Dict[tuple, tuple] = {}
         self.pack_cache_hits = 0
         self.pack_cache_misses = 0
+        # Delta HPWL evaluation (bit-identical; see incremental.py).
+        self._inc: Optional[IncrementalHpwl] = None
+        if (
+            self.config.incremental
+            and not full_eval_forced()
+            and self.evaluator.supports_incremental
+        ):
+            self._inc = IncrementalHpwl(
+                self.evaluator,
+                resolve_cross_check_every(self.config.cross_check_every),
+            )
 
     def _packed(
         self, tree: BStarTree, shape_key: Tuple[int, ...]
-    ) -> Tuple[List[float], List[float], float, float]:
-        """Contour-pack a state, cached by tree links and footprint shapes.
+    ) -> Tuple[np.ndarray, np.ndarray, float, float]:
+        """Contour-pack and centre a state, cached by tree links and
+        footprint shapes.
 
         Orientation codes 0/2 and 1/3 share a footprint, so the rotate
         move's 180-degree flips re-score HPWL against the cached packing
-        instead of re-running the contour sweep.
+        instead of re-running the contour sweep.  As in the sequence-pair
+        annealer, the entry holds the centred global die-origin arrays so
+        cache hits reuse array objects — the incremental evaluator's
+        "positions unchanged" identity fast path.
         """
         key = (
             tuple(tree.parent),
@@ -292,39 +341,78 @@ class BTreeFloorplanner:
         dims = [
             self._dims_by_code[i][s] for i, s in enumerate(shape_key)
         ]
-        packed = pack_btree(tree, dims)
+        xs, ys, width, height = pack_btree(tree, dims)
+        off_x = self._center.x - width / 2.0 + self._half_cd
+        off_y = self._center.y - height / 2.0 + self._half_cd
+        entry = (
+            np.asarray(xs) + off_x,
+            np.asarray(ys) + off_y,
+            width,
+            height,
+        )
         if len(self._pack_cache) >= _PACK_CACHE_LIMIT:
-            self._pack_cache.clear()
-        self._pack_cache[key] = packed
-        return packed
+            # Bounded oldest-first eviction (insertion order): keeps the
+            # hot recent neighborhood instead of clearing wholesale.
+            self._pack_cache.pop(next(iter(self._pack_cache)))
+        self._pack_cache[key] = entry
+        return entry
+
+    def _code_entry(
+        self, codes: List[int]
+    ) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """(codes array, shape key) of a code vector, cached."""
+        key = tuple(codes)
+        entry = self._code_cache.get(key)
+        if entry is None:
+            entry = (
+                np.asarray(codes, dtype=np.int64),
+                tuple(c & 1 for c in codes),
+            )
+            if len(self._code_cache) >= _CODE_CACHE_LIMIT:
+                self._code_cache.pop(next(iter(self._code_cache)))
+            self._code_cache[key] = entry
+        return entry
 
     def _evaluate(self, tree: BStarTree, codes: List[int]):
-        xs, ys, w, h = self._packed(
-            tree, tuple(c & 1 for c in codes)
-        )
+        codes_arr, shape_key = self._code_entry(codes)
+        die_x, die_y, w, h = self._packed(tree, shape_key)
         overflow = max(w - self._avail_w, 0.0) + max(h - self._avail_h, 0.0)
-        n = len(self._die_ids)
-        die_x = np.empty(n)
-        die_y = np.empty(n)
-        codes_arr = np.asarray(codes, dtype=np.int64)
-        off_x = self._center.x - w / 2.0 + self._half_cd
-        off_y = self._center.y - h / 2.0 + self._half_cd
-        for i in range(n):
-            die_x[i] = xs[i] + off_x
-            die_y[i] = ys[i] + off_y
-        wl = self.evaluator.hpwl(die_x, die_y, codes_arr)
+        if self._inc is not None:
+            wl = self._inc.propose(die_x, die_y, codes_arr)
+        else:
+            wl = self.evaluator.hpwl(die_x, die_y, codes_arr)
         legal = overflow <= _EPS
-        return wl + self.config.overflow_penalty * overflow, legal, (xs, ys, w, h)
+        return (
+            wl + self.config.overflow_penalty * overflow,
+            legal,
+            (die_x, die_y, w, h),
+        )
+
+    def _commit(self) -> None:
+        """Adopt the last evaluated candidate as the delta-eval reference
+        (no-op under full evaluation)."""
+        if self._inc is not None:
+            self._inc.accept()
 
     def _neighbor(self, rng: random.Random, tree: BStarTree, codes: List[int]):
         n = tree.n
+        move = _rand_index(rng, 3) if n > 1 else 2
+        if move == 2:
+            # Rotate one die: the tree is untouched, so reuse the object
+            # (structural moves always clone before mutating).
+            i = _rand_index(rng, n)
+            new_codes = list(codes)
+            others = _OTHER_CODES[new_codes[i]]
+            new_codes[i] = others[_rand_index(rng, 3)]
+            return tree, new_codes
         new_tree = tree.clone()
-        new_codes = list(codes)
-        move = rng.randrange(3) if n > 1 else 2
         if move == 0:
-            a, b = rng.sample(range(n), 2)
+            a = _rand_index(rng, n)
+            b = _rand_index(rng, n - 1)
+            if b >= a:
+                b += 1
             new_tree.swap_dies(a, b)
-        elif move == 1:
+        else:
             node = rng.randrange(n)
             if node != new_tree.root or (
                 new_tree.left[node] != -1 or new_tree.right[node] != -1
@@ -336,12 +424,7 @@ class BTreeFloorplanner:
                 candidates = [x for x in range(n) if x != node]
                 target = rng.choice(candidates)
                 new_tree.insert(node, target, as_left=rng.random() < 0.5)
-        else:
-            i = rng.randrange(n)
-            new_codes[i] = rng.choice(
-                [c for c in range(4) if c != new_codes[i]]
-            )
-        return new_tree, new_codes
+        return new_tree, codes
 
     def run(self) -> FloorplanResult:
         """Anneal and return the best legal floorplan found."""
@@ -366,17 +449,21 @@ class BTreeFloorplanner:
         tree = BStarTree(n, rng)
         codes = [0] * n
         cost, legal, _ = self._evaluate(tree, codes)
+        self._commit()
         stats.floorplans_evaluated += 1
         best = (tree.clone(), list(codes)) if legal else None
         best_cost = cost if legal else float("inf")
 
         # Calibration probes are excluded from floorplans_evaluated (they
-        # size the schedule, they do not explore the search space).
+        # size the schedule, they do not explore the search space).  Each
+        # probe advances the walk, so each commits as the delta-eval
+        # reference (see annealing._run).
         deltas = []
         probe_t, probe_c, probe_cost = tree, codes, cost
         for _ in range(30):
             cand_t, cand_c = self._neighbor(rng, probe_t, probe_c)
             cand_cost, _, _ = self._evaluate(cand_t, cand_c)
+            self._commit()
             deltas.append(abs(cand_cost - probe_cost))
             probe_t, probe_c, probe_cost = cand_t, cand_c, cand_cost
         avg_delta = max(sum(deltas) / len(deltas), 1e-6)
@@ -410,6 +497,7 @@ class BTreeFloorplanner:
                 stats.floorplans_evaluated += 1
                 delta = cand_cost - cost
                 if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    self._commit()
                     tree, codes, cost = cand_t, cand_c, cand_cost
                     if cand_legal and cand_cost < best_cost:
                         best_cost = cand_cost
@@ -425,6 +513,12 @@ class BTreeFloorplanner:
             )
         stats.timed_out = budget.expired
         stats.runtime_s = time.monotonic() - start
+        if self._inc is not None:
+            stats.incremental_proposals = self._inc.proposals
+            stats.incremental_dirty_signals = self._inc.dirty_signals
+            stats.incremental_signals_total = self._inc.signals_total
+            stats.incremental_full_rescores = self._inc.full_rescores
+            stats.incremental_cross_checks = self._inc.cross_checks
         progress.finish(
             done=level, best=best_cost, moves=stats.floorplans_evaluated
         )
@@ -438,15 +532,13 @@ class BTreeFloorplanner:
     def _realize(self, tree: BStarTree, codes: List[int]) -> Floorplan:
         from .estimator import orientation_from_code
 
-        xs, ys, w, h = self._packed(
+        die_x, die_y, _w, _h = self._packed(
             tree, tuple(c & 1 for c in codes)
         )
-        off_x = self._center.x - w / 2.0 + self._half_cd
-        off_y = self._center.y - h / 2.0 + self._half_cd
         placements: Dict[str, Placement] = {}
         for i, die_id in enumerate(self._die_ids):
             placements[die_id] = Placement(
-                Point(xs[i] + off_x, ys[i] + off_y),
+                Point(float(die_x[i]), float(die_y[i])),
                 orientation_from_code(codes[i]),
             )
         return Floorplan(self.design, placements)

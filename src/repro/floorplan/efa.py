@@ -56,33 +56,55 @@ from .batch import MAX_SWEEP_DIES, OrientationSweep, pack_indices
 from .estimator import FastHpwlEvaluator, orientation_code
 
 _EPS = 1e-9
-# Batched-evaluation chunk target: keep each hpwl_batch call's (B, T)
-# intermediates near this many elements (~8 MB of float64 apiece), so the
-# sweep never materializes an unbounded batch on terminal-heavy designs.
-_BATCH_TARGET_ELEMS = 1 << 20
 
-# ``batch_eval="auto"`` thresholds.  BENCH_batch_eval.json: the batched
-# kernel loses only on small-sweep, terminal-heavy designs (t4b: n=4 so
-# B=256 rows to amortize over, 713 terminals making each hpwl_batch
-# memory-bound — 0.90x vs serial), while every n>=6 case wins 13-37x
-# (B>=4096 amortizes the numpy dispatch regardless of terminal count)
-# and t4m (376 terminals) still wins 1.47x.  Auto therefore picks the
-# scalar loop exactly when the sweep is small AND the terminal table is
-# large, and the batched path everywhere else.
+# ``batch_eval="auto"`` thresholds.  Two regimes:
+#
+# * With a known per-row scratch width (``row_bytes``, supplied by the
+#   evaluator), auto is memory-aware: the chunker already bounds each
+#   sweep chunk to the :func:`repro.floorplan.estimator.batch_chunk_bytes`
+#   budget, so the batched path only loses when the sweep is small (n <=
+#   AUTO_SERIAL_MAX_DIES gives just 4^n rows to amortize over) AND a
+#   single candidate's row is so wide that fewer than
+#   AUTO_SERIAL_MIN_CHUNK_ROWS rows fit the budget — at that point each
+#   chunk streams a working set the cache cannot hold and batching
+#   amortizes nothing over the scalar loop.
+# * Without a row width (legacy callers), the conservative PR-7 rule
+#   stands: serial on small-sweep, terminal-heavy designs (the regime
+#   where the pre-slot kernel measured 0.90x on t4b).
+#
+# Since the padded-slot kernel landed, every bench case resolves to
+# batched under the memory-aware rule (t4b now measures ~2x vs serial);
+# the fallback survives as a safety valve for designs whose slot tables
+# degenerate (one signal spanning hundreds of terminals).
 AUTO_SERIAL_MAX_DIES = 4
 AUTO_SERIAL_MIN_TERMINALS = 512
+AUTO_SERIAL_MIN_CHUNK_ROWS = 16
 
 
 def resolve_batch_eval(
-    batch_eval, die_count: int, terminal_count: int
+    batch_eval,
+    die_count: int,
+    terminal_count: int,
+    row_bytes: Optional[int] = None,
 ) -> bool:
     """Resolve an ``EFAConfig.batch_eval`` value to a concrete bool.
 
     ``True``/``False`` pass through; ``"auto"`` picks per design (see the
-    threshold constants above).  Either way the chosen path returns the
-    bit-identical winner — auto only trades wall-clock.
+    threshold constants above).  ``row_bytes`` — the evaluator's live
+    scratch bytes per batch row — switches auto to the memory-aware rule;
+    omitted, the legacy terminal-count rule applies.  Either way the
+    chosen path returns the bit-identical winner — auto only trades
+    wall-clock.
     """
     if batch_eval == "auto":
+        if row_bytes is not None:
+            from .estimator import batch_chunk_bytes
+
+            rows = batch_chunk_bytes() // max(1, row_bytes)
+            return not (
+                die_count <= AUTO_SERIAL_MAX_DIES
+                and rows < AUTO_SERIAL_MIN_CHUNK_ROWS
+            )
         return not (
             die_count <= AUTO_SERIAL_MAX_DIES
             and terminal_count >= AUTO_SERIAL_MIN_TERMINALS
@@ -152,6 +174,11 @@ class EnumerativeFloorplanner:
         self.evaluator = FastHpwlEvaluator(design)
         self._die_ids = self.evaluator.die_ids
         self._prepare_dims()
+        # Batched orientation-sweep tables, built lazily on the first
+        # batched run() and reused across calls: the parallel executor
+        # runs many shards through one planner, and rebuilding the
+        # (n, 4^n) tables per shard wastes ~15ms apiece at n=8.
+        self._sweep: Optional[OrientationSweep] = None
 
     def _prepare_dims(self) -> None:
         """Precompute swollen per-orientation dimensions and outline bounds."""
@@ -310,12 +337,20 @@ class EnumerativeFloorplanner:
         # and only while the (n, 4^n) sweep tables stay small.
         use_batch = (
             resolve_batch_eval(
-                cfg.batch_eval, n, evaluator.terminal_count
+                cfg.batch_eval,
+                n,
+                evaluator.terminal_count,
+                row_bytes=evaluator.batch_row_bytes(),
             )
             and fixed_codes is None
             and n <= MAX_SWEEP_DIES
         )
-        sweep = OrientationSweep(self._dims_by_code) if use_batch else None
+        if use_batch:
+            if self._sweep is None:
+                self._sweep = OrientationSweep(self._dims_by_code)
+            sweep = self._sweep
+        else:
+            sweep = None
         if fixed_codes is not None:
             orient_combos: Optional[Tuple[Tuple[int, ...], ...]] = (
                 fixed_codes,
@@ -324,11 +359,10 @@ class EnumerativeFloorplanner:
             orient_combos = None  # the sweep's code matrix replaces it
         else:
             orient_combos = tuple(product(range(4), repeat=n))
-        # Chunk the sweep so one hpwl_batch call's (B, T) intermediates
-        # stay near _BATCH_TARGET_ELEMS (see estimator memory contract).
-        chunk_size = max(
-            1, _BATCH_TARGET_ELEMS // max(1, evaluator.terminal_count)
-        )
+        # Chunk the sweep so one hpwl_batch call's live scratch stays
+        # inside the byte budget; the evaluator derives the row count
+        # from its actual row width and dtype (see batch_chunk_rows).
+        chunk_size = evaluator.batch_chunk_rows()
 
         die_x = np.empty(n)
         die_y = np.empty(n)

@@ -15,7 +15,8 @@ the hottest code in the floorplanning stage.  Two estimators are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +25,39 @@ from ..model import Design, Floorplan, Placement
 
 _ORIENT_CODE = {o: i for i, o in enumerate(ALL_ORIENTATIONS)}
 _CODE_ORIENT = {i: o for o, i in _ORIENT_CODE.items()}
+
+#: Default per-chunk scratch budget (bytes) for batched evaluation.  The
+#: sweep working set is sized from the actual row width and dtype (see
+#: :meth:`FastHpwlEvaluator.batch_chunk_rows`) instead of a fixed element
+#: count, so designs with wide terminal rows get proportionally fewer rows
+#: per chunk and stay cache-resident.
+DEFAULT_BATCH_CHUNK_BYTES = 8 << 20
+
+#: Padded-slot tables replicate each signal's row out to the longest
+#: signal's terminal count.  They are only built (and the strided kernel
+#: only used) while that replication stays within this factor of the real
+#: terminal count; beyond it the segmented ``reduceat`` path wins.
+_SLOT_WIDTH_RATIO_CAP = 4.0
+
+
+def batch_chunk_bytes() -> int:
+    """Per-chunk scratch budget for batched sweeps, in bytes.
+
+    Overridable via ``REPRO_BATCH_CHUNK_BYTES`` so the perf harness can
+    sweep the chunk size; values below one row are clamped up to one row
+    by :meth:`FastHpwlEvaluator.batch_chunk_rows`.
+    """
+    raw = os.environ.get("REPRO_BATCH_CHUNK_BYTES", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BATCH_CHUNK_BYTES must be an integer, got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+    return DEFAULT_BATCH_CHUNK_BYTES
 
 
 def orientation_code(orientation: Orientation) -> int:
@@ -114,6 +148,12 @@ class FastHpwlEvaluator:
         # Flattened-batch reduceat offsets, cached per batch size (see
         # hpwl_batch); bounded — chunked sweeps use at most two sizes.
         self._batch_starts: Dict[Tuple[int, int], np.ndarray] = {}
+        # Signal index of each terminal (die -> incident-signal queries,
+        # used by the incremental evaluator's dirty-set derivation).
+        self._t_signal = np.repeat(
+            np.arange(len(self._starts), dtype=np.int64), seg_counts
+        )
+        self._build_slot_tables(seg_counts)
 
         # Static per-terminal local-coordinate extrema over ALL four
         # orientations, used by the Eq. 2 lower bounds (inferior branch
@@ -130,6 +170,91 @@ class FastHpwlEvaluator:
             self._all_min_x = self._all_max_x = empty
             self._all_min_y = self._all_max_y = empty
 
+    def _build_slot_tables(self, seg_counts: np.ndarray) -> None:
+        """Padded-slot layout: each signal gets ``L`` slots (``L`` = longest
+        signal), short signals repeating their first terminal as padding.
+
+        ``min`` and ``max`` are idempotent over repeated values, so reducing
+        a padded slot row is bit-identical to reducing the signal's real
+        terminals — and both reductions can share one gathered coordinate
+        array.  Reductions then run as ``L - 1`` strided column ``np.minimum``
+        / ``np.maximum`` passes over a ``(B, S, L)`` view, which sidesteps
+        ``reduceat``'s per-segment overhead (the batched kernel's former
+        bottleneck: ``B * S`` segments of mean length ~2).  Escape-only
+        signals have no first terminal; their slots point at terminal 0 and
+        the reduced garbage is overwritten via the empty-signal mask.
+        """
+        signal_count = len(self._starts)
+        self._slot_len = int(seg_counts.max()) if signal_count else 0
+        self._slot_width = signal_count * self._slot_len
+        self._use_slots = (
+            self._terminal_count > 0
+            and self._slot_width
+            <= _SLOT_WIDTH_RATIO_CAP * self._terminal_count
+        )
+        if not self._use_slots:
+            self._slot_term = None
+            self._slot_t_die = None
+            self._slot_range = None
+            self._slot_local_x = None
+            self._slot_local_y = None
+            self._slot_scratch_rows = 0
+            return
+        first_term = np.where(seg_counts > 0, self._starts, 0)
+        slot_term = np.repeat(first_term, self._slot_len)
+        within = self._terminal_range - self._starts[self._t_signal]
+        slot_term[self._t_signal * self._slot_len + within] = (
+            self._terminal_range
+        )
+        self._slot_term = slot_term
+        self._slot_t_die = self._t_die[slot_term]
+        self._slot_range = np.arange(self._slot_width, dtype=np.int64)
+        # Flat (4 * SL,) per-code local tables indexed ``code * SL + slot``
+        # so one integer gather feeds ``np.take`` with an ``out=`` buffer.
+        self._slot_local_x = np.ascontiguousarray(
+            self._local_x[:, slot_term]
+        ).reshape(-1)
+        self._slot_local_y = np.ascontiguousarray(
+            self._local_y[:, slot_term]
+        ).reshape(-1)
+        self._slot_scratch_rows = 0
+
+    def _slot_buffers(self, batch: int):
+        """Preallocated slotted-kernel scratch, grown to the largest batch
+        seen and sliced per call, so chunked sweeps never re-allocate."""
+        if batch > self._slot_scratch_rows:
+            width = self._slot_width
+            signals = len(self._starts)
+            self._slot_i1 = np.empty((batch, width), dtype=np.int64)
+            self._slot_f1 = np.empty((batch, width))
+            self._slot_f2 = np.empty((batch, width))
+            self._slot_red = np.empty((4, batch, signals))
+            self._slot_scratch_rows = batch
+        return (
+            self._slot_i1[:batch],
+            self._slot_f1[:batch],
+            self._slot_f2[:batch],
+            self._slot_red[:, :batch],
+        )
+
+    def batch_row_bytes(self) -> int:
+        """Live scratch bytes one ``hpwl_batch`` row costs (actual dtype
+        and row width), the unit :meth:`batch_chunk_rows` divides the
+        chunk budget by."""
+        signals = len(self._starts)
+        if self._use_slots:
+            # Live: one int64 + two float64 (B, SL) arrays + four (B, S)
+            # reduction rows.
+            return 8 * (3 * self._slot_width + 4 * signals)
+        # Live: tx/ty (B, T) gathers + gathered codes + (B, S) rows.
+        return 8 * (3 * max(1, self._terminal_count) + 4 * signals)
+
+    def batch_chunk_rows(self) -> int:
+        """Rows per ``hpwl_batch`` chunk that keep the live scratch inside
+        :func:`batch_chunk_bytes`, derived from the actual row width and
+        element size rather than a fixed element count."""
+        return max(1, batch_chunk_bytes() // self.batch_row_bytes())
+
     # -- evaluation ---------------------------------------------------------
 
     @property
@@ -141,6 +266,17 @@ class FastHpwlEvaluator:
     def terminal_count(self) -> int:
         """Number of die-borne terminals (escape points excluded)."""
         return self._terminal_count
+
+    @property
+    def signal_count(self) -> int:
+        """Number of signals (nets) in the design."""
+        return len(self._starts)
+
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether the slot tables backing delta evaluation exist (see
+        :mod:`repro.floorplan.incremental`)."""
+        return self._use_slots
 
     def die_index(self, die_id: str) -> int:
         """Array index of a die id."""
@@ -240,16 +376,19 @@ class FastHpwlEvaluator:
         the same float64 gathers, reductions and (pairwise) sums, just
         laid out over a flattened batch with per-row ``reduceat`` offsets.
 
-        Memory: the pass materializes a few ``(B, T)`` float64
-        intermediates (``T`` = die-borne terminal count), so callers
-        should chunk ``B`` to keep ``B * T`` bounded — EFA targets ~1M
-        elements (8 MB per intermediate) per chunk.
+        Memory: the pass materializes a few ``(B, W)`` float64
+        intermediates (``W`` = slot or terminal row width), so callers
+        should chunk ``B`` via :meth:`batch_chunk_rows`, which sizes the
+        chunk from the actual row width and element size against the
+        :func:`batch_chunk_bytes` budget.
         """
         die_x = np.asarray(die_x, dtype=np.float64)
         die_y = np.asarray(die_y, dtype=np.float64)
         batch = die_x.shape[0]
         if batch == 0 or self._terminal_count == 0:
             return np.zeros(batch)
+        if self._use_slots:
+            return self._hpwl_batch_slots(die_x, die_y, orient_codes)
         codes = np.asarray(orient_codes, dtype=np.int64)[:, self._t_die]
         tx = die_x[:, self._t_die] + self._local_x[
             codes, self._terminal_range
@@ -275,6 +414,67 @@ class FastHpwlEvaluator:
         max_y = np.maximum(
             self._batch_reduce(ty, np.maximum, -np.inf), self._fixed_max_y
         )
+        return np.sum(max_x - min_x, axis=1) + np.sum(max_y - min_y, axis=1)
+
+    def _reduce_slots(
+        self, values: np.ndarray, red_min: np.ndarray, red_max: np.ndarray
+    ) -> None:
+        """Per-signal min and max of a ``(B, SL)`` slotted coordinate array
+        via strided column passes over the ``(B, S, L)`` view (numpy's
+        small-last-axis reductions are far slower)."""
+        view = values.reshape(values.shape[0], -1, self._slot_len)
+        np.copyto(red_min, view[:, :, 0])
+        np.copyto(red_max, view[:, :, 0])
+        for j in range(1, self._slot_len):
+            col = view[:, :, j]
+            np.minimum(red_min, col, out=red_min)
+            np.maximum(red_max, col, out=red_max)
+
+    def _hpwl_batch_slots(
+        self,
+        die_x: np.ndarray,
+        die_y: np.ndarray,
+        orient_codes: np.ndarray,
+    ) -> np.ndarray:
+        """Slotted batch kernel: one integer gather builds flat local-table
+        indices, ``np.take`` fills preallocated scratch, and x/y reuse the
+        same buffers.  Bit-identical to the ``reduceat`` path because the
+        padded slots only repeat values under exact min/max and the final
+        per-row sums run over the same ``(S,)`` spans."""
+        batch = die_x.shape[0]
+        codes = np.asarray(orient_codes, dtype=np.int64)
+        i1, f1, f2, red = self._slot_buffers(batch)
+        rminx, rmaxx, rminy, rmaxy = red
+        np.take(codes, self._slot_t_die, axis=1, out=i1)
+        i1 *= self._slot_width
+        i1 += self._slot_range
+        np.take(self._slot_local_x, i1, out=f1)
+        np.take(die_x, self._slot_t_die, axis=1, out=f2)
+        f1 += f2
+        self._reduce_slots(f1, rminx, rmaxx)
+        np.take(self._slot_local_y, i1, out=f1)
+        np.take(die_y, self._slot_t_die, axis=1, out=f2)
+        f1 += f2
+        self._reduce_slots(f1, rminy, rmaxy)
+        if self._has_empty_signal:
+            empty = self._empty_signal[None, :]
+            min_x = np.where(
+                empty, self._fixed_min_x, np.minimum(rminx, self._fixed_min_x)
+            )
+            max_x = np.where(
+                empty, self._fixed_max_x, np.maximum(rmaxx, self._fixed_max_x)
+            )
+            min_y = np.where(
+                empty, self._fixed_min_y, np.minimum(rminy, self._fixed_min_y)
+            )
+            max_y = np.where(
+                empty, self._fixed_max_y, np.maximum(rmaxy, self._fixed_max_y)
+            )
+        else:
+            min_x = np.minimum(rminx, self._fixed_min_x)
+            max_x = np.maximum(rmaxx, self._fixed_max_x)
+            min_y = np.minimum(rminy, self._fixed_min_y)
+            max_y = np.maximum(rmaxy, self._fixed_max_y)
         return np.sum(max_x - min_x, axis=1) + np.sum(max_y - min_y, axis=1)
 
     def hpwl_of_floorplan(self, floorplan: Floorplan) -> float:

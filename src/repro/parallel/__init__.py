@@ -24,6 +24,7 @@ from .executor import (
     SharedIncumbent,
     checkpoint_fingerprint,
     resolve_start_method,
+    available_cpus,
     resolve_workers,
     run_parallel_efa,
     shard_gini_threshold,
@@ -48,6 +49,7 @@ __all__ = [
     "make_shards",
     "shard_gini_threshold",
     "resolve_start_method",
+    "available_cpus",
     "resolve_workers",
     "run_parallel_efa",
     "run_portfolio",

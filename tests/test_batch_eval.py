@@ -327,6 +327,66 @@ class TestEnumerationWindows:
             run_efa(design, EFAConfig(plus_range=window))
 
 
+class TestChunkBudget:
+    """Byte-derived chunking of the batched kernel's scratch."""
+
+    def test_default_budget(self, monkeypatch):
+        from repro.floorplan import DEFAULT_BATCH_CHUNK_BYTES, batch_chunk_bytes
+
+        monkeypatch.delenv("REPRO_BATCH_CHUNK_BYTES", raising=False)
+        assert batch_chunk_bytes() == DEFAULT_BATCH_CHUNK_BYTES
+
+    def test_env_override(self, monkeypatch):
+        from repro.floorplan import batch_chunk_bytes
+
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", "65536")
+        assert batch_chunk_bytes() == 65536
+
+    def test_bad_env_rejected(self, monkeypatch):
+        from repro.floorplan import batch_chunk_bytes
+
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", "lots")
+        with pytest.raises(ValueError, match="REPRO_BATCH_CHUNK_BYTES"):
+            batch_chunk_bytes()
+
+    def test_row_bytes_reflects_actual_widths(self):
+        design = load_tiny(die_count=3, signal_count=8)
+        evaluator = FastHpwlEvaluator(design)
+        signals = evaluator.signal_count
+        assert evaluator._use_slots
+        # One int64 + two float64 (B, SL) gathers and four (B, S)
+        # reduction rows, all 8-byte elements.
+        assert evaluator.batch_row_bytes() == 8 * (
+            3 * evaluator._slot_width + 4 * signals
+        )
+
+    def test_chunk_rows_divide_the_budget(self, monkeypatch):
+        design = load_tiny(die_count=3, signal_count=8)
+        evaluator = FastHpwlEvaluator(design)
+        row = evaluator.batch_row_bytes()
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", str(row * 10))
+        assert evaluator.batch_chunk_rows() == 10
+        # A budget below one row clamps up: progress is never zero rows.
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", "1")
+        assert evaluator.batch_chunk_rows() == 1
+
+    def test_tiny_budget_same_efa_winner(self, monkeypatch):
+        """The EFA loop chunks sweeps by ``batch_chunk_rows``; shrinking
+        the budget to one row per chunk must not move the winner."""
+        design = load_tiny(die_count=3, signal_count=8)
+        monkeypatch.delenv("REPRO_BATCH_CHUNK_BYTES", raising=False)
+        want = run_efa(design, EFAConfig(batch_eval=True))
+        row = FastHpwlEvaluator(design).batch_row_bytes()
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", str(row))
+        got = run_efa(design, EFAConfig(batch_eval=True))
+        assert got.est_wl == want.est_wl
+        assert got.candidate_key == want.candidate_key
+        assert (
+            got.stats.floorplans_evaluated
+            == want.stats.floorplans_evaluated
+        )
+
+
 class TestAutoBatchEval:
     """``batch_eval="auto"``: per-design path selection, same winner."""
 
@@ -362,6 +422,30 @@ class TestAutoBatchEval:
 
         with pytest.raises(ValueError):
             resolve_batch_eval(bad, 3, 100)
+
+    def test_memory_aware_auto(self, monkeypatch):
+        from repro.floorplan import batch_chunk_bytes, resolve_batch_eval
+        from repro.floorplan.efa import AUTO_SERIAL_MIN_CHUNK_ROWS
+
+        monkeypatch.delenv("REPRO_BATCH_CHUNK_BYTES", raising=False)
+        budget = batch_chunk_bytes()
+        # Plenty of rows fit the budget: batch wins even on a small,
+        # terminal-heavy design the legacy rule would call serial.
+        narrow = budget // (4 * AUTO_SERIAL_MIN_CHUNK_ROWS)
+        assert resolve_batch_eval("auto", 4, 10_000, row_bytes=narrow)
+        # One row eats the whole budget: memory-bound, serial — but only
+        # while the sweep is small enough for the scalar loop to matter.
+        assert resolve_batch_eval("auto", 4, 100, row_bytes=budget) is False
+        assert resolve_batch_eval("auto", 6, 100, row_bytes=budget) is True
+
+    def test_memory_aware_auto_follows_budget_env(self, monkeypatch):
+        from repro.floorplan import resolve_batch_eval
+
+        # The same row width flips serial<->batch with the env budget.
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", str(1 << 10))
+        assert resolve_batch_eval("auto", 4, 100, row_bytes=512) is False
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_BYTES", str(1 << 20))
+        assert resolve_batch_eval("auto", 4, 100, row_bytes=512) is True
 
     def test_auto_matches_explicit_paths_exactly(self):
         design = load_tiny(die_count=3, signal_count=8)

@@ -1,0 +1,371 @@
+"""Tests for delta (incremental) HPWL evaluation and its engine wiring.
+
+The headline property: every cost the SA engines see through
+:class:`IncrementalHpwl` is **bit-identical** to a from-scratch
+``FastHpwlEvaluator.hpwl`` call — not approximately equal.  The tests
+drive that three ways:
+
+* a direct random walk over propose/accept/reject sequences, comparing
+  each proposal against the full evaluator with ``==``;
+* whole anneals (both engines) with the built-in cross-check cadence set
+  to 1, so *every* proposal is verified in-run;
+* full trajectory identity between delta evaluation and the
+  ``REPRO_SA_FULL_EVAL=1`` escape hatch — same accepted costs, same
+  move count, same final floorplan.
+
+Also covered: the env knobs, the dirty-set accounting, the engines'
+bounded pack caches with hit/miss counters, and the validation-skipping
+``SequencePair.unchecked`` constructor the move loop relies on.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.benchgen import load_tiny
+from repro.floorplan import (
+    DEFAULT_CROSS_CHECK_EVERY,
+    FastHpwlEvaluator,
+    IncrementalHpwl,
+    SAConfig,
+    BTreeSAConfig,
+    full_eval_forced,
+    resolve_cross_check_every,
+    run_btree_sa,
+    run_sa,
+)
+from repro.floorplan.annealing import AnnealingFloorplanner
+from repro.floorplan.btree import BTreeFloorplanner
+from repro.seqpair import SequencePair
+
+
+@pytest.fixture(scope="module")
+def design():
+    d = load_tiny(die_count=4, signal_count=12)
+    assert FastHpwlEvaluator(d).supports_incremental
+    return d
+
+
+@pytest.fixture()
+def evaluator(design):
+    return FastHpwlEvaluator(design)
+
+
+def _fast_sa(seed=0, **kw):
+    kw.setdefault("cooling", 0.85)
+    kw.setdefault("moves_per_temperature", 20)
+    return SAConfig(seed=seed, **kw)
+
+
+def _fast_btree(seed=0, **kw):
+    kw.setdefault("cooling", 0.85)
+    kw.setdefault("moves_per_temperature", 20)
+    return BTreeSAConfig(seed=seed, **kw)
+
+
+class TestEnvKnobs:
+    def test_full_eval_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SA_FULL_EVAL", raising=False)
+        assert full_eval_forced() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_full_eval_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SA_FULL_EVAL", value)
+        assert full_eval_forced() is True
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "no", "2"])
+    def test_full_eval_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SA_FULL_EVAL", value)
+        assert full_eval_forced() is False
+
+    def test_cross_check_uses_config_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SA_CROSS_CHECK", raising=False)
+        assert resolve_cross_check_every(17) == 17
+        assert resolve_cross_check_every(0) == 0
+        assert resolve_cross_check_every(-3) == 0
+
+    def test_cross_check_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SA_CROSS_CHECK", "5")
+        assert resolve_cross_check_every(1024) == 5
+        monkeypatch.setenv("REPRO_SA_CROSS_CHECK", "-1")
+        assert resolve_cross_check_every(1024) == 0
+
+    def test_cross_check_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SA_CROSS_CHECK", "often")
+        with pytest.raises(ValueError, match="REPRO_SA_CROSS_CHECK"):
+            resolve_cross_check_every(1024)
+
+    def test_config_rejects_negative_cadence(self):
+        with pytest.raises(ValueError, match="cross_check_every"):
+            SAConfig(cross_check_every=-1)
+        with pytest.raises(ValueError, match="cross_check_every"):
+            BTreeSAConfig(cross_check_every=-1)
+
+
+class TestIncrementalUnit:
+    def _random_state(self, rng, n):
+        return (
+            np.array([rng.uniform(0.0, 8.0) for _ in range(n)]),
+            np.array([rng.uniform(0.0, 8.0) for _ in range(n)]),
+            np.array([rng.randrange(4) for _ in range(n)], dtype=np.int64),
+        )
+
+    def test_rejects_unsupported_evaluator(self):
+        class _NoSlots:
+            supports_incremental = False
+
+        with pytest.raises(ValueError, match="incremental"):
+            IncrementalHpwl(_NoSlots())
+
+    def test_accept_without_propose_raises(self, evaluator):
+        inc = IncrementalHpwl(evaluator)
+        with pytest.raises(RuntimeError, match="pending"):
+            inc.accept()
+
+    def test_double_accept_raises(self, evaluator):
+        inc = IncrementalHpwl(evaluator)
+        x, y, c = self._random_state(random.Random(0), evaluator.die_count)
+        inc.propose(x, y, c)
+        inc.accept()
+        with pytest.raises(RuntimeError, match="pending"):
+            inc.accept()
+
+    def test_dirty_ratio_none_before_any_proposal(self, evaluator):
+        assert IncrementalHpwl(evaluator).dirty_ratio is None
+
+    def test_first_proposal_is_a_full_rescore(self, evaluator):
+        inc = IncrementalHpwl(evaluator)
+        x, y, c = self._random_state(random.Random(1), evaluator.die_count)
+        got = inc.propose(x, y, c)
+        assert got == evaluator.hpwl(x, y, c)
+        assert inc.proposals == 1
+        assert inc.full_rescores == 1
+        assert inc.dirty_ratio == 1.0
+
+    def test_single_die_move_dirties_only_incident_signals(
+        self, evaluator
+    ):
+        inc = IncrementalHpwl(evaluator)
+        rng = random.Random(2)
+        x, y, c = self._random_state(rng, evaluator.die_count)
+        inc.propose(x, y, c)
+        inc.accept()
+        x2 = x.copy()
+        x2[0] += 0.375
+        got = inc.propose(x2, y, c)
+        assert got == evaluator.hpwl(x2, y, c)
+        incident = inc._die_rows[0].size // 2
+        assert 0 < incident <= evaluator.signal_count
+        assert inc.dirty_signals == evaluator.signal_count + incident
+        assert inc.full_rescores == 1  # only the priming one
+
+    def test_unchanged_proposal_reuses_committed_total(self, evaluator):
+        inc = IncrementalHpwl(evaluator)
+        x, y, c = self._random_state(random.Random(3), evaluator.die_count)
+        total = inc.propose(x, y, c)
+        inc.accept()
+        # Equal *values* in fresh arrays: the value diff (not identity)
+        # must classify this as "nothing moved".
+        again = inc.propose(x.copy(), y.copy(), c.copy())
+        assert again == total
+        assert inc.full_rescores == 1
+        assert inc.dirty_signals == evaluator.signal_count
+
+    def test_random_walk_bit_identical_to_full(self, evaluator):
+        """Satellite (d) core: random accepted/rejected move sequences,
+        delta total == from-scratch total at every single step."""
+        n = evaluator.die_count
+        for seed in (0, 7, 23):
+            rng = random.Random(seed)
+            inc = IncrementalHpwl(evaluator, cross_check_every=0)
+            x, y, c = self._random_state(rng, n)
+            for step in range(200):
+                kind = rng.randrange(4)
+                if kind == 0:  # move one die -> subset path
+                    nx, ny, nc = x.copy(), y, c
+                    nx[rng.randrange(n)] += rng.uniform(-1.0, 1.0)
+                elif kind == 1:  # rotate one die -> subset path
+                    nx, ny = x, y
+                    nc = c.copy()
+                    nc[rng.randrange(n)] = rng.randrange(4)
+                elif kind == 2:  # outline change -> full rescore
+                    nx, ny, nc = self._random_state(rng, n)
+                else:  # re-propose the same arrays -> identity path
+                    nx, ny, nc = x, y, c
+                got = inc.propose(nx, ny, nc)
+                want = evaluator.hpwl(nx, ny, nc)
+                assert got == want, f"seed={seed} step={step}"
+                if rng.random() < 0.5:
+                    inc.accept()
+                    x, y, c = nx, ny, nc
+            assert inc.proposals == 200
+            assert 0.0 < inc.dirty_ratio <= 1.0
+
+    def test_cross_check_cadence_counts(self, evaluator):
+        inc = IncrementalHpwl(evaluator, cross_check_every=4)
+        rng = random.Random(5)
+        n = evaluator.die_count
+        for _ in range(8):
+            inc.propose(*self._random_state(rng, n))
+        assert inc.cross_checks == 2
+
+    def test_cross_check_divergence_raises(self, evaluator, monkeypatch):
+        inc = IncrementalHpwl(evaluator, cross_check_every=1)
+        x, y, c = self._random_state(random.Random(6), evaluator.die_count)
+        monkeypatch.setattr(
+            evaluator, "hpwl", lambda *a, **k: float("nan")
+        )
+        with pytest.raises(RuntimeError, match="REPRO_SA_FULL_EVAL"):
+            inc.propose(x, y, c)
+
+    def test_default_cadence_is_applied(self, evaluator):
+        assert (
+            IncrementalHpwl(evaluator).cross_check_every
+            == DEFAULT_CROSS_CHECK_EVERY
+        )
+
+
+class TestEngineBitIdentity:
+    """Whole anneals through both engines, verified at every proposal."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_sa_every_proposal_matches_full_eval(self, design, seed):
+        result = run_sa(design, _fast_sa(seed=seed, cross_check_every=1))
+        stats = result.stats
+        # cross_check_every=1 re-scores *every* proposal with the full
+        # evaluator and raises on any mismatch — finishing is the proof.
+        assert stats.incremental_proposals > 0
+        assert stats.incremental_cross_checks == stats.incremental_proposals
+        assert result.found
+        assert result.floorplan.is_legal()
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_btree_every_proposal_matches_full_eval(self, design, seed):
+        result = run_btree_sa(
+            design, _fast_btree(seed=seed, cross_check_every=1)
+        )
+        stats = result.stats
+        assert stats.incremental_proposals > 0
+        assert stats.incremental_cross_checks == stats.incremental_proposals
+        assert result.found
+        assert result.floorplan.is_legal()
+
+    @pytest.mark.parametrize(
+        "runner,cfg",
+        [(run_sa, _fast_sa), (run_btree_sa, _fast_btree)],
+        ids=["sa", "btree"],
+    )
+    def test_full_eval_escape_hatch_identical_trajectory(
+        self, design, monkeypatch, runner, cfg
+    ):
+        monkeypatch.delenv("REPRO_SA_FULL_EVAL", raising=False)
+        fast = runner(design, cfg(seed=4))
+        monkeypatch.setenv("REPRO_SA_FULL_EVAL", "1")
+        slow = runner(design, cfg(seed=4))
+        # Same moves, same accepted costs, same final floorplan — the
+        # escape hatch only changes wall-clock.
+        assert slow.est_wl == fast.est_wl
+        assert (
+            slow.stats.floorplans_evaluated
+            == fast.stats.floorplans_evaluated
+        )
+        assert (
+            slow.floorplan.placements == fast.floorplan.placements
+        )
+        assert fast.stats.incremental_proposals > 0
+        assert slow.stats.incremental_proposals == 0
+
+    @pytest.mark.parametrize(
+        "runner,cfg",
+        [(run_sa, _fast_sa), (run_btree_sa, _fast_btree)],
+        ids=["sa", "btree"],
+    )
+    def test_incremental_false_identical_trajectory(
+        self, design, runner, cfg
+    ):
+        fast = runner(design, cfg(seed=9))
+        slow = runner(design, cfg(seed=9, incremental=False))
+        assert slow.est_wl == fast.est_wl
+        assert slow.floorplan.placements == fast.floorplan.placements
+        assert slow.stats.incremental_proposals == 0
+
+    def test_tiny_pack_cache_same_result(self, design, monkeypatch):
+        """Cache hits hand the incremental evaluator *reused* array
+        objects (the identity fast path); a 1-entry cache forces fresh
+        arrays every move.  The anneal must not notice."""
+        import repro.floorplan.annealing as annealing
+
+        baseline = run_sa(design, _fast_sa(seed=4))
+        monkeypatch.setattr(annealing, "_PACK_CACHE_LIMIT", 1)
+        starved = run_sa(design, _fast_sa(seed=4))
+        assert starved.est_wl == baseline.est_wl
+        assert (
+            starved.floorplan.placements == baseline.floorplan.placements
+        )
+
+
+class TestPackCacheBookkeeping:
+    def test_sa_counters_and_bound(self, design):
+        planner = AnnealingFloorplanner(design, _fast_sa(seed=1))
+        planner.run()
+        from repro.floorplan.annealing import _PACK_CACHE_LIMIT
+
+        assert planner.pack_cache_misses == len(planner._pack_cache)
+        assert planner.pack_cache_hits > 0
+        assert len(planner._pack_cache) <= _PACK_CACHE_LIMIT
+
+    def test_btree_counters_and_bound(self, design):
+        planner = BTreeFloorplanner(design, _fast_btree(seed=1))
+        planner.run()
+        from repro.floorplan.btree import _PACK_CACHE_LIMIT
+
+        assert planner.pack_cache_misses == len(planner._pack_cache)
+        assert planner.pack_cache_hits > 0
+        assert len(planner._pack_cache) <= _PACK_CACHE_LIMIT
+
+    def test_eviction_is_oldest_first(self, design, monkeypatch):
+        import repro.floorplan.annealing as annealing
+
+        monkeypatch.setattr(annealing, "_PACK_CACHE_LIMIT", 2)
+        planner = AnnealingFloorplanner(design, _fast_sa())
+        ids = planner.evaluator.die_ids
+        shape = (0,) * len(ids)
+        pairs = [
+            SequencePair(tuple(perm), tuple(ids))
+            for perm in (
+                ids,
+                list(reversed(ids)),
+                [ids[1], ids[0], *ids[2:]],
+            )
+        ]
+        for sp in pairs:
+            planner._packed(sp, shape)
+        assert len(planner._pack_cache) == 2
+        keys = list(planner._pack_cache)
+        # The first-inserted key is gone, the two newest remain.
+        assert keys == [
+            (sp.plus, sp.minus, shape) for sp in pairs[1:]
+        ]
+        assert planner.pack_cache_misses == 3
+        # Re-asking for a resident state is a hit and reuses the arrays.
+        a = planner._packed(pairs[2], shape)
+        b = planner._packed(pairs[2], shape)
+        assert planner.pack_cache_hits == 2
+        assert a[0] is b[0] and a[1] is b[1]
+
+
+class TestSequencePairUnchecked:
+    def test_equals_and_hashes_like_validated(self):
+        plus, minus = ("a", "b", "c"), ("c", "a", "b")
+        checked = SequencePair(plus, minus)
+        unchecked = SequencePair.unchecked(plus, minus)
+        assert unchecked == checked
+        assert hash(unchecked) == hash(checked)
+        assert unchecked.plus == plus and unchecked.minus == minus
+
+    def test_validated_constructor_still_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "b"), ("a", "c"))
+        with pytest.raises(ValueError):
+            SequencePair(("a", "a"), ("a", "a"))

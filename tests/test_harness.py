@@ -244,6 +244,38 @@ class TestRecordIO:
             assert record["identity"], f"{path} has no result identity"
 
 
+class TestFullEvalGateSelfTest:
+    """The timing gate must catch the REPRO_SA_FULL_EVAL slow path.
+
+    The sa_t4m spec anneals a large case through the delta-HPWL layer;
+    forcing full evaluation keeps the result bit-identical (same moves,
+    same est_wl — the identity section proves it) but slows the
+    ``floorplan.sa`` stage well past the regression threshold.  A
+    compare of the forced record against a delta-eval baseline on the
+    same host must therefore FAIL on timing alone — this is the live
+    end-to-end proof that the harness gate guards the incremental
+    evaluator, complementing the synthetic INJECT_SLOWDOWN hook tests.
+    """
+
+    def test_forced_full_eval_fails_compare(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SA_FULL_EVAL", raising=False)
+        fast = harness.run_spec("sa_t4m", repeats=2)
+        monkeypatch.setenv("REPRO_SA_FULL_EVAL", "1")
+        slow = harness.run_spec("sa_t4m", repeats=2)
+        # Bit-identical trajectory: the escape hatch may only move time.
+        assert slow["identity"] == fast["identity"]
+        ok, lines = harness.compare_records(slow, fast)
+        assert not ok
+        assert any(
+            "REGRESSION" in line and "floorplan.sa" in line
+            for line in lines
+        )
+        assert all("IDENTITY MISMATCH" not in line for line in lines)
+        # And the fast path passes against itself (the control).
+        ok, _ = harness.compare_records(fast, fast)
+        assert ok
+
+
 class TestCompareCli:
     def test_compare_subcommand_exit_codes(self, tmp_path, capsys):
         base = harness.write_record(

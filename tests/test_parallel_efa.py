@@ -19,6 +19,7 @@ from repro.geometry import Point
 from repro.model import Die, IOBuffer, MicroBump
 from repro.parallel import (
     LocalIncumbent,
+    available_cpus,
     ParallelEFAConfig,
     PortfolioConfig,
     SharedIncumbent,
@@ -92,6 +93,21 @@ class TestResolvers:
         assert resolve_workers(8) == 8
         assert resolve_workers(None) >= 1
 
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+    def test_resolve_workers_caps_without_oversubscribe(self):
+        cores = available_cpus()
+        # An explicit request above the schedulable core count is capped
+        # unless oversubscription is opted into.
+        assert resolve_workers(cores + 7, oversubscribe=False) == cores
+        assert resolve_workers(cores + 7, oversubscribe=True) == cores + 7
+        # None always resolves to the core count, never above it.
+        assert resolve_workers(None, oversubscribe=False) == cores
+
+    def test_parallel_config_defaults_to_no_oversubscribe(self):
+        assert ParallelEFAConfig().oversubscribe is False
+
     def test_resolve_start_method_rejects_unknown(self):
         with pytest.raises(ValueError):
             resolve_start_method("not-a-method")
@@ -159,7 +175,10 @@ class TestParallelDeterminism:
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_identical_to_serial(self, design3, serial3, workers):
-        par = run_parallel_efa(design3, ParallelEFAConfig(workers=workers))
+        par = run_parallel_efa(
+            design3,
+            ParallelEFAConfig(workers=workers, oversubscribe=True),
+        )
         assert par.est_wl == serial3.est_wl
         assert par.candidate_key == serial3.candidate_key
         assert _placements(design3, par) == _placements(design3, serial3)
@@ -167,7 +186,9 @@ class TestParallelDeterminism:
     def test_spawn_start_method(self, design3, serial3):
         par = run_parallel_efa(
             design3,
-            ParallelEFAConfig(workers=2, start_method="spawn"),
+            ParallelEFAConfig(
+                workers=2, start_method="spawn", oversubscribe=True
+            ),
         )
         assert par.est_wl == serial3.est_wl
         assert _placements(design3, par) == _placements(design3, serial3)
@@ -175,7 +196,9 @@ class TestParallelDeterminism:
     def test_merged_stats_cover_space_without_cuts(self, design3):
         par = run_parallel_efa(
             design3,
-            ParallelEFAConfig(workers=2, efa=EFAConfig()),
+            ParallelEFAConfig(
+                workers=2, efa=EFAConfig(), oversubscribe=True
+            ),
         )
         stats = par.stats
         assert stats.sequence_pairs_total == 36
@@ -190,6 +213,7 @@ class TestParallelDeterminism:
             design3,
             ParallelEFAConfig(
                 workers=2,
+                oversubscribe=True,
                 efa=EFAConfig(
                     illegal_cut=True,
                     inferior_cut=True,
@@ -208,7 +232,10 @@ class TestShardTelemetryAndCertification:
 
     def test_merged_stats_carry_certified_bound(self, design3):
         par = run_parallel_efa(
-            design3, ParallelEFAConfig(workers=2, efa=self.CUT_CFG)
+            design3,
+            ParallelEFAConfig(
+                workers=2, efa=self.CUT_CFG, oversubscribe=True
+            ),
         )
         bound = par.stats.certified_lower_bound
         assert bound is not None
@@ -226,7 +253,10 @@ class TestShardTelemetryAndCertification:
         obs.reset_run()
         try:
             par = run_parallel_efa(
-                design3, ParallelEFAConfig(workers=2, efa=self.CUT_CFG)
+                design3,
+                ParallelEFAConfig(
+                    workers=2, efa=self.CUT_CFG, oversubscribe=True
+                ),
             )
             balance = obs.telemetry().snapshot()["shard_balance"]
         finally:
@@ -304,7 +334,9 @@ class TestTieBreakRegression:
         serial = run_efa(tie_design, EFAConfig())
         par = run_parallel_efa(
             tie_design,
-            ParallelEFAConfig(workers=workers, efa=EFAConfig()),
+            ParallelEFAConfig(
+                workers=workers, efa=EFAConfig(), oversubscribe=True
+            ),
         )
         assert par.est_wl == serial.est_wl
         assert par.candidate_key == serial.candidate_key
@@ -414,7 +446,8 @@ class TestWindowedParallel:
         )
         serial = run_efa(design3, cfg)
         pooled = run_parallel_efa(
-            design3, ParallelEFAConfig(workers=2, efa=cfg)
+            design3,
+            ParallelEFAConfig(workers=2, efa=cfg, oversubscribe=True),
         )
         assert pooled.est_wl == serial.est_wl
         assert pooled.candidate_key == serial.candidate_key

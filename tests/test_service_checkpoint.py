@@ -133,6 +133,7 @@ class TestCheckpointedSearch:
             design,
             ParallelEFAConfig(
                 workers=workers,
+                oversubscribe=True,
                 efa=EFAConfig(illegal_cut=True, inferior_cut=True),
             ),
             checkpoint=checkpoint,
