@@ -240,6 +240,38 @@ SPECS: Dict[
 # -- record building ----------------------------------------------------------
 
 
+def _telemetry_overhead_probes():
+    """Optional sampler/profiler armed around each repeat.
+
+    ``REPRO_PROFILE`` arms the wall-clock sampling profiler and
+    ``REPRO_RESOURCE_SAMPLE_S`` a self-targeted resource sampler for the
+    duration of one spec call — the CI overhead self-test runs the
+    harness with both on and asserts the timings stay inside the normal
+    noise gate.  Unset (the default) both are no-ops and the hot path is
+    untouched.
+    """
+    from repro import obs
+
+    probes = []
+    if obs.profile_format():
+        probes.append(obs.SamplingProfiler())
+    interval = (
+        obs.sample_interval_s()
+        if os.environ.get("REPRO_RESOURCE_SAMPLE_S")
+        else None
+    )
+    if interval:
+        pid = os.getpid()
+        probes.append(
+            obs.ResourceSampler(
+                lambda: {"self": pid},
+                lambda key, sample: None,
+                interval_s=interval,
+            )
+        )
+    return probes
+
+
 def run_spec(name: str, repeats: int) -> Dict[str, Any]:
     """Run one built-in spec ``repeats`` times; min-of-repeats record."""
     spec = SPECS[name]
@@ -247,7 +279,14 @@ def run_spec(name: str, repeats: int) -> Dict[str, Any]:
     identity: Dict[str, Any] = {}
     quality: Dict[str, Any] = {}
     for i in range(repeats):
-        stages, ident, report = spec()
+        probes = _telemetry_overhead_probes()
+        for probe in probes:
+            probe.start()
+        try:
+            stages, ident, report = spec()
+        finally:
+            for probe in probes:
+                probe.stop()
         for stage, seconds in stages.items():
             per_repeat.setdefault(stage, []).append(float(seconds))
         if i == 0:

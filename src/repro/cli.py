@@ -33,7 +33,11 @@ artifacts only where asked.  All subcommands additionally accept:
 * ``--trace-out TRACE.json`` — write the run's span tree as Chrome
   trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
 * ``--heartbeat SECONDS`` — progress-heartbeat interval for the
-  long-running stages (implies ``--log-level info``).
+  long-running stages (implies ``--log-level info``);
+* ``--profile-out PROFILE`` — run under the wall-clock sampling
+  profiler of :mod:`repro.obs.profiler` and write the profile
+  (``.json`` -> speedscope, anything else collapsed stacks;
+  ``$REPRO_PROFILE`` overrides the format).
 
 ``floorplan`` and ``run`` additionally accept ``--dashboard-out D.html``
 to write the HTML run dashboard next to (or instead of) the JSON report.
@@ -96,7 +100,11 @@ def _maybe_write_report(args, verification=None, **sections) -> None:
     dashboard_path = getattr(args, "dashboard_out", None)
     if not report_path and not dashboard_path:
         return
-    report = obs.build_report(command=args.command, **sections)
+    report = obs.build_report(
+        command=args.command,
+        resources=obs.self_resources(),
+        **sections,
+    )
     if verification is not None:
         obs.attach_verification(report, verification)
     if report_path:
@@ -596,6 +604,7 @@ def cmd_submit(args) -> int:
             json_io.design_to_dict(design),
             config=config,
             timeout_s=args.job_timeout,
+            profile=args.profile,
         )
         job_id = view["id"]
         print(
@@ -656,6 +665,10 @@ def cmd_job(args) -> int:
             with open(args.dashboard_out, "w") as handle:
                 handle.write(client.dashboard(args.job_id))
             print(f"wrote dashboard {args.dashboard_out}")
+        if args.job_profile_out:
+            with open(args.job_profile_out, "w") as handle:
+                handle.write(client.profile(args.job_id))
+            print(f"wrote profile {args.job_profile_out}")
     except ServiceError as exc:
         logger.error("service error: %s", exc)
         return 1
@@ -700,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="progress-heartbeat interval (implies --log-level info; "
         "<= 0 disables; default: $REPRO_HEARTBEAT_S or 2.0)",
+    )
+    common.add_argument(
+        "--profile-out",
+        metavar="PROFILE",
+        help="run under the wall-clock sampling profiler and write the "
+        "profile here (.json -> speedscope, else collapsed stacks; "
+        "override the format with $REPRO_PROFILE)",
     )
 
     def add_parser(name: str, parents=(), **kwargs):
@@ -934,6 +954,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-out", metavar="OUT.json",
         help="write the finished result document here",
     )
+    p.add_argument(
+        "--profile", choices=["collapsed", "speedscope"], default=None,
+        help="run the job under the server-side sampling profiler "
+        "(fetch with GET /api/v1/jobs/<id>/profile)",
+    )
     p.set_defaults(func=cmd_submit)
 
     p = add_parser(
@@ -952,6 +977,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--dashboard-out", metavar="D.html",
         help="write the finished job's HTML dashboard here",
+    )
+    p.add_argument(
+        # Distinct from the global --profile-out (which profiles this
+        # client process): this downloads the worker-side profile.
+        "--worker-profile-out", dest="job_profile_out", metavar="PROF",
+        help="download the profile of a job submitted with --profile "
+        "(speedscope JSON or collapsed text, as submitted)",
     )
     p.set_defaults(func=cmd_job)
 
@@ -973,9 +1005,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Each invocation is one observability scope; commands that delegate
     # to run_flow reset again, which is harmless.
     obs.reset_run()
+    profiler = None
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        profiler = obs.SamplingProfiler().start()
     try:
         return args.func(args)
     finally:
+        if profiler is not None:
+            profiler.stop()
+            fmt = profiler.write(profile_out)
+            print(f"wrote {fmt} profile {profile_out}")
         # The span tree exists even when the command failed; a trace of a
         # failed run is exactly what one wants to look at.
         if getattr(args, "trace_out", None):

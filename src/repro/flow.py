@@ -318,6 +318,8 @@ def run_flow(
         certified_lower_bound=fp_result.stats.certified_lower_bound,
         trajectory=obs.telemetry().snapshot().get("trajectory"),
     )
-    result.obs_report = obs.build_report(result, quality=quality)
+    result.obs_report = obs.build_report(
+        result, quality=quality, resources=obs.self_resources()
+    )
     logger.info("flow done: %s", result.summary())
     return result

@@ -23,7 +23,14 @@ The pieces compose into one instrumentation story for the flow:
   ``--dashboard-out``);
 * :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
   of the metrics registry and the analytics gauges
-  (:func:`render_registry`, the CLI's ``repro metrics-dump``).
+  (:func:`render_registry`, the CLI's ``repro metrics-dump`` and the
+  job service's live ``/api/v1/metrics`` scrape);
+* :mod:`repro.obs.profiler` — a pure-stdlib wall-clock sampling profiler
+  (:class:`SamplingProfiler`; collapsed-stack text or speedscope JSON,
+  the CLI's ``--profile-out`` / ``REPRO_PROFILE``);
+* :mod:`repro.obs.resources` — ``/proc``-based per-process CPU/RSS
+  sampling (:class:`ResourceSampler`, :func:`self_resources`); a
+  graceful no-op off Linux.
 
 :func:`reset_run` clears the trace tree, metric registry and telemetry
 scope; the flow entry points call it so every run's report is
@@ -36,6 +43,7 @@ from .analytics import (
     anytime_metrics,
     hotspot_table,
     optimality_gap,
+    profile_hotspots,
     pruning_funnel,
     quality_section,
     report_quality,
@@ -66,10 +74,25 @@ from .progress import (
     reset_telemetry,
     telemetry,
 )
+from .metrics import DEFAULT_BUCKET_LE
 from .openmetrics import (
+    ExpositionBuilder,
+    add_registry_export,
+    histogram_samples,
     parse_exposition,
     render_registry,
     render_report,
+)
+from .profiler import (
+    SamplingProfiler,
+    format_for_path,
+    profile_format,
+)
+from .resources import (
+    ResourceSampler,
+    read_proc,
+    sample_interval_s,
+    self_resources,
 )
 from .report import (
     REPORT_KIND,
@@ -104,16 +127,21 @@ def reset_run() -> None:
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKET_LE",
+    "ExpositionBuilder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Progress",
     "REPORT_KIND",
     "REPORT_SCHEMA_VERSION",
+    "ResourceSampler",
+    "SamplingProfiler",
     "Span",
     "Telemetry",
     "Tracer",
     "add_event_listener",
+    "add_registry_export",
     "analyze_report",
     "anytime_metrics",
     "attach_verification",
@@ -124,21 +152,28 @@ __all__ = [
     "current_span",
     "export_metrics",
     "find_span",
+    "format_for_path",
     "gauge",
     "get_logger",
     "graft_spans",
     "histogram",
+    "histogram_samples",
     "hotspot_table",
     "json_default",
     "layout_section",
     "merge_metrics",
     "optimality_gap",
     "parse_exposition",
+    "profile_format",
+    "profile_hotspots",
     "pruning_funnel",
     "quality_section",
+    "read_proc",
     "record_incumbent",
     "remove_event_listener",
     "registry",
+    "sample_interval_s",
+    "self_resources",
     "render_dashboard",
     "render_registry",
     "render_report",

@@ -358,6 +358,44 @@ def hotspot_table(
     return rows[:limit] if limit is not None else rows
 
 
+def profile_hotspots(
+    collapsed: Dict[str, int], limit: int = 10
+) -> List[Dict[str, Any]]:
+    """Top-N frames of a collapsed-stack profile, by self samples.
+
+    ``collapsed`` is :meth:`SamplingProfiler.collapsed` output
+    (``{"root;child;leaf": samples}``).  Per frame, ``self`` counts the
+    samples where the frame was the *leaf* (executing), ``total`` the
+    samples where it appeared anywhere on the stack, and ``self_share``
+    is ``self`` over all samples — the sampled analogue of
+    :func:`hotspot_table`'s span ``share``.
+    """
+    self_counts: Dict[str, int] = {}
+    total_counts: Dict[str, int] = {}
+    samples = 0
+    for stack, count in (collapsed or {}).items():
+        frames = stack.split(";")
+        if not frames:
+            continue
+        samples += count
+        self_counts[frames[-1]] = self_counts.get(frames[-1], 0) + count
+        for frame in set(frames):
+            total_counts[frame] = total_counts.get(frame, 0) + count
+    rows = [
+        {
+            "frame": frame,
+            "self": self_counts.get(frame, 0),
+            "total": total,
+            "self_share": (
+                self_counts.get(frame, 0) / samples if samples else 0.0
+            ),
+        }
+        for frame, total in total_counts.items()
+    ]
+    rows.sort(key=lambda r: (-r["self"], -r["total"], r["frame"]))
+    return rows[:limit]
+
+
 # -- schema-v3 quality section ----------------------------------------------
 
 

@@ -548,6 +548,52 @@ def render_dashboard(report: Dict[str, Any]) -> str:
         else _placeholder("report carries no span tree")
     )
 
+    resources = report.get("resources") or {}
+    resource_rows = []
+    if resources.get("peak_rss_bytes") is not None:
+        resource_rows.append(
+            ["peak RSS (flow process)",
+             _num(resources["peak_rss_bytes"] / (1024 * 1024), 1) + " MiB"]
+        )
+    if resources.get("cpu_time_s") is not None:
+        resource_rows.append(
+            ["CPU time (flow process)",
+             f"{resources['cpu_time_s']:.3g}s"]
+        )
+    sampler = resources.get("sampler") or {}
+    if sampler.get("peak_rss_bytes") is not None:
+        resource_rows.append(
+            ["peak RSS (external sampler)",
+             _num(sampler["peak_rss_bytes"] / (1024 * 1024), 1) + " MiB"]
+        )
+    if sampler.get("cpu_time_s") is not None:
+        resource_rows.append(
+            ["CPU time (external sampler)",
+             f"{sampler['cpu_time_s']:.3g}s"]
+        )
+    resources_html = (
+        _table(["resource", "value"], resource_rows)
+        if resource_rows
+        else _placeholder("no resource telemetry in this report")
+    )
+
+    profile = report.get("profile") or {}
+    profile_html = _placeholder("run was not profiled")
+    if profile.get("hotspots"):
+        profile_html = _table(
+            ["sampled frame", "self", "total", "self share"],
+            [
+                [r["frame"], r["self"], r["total"],
+                 _pct(r.get("self_share"))]
+                for r in profile["hotspots"][:12]
+            ],
+        ) + (
+            '<div class="caption">'
+            f"{_num(profile.get('samples'))} wall-clock samples "
+            f"({_esc(str(profile.get('format', '?')))} profile in the "
+            "job directory)</div>"
+        )
+
     layout = report.get("layout") or {}
     layout_html = (
         floorplan_svg(layout)
@@ -606,6 +652,17 @@ the pool series uses the parent epoch</div>
 <div>
 <h2>Span hotspots (self time)</h2>
 {hotspot_table_html}
+</div>
+</div>
+
+<div class="row">
+<div>
+<h2>Resources</h2>
+{resources_html}
+</div>
+<div>
+<h2>Profile hotspots (sampled)</h2>
+{profile_html}
 </div>
 </div>
 </body>

@@ -4,7 +4,9 @@ A :class:`MetricsRegistry` maps dotted metric names to instruments:
 
 * :class:`Counter` — a monotonically increasing count (``inc``);
 * :class:`Gauge` — a last-write-wins value (``set``);
-* :class:`Histogram` — count/sum/min/max/mean of observed samples
+* :class:`Histogram` — count/sum/min/max/mean of observed samples plus
+  fixed log-spaced buckets (:data:`DEFAULT_BUCKET_LE`) that the
+  OpenMetrics exposition renders as cumulative ``le`` series
   (``observe``).
 
 The registry is deliberately minimal — no labels, no exposition format,
@@ -37,9 +39,20 @@ entry, publishes into its own process-local registry, and ships
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Union
+from bisect import bisect_left
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+# Fixed log-spaced histogram bucket upper bounds (the Prometheus ``le``
+# values).  One shared ladder spanning 1 ms .. 1000 keeps every fold
+# mergeable element-wise: latencies land in the low decades, batch sizes
+# and queue depths in the high ones.  Observations above the last bound
+# go to the implicit ``+Inf`` bucket.
+DEFAULT_BUCKET_LE: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
 
 
 class Counter:
@@ -78,16 +91,36 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count/sum/min/max over observed samples."""
+    """Streaming count/sum/min/max plus fixed log-spaced buckets.
 
-    __slots__ = ("name", "count", "sum", "min", "max")
+    Buckets follow Prometheus ``le`` (value <= bound) semantics but are
+    stored *non-cumulative* — one count per bucket, with a final slot for
+    observations above the last bound (``+Inf``) — so two histograms
+    over the same ladder merge by element-wise addition.  The exposition
+    layer (:mod:`repro.obs.openmetrics`) renders the conventional
+    cumulative ``_bucket{le=...}`` series from them.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "count", "sum", "min", "max", "bucket_le",
+                 "buckets")
+
+    def __init__(
+        self, name: str, bucket_le: Optional[Sequence[float]] = None
+    ):
         self.name = name
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        bounds = tuple(
+            DEFAULT_BUCKET_LE if bucket_le is None else bucket_le
+        )
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bucket bounds must be increasing"
+            )
+        self.bucket_le = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # last slot = +Inf
 
     def observe(self, value: Number) -> None:
         self.count += 1
@@ -96,13 +129,24 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        # First bound >= value is exactly the le (value <= bound) bucket;
+        # past-the-end lands in the +Inf slot.
+        self.buckets[bisect_left(self.bucket_le, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def merge_value(self, value: Dict[str, Number]) -> None:
-        """Fold another histogram's ``to_value()`` dict into this one."""
+    def merge_value(self, value: Dict[str, Any]) -> None:
+        """Fold another histogram's ``to_value()`` dict into this one.
+
+        Same-ladder folds add element-wise; a fold from a different
+        ladder re-buckets each foreign bucket by its upper bound (a
+        conservative placement — the true samples were at or below it);
+        legacy exports without buckets fold their aggregates only, so
+        the local bucket series under-counts and the exposition layer's
+        ``+Inf``-equals-``count`` invariant is restored at render time.
+        """
         count = value.get("count", 0)
         if not count:
             return
@@ -112,8 +156,23 @@ class Histogram:
             self.min = value["min"]
         if value.get("max", float("-inf")) > self.max:
             self.max = value["max"]
+        other_le = tuple(value.get("bucket_le") or ())
+        other_counts = list(value.get("buckets") or ())
+        if not other_counts:
+            # Pre-bucket export: the aggregate fold above is all we get;
+            # account the unattributable samples to +Inf.
+            self.buckets[-1] += count
+            return
+        if other_le == self.bucket_le:
+            for i, n in enumerate(other_counts):
+                self.buckets[i] += n
+            return
+        for bound, n in zip(other_le, other_counts):
+            self.buckets[bisect_left(self.bucket_le, bound)] += n
+        for n in other_counts[len(other_le):]:
+            self.buckets[-1] += n
 
-    def to_value(self) -> Dict[str, Number]:
+    def to_value(self) -> Dict[str, Any]:
         if not self.count:
             return {"count": 0, "sum": 0.0}
         return {
@@ -122,6 +181,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "bucket_le": list(self.bucket_le),
+            "buckets": list(self.buckets),
         }
 
 
@@ -161,6 +222,16 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""
         return self._get(name, Histogram)
+
+    def discard(self, name: str) -> None:
+        """Drop instrument ``name`` if present.
+
+        The live-service layer uses this to retire per-job labelled
+        cells once a job is terminal, so long-lived servers do not
+        accumulate unbounded gauge cardinality.
+        """
+        with self._lock:
+            self._metrics.pop(name, None)
 
     def reset(self) -> None:
         """Forget every registered instrument."""

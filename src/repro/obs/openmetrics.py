@@ -14,10 +14,13 @@ legal Prometheus names as-is):
   characters folded to ``_`` (``floorplan.efa.pruned_inferior`` ->
   ``repro_floorplan_efa_pruned_inferior``);
 * counters gain the conventional ``_total`` suffix; gauges keep the bare
-  name; a histogram ``h`` becomes ``repro_h_count`` / ``repro_h_sum``
-  (counter semantics) plus ``repro_h_min`` / ``repro_h_max`` gauges —
-  the registry's streaming histograms keep no buckets, so they are
-  exposed as summaries of what they do track;
+  name; a histogram ``h`` becomes a real Prometheus histogram family
+  ``repro_h`` — cumulative ``repro_h_bucket{le="..."}`` series ending in
+  ``le="+Inf"`` (equal to the count), plus ``repro_h_count`` and
+  ``repro_h_sum`` — with ``repro_h_min`` / ``repro_h_max`` gauges
+  alongside (the registry's streaming histograms track exact extrema,
+  which buckets cannot recover); legacy value dicts without buckets
+  render the count/sum/min/max subset only;
 * every exposed family is preceded by its ``# TYPE`` (and ``# HELP``
   when provided) line, and the exposition ends with ``# EOF``;
 * label values escape ``\\``, ``"`` and newlines per the spec;
@@ -112,6 +115,17 @@ def _labels_text(labels: Optional[Mapping[str, Any]]) -> str:
     return "{" + ",".join(parts) + "}"
 
 
+# Sample-name suffixes each family kind may emit (and, symmetrically,
+# the suffixes the strict parser attributes back to a declared family).
+_KIND_SUFFIXES: Dict[str, Tuple[str, ...]] = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum"),
+    "summary": ("_count", "_sum", ""),
+    "unknown": ("",),
+}
+
+
 class ExpositionBuilder:
     """Accumulates OpenMetrics families and renders the text exposition.
 
@@ -128,7 +142,7 @@ class ExpositionBuilder:
         self, name: str, kind: str, help_text: Optional[str] = None
     ) -> None:
         """Declare family ``name`` (sanitized) of ``kind``."""
-        if kind not in ("counter", "gauge"):
+        if kind not in ("counter", "gauge", "histogram"):
             raise ValueError(f"unsupported family kind {kind!r}")
         known = self._families.get(name)
         if known is not None:
@@ -145,12 +159,29 @@ class ExpositionBuilder:
         name: str,
         value: Any,
         labels: Optional[Mapping[str, Any]] = None,
+        suffix: Optional[str] = None,
     ) -> None:
-        """Add one sample to a declared family."""
+        """Add one sample to a declared family.
+
+        ``suffix`` defaults to the kind's conventional one (``_total``
+        for counters, bare for gauges); histogram families must say
+        which series (``_bucket`` / ``_count`` / ``_sum``) the sample
+        belongs to.
+        """
         if name not in self._families:
             raise ValueError(f"family {name!r} not declared")
         kind = self._families[name][0]
-        suffix = "_total" if kind == "counter" else ""
+        if suffix is None:
+            if kind == "histogram":
+                raise ValueError(
+                    f"histogram family {name!r} samples need an explicit "
+                    "suffix (_bucket/_count/_sum)"
+                )
+            suffix = "_total" if kind == "counter" else ""
+        elif suffix not in _KIND_SUFFIXES[kind]:
+            raise ValueError(
+                f"family {name!r} ({kind}) cannot emit suffix {suffix!r}"
+            )
         self._samples[name].append(
             f"{name}{suffix}{_labels_text(labels)} {_fmt_value(value)}"
         )
@@ -181,10 +212,63 @@ class ExpositionBuilder:
         return "\n".join(lines) + "\n"
 
 
-def _add_registry_export(
+def _fmt_le(bound: Any) -> str:
+    """An ``le`` label value (``+Inf`` for the overflow bucket)."""
+    number = float(bound)
+    if number == float("inf"):
+        return "+Inf"
+    return _fmt_value(number)
+
+
+def histogram_samples(
+    builder: ExpositionBuilder,
+    name: str,
+    value: Optional[Mapping[str, Any]],
+    labels: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Emit one histogram cell's samples into a declared family.
+
+    Renders the cumulative ``_bucket{le=...}`` series (ending in
+    ``+Inf``, which by construction equals the count) followed by
+    ``_count`` and ``_sum``.  Value dicts without bucket data (legacy
+    exports, or histograms merged from pre-bucket workers) emit
+    count/sum only — still a valid histogram family, just bucket-less.
+    """
+    value = dict(value or {})
+    bucket_le = list(value.get("bucket_le") or ())
+    buckets = list(value.get("buckets") or ())
+    count = value.get("count", 0)
+    if buckets:
+        cumulative = 0
+        for bound, n in zip(bucket_le, buckets):
+            cumulative += n
+            builder.sample(
+                name,
+                cumulative,
+                {**(labels or {}), "le": _fmt_le(bound)},
+                suffix="_bucket",
+            )
+        for n in buckets[len(bucket_le):]:
+            cumulative += n
+        builder.sample(
+            name,
+            cumulative,
+            {**(labels or {}), "le": "+Inf"},
+            suffix="_bucket",
+        )
+    builder.sample(name, count, labels, suffix="_count")
+    builder.sample(name, value.get("sum", 0.0), labels, suffix="_sum")
+
+
+def add_registry_export(
     builder: ExpositionBuilder, exported: Mapping[str, Mapping[str, Any]]
 ) -> None:
-    """Fold a typed :meth:`MetricsRegistry.export` into the builder."""
+    """Fold a typed :meth:`MetricsRegistry.export` into the builder.
+
+    This is the single renderer both the CLI's ``metrics-dump`` and the
+    service's live ``/api/v1/metrics`` endpoint go through, so family
+    names and sanitization can never drift between the two.
+    """
     for raw_name, entry in exported.items():
         kind = entry.get("type")
         value = entry.get("value")
@@ -195,13 +279,9 @@ def _add_registry_export(
             builder.add(raw_name, "gauge", value, help_text=help_text)
         elif kind == "histogram":
             value = value or {}
-            builder.add(
-                f"{raw_name}.count", "counter", value.get("count", 0),
-                help_text=help_text,
-            )
-            builder.add(
-                f"{raw_name}.sum", "counter", value.get("sum", 0.0)
-            )
+            name = sanitize_name(raw_name)
+            builder.family(name, "histogram", help_text)
+            histogram_samples(builder, name, value)
             if value.get("count"):
                 builder.add(f"{raw_name}.min", "gauge", value.get("min"))
                 builder.add(f"{raw_name}.max", "gauge", value.get("max"))
@@ -209,6 +289,10 @@ def _add_registry_export(
             raise ValueError(
                 f"cannot expose metric {raw_name!r}: unknown type {kind!r}"
             )
+
+
+# Backwards-compatible alias for the pre-public name.
+_add_registry_export = add_registry_export
 
 
 def _add_analytics(
@@ -332,7 +416,12 @@ def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
     [(name, labels, value), ...]}}``.  Raises ``ValueError`` on format
     violations: a sample before its ``# TYPE``, a repeated family, an
     illegal metric name, a missing ``# EOF``, or anything after it.
-    This is the round-trip check CI runs on every exposition.
+    Histogram families are additionally semantically checked: every
+    ``_bucket`` series must carry an ``le`` label, be cumulative
+    (non-decreasing with increasing ``le``), terminate in an ``+Inf``
+    bucket, and that ``+Inf`` bucket must equal the family's ``_count``
+    sample for the same label set.  This is the round-trip check CI
+    runs on every exposition.
     """
     families: Dict[str, Dict[str, Any]] = {}
     seen_eof = False
@@ -366,18 +455,21 @@ def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
         if not match:
             raise ValueError(f"line {lineno}: unparsable sample {line!r}")
         sample_name, labels_raw, value_raw = match.groups()
-        family = next(
-            (
-                f
-                for f in families
-                if sample_name == f
-                or (
-                    sample_name.startswith(f)
-                    and sample_name[len(f):] in ("_total",)
-                )
-            ),
-            None,
-        )
+        # Attribute the sample to a declared family: exact name, or the
+        # family plus a suffix its declared type is allowed to emit
+        # (``_total`` for counters; ``_bucket``/``_count``/``_sum`` for
+        # histograms).  Longest family name wins, so ``repro_h_min``
+        # (its own gauge family) never collides with histogram
+        # ``repro_h``.
+        family = None
+        for f in sorted(families, key=len, reverse=True):
+            allowed = _KIND_SUFFIXES.get(families[f]["type"], ("",))
+            if sample_name == f or (
+                sample_name.startswith(f)
+                and sample_name[len(f):] in allowed
+            ):
+                family = f
+                break
         if family is None:
             raise ValueError(
                 f"line {lineno}: sample {sample_name!r} precedes its "
@@ -405,7 +497,59 @@ def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
         )
     if not seen_eof:
         raise ValueError("exposition does not end with # EOF")
+    _check_histograms(families)
     return families
+
+
+def _check_histograms(families: Mapping[str, Dict[str, Any]]) -> None:
+    """Semantic checks on parsed histogram families (see docstring)."""
+    for family, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        # Group _bucket samples by their non-``le`` label set; collect
+        # _count samples by full label set for the +Inf cross-check.
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]
+        series = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for sample_name, labels, value in fam["samples"]:
+            suffix = sample_name[len(family):]
+            if suffix == "_count":
+                counts[tuple(sorted(labels.items()))] = value
+                continue
+            if suffix != "_bucket":
+                continue
+            le_raw = labels.get("le")
+            if le_raw is None:
+                raise ValueError(
+                    f"histogram {family!r}: _bucket sample without le label"
+                )
+            le = float("inf") if le_raw == "+Inf" else float(le_raw)
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            bucket = series.setdefault(key, [])
+            if any(existing == le for existing, _ in bucket):
+                raise ValueError(
+                    f"histogram {family!r}: duplicate le={le_raw!r} bucket"
+                )
+            bucket.append((le, value))
+        for key, bucket in series.items():
+            ordered = sorted(bucket)
+            if ordered[-1][0] != float("inf"):
+                raise ValueError(
+                    f"histogram {family!r}: bucket series missing le=\"+Inf\""
+                )
+            values = [v for _, v in ordered]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise ValueError(
+                    f"histogram {family!r}: bucket counts are not cumulative"
+                )
+            count = counts.get(key)
+            if count is not None and values[-1] != count:
+                raise ValueError(
+                    f"histogram {family!r}: le=\"+Inf\" bucket "
+                    f"({values[-1]}) != _count ({count})"
+                )
 
 
 def _split_labels(body: str) -> List[str]:

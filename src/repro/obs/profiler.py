@@ -1,0 +1,261 @@
+"""Pure-stdlib wall-clock sampling profiler.
+
+A :class:`SamplingProfiler` runs a daemon thread that snapshots the
+target threads' Python stacks via :func:`sys._current_frames` at a fixed
+cadence (default 100 Hz) and aggregates them into collapsed-stack
+counts.  Two output formats:
+
+* ``collapsed`` — Brendan Gregg's collapsed-stack text
+  (``frame;frame;frame count`` per line), directly consumable by
+  ``flamegraph.pl`` and most flame-graph viewers;
+* ``speedscope`` — the speedscope.app JSON file format (one "sampled"
+  profile weighted in seconds), loadable at https://www.speedscope.app.
+
+The profiler is wall-clock, not CPU: a thread blocked in I/O or a lock
+is sampled where it blocks, which is exactly what the flow's
+stage-dominant behaviour needs (the dominant stage span should match the
+dominant sampled frame).  Overhead is one ``sys._current_frames()`` call
+plus a dict update per tick — the harness self-test in CI holds the
+``flow_t4s`` spec inside the existing noise gate with profiling on.
+
+Environment contract: ``REPRO_PROFILE=collapsed|speedscope`` selects the
+format (validated by :func:`profile_format`); the CLI's global
+``--profile-out PATH`` and the job-submit API's ``profile`` field turn
+the profiler on, inferring the format from the path suffix when the
+variable is unset (``.json`` -> speedscope, else collapsed).
+
+Frames are labelled ``name (file:line)`` with the *function definition*
+line, so all samples of one function aggregate to one frame regardless
+of which statement was executing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+DEFAULT_INTERVAL_S = 0.01  # 100 Hz
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_FORMATS = ("collapsed", "speedscope")
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+_MAX_DEPTH = 128
+
+
+def profile_format(raw: Optional[str] = None) -> Optional[str]:
+    """Validate a profile format string (default: ``$REPRO_PROFILE``).
+
+    Returns ``None`` when unset/empty; raises ``ValueError`` on an
+    unknown format so a typo fails loudly instead of silently producing
+    the wrong file.
+    """
+    if raw is None:
+        raw = os.environ.get(PROFILE_ENV, "")
+    raw = raw.strip().lower()
+    if not raw:
+        return None
+    if raw not in PROFILE_FORMATS:
+        raise ValueError(
+            f"unknown profile format {raw!r}; expected one of "
+            f"{'|'.join(PROFILE_FORMATS)}"
+        )
+    return raw
+
+
+def format_for_path(path: str, fmt: Optional[str] = None) -> str:
+    """Resolve the output format for ``path``.
+
+    Explicit ``fmt`` (or ``$REPRO_PROFILE``) wins; otherwise the suffix
+    decides: ``.json`` means speedscope, anything else collapsed text.
+    """
+    resolved = profile_format(fmt)
+    if resolved:
+        return resolved
+    return "speedscope" if str(path).endswith(".json") else "collapsed"
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler for in-process Python threads.
+
+    Usage::
+
+        profiler = SamplingProfiler()
+        profiler.start()
+        ...  # workload
+        profiler.stop()
+        profiler.write("profile.json")  # speedscope by suffix
+
+    By default only the calling thread (usually the main thread) is
+    sampled; pass ``target_thread_ids`` to profile others.  The sampler
+    thread always excludes itself.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        target_thread_ids: Optional[Iterable[int]] = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("profiler interval must be positive")
+        self.interval_s = float(interval_s)
+        self._targets = (
+            frozenset(target_thread_ids)
+            if target_thread_ids is not None
+            else frozenset({threading.get_ident()})
+        )
+        self._stacks: Dict[Tuple[str, ...], int] = {}
+        self._samples = 0
+        self._started_s: Optional[float] = None
+        self._elapsed_s = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._started_s = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_s is not None:
+            self._elapsed_s += time.perf_counter() - self._started_s
+            self._started_s = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self.sample_once(exclude={own_id})
+
+    def sample_once(self, exclude: Iterable[int] = ()) -> None:
+        """Take one stack snapshot (also callable directly in tests)."""
+        excluded = set(exclude)
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id in excluded or thread_id not in self._targets:
+                    continue
+                stack = self._stack_of(frame)
+                if stack:
+                    self._stacks[stack] = self._stacks.get(stack, 0) + 1
+                    self._samples += 1
+
+    @staticmethod
+    def _stack_of(frame: Any) -> Tuple[str, ...]:
+        labels: List[str] = []
+        depth = 0
+        while frame is not None and depth < _MAX_DEPTH:
+            code = frame.f_code
+            labels.append(
+                f"{code.co_name} "
+                f"({os.path.basename(code.co_filename)}:"
+                f"{code.co_firstlineno})"
+            )
+            frame = frame.f_back
+            depth += 1
+        labels.reverse()  # root first
+        return tuple(labels)
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return self._samples
+
+    @property
+    def elapsed_s(self) -> float:
+        elapsed = self._elapsed_s
+        if self._started_s is not None:
+            elapsed += time.perf_counter() - self._started_s
+        return elapsed
+
+    def collapsed(self) -> Dict[str, int]:
+        """``{"root;child;leaf": samples}`` aggregated stack counts."""
+        with self._lock:
+            return {
+                ";".join(stack): count
+                for stack, count in self._stacks.items()
+            }
+
+    def render_collapsed(self) -> str:
+        """Collapsed-stack text, most-sampled stacks first."""
+        rows = sorted(
+            self.collapsed().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return "".join(f"{stack} {count}\n" for stack, count in rows)
+
+    def speedscope(self, name: str = "repro profile") -> Dict[str, Any]:
+        """The profile as a speedscope file-format dict."""
+        with self._lock:
+            stacks = dict(self._stacks)
+        frame_index: Dict[str, int] = {}
+        frames: List[Dict[str, str]] = []
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for stack, count in sorted(
+            stacks.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            indexed = []
+            for label in stack:
+                if label not in frame_index:
+                    frame_index[label] = len(frames)
+                    frames.append({"name": label})
+                indexed.append(frame_index[label])
+            samples.append(indexed)
+            weights.append(count * self.interval_s)
+        total = sum(weights)
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "name": name,
+            "activeProfileIndex": 0,
+            "exporter": "repro-25d",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    def write(self, path: str, fmt: Optional[str] = None) -> str:
+        """Write the profile to ``path``; returns the format used."""
+        import json
+
+        resolved = format_for_path(path, fmt)
+        if resolved == "speedscope":
+            payload = json.dumps(
+                self.speedscope(name=os.path.basename(path)), indent=2
+            )
+            content = payload + "\n"
+        else:
+            content = self.render_collapsed()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return resolved

@@ -14,7 +14,12 @@ of a version-3 report:
 ``schema_version``, ``kind`` (``"repro.run_report"``), ``created_unix_s``,
 ``command`` (optional, the CLI invocation), ``design``, ``floorplan``,
 ``assignment``, ``wirelength``, ``layout``, ``quality``, ``spans``,
-``metrics``, ``metrics_types``, ``telemetry``.
+``metrics``, ``metrics_types``, ``telemetry``, and the optional
+additive ``resources`` section (process peak RSS / CPU time from
+:mod:`repro.obs.resources`, plus the job service's external sampler
+peaks under ``resources["sampler"]``) and ``profile`` section (the
+sampling-profiler format + top hotspot frames, when a job ran
+profiled).
 
 Version 2 added (a) the ``telemetry`` section — the incumbent-vs-time
 ``trajectory``, per-worker ``shard_balance`` gauges and ``heartbeats``
@@ -173,6 +178,7 @@ def build_report(
     telemetry: Optional[Dict[str, Any]] = None,
     command: Optional[str] = None,
     quality: Optional[Dict[str, Any]] = None,
+    resources: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a version-3 run report.
@@ -189,6 +195,10 @@ def build_report(
     derived here from whatever sections are present.  The ``layout``
     section is embedded automatically whenever the floorplan result
     carries a realized floorplan.
+
+    ``resources`` is an additive v3 section (peak RSS, CPU time — see
+    :func:`repro.obs.resources.self_resources`); the job service later
+    grafts its external sampler's peaks in as ``resources["sampler"]``.
     """
     if flow_result is not None:
         design = design or flow_result.design
@@ -241,6 +251,8 @@ def build_report(
         quality = report_quality(report)
     if quality:
         report["quality"] = _jsonable(quality)
+    if resources:
+        report["resources"] = _jsonable(resources)
     if extra:
         report.update(_jsonable(extra))
     return report

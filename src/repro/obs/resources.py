@@ -1,0 +1,212 @@
+"""Per-process CPU/RSS sampling via ``/proc`` (graceful no-op elsewhere).
+
+:func:`read_proc` reads ``/proc/<pid>/stat`` (cumulative user+system CPU
+time) and ``/proc/<pid>/statm`` (resident pages) for any pid the caller
+may inspect; on platforms without procfs it returns ``None`` and every
+consumer degrades to a no-op — the service still runs, it just reports
+no resource gauges.
+
+:class:`ResourceSampler` is the daemon thread the job manager runs: each
+tick it asks ``get_targets()`` for the ``{key: pid}`` map of live
+children, reads procfs for each, derives a CPU percentage from the
+cpu-time delta since the previous tick, tracks peaks, and hands the
+sample to ``on_sample(key, sample)``.  Cadence comes from
+``REPRO_RESOURCE_SAMPLE_S`` (seconds, default 1.0; ``0`` or negative
+disables sampling entirely).
+
+:func:`self_resources` reports the *current* process's peak RSS and CPU
+time via :mod:`resource` — cheap enough to stamp into every run report's
+``resources`` section.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+SAMPLE_ENV = "REPRO_RESOURCE_SAMPLE_S"
+DEFAULT_SAMPLE_S = 1.0
+
+_PROC = "/proc"
+
+try:
+    _CLK_TCK = float(os.sysconf("SC_CLK_TCK"))
+    _PAGE_SIZE = float(os.sysconf("SC_PAGE_SIZE"))
+except (AttributeError, ValueError, OSError):  # pragma: no cover - non-POSIX
+    _CLK_TCK = 100.0
+    _PAGE_SIZE = 4096.0
+
+
+def supported() -> bool:
+    """Whether procfs sampling works here (Linux with /proc mounted)."""
+    return os.path.isdir(os.path.join(_PROC, "self"))
+
+
+def sample_interval_s(raw: Optional[str] = None) -> Optional[float]:
+    """The sampling cadence, or ``None`` when sampling is disabled.
+
+    Reads ``$REPRO_RESOURCE_SAMPLE_S`` (default 1.0 s) unless ``raw`` is
+    given; zero, negative, or unparsable values disable sampling rather
+    than erroring — resource telemetry is advisory, never load-bearing.
+    """
+    if raw is None:
+        raw = os.environ.get(SAMPLE_ENV, "")
+    raw = raw.strip()
+    if not raw:
+        return DEFAULT_SAMPLE_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def read_proc(pid: int) -> Optional[Dict[str, float]]:
+    """``{"cpu_time_s", "rss_bytes"}`` for ``pid``, or ``None``.
+
+    ``None`` means the platform has no procfs or the process is gone —
+    both are expected states, never errors.
+    """
+    try:
+        with open(os.path.join(_PROC, str(pid), "stat"), "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+        with open(os.path.join(_PROC, str(pid), "statm"), "rb") as handle:
+            statm = handle.read().decode("ascii", "replace")
+    except OSError:
+        return None
+    try:
+        # The comm field may contain spaces/parens; everything after the
+        # *last* ')' is fixed-position.  utime/stime are stat fields 14
+        # and 15 (1-based), i.e. indices 11 and 12 after the split.
+        rest = stat.rsplit(")", 1)[1].split()
+        cpu_time_s = (float(rest[11]) + float(rest[12])) / _CLK_TCK
+        rss_bytes = float(statm.split()[1]) * _PAGE_SIZE
+    except (IndexError, ValueError):
+        return None
+    return {"cpu_time_s": cpu_time_s, "rss_bytes": rss_bytes}
+
+
+def self_resources() -> Optional[Dict[str, float]]:
+    """Peak RSS and CPU time of the current process (via getrusage)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    scale = 1.0 if os.uname().sysname == "Darwin" else 1024.0
+    return {
+        "peak_rss_bytes": usage.ru_maxrss * scale,
+        "cpu_time_s": usage.ru_utime + usage.ru_stime,
+    }
+
+
+class ResourceSampler:
+    """Daemon thread sampling a dynamic set of child processes.
+
+    ``get_targets`` returns the current ``{key: pid}`` map (keys are
+    opaque — the job manager uses job ids); ``on_sample`` receives
+    ``(key, sample)`` where the sample dict carries ``cpu_time_s``,
+    ``rss_bytes``, ``cpu_percent`` (derived from the delta to the
+    previous tick; 0.0 on a key's first sighting), and ``t_s`` (a
+    monotonic stamp).  Peaks accumulate per key until :meth:`pop`
+    retires them — the manager pops a job's peaks when it goes terminal
+    and stamps them into the report.
+    """
+
+    def __init__(
+        self,
+        get_targets: Callable[[], Mapping[str, int]],
+        on_sample: Callable[[str, Dict[str, float]], None],
+        interval_s: Optional[float] = None,
+    ):
+        self._get_targets = get_targets
+        self._on_sample = on_sample
+        self.interval_s = (
+            sample_interval_s() if interval_s is None else interval_s
+        )
+        self._last: Dict[str, Dict[str, float]] = {}
+        self._peaks: Dict[str, Dict[str, float]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.interval_s) and supported()
+
+    def start(self) -> "ResourceSampler":
+        if not self.enabled or self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - advisory telemetry
+                pass
+
+    def sample_once(self) -> Dict[str, Dict[str, float]]:
+        """Sample every current target once; returns the samples taken."""
+        now = time.monotonic()
+        samples: Dict[str, Dict[str, float]] = {}
+        targets = dict(self._get_targets())
+        for key, pid in targets.items():
+            reading = read_proc(pid)
+            if reading is None:
+                continue
+            with self._lock:
+                last = self._last.get(key)
+                cpu_percent = 0.0
+                if last is not None and now > last["t_s"]:
+                    cpu_percent = max(
+                        0.0,
+                        100.0
+                        * (reading["cpu_time_s"] - last["cpu_time_s"])
+                        / (now - last["t_s"]),
+                    )
+                sample = {
+                    "t_s": now,
+                    "cpu_time_s": reading["cpu_time_s"],
+                    "rss_bytes": reading["rss_bytes"],
+                    "cpu_percent": cpu_percent,
+                }
+                self._last[key] = sample
+                peaks = self._peaks.setdefault(
+                    key, {"peak_rss_bytes": 0.0, "cpu_time_s": 0.0}
+                )
+                peaks["peak_rss_bytes"] = max(
+                    peaks["peak_rss_bytes"], reading["rss_bytes"]
+                )
+                peaks["cpu_time_s"] = max(
+                    peaks["cpu_time_s"], reading["cpu_time_s"]
+                )
+            samples[key] = sample
+            self._on_sample(key, dict(sample))
+        # Forget state for keys no longer targeted (peaks wait for pop()).
+        with self._lock:
+            for key in list(self._last):
+                if key not in targets:
+                    del self._last[key]
+        return samples
+
+    def pop(self, key: str) -> Optional[Dict[str, float]]:
+        """Retire and return the accumulated peaks for ``key``."""
+        with self._lock:
+            self._last.pop(key, None)
+            return self._peaks.pop(key, None)

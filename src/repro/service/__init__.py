@@ -7,9 +7,13 @@ Four layers, each usable on its own:
   search resume with a provably identical result;
 * :mod:`repro.service.cache` — :class:`ResultCache`, the
   content-addressed, LRU-bounded store of finished flow results;
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics`, the
+  process-global labelled metrics registry behind the live
+  ``GET /api/v1/metrics`` OpenMetrics scrape;
 * :mod:`repro.service.jobs` — :class:`JobManager`, asynchronous
   submit/poll/cancel execution of flows in per-job child processes,
-  with cache-hit short-circuiting and crash/restart resume;
+  with cache-hit short-circuiting, crash/restart resume, and a
+  per-child CPU/RSS resource sampler;
 * :mod:`repro.service.server` / :mod:`repro.service.client` —
   :class:`FloorplanService` (stdlib HTTP transport with NDJSON live
   streaming) and :class:`ServiceClient`, its urllib counterpart.
@@ -24,6 +28,11 @@ from .checkpoint import (
     CheckpointStore,
 )
 from .client import ServiceClient, ServiceError
+from .metrics import (
+    ServiceMetrics,
+    reset_service_metrics,
+    service_metrics,
+)
 from .jobs import (
     CANCELLED,
     DEFAULT_MAX_TERMINAL_JOBS,
@@ -39,7 +48,12 @@ from .jobs import (
     TERMINAL_STATES,
     cache_key,
 )
-from .server import API_PREFIX, FloorplanService, ServiceHandler
+from .server import (
+    API_PREFIX,
+    FloorplanService,
+    OPENMETRICS_CONTENT_TYPE,
+    ServiceHandler,
+)
 
 __all__ = [
     "API_PREFIX",
@@ -54,6 +68,7 @@ __all__ = [
     "FloorplanService",
     "Job",
     "JobManager",
+    "OPENMETRICS_CONTENT_TYPE",
     "QUEUED",
     "RESULT_KIND",
     "RESULT_SCHEMA_VERSION",
@@ -63,6 +78,9 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceHandler",
+    "ServiceMetrics",
     "TERMINAL_STATES",
     "cache_key",
+    "reset_service_metrics",
+    "service_metrics",
 ]

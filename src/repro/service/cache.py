@@ -138,12 +138,14 @@ class ResultCache:
 
     def stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction counters plus the current entry count."""
+        lookups = self.hits + self.misses
         return {
             "entries": len(self),
             "max_entries": self.max_entries,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_ratio": (self.hits / lookups) if lookups else None,
         }
 
     def clear(self) -> None:

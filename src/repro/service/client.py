@@ -168,11 +168,16 @@ class ServiceClient:
         """GET ``/stats``."""
         return self._request("/stats")
 
+    def metrics(self) -> str:
+        """GET ``/metrics`` — the raw OpenMetrics text exposition."""
+        return self._request_text("/metrics")
+
     def submit(
         self,
         design: Dict[str, Any],
         config: Optional[Dict[str, Any]] = None,
         timeout_s: Optional[float] = None,
+        profile: Optional[str] = None,
     ) -> Dict[str, Any]:
         """POST a job; returns its status view (maybe already DONE/cached).
 
@@ -181,12 +186,18 @@ class ServiceClient:
         the server, the retry returns that already-registered job (the
         server matches on the design+config content hash) instead of
         queueing the flow twice.
+
+        ``profile`` (``"collapsed"``/``"speedscope"``) runs the job
+        under the server's sampling profiler; fetch the file with
+        :meth:`profile` afterwards.
         """
         body: Dict[str, Any] = {"design": design}
         if config is not None:
             body["config"] = config
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        if profile is not None:
+            body["profile"] = profile
         try:
             return self._request(
                 "/jobs", method="POST", body=body, retryable=False
@@ -228,7 +239,16 @@ class ServiceClient:
 
     def dashboard(self, job_id: str) -> str:
         """GET the finished job's dashboard HTML."""
-        req = urllib.request.Request(self._url(f"/jobs/{job_id}/dashboard"))
+        return self._request_text(f"/jobs/{job_id}/dashboard")
+
+    def profile(self, job_id: str) -> str:
+        """GET the job's sampling profile (speedscope JSON or collapsed
+        text, whichever the submission asked for)."""
+        return self._request_text(f"/jobs/{job_id}/profile")
+
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint's body as text."""
+        req = urllib.request.Request(self._url(path))
         try:
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
                 return resp.read().decode()

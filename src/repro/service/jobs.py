@@ -66,6 +66,7 @@ from ..validate.lint import DesignLintError, ERROR, check_design
 from ..validate.verify_result import verify_result_payload
 from .cache import DEFAULT_MAX_ENTRIES, ResultCache
 from .checkpoint import CheckpointStore
+from .metrics import ServiceMetrics, service_metrics
 
 logger = obs.get_logger("service.jobs")
 
@@ -256,6 +257,13 @@ def _job_worker_main(job_dir: str, parent_pid: int, event_queue) -> None:
     file behind: ``result.json`` on success, ``error.json`` on a flow
     exception.  A crash leaves neither — that absence is what tells the
     parent to requeue-and-resume.
+
+    A ``profile`` field in the spec (or ``REPRO_PROFILE`` in the
+    inherited environment) runs the flow under the sampling profiler
+    and drops ``profile.json``/``profile.txt`` beside the result, with
+    the hotspot summary folded into the report.  On exit — success or
+    failure — the child ships its typed metrics export back over the
+    event queue for the parent's :class:`ServiceMetrics` to merge.
     """
     _start_parent_watchdog(parent_pid)
     job_path = Path(job_dir)
@@ -275,8 +283,31 @@ def _job_worker_main(job_dir: str, parent_pid: int, event_queue) -> None:
         if not cfg.portfolio and len(design.dies) <= DEFAULT_DIE_THRESHOLD:
             checkpoint = _open_checkpoint(job_path / "checkpoint.json")
             floorplanner = _mix_floorplanner(cfg, checkpoint)
-        result = run_flow(design, cfg, floorplanner=floorplanner)
+        raw_profile = spec.get("profile")
+        profile_fmt = obs.profile_format(raw_profile if raw_profile else None)
+        profiler = (
+            obs.SamplingProfiler().start() if profile_fmt else None
+        )
+        try:
+            result = run_flow(design, cfg, floorplanner=floorplanner)
+        finally:
+            if profiler is not None:
+                profiler.stop()
         payload = _result_payload(design, result)
+        if profiler is not None:
+            suffix = "json" if profile_fmt == "speedscope" else "txt"
+            profiler.write(
+                str(job_path / f"profile.{suffix}"), profile_fmt
+            )
+            report = payload.get("report")
+            if isinstance(report, dict):
+                report["profile"] = {
+                    "format": profile_fmt,
+                    "samples": profiler.sample_count,
+                    "hotspots": obs.profile_hotspots(
+                        profiler.collapsed()
+                    ),
+                }
         if faults.should_fire("verify_tamper"):
             # Chaos: misreport the achieved wirelength, the way a solver
             # bookkeeping bug would.  The parent's verification gate
@@ -293,6 +324,13 @@ def _job_worker_main(job_dir: str, parent_pid: int, event_queue) -> None:
                 "traceback": traceback.format_exc(),
             },
         )
+    finally:
+        try:
+            event_queue.put(
+                {"type": "metrics", "export": obs.export_metrics()}
+            )
+        except Exception:  # noqa: BLE001 - advisory telemetry
+            pass
 
 
 # -- parent side -------------------------------------------------------------
@@ -354,6 +392,7 @@ class JobManager:
         crash_retries: int = DEFAULT_CRASH_RETRIES,
         start_method: Optional[str] = None,
         max_terminal_jobs: int = DEFAULT_MAX_TERMINAL_JOBS,
+        metrics: Optional[ServiceMetrics] = None,
     ):
         self.data_dir = Path(data_dir)
         self.jobs_dir = self.data_dir / "jobs"
@@ -364,11 +403,19 @@ class JobManager:
         self.max_terminal_jobs = max(0, max_terminal_jobs)
         self.start_method = start_method
         self.max_workers = max(1, max_workers)
+        # Metrics and the resource sampler exist before _recover(): a
+        # recovery requeue already increments the resume counter.
+        self.metrics = metrics if metrics is not None else service_metrics()
+        self._cache_counted = {"hits": 0, "misses": 0, "evictions": 0}
+        self.resources = obs.ResourceSampler(
+            self._resource_targets, self._on_resource_sample
+        )
         self._jobs: Dict[str, Job] = {}
         self._events = threading.Condition()
         self._queue: "queue_mod.Queue[Optional[str]]" = queue_mod.Queue()
         self._stop = threading.Event()
         self._recover()
+        self.resources.start()
         self._threads = [
             threading.Thread(
                 target=self._runner_loop, name=f"job-runner-{i}", daemon=True
@@ -386,6 +433,7 @@ class JobManager:
         config: Union[FlowConfig, Dict[str, Any], None] = None,
         timeout_s: Optional[float] = None,
         dedupe: bool = False,
+        profile: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Register one flow run; return its status view immediately.
 
@@ -401,8 +449,20 @@ class JobManager:
         with the same cache key already exists, its view is returned
         instead of a duplicate being queued — a retried POST whose first
         attempt actually landed does not run the flow twice.
+
+        ``profile`` (``"collapsed"`` or ``"speedscope"``) runs the job
+        child under the sampling profiler; the profile file lands in the
+        job directory (``GET /jobs/<id>/profile``) and the hotspot
+        summary in the report.  Profiling does not enter the cache key —
+        it never changes the result — so a profiled resubmission of a
+        cached design is an (unprofiled) cache hit.
         """
+        profile_fmt = obs.profile_format(profile) if profile else None
         design_obj = check_design(design)
+        self.metrics.counter(
+            "service.jobs.submitted",
+            help="Job submissions accepted (past design lint)",
+        ).inc()
         if config is None:
             cfg = FlowConfig()
         elif isinstance(config, FlowConfig):
@@ -439,14 +499,14 @@ class JobManager:
         )
         job.dir = self.jobs_dir / job.id
         job.dir.mkdir(parents=True, exist_ok=True)
-        _write_json_atomic(
-            job.dir / "spec.json",
-            {
-                "design": design_to_dict(design_obj),
-                "config": flow_config_to_dict(cfg),
-                "timeout_s": job.timeout_s,
-            },
-        )
+        spec: Dict[str, Any] = {
+            "design": design_to_dict(design_obj),
+            "config": flow_config_to_dict(cfg),
+            "timeout_s": job.timeout_s,
+        }
+        if profile_fmt:
+            spec["profile"] = profile_fmt
+        _write_json_atomic(job.dir / "spec.json", spec)
         cached_payload = self.cache.get(key)
         if cached_payload is not None:
             # Trust-but-verify: a cached result is re-checked against the
@@ -557,16 +617,87 @@ class JobManager:
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
+        cache = self.cache.stats()
         return {
             "jobs": dict(sorted(by_state.items())),
             "queued": self._queue.qsize(),
+            "queue_depth": self._queue.qsize(),
             "workers": self.max_workers,
-            "cache": self.cache.stats(),
+            "uptime_s": round(self.metrics.uptime_s, 3),
+            "cache_hit_ratio": cache.get("hit_ratio"),
+            "cache": cache,
         }
+
+    def profile(self, job_id: str) -> Tuple[str, str]:
+        """A finished job's profile as ``(text, format)``.
+
+        Raises ``KeyError`` for an unknown job, ``LookupError`` when the
+        job was not submitted with profiling (or has not produced the
+        file yet).
+        """
+        with self._events:
+            job = self._jobs[job_id]
+        for fmt, name in (
+            ("speedscope", "profile.json"),
+            ("collapsed", "profile.txt"),
+        ):
+            path = job.dir / name
+            if path.exists():
+                return path.read_text(), fmt
+        raise LookupError(f"job {job_id} has no profile")
+
+    def render_metrics(self) -> str:
+        """The live OpenMetrics exposition for ``GET /api/v1/metrics``.
+
+        Point-in-time gauges (job states, queue depth, cache entries,
+        uptime) are refreshed from the authoritative structures at
+        scrape time; counters and histograms accumulate as events
+        happen.  Cache hit/miss/eviction counters mirror the
+        :class:`ResultCache`'s cumulative totals via delta-increments so
+        the exposed counters stay monotonic.
+        """
+        with self._events:
+            by_state = {state: 0 for state in sorted(
+                (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+            )}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+        for state, count in by_state.items():
+            self.metrics.gauge(
+                "service.jobs.state",
+                {"state": state.lower()},
+                help="Jobs currently in each lifecycle state",
+            ).set(count)
+        self.metrics.gauge(
+            "service.queue.depth",
+            help="Submitted jobs waiting for a free runner",
+        ).set(self._queue.qsize())
+        self.metrics.gauge(
+            "service.uptime_seconds",
+            help="Seconds since the service metrics scope started",
+        ).set(round(self.metrics.uptime_s, 3))
+        cache = self.cache.stats()
+        self.metrics.gauge(
+            "service.cache.entries",
+            help="Result-cache entries currently on disk",
+        ).set(cache["entries"])
+        for field_name, help_text in (
+            ("hits", "Result-cache lookups answered from disk"),
+            ("misses", "Result-cache lookups that ran the flow"),
+            ("evictions", "Result-cache entries evicted (LRU or poison)"),
+        ):
+            delta = cache[field_name] - self._cache_counted[field_name]
+            if delta > 0:
+                self.metrics.counter(
+                    f"service.cache.{field_name}", help=help_text
+                ).inc(delta)
+                self._cache_counted[field_name] = cache[field_name]
+        return self.metrics.render()
 
     def shutdown(self) -> None:
         """Stop the runner threads and terminate any running children."""
         self._stop.set()
+        self.resources.stop()
         with self._events:
             procs = [j.proc for j in self._jobs.values() if j.proc is not None]
             self._events.notify_all()
@@ -624,6 +755,7 @@ class JobManager:
                 job.state = QUEUED
                 self._persist(job)
                 self._queue.put(job.id)
+                self._count_resume()
                 logger.info("job %s: salvaged and requeued", job.id)
                 continue
             job = Job(
@@ -657,8 +789,16 @@ class JobManager:
             job.state = QUEUED
             self._persist(job)
             self._queue.put(job.id)
+            self._count_resume()
             logger.info("job %s: requeued after restart", job.id)
         self._gc_terminal_locked()
+
+    def _count_resume(self) -> None:
+        self.metrics.counter(
+            "service.jobs.resumed",
+            help="Jobs requeued to resume from checkpoint (crash or "
+            "restart)",
+        ).inc()
 
     def _salvage_job(self, job_dir: Path) -> Optional[Job]:
         """Rebuild a job record from ``spec.json`` when state.json tore.
@@ -727,8 +867,20 @@ class JobManager:
         now = round(time.time(), 3)
         if state == RUNNING and job.started_unix_s is None:
             job.started_unix_s = now
+            self.metrics.histogram(
+                "service.job.queue_wait_seconds",
+                help="Seconds jobs spent queued before a runner took them",
+            ).observe(max(0.0, now - job.created_unix_s))
         if state in TERMINAL_STATES:
             job.finished_unix_s = now
+            if job.started_unix_s is not None and not job.cached:
+                self.metrics.histogram(
+                    "service.job.run_seconds",
+                    help="Wall-clock seconds from first start to terminal",
+                ).observe(max(0.0, now - job.started_unix_s))
+            self.resources.pop(job.id)
+            self.metrics.discard("job.cpu_percent", {"job": job.id})
+            self.metrics.discard("job.rss_bytes", {"job": job.id})
         event: Dict[str, Any] = {"type": "state", "state": state}
         if job.cached:
             event["cached"] = True
@@ -765,6 +917,61 @@ class JobManager:
     def _append_event(self, job: Job, event: Dict[str, Any]) -> None:
         with self._events:
             self._append_event_locked(job, event)
+
+    def _consume_event(self, job: Job, event: Dict[str, Any]) -> None:
+        """Route one child-queue event: metrics exports merge, the rest
+        append to the job's event log."""
+        if isinstance(event, dict) and event.get("type") == "metrics":
+            try:
+                self.metrics.merge_child(event.get("export") or {})
+            except Exception:  # noqa: BLE001 - advisory telemetry
+                logger.exception(
+                    "job %s: child metrics merge failed", job.id
+                )
+            return
+        self._append_event(job, event)
+
+    # -- resource sampling ---------------------------------------------------
+
+    def _resource_targets(self) -> Dict[str, int]:
+        """``{job_id: pid}`` of every live job child (sampler callback)."""
+        with self._events:
+            return {
+                job.id: job.proc.pid
+                for job in self._jobs.values()
+                if job.state == RUNNING
+                and job.proc is not None
+                and job.proc.pid is not None
+            }
+
+    def _on_resource_sample(
+        self, job_id: str, sample: Dict[str, float]
+    ) -> None:
+        """Publish one job's resource sample (sampler callback)."""
+        labels = {"job": job_id}
+        self.metrics.gauge(
+            "job.cpu_percent",
+            labels,
+            help="CPU utilization of the job child over the last sample "
+            "interval",
+        ).set(round(sample["cpu_percent"], 2))
+        self.metrics.gauge(
+            "job.rss_bytes",
+            labels,
+            help="Resident set size of the job child",
+        ).set(sample["rss_bytes"])
+        with self._events:
+            job = self._jobs.get(job_id)
+            if job is not None and job.state == RUNNING:
+                self._append_event_locked(
+                    job,
+                    {
+                        "type": "resources",
+                        "cpu_percent": round(sample["cpu_percent"], 2),
+                        "rss_bytes": sample["rss_bytes"],
+                        "cpu_time_s": round(sample["cpu_time_s"], 3),
+                    },
+                )
 
     def _runner_loop(self) -> None:
         while not self._stop.is_set():
@@ -841,7 +1048,7 @@ class JobManager:
                 outcome = "timeout"
                 break
             try:
-                self._append_event(job, event_queue.get(timeout=0.1))
+                self._consume_event(job, event_queue.get(timeout=0.1))
                 continue
             except queue_mod.Empty:
                 pass
@@ -856,7 +1063,7 @@ class JobManager:
         exitcode = proc.exitcode
         while True:
             try:
-                self._append_event(job, event_queue.get_nowait())
+                self._consume_event(job, event_queue.get_nowait())
             except queue_mod.Empty:
                 break
         job.proc = None
@@ -914,6 +1121,22 @@ class JobManager:
                         len(diagnostics),
                     )
                     return
+                # Stamp the external sampler's peaks into the report and
+                # rewrite result.json BEFORE the cache put, so a later
+                # cache hit serves byte-identical content.
+                peaks = self.resources.pop(job.id)
+                if peaks:
+                    report = payload.get("report")
+                    if isinstance(report, dict):
+                        resources = report.setdefault("resources", {})
+                        if isinstance(resources, dict):
+                            resources["sampler"] = {
+                                "peak_rss_bytes": peaks["peak_rss_bytes"],
+                                "cpu_time_s": round(
+                                    peaks["cpu_time_s"], 3
+                                ),
+                            }
+                            _write_json_atomic(result_path, payload)
                 self.cache.put(job.cache_key, payload)
                 with self._events:
                     self._append_event_locked(
@@ -957,6 +1180,7 @@ class JobManager:
                 )
                 self._transition(job, QUEUED)
                 self._queue.put(job.id)
+                self._count_resume()
             else:
                 job.error = (
                     f"job process died (exit {exitcode}) with no result "

@@ -12,8 +12,10 @@ GET       ``/api/v1/jobs/<id>/events``   live NDJSON heartbeat/incumbent stream
 GET       ``/api/v1/jobs/<id>/result``   the finished result document
 GET       ``/api/v1/jobs/<id>/report``   just its schema-v3 run report
 GET       ``/api/v1/jobs/<id>/dashboard`` the report rendered as HTML
+GET       ``/api/v1/jobs/<id>/profile``  the job's sampling profile
 GET       ``/api/v1/healthz``            liveness probe
 GET       ``/api/v1/stats``              job/cache/queue counters
+GET       ``/api/v1/metrics``            live OpenMetrics scrape
 ========  =============================  =======================================
 
 The events endpoint streams one JSON object per line
@@ -23,12 +25,20 @@ follow a search live without polling.  Everything runs on
 ``ThreadingHTTPServer`` — one thread per connection, blocking handlers —
 which is exactly enough for a workstation-local solver service and keeps
 the dependency budget at zero.
+
+Every request is instrumented into the manager's
+:class:`~repro.service.metrics.ServiceMetrics`: a
+``repro_http_requests_total{method,endpoint,status}`` counter and a
+``repro_http_request_seconds{method,endpoint}`` latency histogram, with
+the endpoint label normalized to its route template (``/jobs/{id}``,
+never a raw job id) so label cardinality stays bounded.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -40,6 +50,10 @@ logger = obs.get_logger("service.server")
 
 API_PREFIX = "/api/v1"
 
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
 # One blocking wait per streaming poll; short enough that cancellation
 # and client disconnects are noticed promptly.
 _STREAM_POLL_S = 0.5
@@ -48,7 +62,12 @@ _STREAM_POLL_S = 0.5
 # paper's largest benchmarks is well under 1 MiB).
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
-__all__ = ["API_PREFIX", "FloorplanService", "ServiceHandler"]
+__all__ = [
+    "API_PREFIX",
+    "FloorplanService",
+    "OPENMETRICS_CONTENT_TYPE",
+    "ServiceHandler",
+]
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -63,6 +82,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def log_message(self, fmt: str, *args: Any) -> None:
         logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._last_status = code
+        super().send_response(code, message)
 
     def _send_json(
         self, status: int, payload: Union[Dict[str, Any], list]
@@ -85,9 +108,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             pass
 
     def _send_html(self, status: int, html: str) -> None:
-        body = html.encode()
+        self._send_text(status, html, "text/html; charset=utf-8")
+
+    def _send_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode()
         self.send_response(status)
-        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -127,9 +155,54 @@ class ServiceHandler(BaseHTTPRequestHandler):
             parts[2] if len(parts) > 2 else None,
         )
 
+    def _endpoint_template(self) -> str:
+        """The route template for metric labels (bounded cardinality)."""
+        try:
+            collection, job_id, action = self._route()
+        except LookupError:
+            return "other"
+        if collection == "jobs" and job_id is not None:
+            return f"/jobs/{{id}}/{action}" if action else "/jobs/{id}"
+        return f"/{collection}"
+
+    def _instrumented(self, method: str, handler) -> None:
+        """Run a verb handler under request count + latency metrics."""
+        self._last_status = 0
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - started
+            try:
+                metrics = self.service.manager.metrics
+                endpoint = self._endpoint_template()
+                metrics.counter(
+                    "http.requests",
+                    {
+                        "method": method,
+                        "endpoint": endpoint,
+                        "status": self._last_status or 0,
+                    },
+                    help="HTTP requests handled, by route template and "
+                    "status",
+                ).inc()
+                metrics.histogram(
+                    "http.request_seconds",
+                    {"method": method, "endpoint": endpoint},
+                    help="HTTP request handling latency",
+                ).observe(elapsed)
+            except Exception:  # noqa: BLE001 - telemetry never breaks serving
+                logger.exception("request metrics update failed")
+
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         try:
             collection, job_id, action = self._route()
         except LookupError:
@@ -141,6 +214,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"ok": True})
             elif collection == "stats" and job_id is None:
                 self._send_json(200, manager.stats())
+            elif collection == "metrics" and job_id is None:
+                self._send_text(
+                    200,
+                    manager.render_metrics(),
+                    OPENMETRICS_CONTENT_TYPE,
+                )
             elif collection == "jobs" and job_id is None:
                 self._send_json(200, {"jobs": manager.list_jobs()})
             elif collection == "jobs" and action is None:
@@ -161,6 +240,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._send_error_json(404, "result carries no report")
                 else:
                     self._send_html(200, obs.render_dashboard(report))
+            elif collection == "jobs" and action == "profile":
+                text, fmt = manager.profile(job_id)
+                self._send_text(
+                    200,
+                    text,
+                    "application/json"
+                    if fmt == "speedscope"
+                    else "text/plain; charset=utf-8",
+                )
             else:
                 self._send_error_json(404, f"no such endpoint: {self.path}")
         except KeyError:
@@ -173,7 +261,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             logger.exception("GET %s: internal error", self.path)
             self._try_send_error(500, f"internal error: {exc}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _handle_post(self) -> None:
         try:
             collection, job_id, action = self._route()
         except LookupError:
@@ -191,6 +279,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     config=body.get("config"),
                     timeout_s=body.get("timeout_s"),
                     dedupe=bool(body.get("dedupe")),
+                    profile=body.get("profile"),
                 )
             except DesignLintError as exc:
                 # Linted rejection: the full machine-readable diagnostic

@@ -73,6 +73,7 @@ def lint_exposition(text: str) -> None:
     lines = text.splitlines()
     assert lines[-1] == "# EOF"
     declared = set()
+    suffixes = ("_total", "_bucket", "_count", "_sum")
     for line in lines[:-1]:
         assert line.strip(), "blank line inside the exposition"
         if line.startswith("# TYPE "):
@@ -82,8 +83,10 @@ def lint_exposition(text: str) -> None:
             continue
         assert not line.startswith("#"), f"unknown comment: {line!r}"
         name = line.split("{")[0].split()[0]
-        base = name[:-len("_total")] if name.endswith("_total") else name
-        assert name in declared or base in declared, (
+        bases = {name} | {
+            name[:-len(s)] for s in suffixes if name.endswith(s)
+        }
+        assert bases & declared, (
             f"sample {name!r} not preceded by its # TYPE line"
         )
 
@@ -161,16 +164,16 @@ class TestRenderReport:
         assert "repro_assign_mcmf_augmenting_paths_total 7" in text
         assert "# TYPE repro_floorplan_efa_pruned_illegal counter" in text
 
-    def test_histogram_expands_to_count_sum_min_max(self):
+    def test_histogram_renders_native_family(self):
         families = parse_exposition(render_report(REPORT))
-        assert families["repro_eval_batch_sizes_count"]["type"] == "counter"
+        assert families["repro_eval_batch_sizes"]["type"] == "histogram"
         samples = {
             name: value
             for fam in families.values()
             for name, _, value in fam["samples"]
         }
-        assert samples["repro_eval_batch_sizes_count_total"] == 2
-        assert samples["repro_eval_batch_sizes_sum_total"] == 6.0
+        assert samples["repro_eval_batch_sizes_count"] == 2
+        assert samples["repro_eval_batch_sizes_sum"] == 6.0
         assert samples["repro_eval_batch_sizes_min"] == 2.0
         assert samples["repro_eval_batch_sizes_max"] == 4.0
 
@@ -197,7 +200,8 @@ class TestRenderReport:
         text = render_report(report)
         # No metrics_types: scalars become gauges (no _total suffix).
         assert "\nrepro_plain 4\n" in text
-        assert "repro_hist_count_total 1" in text
+        assert "# TYPE repro_hist histogram" in text
+        assert "\nrepro_hist_count 1\n" in text
 
     def test_unknown_declared_type_raises(self):
         report = {"metrics": {"x": 1}, "metrics_types": {"x": "bogus"}}
@@ -216,9 +220,151 @@ class TestRenderRegistry:
         assert families["repro_c"]["type"] == "counter"
         assert families["repro_c"]["samples"] == [("repro_c_total", {}, 2.0)]
         assert families["repro_g"]["samples"] == [("repro_g", {}, 1.5)]
-        assert families["repro_h_count"]["samples"] == [
-            ("repro_h_count_total", {}, 2.0)
+        assert families["repro_h"]["type"] == "histogram"
+        samples = dict(
+            ((name, labels.get("le")), value)
+            for name, labels, value in families["repro_h"]["samples"]
+        )
+        assert samples[("repro_h_count", None)] == 2.0
+        assert samples[("repro_h_sum", None)] == 4.0
+        # Cumulative le series: 1.0 falls in le="1", 3.0 in le="5".
+        assert samples[("repro_h_bucket", "1")] == 1.0
+        assert samples[("repro_h_bucket", "2.5")] == 1.0
+        assert samples[("repro_h_bucket", "5")] == 2.0
+        assert samples[("repro_h_bucket", "+Inf")] == 2.0
+
+    def test_min_max_gauges_do_not_collide_with_family(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.5)
+        families = parse_exposition(render_registry(reg))
+        assert families["repro_h_min"]["type"] == "gauge"
+        assert families["repro_h_min"]["samples"] == [
+            ("repro_h_min", {}, 0.5)
         ]
+        assert families["repro_h_max"]["samples"] == [
+            ("repro_h_max", {}, 0.5)
+        ]
+
+
+class TestHistogramBuckets:
+    def test_observe_fills_le_buckets(self):
+        from repro.obs.metrics import DEFAULT_BUCKET_LE, Histogram
+
+        hist = Histogram("h")
+        for value in (0.0005, 0.001, 0.002, 7.0, 5000.0):
+            hist.observe(value)
+        value = hist.to_value()
+        assert value["bucket_le"] == list(DEFAULT_BUCKET_LE)
+        assert sum(value["buckets"]) == value["count"] == 5
+        # 0.0005 and 0.001 both land in le<=0.001 (le is inclusive).
+        assert value["buckets"][0] == 2
+        assert value["buckets"][-1] == 1  # 5000.0 overflows to +Inf
+
+    def test_merge_same_ladder_is_elementwise(self):
+        from repro.obs.metrics import Histogram
+
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(0.01)
+        b.observe(0.01)
+        b.observe(100.0)
+        a.merge_value(b.to_value())
+        value = a.to_value()
+        assert value["count"] == 3
+        assert sum(value["buckets"]) == 3
+
+    def test_merge_foreign_ladder_rebuckets_by_bound(self):
+        from repro.obs.metrics import Histogram
+
+        a = Histogram("h")
+        a.merge_value({
+            "count": 3, "sum": 3.0, "min": 0.5, "max": 2.0, "mean": 1.0,
+            "bucket_le": [0.7, 2.0], "buckets": [1, 2, 0],
+        })
+        value = a.to_value()
+        assert value["count"] == 3
+        assert sum(value["buckets"]) == 3
+
+    def test_merge_bucketless_export_credits_inf(self):
+        from repro.obs.metrics import Histogram
+
+        a = Histogram("h")
+        a.observe(1.0)
+        a.merge_value({"count": 4, "sum": 8.0, "min": 1.0, "max": 3.0})
+        value = a.to_value()
+        # The +Inf slot absorbs the unattributable legacy samples so the
+        # rendered +Inf bucket still equals the count.
+        assert value["count"] == 5
+        assert sum(value["buckets"]) == 5
+
+    def test_rendered_buckets_pass_strict_parser(self):
+        reg = MetricsRegistry()
+        for value in (0.002, 0.3, 40.0, 5000.0):
+            reg.histogram("lat").observe(value)
+        parse_exposition(render_registry(reg))
+
+
+class TestParserBucketChecks:
+    @staticmethod
+    def _doc(bucket_lines):
+        return (
+            "# TYPE repro_h histogram\n"
+            + "".join(line + "\n" for line in bucket_lines)
+            + "# EOF\n"
+        )
+
+    def test_non_cumulative_buckets_rejected(self):
+        doc = self._doc([
+            'repro_h_bucket{le="1"} 5',
+            'repro_h_bucket{le="+Inf"} 3',
+            "repro_h_count 3",
+            "repro_h_sum 2",
+        ])
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_exposition(doc)
+
+    def test_missing_inf_bucket_rejected(self):
+        doc = self._doc([
+            'repro_h_bucket{le="1"} 2',
+            "repro_h_count 2",
+            "repro_h_sum 2",
+        ])
+        with pytest.raises(ValueError, match=r"missing le=\"\+Inf\""):
+            parse_exposition(doc)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        doc = self._doc([
+            'repro_h_bucket{le="+Inf"} 2',
+            "repro_h_count 3",
+            "repro_h_sum 2",
+        ])
+        with pytest.raises(ValueError, match="!= _count"):
+            parse_exposition(doc)
+
+    def test_duplicate_le_rejected(self):
+        doc = self._doc([
+            'repro_h_bucket{le="1"} 2',
+            'repro_h_bucket{le="1"} 2',
+            'repro_h_bucket{le="+Inf"} 2',
+        ])
+        with pytest.raises(ValueError, match="duplicate le"):
+            parse_exposition(doc)
+
+    def test_bucket_without_le_rejected(self):
+        doc = self._doc(['repro_h_bucket{x="1"} 2'])
+        with pytest.raises(ValueError, match="without le label"):
+            parse_exposition(doc)
+
+    def test_labelled_series_checked_independently(self):
+        doc = self._doc([
+            'repro_h_bucket{job="a",le="1"} 1',
+            'repro_h_bucket{job="a",le="+Inf"} 2',
+            'repro_h_bucket{job="b",le="1"} 4',
+            'repro_h_bucket{job="b",le="+Inf"} 4',
+            'repro_h_count{job="a"} 2',
+            'repro_h_count{job="b"} 4',
+        ])
+        families = parse_exposition(doc)
+        assert len(families["repro_h"]["samples"]) == 6
 
 
 class TestParserStrictness:

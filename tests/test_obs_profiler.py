@@ -1,0 +1,187 @@
+"""Tests for the wall-clock sampling profiler (repro.obs.profiler)."""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.obs.analytics import profile_hotspots
+from repro.obs.profiler import (
+    SPEEDSCOPE_SCHEMA,
+    SamplingProfiler,
+    format_for_path,
+    profile_format,
+)
+
+
+def _busy_hot_function(duration_s: float = 0.25) -> int:
+    """A deterministic CPU-bound fixture the profiler must attribute."""
+    deadline = time.perf_counter() + duration_s
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+def _profiled_busy_run() -> SamplingProfiler:
+    profiler = SamplingProfiler(interval_s=0.002)
+    with profiler:
+        _busy_hot_function()
+    return profiler
+
+
+class TestFormatSelection:
+    def test_unset_env_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_format() is None
+
+    def test_env_formats_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "collapsed")
+        assert profile_format() == "collapsed"
+        monkeypatch.setenv("REPRO_PROFILE", "SpeedScope")
+        assert profile_format() == "speedscope"
+        monkeypatch.setenv("REPRO_PROFILE", "flamegraph")
+        with pytest.raises(ValueError, match="unknown profile format"):
+            profile_format()
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "collapsed")
+        assert profile_format("speedscope") == "speedscope"
+
+    def test_path_suffix_infers_format(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert format_for_path("prof.json") == "speedscope"
+        assert format_for_path("prof.txt") == "collapsed"
+        monkeypatch.setenv("REPRO_PROFILE", "collapsed")
+        assert format_for_path("prof.json") == "collapsed"
+
+
+class TestSampling:
+    def test_collapsed_names_the_hot_function(self):
+        profiler = _profiled_busy_run()
+        assert profiler.sample_count > 10
+        collapsed = profiler.collapsed()
+        hot = sum(
+            count
+            for stack, count in collapsed.items()
+            if "_busy_hot_function" in stack.split(";")[-1]
+        )
+        # The busy loop dominates wall-clock, so it must dominate samples.
+        assert hot / profiler.sample_count > 0.5
+
+    def test_hotspot_summary_ranks_hot_function_first(self):
+        profiler = _profiled_busy_run()
+        rows = profile_hotspots(profiler.collapsed(), limit=3)
+        assert rows
+        assert "_busy_hot_function" in rows[0]["frame"]
+        assert rows[0]["self_share"] > 0.5
+
+    def test_render_collapsed_format(self):
+        profiler = _profiled_busy_run()
+        lines = profiler.render_collapsed().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+            assert ";" not in count
+
+    def test_only_target_threads_sampled(self):
+        # Target a fake thread id: nothing may be attributed.
+        profiler = SamplingProfiler(
+            interval_s=0.002, target_thread_ids=[-1]
+        )
+        with profiler:
+            _busy_hot_function(0.05)
+        assert profiler.sample_count == 0
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_sample_once_is_directly_testable(self):
+        profiler = SamplingProfiler(interval_s=0.002)
+        profiler.sample_once()
+        assert profiler.sample_count == 1
+        (stack,) = [s for s in profiler.collapsed()]
+        assert "test_sample_once_is_directly_testable" in stack
+
+
+class TestSpeedscope:
+    def test_structurally_valid_per_file_format(self):
+        profiler = _profiled_busy_run()
+        doc = profiler.speedscope(name="busy")
+        # Hand-rolled structural validation of the published schema
+        # (https://www.speedscope.app/file-format-schema.json): required
+        # top-level keys, frame-index integrity, sample/weight pairing.
+        assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+        assert isinstance(doc["shared"]["frames"], list)
+        assert all(
+            isinstance(f, dict) and isinstance(f["name"], str)
+            for f in doc["shared"]["frames"]
+        )
+        assert doc["activeProfileIndex"] == 0
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "seconds"
+        assert len(profile["samples"]) == len(profile["weights"])
+        n_frames = len(doc["shared"]["frames"])
+        for sample in profile["samples"]:
+            assert all(0 <= idx < n_frames for idx in sample)
+        assert profile["startValue"] == 0
+        assert profile["endValue"] == pytest.approx(
+            sum(profile["weights"])
+        )
+        json.dumps(doc)  # JSON-serializable end to end
+
+    def test_write_infers_format_from_suffix(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        profiler = _profiled_busy_run()
+        json_path = tmp_path / "p.json"
+        txt_path = tmp_path / "p.txt"
+        assert profiler.write(str(json_path)) == "speedscope"
+        assert profiler.write(str(txt_path)) == "collapsed"
+        loaded = json.loads(json_path.read_text())
+        assert loaded["$schema"] == SPEEDSCOPE_SCHEMA
+        assert txt_path.read_text().strip()
+
+    def test_top_frame_matches_dominant_stage(self):
+        # Acceptance criterion: the most-weighted speedscope sample's
+        # leaf frame is the dominant (busy-loop) stage.
+        profiler = _profiled_busy_run()
+        doc = profiler.speedscope()
+        profile = doc["profiles"][0]
+        top = max(
+            zip(profile["weights"], profile["samples"]),
+            key=lambda wv: wv[0],
+        )[1]
+        leaf = doc["shared"]["frames"][top[-1]]["name"]
+        assert "_busy_hot_function" in leaf
+
+
+class TestHotspotEdgeCases:
+    def test_empty_profile(self):
+        assert profile_hotspots({}) == []
+        assert profile_hotspots(None) == []
+
+    def test_recursive_stack_counts_total_once(self):
+        rows = profile_hotspots({"f;f;f": 5}, limit=5)
+        (row,) = rows
+        assert row == {
+            "frame": "f", "self": 5, "total": 5, "self_share": 1.0,
+        }
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(interval_s=0)
+
+
+def test_current_frames_available():
+    # The profiler's one CPython-specific dependency; fail loudly if a
+    # future interpreter drops it rather than silently sampling nothing.
+    assert hasattr(sys, "_current_frames")

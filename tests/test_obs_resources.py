@@ -1,0 +1,156 @@
+"""Tests for /proc-based resource sampling (repro.obs.resources)."""
+
+import os
+import time
+
+import pytest
+
+from repro.obs import resources
+from repro.obs.resources import (
+    ResourceSampler,
+    read_proc,
+    sample_interval_s,
+    self_resources,
+    supported,
+)
+
+linux_only = pytest.mark.skipif(
+    not supported(), reason="requires a mounted /proc"
+)
+
+
+class TestSampleInterval:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESOURCE_SAMPLE_S", raising=False)
+        assert sample_interval_s() == resources.DEFAULT_SAMPLE_S
+
+    def test_env_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESOURCE_SAMPLE_S", "0.25")
+        assert sample_interval_s() == 0.25
+
+    def test_zero_negative_and_garbage_disable(self):
+        assert sample_interval_s("0") is None
+        assert sample_interval_s("-3") is None
+        assert sample_interval_s("often") is None
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESOURCE_SAMPLE_S", "9")
+        assert sample_interval_s("0.5") == 0.5
+
+
+class TestReadProc:
+    @linux_only
+    def test_own_process_sane(self):
+        reading = read_proc(os.getpid())
+        assert reading is not None
+        assert reading["cpu_time_s"] >= 0.0
+        # Any live CPython interpreter resides in well over a megabyte.
+        assert reading["rss_bytes"] > 1 << 20
+
+    @linux_only
+    def test_cpu_time_advances_with_work(self):
+        before = read_proc(os.getpid())["cpu_time_s"]
+        deadline = time.process_time() + 0.15
+        while time.process_time() < deadline:
+            sum(range(1000))
+        after = read_proc(os.getpid())["cpu_time_s"]
+        assert after >= before
+
+    def test_missing_pid_is_none(self):
+        # Max pid on Linux is < 2**22 by default; this pid cannot exist.
+        assert read_proc(2**30) is None
+
+    def test_no_procfs_is_none(self, monkeypatch):
+        monkeypatch.setattr(resources, "_PROC", "/nonexistent-proc")
+        assert not supported()
+        assert read_proc(os.getpid()) is None
+
+
+def test_self_resources_sane():
+    usage = self_resources()
+    assert usage is not None
+    assert usage["peak_rss_bytes"] > 1 << 20
+    assert usage["cpu_time_s"] >= 0.0
+
+
+class TestResourceSampler:
+    def _collecting_sampler(self, targets, interval_s=0.05):
+        seen = []
+        sampler = ResourceSampler(
+            lambda: targets,
+            lambda key, sample: seen.append((key, sample)),
+            interval_s=interval_s,
+        )
+        return sampler, seen
+
+    @linux_only
+    def test_sample_once_reports_and_tracks_peaks(self):
+        sampler, seen = self._collecting_sampler({"me": os.getpid()})
+        first = sampler.sample_once()
+        assert set(first) == {"me"}
+        assert first["me"]["cpu_percent"] == 0.0  # no delta baseline yet
+        second = sampler.sample_once()
+        assert second["me"]["cpu_percent"] >= 0.0
+        assert [key for key, _ in seen] == ["me", "me"]
+        peaks = sampler.pop("me")
+        assert peaks["peak_rss_bytes"] >= first["me"]["rss_bytes"]
+        assert peaks["cpu_time_s"] >= first["me"]["cpu_time_s"]
+        assert sampler.pop("me") is None  # pop retires
+
+    @linux_only
+    def test_dead_target_skipped_silently(self):
+        sampler, seen = self._collecting_sampler({"ghost": 2**30})
+        assert sampler.sample_once() == {}
+        assert seen == []
+        assert sampler.pop("ghost") is None
+
+    @linux_only
+    def test_untargeted_key_forgets_delta_state(self):
+        targets = {"me": os.getpid()}
+        sampler, _ = self._collecting_sampler(targets)
+        sampler.sample_once()
+        targets.clear()
+        sampler.sample_once()
+        targets["me"] = os.getpid()
+        # Baseline was dropped, so cpu_percent restarts at 0.0 instead of
+        # crediting all CPU time since the stale reading.
+        assert sampler.sample_once()["me"]["cpu_percent"] == 0.0
+
+    @linux_only
+    def test_background_thread_samples(self):
+        sampler, seen = self._collecting_sampler(
+            {"me": os.getpid()}, interval_s=0.02
+        )
+        assert sampler.enabled
+        sampler.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+        assert seen
+        key, sample = seen[0]
+        assert key == "me"
+        assert {"cpu_time_s", "rss_bytes", "cpu_percent", "t_s"} <= set(
+            sample
+        )
+
+    def test_disabled_without_procfs(self, monkeypatch):
+        monkeypatch.setattr(resources, "_PROC", "/nonexistent-proc")
+        sampler, seen = self._collecting_sampler({"me": os.getpid()})
+        assert not sampler.enabled
+        assert sampler.start() is sampler  # no-op, no thread
+        assert sampler._thread is None
+        assert sampler.sample_once() == {}
+        assert seen == []
+        sampler.stop()
+
+    def test_disabled_by_interval(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESOURCE_SAMPLE_S", "0")
+        sampler = ResourceSampler(dict, lambda k, s: None)
+        assert sampler.interval_s is None
+        assert not sampler.enabled
+        sampler.start()
+        assert sampler._thread is None
+        sampler.stop()

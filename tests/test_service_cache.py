@@ -113,7 +113,11 @@ class TestResultCache:
             "hits": 1,
             "misses": 1,
             "evictions": 0,
+            "hit_ratio": 0.5,
         }
+
+    def test_hit_ratio_none_before_any_lookup(self, tmp_path):
+        assert ResultCache(tmp_path).stats()["hit_ratio"] is None
 
     def test_min_entries_validated(self, tmp_path):
         with pytest.raises(ValueError):
